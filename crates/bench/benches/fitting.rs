@@ -1,0 +1,112 @@
+//! Criterion benches for the least-squares fitting pipeline — the
+//! computational core behind the paper's Tables I and III.
+//!
+//! Groups:
+//! * `bathtub_fit` — quadratic and competing-risks fits per recession
+//!   class (Table I workload).
+//! * `mixture_fit` — the four paper combinations on 1990-93 (Table III
+//!   workload).
+//! * `optimizer_ablation` — multi-start Nelder–Mead vs NM+LM polish vs
+//!   differential evolution on the same fit, supporting DESIGN.md §5's
+//!   optimizer ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resilience_core::bathtub::{CompetingRisksFamily, QuadraticFamily};
+use resilience_core::fit::{fit_least_squares, FitConfig};
+use resilience_core::mixture::MixtureFamily;
+use resilience_core::model::ModelFamily;
+use resilience_data::recessions::Recession;
+use std::hint::black_box;
+
+fn bench_bathtub_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bathtub_fit");
+    let config = FitConfig::default();
+    for recession in [Recession::R1990_93, Recession::R1980, Recession::R2020_21] {
+        let series = recession.payroll_index();
+        let train = series
+            .split_at(series.len() - 5)
+            .map(|s| s.train)
+            .unwrap_or(series);
+        group.bench_with_input(
+            BenchmarkId::new("quadratic", recession.label()),
+            &train,
+            |b, s| b.iter(|| fit_least_squares(&QuadraticFamily, black_box(s), &config).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("competing_risks", recession.label()),
+            &train,
+            |b, s| {
+                b.iter(|| fit_least_squares(&CompetingRisksFamily, black_box(s), &config).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mixture_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mixture_fit");
+    group.sample_size(10);
+    let config = FitConfig::default();
+    let series = Recession::R1990_93.payroll_index();
+    let train = series.split_at(43).map(|s| s.train).unwrap();
+    for fam in MixtureFamily::paper_combinations() {
+        group.bench_with_input(BenchmarkId::from_parameter(fam.name()), &train, |b, s| {
+            b.iter(|| fit_least_squares(&fam, black_box(s), &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizer_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_ablation");
+    group.sample_size(10);
+    let series = Recession::R1990_93.payroll_index();
+    let train = series.split_at(43).map(|s| s.train).unwrap();
+    let nm_only = FitConfig {
+        lm_polish: false,
+        ..FitConfig::default()
+    };
+    let nm_lm = FitConfig::default();
+    group.bench_function("nelder_mead_only", |b| {
+        b.iter(|| fit_least_squares(&CompetingRisksFamily, black_box(&train), &nm_only).unwrap())
+    });
+    group.bench_function("nelder_mead_plus_lm", |b| {
+        b.iter(|| fit_least_squares(&CompetingRisksFamily, black_box(&train), &nm_lm).unwrap())
+    });
+    // Differential evolution over the log-parameter box, for comparison.
+    group.bench_function("differential_evolution", |b| {
+        use rand::SeedableRng;
+        use resilience_optim::differential_evolution::{differential_evolution, DeConfig};
+        let fam = CompetingRisksFamily;
+        let times = train.times().to_vec();
+        let values = train.values().to_vec();
+        let objective = move |internal: &[f64]| -> f64 {
+            let params = fam.internal_to_params(internal);
+            match fam.build(&params) {
+                Ok(model) => times
+                    .iter()
+                    .zip(&values)
+                    .map(|(&t, &y)| {
+                        let d = y - model.predict(t);
+                        d * d
+                    })
+                    .sum(),
+                Err(_) => f64::INFINITY,
+            }
+        };
+        let bounds = [(-8.0, 2.0), (-8.0, 2.0), (-12.0, 0.0)];
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            differential_evolution(&objective, &bounds, &DeConfig::default(), &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bathtub_fit,
+    bench_mixture_fit,
+    bench_optimizer_ablation
+);
+criterion_main!(benches);

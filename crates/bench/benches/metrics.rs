@@ -1,0 +1,77 @@
+//! Criterion benches for the interval-based resilience metrics layer
+//! (paper Tables II and IV workload): actual (trapezoid over data) vs
+//! predicted (closed-form bathtub areas vs quadrature mixture areas).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resilience_core::bathtub::QuadraticModel;
+use resilience_core::metrics::{
+    actual_metric, predicted_metric, MetricContext, MetricKind,
+};
+use resilience_core::mixture::{ComponentKind, MixtureModel, Trend};
+use resilience_core::model::ResilienceModel;
+use resilience_data::recessions::Recession;
+use std::hint::black_box;
+
+fn context(nominal: f64) -> MetricContext {
+    MetricContext {
+        t_start: 42.0,
+        t_end: 47.0,
+        nominal,
+        t_min: 11.0,
+        t_full_start: 0.0,
+        weight: 0.5,
+    }
+    .validated()
+    .unwrap()
+}
+
+fn bench_actual_metrics(c: &mut Criterion) {
+    let series = Recession::R1990_93.payroll_index();
+    let ctx = context(series.value_at(42.0).unwrap());
+    let mut group = c.benchmark_group("actual_metrics");
+    for kind in MetricKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| b.iter(|| actual_metric(black_box(&series), kind, &ctx).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_predicted_metrics(c: &mut Criterion) {
+    let quadratic = QuadraticModel::new(1.0, -0.004, 0.0001).unwrap();
+    let mixture = MixtureModel::new(
+        ComponentKind::Weibull,
+        vec![2.0, 15.0],
+        ComponentKind::Exponential,
+        vec![0.08],
+        Trend::Logarithmic,
+        0.30,
+    )
+    .unwrap();
+    let ctx_q = context(quadratic.predict(42.0));
+    let ctx_m = context(mixture.predict(42.0));
+    let mut group = c.benchmark_group("predicted_metrics");
+    // Closed-form area path (Eq. 3) vs quadrature path.
+    group.bench_function("quadratic_closed_form_all8", |b| {
+        b.iter(|| {
+            MetricKind::ALL
+                .iter()
+                .map(|&k| predicted_metric(black_box(&quadratic), k, &ctx_q).unwrap())
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("mixture_quadrature_all8", |b| {
+        b.iter(|| {
+            MetricKind::ALL
+                .iter()
+                .map(|&k| predicted_metric(black_box(&mixture), k, &ctx_m).unwrap())
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_actual_metrics, bench_predicted_metrics);
+criterion_main!(benches);

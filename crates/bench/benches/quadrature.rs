@@ -1,0 +1,65 @@
+//! Criterion benches for the numerical substrate: quadrature rules, root
+//! finding, and special functions — everything the metrics and quantile
+//! paths lean on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resilience_math::{quad, roots, special};
+use std::hint::black_box;
+
+/// The integrand shape the mixture metrics integrate: a dip-and-recover
+/// curve built from exp/ln terms.
+fn mixture_like(t: f64) -> f64 {
+    (-(t / 14.0).powf(1.8)).exp() + 0.24 * (t.max(1.0)).ln() * (1.0 - (-0.07 * t).exp())
+}
+
+fn bench_quadrature(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quadrature");
+    group.bench_function("trapezoid_1024", |b| {
+        b.iter(|| quad::trapezoid(mixture_like, 0.0, black_box(47.0), 1024).unwrap())
+    });
+    group.bench_function("simpson_256", |b| {
+        b.iter(|| quad::simpson(mixture_like, 0.0, black_box(47.0), 256).unwrap())
+    });
+    group.bench_function("adaptive_simpson_1e-10", |b| {
+        b.iter(|| quad::adaptive_simpson(mixture_like, 0.0, black_box(47.0), 1e-10, 40).unwrap())
+    });
+    group.bench_function("gauss_legendre_20", |b| {
+        b.iter(|| quad::gauss_legendre(mixture_like, 0.0, black_box(47.0), 20).unwrap())
+    });
+    group.bench_function("romberg_1e-10", |b| {
+        b.iter(|| quad::romberg(mixture_like, 0.0, black_box(47.0), 1e-10, 22).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_roots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roots");
+    let f = |t: f64| mixture_like(t) - 0.95;
+    group.bench_function("bisection", |b| {
+        b.iter(|| roots::bisection(f, black_box(0.0), 20.0, 1e-12, 200).unwrap())
+    });
+    group.bench_function("brent", |b| {
+        b.iter(|| roots::brent(f, black_box(0.0), 20.0, 1e-12, 200).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_special(c: &mut Criterion) {
+    let mut group = c.benchmark_group("special_functions");
+    for x in [0.5, 5.0, 50.0] {
+        group.bench_with_input(BenchmarkId::new("ln_gamma", x), &x, |b, &x| {
+            b.iter(|| special::ln_gamma(black_box(x)).unwrap())
+        });
+    }
+    group.bench_function("erf", |b| b.iter(|| special::erf(black_box(1.2))));
+    group.bench_function("inv_erf", |b| {
+        b.iter(|| special::inv_erf(black_box(0.95)).unwrap())
+    });
+    group.bench_function("reg_gamma_p", |b| {
+        b.iter(|| special::reg_gamma_p(black_box(2.5), black_box(3.0)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quadrature, bench_roots, bench_special);
+criterion_main!(benches);

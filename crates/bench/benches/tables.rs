@@ -1,0 +1,60 @@
+//! Criterion benches regenerating each full table/figure of the paper —
+//! one benchmark per experiment, so a `cargo bench` run times the entire
+//! reproduction end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_experiments");
+    group.sample_size(10);
+    group.bench_function("fig2_curves", |b| {
+        b.iter(|| black_box(resilience_bench::fig2().unwrap()))
+    });
+    group.bench_function("table1_bathtub_validation", |b| {
+        b.iter(|| black_box(resilience_bench::table1().unwrap()))
+    });
+    group.bench_function("fig3_quadratic_2001_05", |b| {
+        b.iter(|| black_box(resilience_bench::fig3().unwrap()))
+    });
+    group.bench_function("fig4_competing_risks_1990_93", |b| {
+        b.iter(|| black_box(resilience_bench::fig4().unwrap()))
+    });
+    group.bench_function("table2_bathtub_metrics", |b| {
+        b.iter(|| black_box(resilience_bench::table2().unwrap()))
+    });
+    group.bench_function("table3_mixture_validation", |b| {
+        b.iter(|| black_box(resilience_bench::table3().unwrap()))
+    });
+    group.bench_function("fig5_wei_exp_1990_93", |b| {
+        b.iter(|| black_box(resilience_bench::fig5().unwrap()))
+    });
+    group.bench_function("fig6_mixtures_1981_83", |b| {
+        b.iter(|| black_box(resilience_bench::fig6().unwrap()))
+    });
+    group.bench_function("table4_mixture_metrics", |b| {
+        b.iter(|| black_box(resilience_bench::table4().unwrap()))
+    });
+    group.bench_function("ext_shape_sweep", |b| {
+        b.iter(|| black_box(resilience_bench::shape_sweep().unwrap()))
+    });
+    group.bench_function("ext_trend_ablation", |b| {
+        b.iter(|| black_box(resilience_bench::trend_ablation().unwrap()))
+    });
+    group.bench_function("ext_w_double_bathtub", |b| {
+        b.iter(|| black_box(resilience_bench::w_extension().unwrap()))
+    });
+    group.bench_function("ext_l_crash_recovery", |b| {
+        b.iter(|| black_box(resilience_bench::l_extension().unwrap()))
+    });
+    group.bench_function("ext_model_selection", |b| {
+        b.iter(|| black_box(resilience_bench::selection_table().unwrap()))
+    });
+    group.bench_function("ext_bootstrap_band", |b| {
+        b.iter(|| black_box(resilience_bench::bootstrap_comparison().unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! `repro` — regenerates every table and figure of *Predictive
+//! Resilience Modeling* (Silva et al., RWS 2022).
+//!
+//! ```text
+//! repro <experiment>
+//!
+//! experiments:
+//!   fig2    the seven recession curves
+//!   table1  bathtub goodness of fit (7 recessions × 2 models)
+//!   fig3    quadratic fit + 95% CI, 2001-05
+//!   fig4    competing-risks fit + 95% CI, 1990-93
+//!   table2  predictive interval metrics, bathtub models, 1990-93
+//!   table3  mixture goodness of fit (7 recessions × 4 combos)
+//!   fig5    Wei-Exp fit + 95% CI, 1990-93
+//!   fig6    Exp-Wei and Wei-Wei fits + 95% CIs, 1981-83
+//!   table4  predictive interval metrics, mixture combos, 1990-93
+//!   shapes     extension: V/U/W/L/J/K sweep incl. quartic model
+//!   trends     extension: recovery-trend ablation
+//!   w-ext      extension: double-bathtub model on the 1980 W shape
+//!   l-ext      extension: crash-recovery model on the 2020-21 L shape
+//!   selection  extension: AICc/BIC model ranking per recession
+//!   bootstrap  extension: Eq. 13 band vs residual bootstrap band
+//!   all        everything above, in order
+//! ```
+
+use std::process::ExitCode;
+
+fn run(which: &str) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    let out = match which {
+        "fig2" => vec![resilience_bench::fig2()?],
+        "table1" => vec![resilience_bench::table1()?],
+        "fig3" => vec![resilience_bench::fig3()?],
+        "fig4" => vec![resilience_bench::fig4()?],
+        "table2" => vec![resilience_bench::table2()?],
+        "table3" => vec![resilience_bench::table3()?],
+        "fig5" => vec![resilience_bench::fig5()?],
+        "fig6" => vec![resilience_bench::fig6()?],
+        "table4" => vec![resilience_bench::table4()?],
+        "shapes" => vec![resilience_bench::shape_sweep()?],
+        "trends" => vec![resilience_bench::trend_ablation()?],
+        "w-ext" => vec![resilience_bench::w_extension()?],
+        "l-ext" => vec![resilience_bench::l_extension()?],
+        "selection" => vec![resilience_bench::selection_table()?],
+        "bootstrap" => vec![resilience_bench::bootstrap_comparison()?],
+        "all" => {
+            let mut blocks = Vec::new();
+            for name in [
+                "fig2", "table1", "fig3", "fig4", "table2", "table3", "fig5", "fig6", "table4",
+                "shapes", "trends", "w-ext", "l-ext", "selection", "bootstrap",
+            ] {
+                blocks.extend(run(name)?);
+            }
+            blocks
+        }
+        other => return Err(format!("unknown experiment '{other}' (try: repro all)").into()),
+    };
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match run(&which) {
+        Ok(blocks) => {
+            println!("{}", blocks.join("\n\n================\n\n"));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("repro: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

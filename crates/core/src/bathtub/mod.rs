@@ -1,0 +1,96 @@
+//! Bathtub-shaped resilience models (paper §II-A).
+//!
+//! In reliability engineering a bathtub-shaped hazard first decreases
+//! (infant mortality), bottoms out, then increases (wear-out). The paper
+//! reuses that *shape* directly as a resilience curve: performance falls
+//! from the nominal level, troughs, and recovers. Two parameterizations
+//! are evaluated:
+//!
+//! * [`QuadraticModel`] — `P(t) = α + βt + γt²` (paper Eq. 1), bathtub-
+//!   shaped iff `α, γ > 0` and `−2√(αγ) < β < 0`; recovery time and area
+//!   under the curve have closed forms (Eq. 2–3).
+//! * [`CompetingRisksModel`] — `P(t) = 2γt + α/(1+βt)` (the Hjorth
+//!   competing-risks form behind Eq. 4), able to express increasing,
+//!   decreasing, constant, and bathtub shapes; Eq. 5–6 give its recovery
+//!   time and area.
+//!
+//! [`QuarticModel`] is a workspace extension (DESIGN.md §5): a degree-4
+//! polynomial that *can* express the W-shaped double dips both paper
+//! families fail on (its Table I, 1980 data).
+
+mod competing_risks;
+mod quadratic;
+mod quartic;
+
+pub use competing_risks::{CompetingRisksFamily, CompetingRisksModel};
+pub use quadratic::{QuadraticFamily, QuadraticModel};
+pub use quartic::{QuarticFamily, QuarticModel};
+
+use resilience_data::PerformanceSeries;
+use resilience_math::linalg::Matrix;
+
+/// Fits a polynomial of the given degree to a series by ordinary least
+/// squares (normal equations). Returns ascending coefficients.
+///
+/// Used to seed the bathtub fits: the unconstrained polynomial optimum is
+/// an excellent starting point for the constrained search.
+pub(crate) fn polynomial_ols(series: &PerformanceSeries, degree: usize) -> Option<Vec<f64>> {
+    let n = series.len();
+    let p = degree + 1;
+    if n < p {
+        return None;
+    }
+    // Fit in the scaled variable u = t/T to keep the normal equations
+    // well conditioned (raw powers up to t⁸ in the Gram matrix would lose
+    // all precision for t ~ 48), then rescale the coefficients back.
+    let t_scale = series
+        .times()
+        .iter()
+        .fold(0.0f64, |acc, t| acc.max(t.abs()))
+        .max(1.0);
+    let mut design = Matrix::zeros(n, p);
+    for (i, (t, _)) in series.iter().enumerate() {
+        let u = t / t_scale;
+        let mut pow = 1.0;
+        for j in 0..p {
+            design[(i, j)] = pow;
+            pow *= u;
+        }
+    }
+    let gram = design.gram();
+    let rhs = design.transpose_matvec(series.values()).ok()?;
+    let scaled = gram.solve(&rhs).ok()?;
+    Some(
+        scaled
+            .into_iter()
+            .enumerate()
+            .map(|(k, c)| c / t_scale.powi(k as i32))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polynomial_ols_recovers_exact_coefficients() {
+        let values: Vec<f64> = (0..20)
+            .map(|i| {
+                let t = i as f64;
+                1.0 - 0.02 * t + 0.001 * t * t
+            })
+            .collect();
+        let s = PerformanceSeries::monthly("p", values).unwrap();
+        let c = polynomial_ols(&s, 2).unwrap();
+        assert!((c[0] - 1.0).abs() < 1e-9);
+        assert!((c[1] + 0.02).abs() < 1e-9);
+        assert!((c[2] - 0.001).abs() < 1e-10);
+    }
+
+    #[test]
+    fn polynomial_ols_underdetermined_is_none() {
+        let s = PerformanceSeries::monthly("p", vec![1.0, 0.9, 1.0]).unwrap();
+        assert!(polynomial_ols(&s, 4).is_none());
+    }
+}

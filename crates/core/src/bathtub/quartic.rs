@@ -1,0 +1,197 @@
+//! Quartic polynomial model — a workspace extension for W-shaped curves.
+//!
+//! The paper's Table I shows both bathtub families failing on the 1980
+//! W-shaped recession (low or negative adjusted R²): a single
+//! degradation-and-recovery episode cannot express two troughs. A quartic
+//! polynomial can (it allows two local minima separated by a local
+//! maximum), making it the natural minimal extension — exactly the
+//! "additional modeling efforts that can capture these more general
+//! scenarios" the paper's abstract calls for. DESIGN.md §5 tracks this as
+//! an extension experiment.
+
+use crate::model::{ModelFamily, ResilienceModel};
+use crate::CoreError;
+use resilience_data::PerformanceSeries;
+use resilience_math::poly::Polynomial;
+
+/// Unconstrained quartic resilience curve
+/// `P(t) = c₀ + c₁t + c₂t² + c₃t³ + c₄t⁴`.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_core::bathtub::QuarticModel;
+/// use resilience_core::ResilienceModel;
+///
+/// let m = QuarticModel::new([1.0, -0.02, 0.001, 0.0, 0.0])?;
+/// assert!((m.predict(0.0) - 1.0).abs() < 1e-12);
+/// # Ok::<(), resilience_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuarticModel {
+    coeffs: [f64; 5],
+}
+
+impl QuarticModel {
+    /// Creates a quartic model from ascending coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] when any coefficient is
+    /// non-finite.
+    pub fn new(coeffs: [f64; 5]) -> Result<Self, CoreError> {
+        if coeffs.iter().any(|c| !c.is_finite()) {
+            return Err(CoreError::params("Quartic", "coefficients must be finite"));
+        }
+        Ok(QuarticModel { coeffs })
+    }
+
+    /// Ascending coefficients `[c₀, c₁, c₂, c₃, c₄]`.
+    #[must_use]
+    pub fn coeffs(&self) -> [f64; 5] {
+        self.coeffs
+    }
+
+    fn polynomial(&self) -> Polynomial {
+        Polynomial::new(self.coeffs.to_vec())
+    }
+}
+
+impl ResilienceModel for QuarticModel {
+    fn name(&self) -> &'static str {
+        "Quartic"
+    }
+
+    fn params(&self) -> Vec<f64> {
+        self.coeffs.to_vec()
+    }
+
+    fn predict(&self, t: f64) -> f64 {
+        // Horner.
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &c| acc * t + c)
+    }
+
+    fn area(&self, a: f64, b: f64) -> Result<f64, CoreError> {
+        if !(a <= b) || !a.is_finite() || !b.is_finite() {
+            return Err(CoreError::arg(
+                "QuarticModel::area",
+                format!("need finite a <= b, got [{a}, {b}]"),
+            ));
+        }
+        Ok(self.polynomial().integral(a, b))
+    }
+}
+
+/// The [`ModelFamily`] for [`QuarticModel`]: unconstrained, seeded by
+/// polynomial OLS (which is already the global least-squares optimum —
+/// the optimizer then has nothing left to do, making this family
+/// essentially a linear fit in the same pipeline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuarticFamily;
+
+impl ModelFamily for QuarticFamily {
+    fn name(&self) -> &'static str {
+        "Quartic"
+    }
+
+    fn n_params(&self) -> usize {
+        5
+    }
+
+    fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
+        assert_eq!(internal.len(), 5, "QuarticFamily expects 5 internal params");
+        internal.to_vec()
+    }
+
+    fn params_to_internal(&self, params: &[f64]) -> Result<Vec<f64>, CoreError> {
+        if params.len() != 5 {
+            return Err(CoreError::params("Quartic", "expected 5 parameters"));
+        }
+        Ok(params.to_vec())
+    }
+
+    fn build(&self, params: &[f64]) -> Result<Box<dyn ResilienceModel>, CoreError> {
+        if params.len() != 5 {
+            return Err(CoreError::params("Quartic", "expected 5 parameters"));
+        }
+        Ok(Box::new(QuarticModel::new([
+            params[0], params[1], params[2], params[3], params[4],
+        ])?))
+    }
+
+    fn initial_guesses(&self, series: &PerformanceSeries) -> Vec<Vec<f64>> {
+        let mut guesses = Vec::new();
+        if let Some(c) = super::polynomial_ols(series, 4) {
+            guesses.push(c);
+        }
+        // Flat fallback.
+        guesses.push(vec![series.nominal(), 0.0, 0.0, 0.0, 0.0]);
+        guesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_finite() {
+        assert!(QuarticModel::new([1.0, f64::NAN, 0.0, 0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn horner_matches_naive() {
+        let m = QuarticModel::new([1.0, -0.5, 0.25, -0.125, 0.0625]).unwrap();
+        for &t in &[-1.0_f64, 0.0, 0.5, 2.0] {
+            let naive = 1.0 - 0.5 * t + 0.25 * t * t - 0.125 * t.powi(3) + 0.0625 * t.powi(4);
+            assert!((m.predict(t) - naive).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn area_matches_quadrature() {
+        let m = QuarticModel::new([1.0, -0.02, 0.002, -5e-5, 4e-7]).unwrap();
+        let analytic = m.area(0.0, 40.0).unwrap();
+        let numeric =
+            resilience_math::quad::adaptive_simpson(|t| m.predict(t), 0.0, 40.0, 1e-12, 40)
+                .unwrap();
+        assert!((analytic - numeric).abs() < 1e-8);
+    }
+
+    #[test]
+    fn can_express_two_troughs() {
+        // P(t) with minima near t = 1 and t = 3: derivative ∝ (t−1)(t−2)(t−3).
+        // ∫ 4(t−1)(t−2)(t−3) dt = t⁴ − 8t³ + 22t² − 24t (+ c).
+        let m = QuarticModel::new([1.0, -0.24, 0.22, -0.08, 0.01]).unwrap();
+        let p1 = m.predict(1.0);
+        let p2 = m.predict(2.0);
+        let p3 = m.predict(3.0);
+        assert!(p1 < p2 && p3 < p2, "W shape: {p1}, {p2}, {p3}");
+    }
+
+    #[test]
+    fn family_ols_seed_is_global_optimum() {
+        // Noiseless quartic data: the OLS guess reproduces it exactly.
+        let coeffs = [1.0, -0.04, 0.003, -6e-5, 4e-7];
+        let truth = QuarticModel::new(coeffs).unwrap();
+        let values: Vec<f64> = (0..48).map(|i| truth.predict(i as f64)).collect();
+        let s = PerformanceSeries::monthly("w", values).unwrap();
+        let guesses = QuarticFamily.initial_guesses(&s);
+        let g = &guesses[0];
+        for (got, want) in g.iter().zip(coeffs) {
+            assert!((got - want).abs() < 1e-6, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn family_identity_transform() {
+        let fam = QuarticFamily;
+        let p = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(fam.internal_to_params(&p), p);
+        assert_eq!(fam.params_to_internal(&p).unwrap(), p);
+        assert!(fam.params_to_internal(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! Residual-bootstrap confidence bands — a nonparametric alternative to
+//! the paper's Eq. 12–13 normal-theory band (listed as future work in
+//! DESIGN.md §5).
+//!
+//! The Eq. 13 band assumes homoscedastic Gaussian residuals and ignores
+//! parameter uncertainty; the residual bootstrap instead refits the model
+//! on `B` synthetic series (fitted curve + resampled residuals) and reads
+//! the band off the percentiles of the replicate predictions. It is wider
+//! where the fit constrains the curve weakly (extrapolation beyond the
+//! training window) — exactly the region the predictive metrics use.
+
+use crate::fit::{fit_least_squares, FitConfig};
+use crate::model::ModelFamily;
+use crate::CoreError;
+use resilience_data::noise::XorShift64;
+use resilience_data::PerformanceSeries;
+use resilience_stats::describe::quantile;
+
+/// A pointwise bootstrap *prediction* band: each limit reflects both
+/// parameter uncertainty (replicate refits) and observation noise (a
+/// residual draw), so — like the paper's Eq. 13 band — it targets where
+/// observations fall, not just the mean curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapBand {
+    /// Evaluation times.
+    pub times: Vec<f64>,
+    /// Point predictions of the base fit.
+    pub center: Vec<f64>,
+    /// Lower band limits (`α/2` percentile of replicates).
+    pub lower: Vec<f64>,
+    /// Upper band limits (`1 − α/2` percentile of replicates).
+    pub upper: Vec<f64>,
+    /// Number of successful replicates.
+    pub replicates: usize,
+    /// Number of replicates whose refit failed (excluded).
+    pub failed: usize,
+}
+
+impl BootstrapBand {
+    /// Whether the observation `y` at index `i` falls inside the band.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn contains(&self, i: usize, y: f64) -> bool {
+        y >= self.lower[i] && y <= self.upper[i]
+    }
+
+    /// Empirical coverage of a series by this band.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] when lengths differ.
+    pub fn coverage(&self, series: &PerformanceSeries) -> Result<f64, CoreError> {
+        if series.len() != self.times.len() {
+            return Err(CoreError::arg(
+                "BootstrapBand::coverage",
+                format!("{} observations vs {} band points", series.len(), self.times.len()),
+            ));
+        }
+        let inside = series
+            .values()
+            .iter()
+            .enumerate()
+            .filter(|(i, y)| self.contains(*i, **y))
+            .count();
+        Ok(inside as f64 / series.len() as f64)
+    }
+}
+
+/// Configuration for [`bootstrap_band`].
+#[derive(Debug, Clone)]
+pub struct BootstrapConfig {
+    /// Number of bootstrap replicates.
+    pub replicates: usize,
+    /// Significance level (0.05 → 95 % band).
+    pub alpha: f64,
+    /// Deterministic seed for the residual resampling.
+    pub seed: u64,
+    /// Fit configuration for the replicate refits. Defaults to a single
+    /// start at the base fit's optimum with a reduced iteration budget —
+    /// replicate surfaces are small perturbations of the original.
+    pub refit: FitConfig,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        let mut refit = FitConfig::default();
+        refit.nelder_mead.max_iterations = 800;
+        refit.max_starts = 1;
+        BootstrapConfig {
+            replicates: 200,
+            alpha: 0.05,
+            seed: 0x0B007,
+            refit,
+        }
+    }
+}
+
+/// Computes a residual-bootstrap band for `family` fit to `series`,
+/// evaluated at every observation time.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidArgument`] for a bad configuration or when too
+///   few replicates succeed (< 20 or < half of the requested number).
+/// * Propagates the base fit's errors.
+pub fn bootstrap_band(
+    family: &dyn ModelFamily,
+    series: &PerformanceSeries,
+    base_config: &FitConfig,
+    config: &BootstrapConfig,
+) -> Result<BootstrapBand, CoreError> {
+    if config.replicates < 20 {
+        return Err(CoreError::arg(
+            "bootstrap_band",
+            format!("need at least 20 replicates, got {}", config.replicates),
+        ));
+    }
+    if !(config.alpha > 0.0 && config.alpha < 1.0) {
+        return Err(CoreError::arg(
+            "bootstrap_band",
+            format!("alpha must be in (0, 1), got {}", config.alpha),
+        ));
+    }
+    let base = fit_least_squares(family, series, base_config)?;
+    let times = series.times().to_vec();
+    let fitted = base.model.predict_many(&times);
+    let residuals: Vec<f64> = series
+        .values()
+        .iter()
+        .zip(&fitted)
+        .map(|(y, f)| y - f)
+        .collect();
+
+    // Replicate refits always start at the base optimum.
+    let mut refit_config = config.refit.clone();
+    refit_config.max_starts = refit_config.max_starts.max(1);
+
+    let mut rng = XorShift64::new(config.seed);
+    let n = series.len();
+    let mut per_time: Vec<Vec<f64>> = vec![Vec::with_capacity(config.replicates); n];
+    let mut failed = 0usize;
+    for _ in 0..config.replicates {
+        let synth_values: Vec<f64> = (0..n)
+            .map(|i| {
+                let j = (rng.next_u64() % n as u64) as usize;
+                fitted[i] + residuals[j]
+            })
+            .collect();
+        let Ok(synth) = PerformanceSeries::new(series.name(), times.clone(), synth_values) else {
+            failed += 1;
+            continue;
+        };
+        // Start from the base optimum: wrap the family so initial_guesses
+        // returns only the base parameters.
+        let wrapped = SeededFamily {
+            inner: family,
+            seed_params: base.params.clone(),
+        };
+        match fit_least_squares(&wrapped, &synth, &refit_config) {
+            Ok(fit) => {
+                for (i, &t) in times.iter().enumerate() {
+                    // Prediction band: parameter uncertainty (the refit)
+                    // plus observation noise (one more residual draw) —
+                    // the bootstrap analogue of the paper's Eq. 13 band,
+                    // which also targets observations rather than the
+                    // mean curve.
+                    let j = (rng.next_u64() % n as u64) as usize;
+                    per_time[i].push(fit.model.predict(t) + residuals[j]);
+                }
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    let ok = config.replicates - failed;
+    if ok < 20 || ok * 2 < config.replicates {
+        return Err(CoreError::arg(
+            "bootstrap_band",
+            format!("only {ok}/{} replicates refit successfully", config.replicates),
+        ));
+    }
+    let mut lower = Vec::with_capacity(n);
+    let mut upper = Vec::with_capacity(n);
+    for values in &per_time {
+        lower.push(quantile(values, config.alpha / 2.0)?);
+        upper.push(quantile(values, 1.0 - config.alpha / 2.0)?);
+    }
+    Ok(BootstrapBand {
+        times,
+        center: fitted,
+        lower,
+        upper,
+        replicates: ok,
+        failed,
+    })
+}
+
+/// A family adapter that replaces the data-driven starting points with a
+/// fixed seed (the base fit's optimum).
+struct SeededFamily<'a> {
+    inner: &'a dyn ModelFamily,
+    seed_params: Vec<f64>,
+}
+
+impl ModelFamily for SeededFamily<'_> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn n_params(&self) -> usize {
+        self.inner.n_params()
+    }
+
+    fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
+        self.inner.internal_to_params(internal)
+    }
+
+    fn params_to_internal(&self, params: &[f64]) -> Result<Vec<f64>, CoreError> {
+        self.inner.params_to_internal(params)
+    }
+
+    fn build(&self, params: &[f64]) -> Result<Box<dyn crate::model::ResilienceModel>, CoreError> {
+        self.inner.build(params)
+    }
+
+    fn initial_guesses(&self, _series: &PerformanceSeries) -> Vec<Vec<f64>> {
+        vec![self.seed_params.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bathtub::QuadraticFamily;
+    use resilience_data::recessions::Recession;
+
+    fn quick_config() -> BootstrapConfig {
+        BootstrapConfig {
+            replicates: 60,
+            ..BootstrapConfig::default()
+        }
+    }
+
+    #[test]
+    fn band_brackets_center_and_covers_data() {
+        let series = Recession::R1990_93.payroll_index();
+        let band = bootstrap_band(
+            &QuadraticFamily,
+            &series,
+            &FitConfig::default(),
+            &quick_config(),
+        )
+        .unwrap();
+        assert_eq!(band.times.len(), series.len());
+        for i in 0..band.times.len() {
+            assert!(band.lower[i] <= band.upper[i]);
+            // Center generally inside, allowing percentile wiggle.
+            assert!(band.center[i] >= band.lower[i] - 0.01);
+            assert!(band.center[i] <= band.upper[i] + 0.01);
+        }
+        let coverage = band.coverage(&series).unwrap();
+        assert!(coverage > 0.5, "coverage = {coverage}");
+    }
+
+    #[test]
+    fn band_is_deterministic_under_seed() {
+        let series = Recession::R1990_93.payroll_index();
+        let a = bootstrap_band(&QuadraticFamily, &series, &FitConfig::default(), &quick_config())
+            .unwrap();
+        let b = bootstrap_band(&QuadraticFamily, &series, &FitConfig::default(), &quick_config())
+            .unwrap();
+        assert_eq!(a.lower, b.lower);
+        assert_eq!(a.upper, b.upper);
+    }
+
+    #[test]
+    fn rejects_bad_configuration() {
+        let series = Recession::R1990_93.payroll_index();
+        let mut cfg = quick_config();
+        cfg.replicates = 5;
+        assert!(bootstrap_band(&QuadraticFamily, &series, &FitConfig::default(), &cfg).is_err());
+        let mut cfg = quick_config();
+        cfg.alpha = 0.0;
+        assert!(bootstrap_band(&QuadraticFamily, &series, &FitConfig::default(), &cfg).is_err());
+    }
+
+    #[test]
+    fn coverage_validates_length() {
+        let series = Recession::R1990_93.payroll_index();
+        let band = bootstrap_band(
+            &QuadraticFamily,
+            &series,
+            &FitConfig::default(),
+            &quick_config(),
+        )
+        .unwrap();
+        let short = Recession::R2020_21.payroll_index();
+        assert!(band.coverage(&short).is_err());
+    }
+}

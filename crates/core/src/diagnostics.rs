@@ -1,0 +1,229 @@
+//! Residual diagnostics: is a fit statistically adequate, or merely the
+//! best of a bad family?
+//!
+//! Adjusted R² (paper Eq. 11) measures variance explained, but a model
+//! can score well while leaving *structured* residuals — the signature of
+//! a family that cannot express the curve (the paper's W/L cases). This
+//! module quantifies that structure: residual moments, lag-1
+//! autocorrelation, a runs test, and a Kolmogorov–Smirnov distance
+//! against the fitted normal, so users can distinguish "noisy but right"
+//! from "precisely wrong".
+
+use crate::model::ResilienceModel;
+use crate::CoreError;
+use resilience_data::PerformanceSeries;
+use resilience_stats::describe;
+use resilience_stats::{ContinuousDistribution, EmpiricalCdf, Normal};
+
+/// Summary of a fit's residual structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResidualDiagnostics {
+    /// Number of residuals.
+    pub n: usize,
+    /// Residual mean (should be ~0 for least squares with an intercept
+    /// degree of freedom).
+    pub mean: f64,
+    /// Residual standard deviation.
+    pub std_dev: f64,
+    /// Lag-1 autocorrelation; |values| ≫ 2/√n indicate unmodeled
+    /// structure.
+    pub lag1_autocorrelation: f64,
+    /// Kolmogorov–Smirnov distance between the residuals and
+    /// `N(mean, std_dev²)`.
+    pub ks_vs_normal: f64,
+    /// Asymptotic p-value of `ks_vs_normal` (small values reject
+    /// normality).
+    pub ks_p_value: f64,
+    /// Number of sign runs in the residual sequence.
+    pub runs: usize,
+    /// Expected number of runs under randomness, `2·n₊·n₋/n + 1`.
+    pub expected_runs: f64,
+}
+
+impl ResidualDiagnostics {
+    /// A coarse adequacy verdict: residuals look unstructured when the
+    /// lag-1 autocorrelation is within `3/√n` and the observed runs are
+    /// at least 60 % of the expected count.
+    #[must_use]
+    pub fn looks_unstructured(&self) -> bool {
+        let acf_bound = 3.0 / (self.n as f64).sqrt();
+        self.lag1_autocorrelation.abs() <= acf_bound
+            && (self.runs as f64) >= 0.6 * self.expected_runs
+    }
+}
+
+/// Computes [`ResidualDiagnostics`] for a fitted model against a series.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for fewer than 8 observations
+/// or constant residuals (nothing to diagnose), and propagates
+/// statistical errors.
+pub fn residual_diagnostics(
+    model: &dyn ResilienceModel,
+    series: &PerformanceSeries,
+) -> Result<ResidualDiagnostics, CoreError> {
+    let residuals = model.residuals(series);
+    let n = residuals.len();
+    if n < 8 {
+        return Err(CoreError::arg(
+            "residual_diagnostics",
+            format!("need at least 8 observations, got {n}"),
+        ));
+    }
+    let mean = describe::mean(&residuals)?;
+    let std_dev = describe::std_dev(&residuals)?;
+    if std_dev == 0.0 {
+        return Err(CoreError::arg(
+            "residual_diagnostics",
+            "residuals are constant",
+        ));
+    }
+    let lag1 = describe::autocorrelation(&residuals, 1)?;
+    let normal = Normal::new(mean, std_dev)?;
+    let ks = EmpiricalCdf::new(residuals.clone())?.ks_statistic(|x| normal.cdf(x));
+    let ks_p = resilience_stats::inference::ks_p_value(ks.min(1.0), n)?;
+    // Runs test: count sign runs around zero (ties attach to the previous
+    // sign).
+    let mut runs = 0usize;
+    let mut n_pos = 0usize;
+    let mut n_neg = 0usize;
+    let mut prev_sign = 0i8;
+    for &r in &residuals {
+        let sign = if r > 0.0 {
+            1i8
+        } else if r < 0.0 {
+            -1i8
+        } else {
+            prev_sign
+        };
+        if sign > 0 {
+            n_pos += 1;
+        } else if sign < 0 {
+            n_neg += 1;
+        }
+        if sign != prev_sign && sign != 0 {
+            runs += 1;
+            prev_sign = sign;
+        }
+    }
+    let expected_runs = if n_pos + n_neg > 0 {
+        2.0 * n_pos as f64 * n_neg as f64 / (n_pos + n_neg) as f64 + 1.0
+    } else {
+        1.0
+    };
+    Ok(ResidualDiagnostics {
+        n,
+        mean,
+        std_dev,
+        lag1_autocorrelation: lag1,
+        ks_vs_normal: ks,
+        ks_p_value: ks_p,
+        runs,
+        expected_runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bathtub::QuadraticModel;
+
+    fn truth() -> QuadraticModel {
+        QuadraticModel::new(1.0, -0.012, 0.0004).unwrap()
+    }
+
+    fn noisy_series(n: usize, amp: f64) -> PerformanceSeries {
+        // Deterministic pseudo-noise that is sign-alternating enough to
+        // look unstructured.
+        let m = truth();
+        let mut w = 0.37_f64;
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                w = (w * 131.0).fract();
+                m.predict(i as f64) + amp * (w - 0.5)
+            })
+            .collect();
+        PerformanceSeries::monthly("noisy", values).unwrap()
+    }
+
+    #[test]
+    fn good_fit_has_unstructured_residuals() {
+        let s = noisy_series(48, 0.004);
+        let d = residual_diagnostics(&truth(), &s).unwrap();
+        assert!(d.mean.abs() < 0.002);
+        assert!(d.std_dev > 0.0);
+        assert!(
+            d.looks_unstructured(),
+            "true-model residuals should look random: {d:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_family_leaves_structured_residuals() {
+        // A flat model on the curved data: residuals trace the curve, so
+        // lag-1 autocorrelation is large and runs are few.
+        struct Flat;
+        impl ResilienceModel for Flat {
+            fn name(&self) -> &'static str {
+                "Flat"
+            }
+            fn params(&self) -> Vec<f64> {
+                vec![0.95]
+            }
+            fn predict(&self, _: f64) -> f64 {
+                0.95
+            }
+        }
+        let s = noisy_series(48, 0.001);
+        let d = residual_diagnostics(&Flat, &s).unwrap();
+        assert!(d.lag1_autocorrelation > 0.8, "{d:?}");
+        assert!(!d.looks_unstructured());
+    }
+
+    #[test]
+    fn w_shape_misfit_is_detected() {
+        // The paper's 1980 story, retold by diagnostics: a single-episode
+        // fit to the W curve leaves wavy residuals.
+        let series = resilience_data::recessions::Recession::R1980.payroll_index();
+        let fit = crate::fit::fit_least_squares(
+            &crate::bathtub::CompetingRisksFamily,
+            &series,
+            &crate::fit::FitConfig::default(),
+        )
+        .unwrap();
+        let d = residual_diagnostics(fit.model.as_ref(), &series).unwrap();
+        assert!(
+            !d.looks_unstructured(),
+            "W-shape misfit must show structure: {d:?}"
+        );
+    }
+
+    #[test]
+    fn validates_input() {
+        let s = PerformanceSeries::monthly("short", vec![1.0; 4]).unwrap();
+        assert!(residual_diagnostics(&truth(), &s).is_err());
+    }
+
+    #[test]
+    fn runs_counted_correctly_on_alternating_signs() {
+        // Residuals alternate each step: runs ≈ n.
+        struct Zero;
+        impl ResilienceModel for Zero {
+            fn name(&self) -> &'static str {
+                "Zero"
+            }
+            fn params(&self) -> Vec<f64> {
+                vec![0.0]
+            }
+            fn predict(&self, _: f64) -> f64 {
+                0.0
+            }
+        }
+        let values: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 0.01 } else { -0.01 }).collect();
+        let s = PerformanceSeries::monthly("alt", values).unwrap();
+        let d = residual_diagnostics(&Zero, &s).unwrap();
+        assert_eq!(d.runs, 20);
+        assert!(d.lag1_autocorrelation < -0.8);
+    }
+}

@@ -1,0 +1,152 @@
+//! Error type for the core modeling layer.
+
+use std::fmt;
+
+/// Errors produced by `resilience-core`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Model parameters violated the family's validity constraints.
+    InvalidParameters {
+        /// Model family name.
+        family: &'static str,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// The requested operation has no solution (e.g. the curve never
+    /// recovers to the requested level).
+    NoSolution {
+        /// Operation name.
+        what: &'static str,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Invalid argument to an analysis routine.
+    InvalidArgument {
+        /// Routine name.
+        what: &'static str,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Fitting failed.
+    Fit(resilience_optim::OptimError),
+    /// A statistical routine failed.
+    Stats(resilience_stats::StatsError),
+    /// A numerical routine failed.
+    Math(resilience_math::MathError),
+    /// A data-layer operation failed.
+    Data(resilience_data::DataError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameters { family, detail } => {
+                write!(f, "{family}: invalid parameters: {detail}")
+            }
+            CoreError::NoSolution { what, detail } => write!(f, "{what}: no solution: {detail}"),
+            CoreError::InvalidArgument { what, detail } => {
+                write!(f, "{what}: invalid argument: {detail}")
+            }
+            CoreError::Fit(e) => write!(f, "fit failed: {e}"),
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::Math(e) => write!(f, "numerical error: {e}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Fit(e) => Some(e),
+            CoreError::Stats(e) => Some(e),
+            CoreError::Math(e) => Some(e),
+            CoreError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<resilience_optim::OptimError> for CoreError {
+    fn from(e: resilience_optim::OptimError) -> Self {
+        CoreError::Fit(e)
+    }
+}
+
+impl From<resilience_stats::StatsError> for CoreError {
+    fn from(e: resilience_stats::StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+impl From<resilience_math::MathError> for CoreError {
+    fn from(e: resilience_math::MathError) -> Self {
+        CoreError::Math(e)
+    }
+}
+
+impl From<resilience_data::DataError> for CoreError {
+    fn from(e: resilience_data::DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+impl CoreError {
+    /// Convenience constructor for [`CoreError::InvalidParameters`].
+    pub fn params(family: &'static str, detail: impl Into<String>) -> Self {
+        CoreError::InvalidParameters {
+            family,
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`CoreError::InvalidArgument`].
+    pub fn arg(what: &'static str, detail: impl Into<String>) -> Self {
+        CoreError::InvalidArgument {
+            what,
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`CoreError::NoSolution`].
+    pub fn no_solution(what: &'static str, detail: impl Into<String>) -> Self {
+        CoreError::NoSolution {
+            what,
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::params("Quadratic", "gamma <= 0")
+            .to_string()
+            .contains("Quadratic"));
+        assert!(CoreError::no_solution("recovery_time", "never recovers")
+            .to_string()
+            .contains("never recovers"));
+        assert!(CoreError::arg("evaluate", "horizon too large")
+            .to_string()
+            .contains("horizon"));
+    }
+
+    #[test]
+    fn sources_preserved() {
+        use std::error::Error;
+        let e = CoreError::from(resilience_math::MathError::domain("f", "x"));
+        assert!(e.source().is_some());
+        let e2 = CoreError::from(resilience_optim::OptimError::config("c", "d"));
+        assert!(e2.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,23 @@
+//! Extended model families beyond the paper (DESIGN.md §5).
+//!
+//! The paper's conclusion calls for "additional modeling efforts that can
+//! capture these more general scenarios" — the W-shaped and L/K-shaped
+//! curves that defeat both of its model families. This module supplies
+//! two such efforts:
+//!
+//! * [`DoubleBathtubModel`] — a competing-risks curve plus a delayed
+//!   second degradation episode, expressing the W's two troughs.
+//! * [`CrashRecoveryModel`] — a sudden-crash, saturating-recovery curve
+//!   for L/K shapes whose drop is too abrupt and whose recovery too flat
+//!   for the paper's families.
+//!
+//! Both implement the same [`ModelFamily`](crate::model::ModelFamily) /
+//! [`ResilienceModel`](crate::model::ResilienceModel) traits, so
+//! every experiment (goodness of fit, bands, metrics) extends to them
+//! unchanged; the `repro shapes-extended` experiment quantifies the gain.
+
+mod crash_recovery;
+mod double_bathtub;
+
+pub use crash_recovery::{CrashRecoveryFamily, CrashRecoveryModel};
+pub use double_bathtub::{DoubleBathtubFamily, DoubleBathtubModel};

@@ -1,0 +1,200 @@
+//! Mixture component distributions.
+
+use crate::CoreError;
+use resilience_stats::{ContinuousDistribution, Exponential, Gamma, LogNormal, Weibull};
+
+/// Which distribution family a mixture component uses.
+///
+/// The paper evaluates Exponential and Weibull (its Eq. 23); Gamma and
+/// LogNormal are workspace extensions (DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ComponentKind {
+    /// Exponential(rate) — 1 parameter.
+    Exponential,
+    /// Weibull(shape, scale) — 2 parameters.
+    Weibull,
+    /// Gamma(shape, rate) — 2 parameters (extension).
+    Gamma,
+    /// LogNormal(μ, σ) — 2 parameters (extension).
+    LogNormal,
+}
+
+impl ComponentKind {
+    /// Number of parameters for this component.
+    #[must_use]
+    pub fn n_params(&self) -> usize {
+        match self {
+            ComponentKind::Exponential => 1,
+            ComponentKind::Weibull | ComponentKind::Gamma | ComponentKind::LogNormal => 2,
+        }
+    }
+
+    /// Short label used in the paper's tables (`Exp`, `Wei`) and the
+    /// extension labels (`Gam`, `LogN`).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            ComponentKind::Exponential => "Exp",
+            ComponentKind::Weibull => "Wei",
+            ComponentKind::Gamma => "Gam",
+            ComponentKind::LogNormal => "LogN",
+        }
+    }
+
+    /// Builds the concrete distribution from its parameter slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] for the wrong parameter
+    /// count or infeasible values.
+    pub fn build(&self, params: &[f64]) -> Result<BuiltComponent, CoreError> {
+        if params.len() != self.n_params() {
+            return Err(CoreError::params(
+                "MixtureComponent",
+                format!(
+                    "{} takes {} parameters, got {}",
+                    self.label(),
+                    self.n_params(),
+                    params.len()
+                ),
+            ));
+        }
+        let built = match self {
+            ComponentKind::Exponential => BuiltComponent::Exponential(Exponential::new(params[0])?),
+            ComponentKind::Weibull => BuiltComponent::Weibull(Weibull::new(params[0], params[1])?),
+            ComponentKind::Gamma => BuiltComponent::Gamma(Gamma::new(params[0], params[1])?),
+            ComponentKind::LogNormal => {
+                BuiltComponent::LogNormal(LogNormal::new(params[0], params[1])?)
+            }
+        };
+        Ok(built)
+    }
+
+    /// Whether parameter `i` must be positive (`true` for every parameter
+    /// except LogNormal's location μ).
+    #[must_use]
+    pub fn param_positive(&self, i: usize) -> bool {
+        !(matches!(self, ComponentKind::LogNormal) && i == 0)
+    }
+
+    /// Data-driven candidate parameter sets for a component expected to
+    /// transition around time `t_scale`.
+    #[must_use]
+    pub fn candidate_params(&self, t_scale: f64) -> Vec<Vec<f64>> {
+        let t = t_scale.max(1.0);
+        match self {
+            ComponentKind::Exponential => vec![vec![1.0 / t], vec![2.0 / t], vec![0.5 / t]],
+            ComponentKind::Weibull => vec![
+                vec![1.5, t],
+                vec![2.5, t],
+                vec![1.0, 2.0 * t],
+            ],
+            ComponentKind::Gamma => vec![vec![2.0, 2.0 / t], vec![1.0, 1.0 / t]],
+            ComponentKind::LogNormal => vec![vec![t.ln(), 0.5], vec![t.ln(), 1.0]],
+        }
+    }
+}
+
+impl std::fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// A constructed mixture component, dispatching CDF evaluation to the
+/// concrete distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BuiltComponent {
+    /// Exponential component.
+    Exponential(Exponential),
+    /// Weibull component.
+    Weibull(Weibull),
+    /// Gamma component (extension).
+    Gamma(Gamma),
+    /// LogNormal component (extension).
+    LogNormal(LogNormal),
+}
+
+impl BuiltComponent {
+    /// CDF at `t`.
+    #[must_use]
+    pub fn cdf(&self, t: f64) -> f64 {
+        match self {
+            BuiltComponent::Exponential(d) => d.cdf(t),
+            BuiltComponent::Weibull(d) => d.cdf(t),
+            BuiltComponent::Gamma(d) => d.cdf(t),
+            BuiltComponent::LogNormal(d) => d.cdf(t),
+        }
+    }
+
+    /// Survival at `t`.
+    #[must_use]
+    pub fn survival(&self, t: f64) -> f64 {
+        match self {
+            BuiltComponent::Exponential(d) => d.survival(t),
+            BuiltComponent::Weibull(d) => d.survival(t),
+            BuiltComponent::Gamma(d) => d.survival(t),
+            BuiltComponent::LogNormal(d) => d.survival(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_counts() {
+        assert_eq!(ComponentKind::Exponential.n_params(), 1);
+        assert_eq!(ComponentKind::Weibull.n_params(), 2);
+        assert_eq!(ComponentKind::Gamma.n_params(), 2);
+        assert_eq!(ComponentKind::LogNormal.n_params(), 2);
+    }
+
+    #[test]
+    fn build_validates_count_and_values() {
+        assert!(ComponentKind::Exponential.build(&[1.0, 2.0]).is_err());
+        assert!(ComponentKind::Exponential.build(&[-1.0]).is_err());
+        assert!(ComponentKind::Weibull.build(&[1.0]).is_err());
+        assert!(ComponentKind::Weibull.build(&[2.0, 3.0]).is_ok());
+    }
+
+    #[test]
+    fn built_cdf_dispatch() {
+        let e = ComponentKind::Exponential.build(&[0.5]).unwrap();
+        assert!((e.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-14);
+        let w = ComponentKind::Weibull.build(&[2.0, 5.0]).unwrap();
+        assert!((w.cdf(5.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-14);
+        assert!((e.survival(2.0) + e.cdf(2.0) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn positivity_flags() {
+        assert!(ComponentKind::Exponential.param_positive(0));
+        assert!(ComponentKind::Weibull.param_positive(0));
+        assert!(ComponentKind::Weibull.param_positive(1));
+        assert!(!ComponentKind::LogNormal.param_positive(0)); // μ unbounded
+        assert!(ComponentKind::LogNormal.param_positive(1));
+    }
+
+    #[test]
+    fn candidates_are_buildable() {
+        for kind in [
+            ComponentKind::Exponential,
+            ComponentKind::Weibull,
+            ComponentKind::Gamma,
+            ComponentKind::LogNormal,
+        ] {
+            for params in kind.candidate_params(12.0) {
+                assert!(kind.build(&params).is_ok(), "{kind}: {params:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(ComponentKind::Exponential.label(), "Exp");
+        assert_eq!(ComponentKind::Weibull.label(), "Wei");
+    }
+}

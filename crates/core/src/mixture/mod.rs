@@ -1,0 +1,480 @@
+//! Mixture-distribution resilience models (paper §II-B, Eq. 7).
+//!
+//! The curve is a competition between a degradation process and a
+//! recovery process:
+//!
+//! ```text
+//! P(t) = a₁(t)·(1 − F₁(t)) + a₂(t)·F₂(t)
+//! ```
+//!
+//! with `a₁(t) = 1` (the paper's simplification), `F₁` the degradation
+//! CDF, `F₂` the recovery CDF, and `a₂(t)` an increasing recovery trend.
+//! The paper's Table III evaluates the four pairings of Exponential and
+//! Weibull components under `a₂(t) = β·ln t`; this module supports any
+//! [`ComponentKind`] pairing under any [`Trend`].
+
+mod component;
+mod trend;
+
+pub use component::{BuiltComponent, ComponentKind};
+pub use trend::Trend;
+
+use crate::model::{ModelFamily, ResilienceModel};
+use crate::CoreError;
+use resilience_data::PerformanceSeries;
+
+/// A fitted mixture resilience model (paper Eq. 7 with `a₁ = 1`).
+///
+/// # Examples
+///
+/// ```
+/// use resilience_core::mixture::{ComponentKind, MixtureModel, Trend};
+/// use resilience_core::ResilienceModel;
+///
+/// // Wei-Exp with a logarithmic recovery trend, the paper's best
+/// // performing combination on the 1990-93 data.
+/// let m = MixtureModel::new(
+///     ComponentKind::Weibull, vec![2.0, 15.0],
+///     ComponentKind::Exponential, vec![0.08],
+///     Trend::Logarithmic, 0.30,
+/// )?;
+/// assert!((m.predict(0.0) - 1.0).abs() < 1e-12); // starts at nominal
+/// # Ok::<(), resilience_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixtureModel {
+    f1_kind: ComponentKind,
+    f1_params: Vec<f64>,
+    f1: BuiltComponent,
+    f2_kind: ComponentKind,
+    f2_params: Vec<f64>,
+    f2: BuiltComponent,
+    trend: Trend,
+    beta: f64,
+    name: &'static str,
+}
+
+impl MixtureModel {
+    /// Creates a mixture model from its components, trend, and trend
+    /// coefficient `β`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] for infeasible component
+    /// parameters or a non-finite/non-positive `β`.
+    pub fn new(
+        f1_kind: ComponentKind,
+        f1_params: Vec<f64>,
+        f2_kind: ComponentKind,
+        f2_params: Vec<f64>,
+        trend: Trend,
+        beta: f64,
+    ) -> Result<Self, CoreError> {
+        if !(beta > 0.0) || !beta.is_finite() {
+            return Err(CoreError::params(
+                "Mixture",
+                format!("trend coefficient β must be positive and finite, got {beta}"),
+            ));
+        }
+        let f1 = f1_kind.build(&f1_params)?;
+        let f2 = f2_kind.build(&f2_params)?;
+        Ok(MixtureModel {
+            f1_kind,
+            f1_params,
+            f1,
+            f2_kind,
+            f2_params,
+            f2,
+            trend,
+            beta,
+            name: combo_name(f1_kind, f2_kind),
+        })
+    }
+
+    /// The degradation component kind.
+    #[must_use]
+    pub fn degradation_kind(&self) -> ComponentKind {
+        self.f1_kind
+    }
+
+    /// The recovery component kind.
+    #[must_use]
+    pub fn recovery_kind(&self) -> ComponentKind {
+        self.f2_kind
+    }
+
+    /// The recovery trend.
+    #[must_use]
+    pub fn trend(&self) -> Trend {
+        self.trend
+    }
+
+    /// The trend coefficient `β`.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The degradation term `1 − F₁(t)` alone.
+    #[must_use]
+    pub fn degradation_term(&self, t: f64) -> f64 {
+        self.f1.survival(t)
+    }
+
+    /// The recovery term `a₂(t)·F₂(t)` alone.
+    #[must_use]
+    pub fn recovery_term(&self, t: f64) -> f64 {
+        self.trend.eval(self.beta, t) * self.f2.cdf(t)
+    }
+}
+
+impl ResilienceModel for MixtureModel {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn params(&self) -> Vec<f64> {
+        let mut p = self.f1_params.clone();
+        p.extend_from_slice(&self.f2_params);
+        p.push(self.beta);
+        p
+    }
+
+    fn predict(&self, t: f64) -> f64 {
+        self.degradation_term(t) + self.recovery_term(t)
+    }
+}
+
+/// Table label for a component pairing (e.g. `"Wei-Exp"`).
+#[must_use]
+pub fn combo_name(f1: ComponentKind, f2: ComponentKind) -> &'static str {
+    use ComponentKind as K;
+    match (f1, f2) {
+        (K::Exponential, K::Exponential) => "Exp-Exp",
+        (K::Exponential, K::Weibull) => "Exp-Wei",
+        (K::Exponential, K::Gamma) => "Exp-Gam",
+        (K::Exponential, K::LogNormal) => "Exp-LogN",
+        (K::Weibull, K::Exponential) => "Wei-Exp",
+        (K::Weibull, K::Weibull) => "Wei-Wei",
+        (K::Weibull, K::Gamma) => "Wei-Gam",
+        (K::Weibull, K::LogNormal) => "Wei-LogN",
+        (K::Gamma, K::Exponential) => "Gam-Exp",
+        (K::Gamma, K::Weibull) => "Gam-Wei",
+        (K::Gamma, K::Gamma) => "Gam-Gam",
+        (K::Gamma, K::LogNormal) => "Gam-LogN",
+        (K::LogNormal, K::Exponential) => "LogN-Exp",
+        (K::LogNormal, K::Weibull) => "LogN-Wei",
+        (K::LogNormal, K::Gamma) => "LogN-Gam",
+        (K::LogNormal, K::LogNormal) => "LogN-LogN",
+    }
+}
+
+/// The [`ModelFamily`] for mixture models with fixed component kinds and
+/// trend.
+///
+/// Parameters are ordered `[F₁ params…, F₂ params…, β]`. The internal
+/// space log-transforms every positive parameter (all but LogNormal's μ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixtureFamily {
+    /// Degradation component kind.
+    pub f1: ComponentKind,
+    /// Recovery component kind.
+    pub f2: ComponentKind,
+    /// Recovery trend.
+    pub trend: Trend,
+}
+
+impl MixtureFamily {
+    /// The paper's four evaluated combinations (Exp/Wei pairings) under
+    /// the logarithmic trend of its Table III.
+    #[must_use]
+    pub fn paper_combinations() -> Vec<MixtureFamily> {
+        use ComponentKind as K;
+        [
+            (K::Exponential, K::Exponential),
+            (K::Weibull, K::Exponential),
+            (K::Exponential, K::Weibull),
+            (K::Weibull, K::Weibull),
+        ]
+        .into_iter()
+        .map(|(f1, f2)| MixtureFamily {
+            f1,
+            f2,
+            trend: Trend::Logarithmic,
+        })
+        .collect()
+    }
+
+    /// Positivity flags for the external parameter vector.
+    fn positivity(&self) -> Vec<bool> {
+        let mut flags = Vec::with_capacity(self.n_params());
+        for i in 0..self.f1.n_params() {
+            flags.push(self.f1.param_positive(i));
+        }
+        for i in 0..self.f2.n_params() {
+            flags.push(self.f2.param_positive(i));
+        }
+        flags.push(true); // β > 0
+        flags
+    }
+
+    fn split_params<'a>(&self, params: &'a [f64]) -> (&'a [f64], &'a [f64], f64) {
+        let n1 = self.f1.n_params();
+        let n2 = self.f2.n_params();
+        (&params[..n1], &params[n1..n1 + n2], params[n1 + n2])
+    }
+}
+
+impl ModelFamily for MixtureFamily {
+    fn name(&self) -> &'static str {
+        combo_name(self.f1, self.f2)
+    }
+
+    fn n_params(&self) -> usize {
+        self.f1.n_params() + self.f2.n_params() + 1
+    }
+
+    fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
+        assert_eq!(internal.len(), self.n_params(), "internal dimension mismatch");
+        internal
+            .iter()
+            .zip(self.positivity())
+            .map(|(&v, positive)| if positive { v.exp() } else { v })
+            .collect()
+    }
+
+    fn params_to_internal(&self, params: &[f64]) -> Result<Vec<f64>, CoreError> {
+        if params.len() != self.n_params() {
+            return Err(CoreError::params(
+                "Mixture",
+                format!("expected {} parameters, got {}", self.n_params(), params.len()),
+            ));
+        }
+        params
+            .iter()
+            .zip(self.positivity())
+            .map(|(&v, positive)| {
+                if positive {
+                    if v > 0.0 {
+                        Ok(v.ln())
+                    } else {
+                        Err(CoreError::params(
+                            "Mixture",
+                            format!("parameter {v} must be positive"),
+                        ))
+                    }
+                } else {
+                    Ok(v)
+                }
+            })
+            .collect()
+    }
+
+    fn build(&self, params: &[f64]) -> Result<Box<dyn ResilienceModel>, CoreError> {
+        if params.len() != self.n_params() {
+            return Err(CoreError::params(
+                "Mixture",
+                format!("expected {} parameters, got {}", self.n_params(), params.len()),
+            ));
+        }
+        let (p1, p2, beta) = self.split_params(params);
+        Ok(Box::new(MixtureModel::new(
+            self.f1,
+            p1.to_vec(),
+            self.f2,
+            p2.to_vec(),
+            self.trend,
+            beta,
+        )?))
+    }
+
+    fn initial_guesses(&self, series: &PerformanceSeries) -> Vec<Vec<f64>> {
+        let t_end = series.times()[series.len() - 1].max(2.0);
+        let (t_d, _) = series.trough().unwrap_or((t_end / 3.0, series.nominal()));
+        let t_d = t_d.max(1.0);
+        let end_val = series.values()[series.len() - 1].max(0.1);
+        // β scaled so a₂(t_end)·1 ≈ the end level.
+        let beta_guess = match self.trend {
+            Trend::Constant => end_val,
+            Trend::Linear => end_val / t_end,
+            Trend::Exponential => (end_val.ln() / t_end).abs().max(1e-4),
+            Trend::Logarithmic => end_val / t_end.ln(),
+        };
+        let mut guesses = Vec::new();
+        for p1 in self.f1.candidate_params(t_d) {
+            for p2 in self.f2.candidate_params(0.5 * (t_d + t_end)) {
+                for scale in [1.0, 0.5] {
+                    let mut g = p1.clone();
+                    g.extend_from_slice(&p2);
+                    g.push(beta_guess * scale);
+                    guesses.push(g);
+                }
+            }
+        }
+        guesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wei_exp() -> MixtureModel {
+        MixtureModel::new(
+            ComponentKind::Weibull,
+            vec![2.0, 15.0],
+            ComponentKind::Exponential,
+            vec![0.08],
+            Trend::Logarithmic,
+            0.30,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn starts_at_nominal_one() {
+        // a₁(0)(1 − F₁(0)) = 1, and the log trend is 0 at t = 0.
+        assert!((wei_exp().predict(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_beta_and_params() {
+        assert!(MixtureModel::new(
+            ComponentKind::Exponential,
+            vec![1.0],
+            ComponentKind::Exponential,
+            vec![1.0],
+            Trend::Logarithmic,
+            0.0,
+        )
+        .is_err());
+        assert!(MixtureModel::new(
+            ComponentKind::Exponential,
+            vec![-1.0],
+            ComponentKind::Exponential,
+            vec![1.0],
+            Trend::Logarithmic,
+            0.5,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn dips_then_recovers() {
+        let m = wei_exp();
+        let early = m.predict(0.0);
+        let trough_region: f64 = (5..25)
+            .map(|i| m.predict(i as f64))
+            .fold(f64::INFINITY, f64::min);
+        let late = m.predict(47.0);
+        assert!(trough_region < early, "curve must dip below nominal");
+        assert!(late > trough_region, "curve must recover from the trough");
+    }
+
+    #[test]
+    fn terms_decompose() {
+        let m = wei_exp();
+        for &t in &[0.0, 5.0, 20.0, 47.0] {
+            let sum = m.degradation_term(t) + m.recovery_term(t);
+            assert!((m.predict(t) - sum).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn params_order_and_count() {
+        let m = wei_exp();
+        assert_eq!(m.params(), vec![2.0, 15.0, 0.08, 0.30]);
+        assert_eq!(m.n_params(), 4);
+        assert_eq!(m.name(), "Wei-Exp");
+    }
+
+    #[test]
+    fn family_dimensions() {
+        for fam in MixtureFamily::paper_combinations() {
+            let want = match fam.name() {
+                "Exp-Exp" => 3,
+                "Wei-Exp" | "Exp-Wei" => 4,
+                "Wei-Wei" => 5,
+                other => panic!("unexpected combo {other}"),
+            };
+            assert_eq!(fam.n_params(), want, "{}", fam.name());
+        }
+    }
+
+    #[test]
+    fn family_roundtrip() {
+        let fam = MixtureFamily {
+            f1: ComponentKind::Weibull,
+            f2: ComponentKind::Exponential,
+            trend: Trend::Logarithmic,
+        };
+        let params = vec![1.7, 12.0, 0.05, 0.25];
+        let internal = fam.params_to_internal(&params).unwrap();
+        let back = fam.internal_to_params(&internal);
+        for (a, b) in params.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lognormal_mu_is_unbounded() {
+        let fam = MixtureFamily {
+            f1: ComponentKind::LogNormal,
+            f2: ComponentKind::Exponential,
+            trend: Trend::Linear,
+        };
+        // μ = −1 is feasible for LogNormal.
+        let params = vec![-1.0, 0.5, 0.1, 0.01];
+        let internal = fam.params_to_internal(&params).unwrap();
+        let back = fam.internal_to_params(&internal);
+        assert!((back[0] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn family_build_validates() {
+        let fam = MixtureFamily {
+            f1: ComponentKind::Exponential,
+            f2: ComponentKind::Exponential,
+            trend: Trend::Logarithmic,
+        };
+        assert!(fam.build(&[1.0, 1.0, 0.5]).is_ok());
+        assert!(fam.build(&[1.0, 1.0]).is_err());
+        assert!(fam.build(&[1.0, -1.0, 0.5]).is_err());
+    }
+
+    #[test]
+    fn initial_guesses_buildable() {
+        let s = resilience_data::recessions::Recession::R1990_93.payroll_index();
+        for fam in MixtureFamily::paper_combinations() {
+            let guesses = fam.initial_guesses(&s);
+            assert!(!guesses.is_empty(), "{}", fam.name());
+            for g in &guesses {
+                assert!(fam.build(g).is_ok(), "{}: infeasible guess {g:?}", fam.name());
+            }
+        }
+    }
+
+    #[test]
+    fn paper_combination_names() {
+        let names: Vec<&str> = MixtureFamily::paper_combinations()
+            .iter()
+            .map(|f| f.name())
+            .collect();
+        assert_eq!(names, vec!["Exp-Exp", "Wei-Exp", "Exp-Wei", "Wei-Wei"]);
+    }
+
+    #[test]
+    fn exponential_trend_is_one_at_origin() {
+        // With the exponential trend, P(0) = 1 + F₂(0) = 1 (F₂(0) = 0).
+        let m = MixtureModel::new(
+            ComponentKind::Exponential,
+            vec![0.1],
+            ComponentKind::Exponential,
+            vec![0.05],
+            Trend::Exponential,
+            0.001,
+        )
+        .unwrap();
+        assert!((m.predict(0.0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,113 @@
+//! Recovery trend functions `a₂(t)` for the mixture model.
+
+/// The recovery trend `a₂(t; β)` of the paper's Eq. 7. The paper
+/// considers four increasing forms characteristic of economic recovery:
+/// `{β, βt, e^{βt}, β·ln t}`, and evaluates `β·ln t` in its Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Trend {
+    /// `a₂(t) = β` — recovery saturates at a constant level.
+    Constant,
+    /// `a₂(t) = β·t` — linear growth.
+    Linear,
+    /// `a₂(t) = e^{βt}` — exponential growth (note: equals 1 at `t = 0`
+    /// regardless of β).
+    Exponential,
+    /// `a₂(t) = β·ln t` (0 for `t ≤ 1`) — the slowly compounding growth
+    /// the paper uses for its recession experiments.
+    Logarithmic,
+}
+
+impl Trend {
+    /// All four trends in the paper's order.
+    pub const ALL: [Trend; 4] = [
+        Trend::Constant,
+        Trend::Linear,
+        Trend::Exponential,
+        Trend::Logarithmic,
+    ];
+
+    /// Evaluates `a₂(t; β)`.
+    ///
+    /// The logarithmic trend is defined as 0 for `t ≤ 1` (limit
+    /// convention; see DESIGN.md §6) so the mixture stays finite at the
+    /// hazard onset.
+    #[must_use]
+    pub fn eval(&self, beta: f64, t: f64) -> f64 {
+        match self {
+            Trend::Constant => beta,
+            Trend::Linear => beta * t,
+            Trend::Exponential => (beta * t).exp(),
+            Trend::Logarithmic => {
+                if t <= 1.0 {
+                    0.0
+                } else {
+                    beta * t.ln()
+                }
+            }
+        }
+    }
+
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Trend::Constant => "β",
+            Trend::Linear => "βt",
+            Trend::Exponential => "e^{βt}",
+            Trend::Logarithmic => "β·ln t",
+        }
+    }
+}
+
+impl std::fmt::Display for Trend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_ignores_time() {
+        assert_eq!(Trend::Constant.eval(0.7, 0.0), 0.7);
+        assert_eq!(Trend::Constant.eval(0.7, 100.0), 0.7);
+    }
+
+    #[test]
+    fn linear_scales_with_time() {
+        assert_eq!(Trend::Linear.eval(0.5, 4.0), 2.0);
+        assert_eq!(Trend::Linear.eval(0.5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn exponential_is_one_at_origin() {
+        assert_eq!(Trend::Exponential.eval(0.3, 0.0), 1.0);
+        assert!((Trend::Exponential.eval(0.1, 10.0) - 1.0f64.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logarithmic_zero_before_one() {
+        assert_eq!(Trend::Logarithmic.eval(2.0, 0.0), 0.0);
+        assert_eq!(Trend::Logarithmic.eval(2.0, 1.0), 0.0);
+        assert!((Trend::Logarithmic.eval(2.0, std::f64::consts::E) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_trends_increasing_for_positive_beta() {
+        for trend in Trend::ALL {
+            let early = trend.eval(0.4, 2.0);
+            let late = trend.eval(0.4, 30.0);
+            assert!(late >= early, "{trend} decreased");
+        }
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            Trend::ALL.iter().map(Trend::label).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

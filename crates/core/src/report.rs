@@ -1,0 +1,156 @@
+//! Plain-text table rendering for the reproduction harness.
+//!
+//! The `repro` binary in `resilience-bench` prints each of the paper's
+//! tables and figure series as aligned text; this module holds the shared
+//! formatter so examples can use it too.
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_core::report::Table;
+/// let mut t = Table::new(vec!["Measure".into(), "Quadratic".into()]);
+/// t.add_row(vec!["SSE".into(), "0.00227675".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Measure"));
+/// assert!(s.contains("0.00227675"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<String>) -> Self {
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows
+    /// extend the column count.
+    pub fn add_row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a separator line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let n_cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; n_cols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut out = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                out.push_str(&format!("{cell:<w$}"));
+                if i + 1 < widths.len() {
+                    out.push_str("  ");
+                }
+            }
+            out.trim_end().to_string()
+        };
+        let mut lines = Vec::with_capacity(self.rows.len() + 2);
+        lines.push(render_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols.saturating_sub(1));
+        lines.push("-".repeat(total));
+        for row in &self.rows {
+            lines.push(render_row(row, &widths));
+        }
+        lines.join("\n")
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Formats a float with the 8-decimal convention of the paper's tables.
+#[must_use]
+pub fn fmt_metric(v: f64) -> String {
+    format!("{v:.8}")
+}
+
+/// Formats an empirical coverage as a percentage (`"95.83%"`).
+#[must_use]
+pub fn fmt_percent(v: f64) -> String {
+    format!("{:.2}%", 100.0 * v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["A".into(), "Long header".into()]);
+        t.add_row(vec!["x".into(), "1".into()]);
+        t.add_row(vec!["yyyy".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All data lines start their second column at the same offset.
+        let col = lines[0].find("Long").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+        assert_eq!(lines[3].find("22").unwrap(), col);
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = Table::new(vec!["A".into()]);
+        t.add_row(vec!["1".into(), "2".into(), "3".into()]);
+        t.add_row(vec!["only".into()]);
+        let s = t.render();
+        assert!(s.contains('3'));
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = Table::new(vec!["A".into()]);
+        assert!(t.is_empty());
+        t.add_row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_metric(0.001059), "0.00105900");
+        assert_eq!(fmt_percent(0.9583), "95.83%");
+    }
+}

@@ -1,0 +1,298 @@
+//! Model selection: information criteria and forward-chaining cross
+//! validation.
+//!
+//! The paper notes that "model selection is ultimately a subjective
+//! choice… a primary consideration is the tradeoff between model
+//! complexity and predictive accuracy" (§III-B). This module makes that
+//! tradeoff quantitative with the standard tools: AIC/AICc/BIC computed
+//! from the Gaussian least-squares likelihood, and expanding-window
+//! (forward-chaining) cross validation that scores each family purely on
+//! out-of-sample prediction — the criterion the paper's PMSE gestures at,
+//! averaged over many split points instead of one.
+
+use crate::fit::{fit_least_squares, FitConfig};
+use crate::model::ModelFamily;
+use crate::validate;
+use crate::CoreError;
+use resilience_data::PerformanceSeries;
+
+/// Information criteria for a least-squares fit under the Gaussian
+/// likelihood: `AIC = n·ln(SSE/n) + 2k`, the small-sample `AICc`, and
+/// `BIC = n·ln(SSE/n) + k·ln n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InformationCriteria {
+    /// Akaike information criterion.
+    pub aic: f64,
+    /// Small-sample corrected AIC.
+    pub aicc: f64,
+    /// Bayesian (Schwarz) information criterion.
+    pub bic: f64,
+}
+
+/// Computes [`InformationCriteria`] from a fit's SSE.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] when `n ≤ k + 2` (AICc
+/// denominator) or `sse ≤ 0` (a perfect fit has −∞ criteria; callers
+/// should treat that case separately).
+pub fn information_criteria(
+    sse: f64,
+    n: usize,
+    n_params: usize,
+) -> Result<InformationCriteria, CoreError> {
+    if !(sse > 0.0) || !sse.is_finite() {
+        return Err(CoreError::arg(
+            "information_criteria",
+            format!("need finite SSE > 0, got {sse}"),
+        ));
+    }
+    if n <= n_params + 2 {
+        return Err(CoreError::arg(
+            "information_criteria",
+            format!("need n > k + 2, got n = {n}, k = {n_params}"),
+        ));
+    }
+    let nf = n as f64;
+    let k = n_params as f64;
+    let base = nf * (sse / nf).ln();
+    let aic = base + 2.0 * k;
+    let aicc = aic + 2.0 * k * (k + 1.0) / (nf - k - 1.0);
+    let bic = base + k * nf.ln();
+    Ok(InformationCriteria { aic, aicc, bic })
+}
+
+/// Result of forward-chaining cross validation for one family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvScore {
+    /// Family name.
+    pub family_name: &'static str,
+    /// Mean squared one-step-block prediction error across folds.
+    pub mean_pmse: f64,
+    /// Per-fold PMSE values (one per split point).
+    pub fold_pmse: Vec<f64>,
+    /// Number of folds that failed to fit (excluded from the mean).
+    pub failed_folds: usize,
+}
+
+/// Expanding-window cross validation: fit on `[0, split)`, score squared
+/// prediction error on the next `horizon` observations, for every split
+/// in `min_train ..= n − horizon` stepping by `step`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for degenerate geometry or when
+/// every fold fails.
+pub fn forward_chain_cv(
+    family: &dyn ModelFamily,
+    series: &PerformanceSeries,
+    min_train: usize,
+    horizon: usize,
+    step: usize,
+    config: &FitConfig,
+) -> Result<CvScore, CoreError> {
+    let n = series.len();
+    if horizon == 0 || step == 0 {
+        return Err(CoreError::arg(
+            "forward_chain_cv",
+            "horizon and step must be positive",
+        ));
+    }
+    if min_train < 4 || min_train + horizon > n {
+        return Err(CoreError::arg(
+            "forward_chain_cv",
+            format!("need 4 <= min_train and min_train + horizon <= n, got {min_train} + {horizon} vs {n}"),
+        ));
+    }
+    let mut fold_pmse = Vec::new();
+    let mut failed = 0usize;
+    let mut split = min_train;
+    while split + horizon <= n {
+        match series.split_at(split) {
+            Ok(parts) => match fit_least_squares(family, &parts.train, config) {
+                Ok(fit) => {
+                    // Score only the next `horizon` points.
+                    let times = &parts.test.times()[..horizon];
+                    let values = &parts.test.values()[..horizon];
+                    let mut acc = 0.0;
+                    for (&t, &y) in times.iter().zip(values) {
+                        let d = y - fit.model.predict(t);
+                        acc += d * d;
+                    }
+                    let p = acc / horizon as f64;
+                    if p.is_finite() {
+                        fold_pmse.push(p);
+                    } else {
+                        failed += 1;
+                    }
+                }
+                Err(_) => failed += 1,
+            },
+            Err(_) => failed += 1,
+        }
+        split += step;
+    }
+    if fold_pmse.is_empty() {
+        return Err(CoreError::arg(
+            "forward_chain_cv",
+            format!("all {failed} folds failed"),
+        ));
+    }
+    let mean = fold_pmse.iter().sum::<f64>() / fold_pmse.len() as f64;
+    Ok(CvScore {
+        family_name: family.name(),
+        mean_pmse: mean,
+        fold_pmse,
+        failed_folds: failed,
+    })
+}
+
+/// One ranked row of a model-selection table.
+#[derive(Debug, Clone)]
+pub struct SelectionRow {
+    /// Family name.
+    pub family_name: &'static str,
+    /// Number of parameters.
+    pub n_params: usize,
+    /// Training SSE.
+    pub sse: f64,
+    /// Adjusted R² on the training data.
+    pub r2_adj: f64,
+    /// Information criteria (None for an exactly-zero SSE fit).
+    pub criteria: Option<InformationCriteria>,
+}
+
+/// Fits each family to the full series and ranks them by AICc (ascending;
+/// ties and zero-SSE fits sort first).
+///
+/// Families that fail to fit are omitted.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] when *no* family fits.
+pub fn rank_models(
+    families: &[&dyn ModelFamily],
+    series: &PerformanceSeries,
+    config: &FitConfig,
+) -> Result<Vec<SelectionRow>, CoreError> {
+    let mut rows = Vec::new();
+    for family in families {
+        let Ok(fit) = fit_least_squares(*family, series, config) else {
+            continue;
+        };
+        let Ok(r2) = validate::r2_adjusted(fit.model.as_ref(), series, family.n_params()) else {
+            continue;
+        };
+        let criteria = information_criteria(fit.sse, series.len(), family.n_params()).ok();
+        rows.push(SelectionRow {
+            family_name: family.name(),
+            n_params: family.n_params(),
+            sse: fit.sse,
+            r2_adj: r2,
+            criteria,
+        });
+    }
+    if rows.is_empty() {
+        return Err(CoreError::arg("rank_models", "no family produced a fit"));
+    }
+    rows.sort_by(|a, b| {
+        let ka = a.criteria.map(|c| c.aicc).unwrap_or(f64::NEG_INFINITY);
+        let kb = b.criteria.map(|c| c.aicc).unwrap_or(f64::NEG_INFINITY);
+        ka.total_cmp(&kb)
+    });
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bathtub::{CompetingRisksFamily, QuadraticFamily, QuarticFamily};
+    use resilience_data::recessions::Recession;
+
+    #[test]
+    fn criteria_formulas() {
+        let ic = information_criteria(0.01, 48, 3).unwrap();
+        let base = 48.0 * (0.01f64 / 48.0).ln();
+        assert!((ic.aic - (base + 6.0)).abs() < 1e-12);
+        assert!((ic.bic - (base + 3.0 * 48f64.ln())).abs() < 1e-12);
+        assert!(ic.aicc > ic.aic);
+    }
+
+    #[test]
+    fn criteria_reject_degenerate() {
+        assert!(information_criteria(0.0, 48, 3).is_err());
+        assert!(information_criteria(1.0, 5, 3).is_err());
+        assert!(information_criteria(f64::NAN, 48, 3).is_err());
+    }
+
+    #[test]
+    fn bic_penalizes_parameters_harder_for_large_n() {
+        let few = information_criteria(0.01, 100, 2).unwrap();
+        let many = information_criteria(0.01, 100, 6).unwrap();
+        assert!((many.bic - few.bic) > (many.aic - few.aic));
+    }
+
+    #[test]
+    fn rank_models_prefers_parsimony_on_simple_data() {
+        // Noiseless quadratic truth: both quadratic (3 params) and quartic
+        // (5 params) fit essentially exactly; AICc should rank by SSE and
+        // parameter count such that the quartic does not beat the
+        // quadratic purely by overfitting.
+        use crate::model::ResilienceModel;
+        let truth = crate::bathtub::QuadraticModel::new(1.0, -0.012, 0.0004).unwrap();
+        let mut w = 0.7_f64;
+        let values: Vec<f64> = (0..48)
+            .map(|i| {
+                w = (w * 113.0).fract();
+                truth.predict(i as f64) + 0.002 * (w - 0.5)
+            })
+            .collect();
+        let series = PerformanceSeries::monthly("q", values).unwrap();
+        let families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily, &QuarticFamily];
+        let rows = rank_models(&families, &series, &FitConfig::default()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].family_name, "Quadratic",
+            "parsimony should win on quadratic truth: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn forward_chain_cv_runs_and_averages() {
+        let series = Recession::R1990_93.payroll_index();
+        let cv = forward_chain_cv(
+            &QuadraticFamily,
+            &series,
+            30,
+            3,
+            5,
+            &FitConfig::default(),
+        )
+        .unwrap();
+        assert!(!cv.fold_pmse.is_empty());
+        assert!(cv.mean_pmse > 0.0);
+        let mean = cv.fold_pmse.iter().sum::<f64>() / cv.fold_pmse.len() as f64;
+        assert!((mean - cv.mean_pmse).abs() < 1e-15);
+    }
+
+    #[test]
+    fn forward_chain_cv_validates_geometry() {
+        let series = Recession::R1990_93.payroll_index();
+        let cfg = FitConfig::default();
+        assert!(forward_chain_cv(&QuadraticFamily, &series, 30, 0, 5, &cfg).is_err());
+        assert!(forward_chain_cv(&QuadraticFamily, &series, 2, 3, 5, &cfg).is_err());
+        assert!(forward_chain_cv(&QuadraticFamily, &series, 47, 3, 5, &cfg).is_err());
+    }
+
+    #[test]
+    fn cv_separates_families_on_u_shape() {
+        // On the smooth 1990-93 curve both bathtub families should CV
+        // reasonably; the test checks the machinery orders finite scores.
+        let series = Recession::R1990_93.payroll_index();
+        let cfg = FitConfig::default();
+        let q = forward_chain_cv(&QuadraticFamily, &series, 36, 3, 4, &cfg).unwrap();
+        let cr = forward_chain_cv(&CompetingRisksFamily, &series, 36, 3, 4, &cfg).unwrap();
+        assert!(q.mean_pmse.is_finite());
+        assert!(cr.mean_pmse.is_finite());
+    }
+}

@@ -1,0 +1,360 @@
+//! Validation and statistical inference (paper §III).
+//!
+//! Goodness-of-fit measures: SSE (Eq. 9), predictive mean squared error
+//! on a held-out suffix (Eq. 10), adjusted R² (Eq. 11); inference:
+//! the residual variance (Eq. 12), confidence intervals (Eq. 13), and
+//! empirical coverage.
+
+use crate::model::ResilienceModel;
+use crate::CoreError;
+use resilience_data::{PerformanceSeries, TrainTestSplit};
+use resilience_math::sum::sum_squared_diff;
+use resilience_stats::describe::centered_sum_of_squares;
+use resilience_stats::inference::{normal_interval, ConfidenceInterval};
+
+/// Sum of squared errors of `model` against `series` (paper Eq. 9).
+#[must_use]
+pub fn sse(model: &dyn ResilienceModel, series: &PerformanceSeries) -> f64 {
+    let predicted = model.predict_many(series.times());
+    sum_squared_diff(series.values(), &predicted)
+}
+
+/// Predictive mean squared error on held-out observations (paper
+/// Eq. 10): the mean squared prediction residual over the test suffix.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for an empty test set (cannot
+/// happen via [`TrainTestSplit`], defensive for direct callers).
+pub fn pmse(model: &dyn ResilienceModel, test: &PerformanceSeries) -> Result<f64, CoreError> {
+    if test.is_empty() {
+        return Err(CoreError::arg("pmse", "empty test set"));
+    }
+    Ok(sse(model, test) / test.len() as f64)
+}
+
+/// Adjusted coefficient of determination (paper Eq. 11):
+/// `r²_adj = 1 − (SSE/SSY)·(n−1)/(n−m−1)` with `m` model parameters.
+///
+/// Can be negative when the model explains less variance than the naive
+/// mean predictor — exactly what the paper reports for the quadratic
+/// model on the W-shaped 1980 recession.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] when `n ≤ m + 1` (the
+/// correction factor's denominator vanishes) or the data are constant
+/// (SSY = 0).
+pub fn r2_adjusted(
+    model: &dyn ResilienceModel,
+    series: &PerformanceSeries,
+    n_params: usize,
+) -> Result<f64, CoreError> {
+    let n = series.len();
+    if n <= n_params + 1 {
+        return Err(CoreError::arg(
+            "r2_adjusted",
+            format!("need n > m + 1, got n = {n}, m = {n_params}"),
+        ));
+    }
+    let ssy = centered_sum_of_squares(series.values())?;
+    if ssy == 0.0 {
+        return Err(CoreError::arg("r2_adjusted", "series is constant (SSY = 0)"));
+    }
+    let sse_val = sse(model, series);
+    let ratio = sse_val / ssy;
+    Ok(1.0 - ratio * (n as f64 - 1.0) / (n as f64 - n_params as f64 - 1.0))
+}
+
+/// Residual standard deviation `σ = √(SSE/(n−2))` (paper Eq. 12).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] when `n ≤ 2` or `sse < 0`.
+pub fn residual_sigma(sse_value: f64, n: usize) -> Result<f64, CoreError> {
+    if n <= 2 {
+        return Err(CoreError::arg(
+            "residual_sigma",
+            format!("need n > 2, got {n}"),
+        ));
+    }
+    if !(sse_value >= 0.0) {
+        return Err(CoreError::arg(
+            "residual_sigma",
+            format!("SSE must be non-negative, got {sse_value}"),
+        ));
+    }
+    Ok((sse_value / (n as f64 - 2.0)).sqrt())
+}
+
+/// Confidence band around the model's predictions: one interval
+/// `P(tᵢ) ± z_{1−α/2}·σ` per time point. This is the grey band of the
+/// paper's Figs. 3–6.
+///
+/// # Errors
+///
+/// Propagates invalid `alpha`/`sigma` from the inference layer.
+pub fn confidence_band(
+    model: &dyn ResilienceModel,
+    times: &[f64],
+    sigma: f64,
+    alpha: f64,
+) -> Result<Vec<ConfidenceInterval>, CoreError> {
+    times
+        .iter()
+        .map(|&t| Ok(normal_interval(model.predict(t), sigma, alpha)?))
+        .collect()
+}
+
+/// Confidence intervals for the *changes* in performance
+/// `ΔP(tᵢ) = P(tᵢ) − P(tᵢ₋₁)` (the literal form of the paper's Eq. 13).
+///
+/// Returns one interval per change, i.e. `times.len() − 1` intervals.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidArgument`] for fewer than two time points.
+/// * Propagates invalid `alpha`/`sigma`.
+pub fn change_intervals(
+    model: &dyn ResilienceModel,
+    times: &[f64],
+    sigma: f64,
+    alpha: f64,
+) -> Result<Vec<ConfidenceInterval>, CoreError> {
+    if times.len() < 2 {
+        return Err(CoreError::arg(
+            "change_intervals",
+            "need at least two time points",
+        ));
+    }
+    times
+        .windows(2)
+        .map(|w| {
+            let delta = model.predict(w[1]) - model.predict(w[0]);
+            Ok(normal_interval(delta, sigma, alpha)?)
+        })
+        .collect()
+}
+
+/// Empirical coverage: fraction of observations inside their band
+/// interval (the paper's EC column).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] when lengths differ.
+pub fn empirical_coverage(
+    series: &PerformanceSeries,
+    band: &[ConfidenceInterval],
+) -> Result<f64, CoreError> {
+    if series.len() != band.len() {
+        return Err(CoreError::arg(
+            "empirical_coverage",
+            format!("{} observations vs {} intervals", series.len(), band.len()),
+        ));
+    }
+    Ok(resilience_stats::inference::empirical_coverage(
+        series.values(),
+        band,
+    )?)
+}
+
+/// The goodness-of-fit summary reported per model per data set — one row
+/// of the paper's Tables I and III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GofReport {
+    /// SSE on the training prefix (Eq. 9).
+    pub sse: f64,
+    /// PMSE on the held-out suffix (Eq. 10).
+    pub pmse: f64,
+    /// Adjusted R² on the training prefix (Eq. 11).
+    pub r2_adj: f64,
+    /// Empirical coverage of the 95 % band over all observations.
+    pub ec: f64,
+    /// Residual σ (Eq. 12) used for the band.
+    pub sigma: f64,
+}
+
+/// Computes the full [`GofReport`] for a fitted model against a
+/// train/test split, with the confidence band evaluated over the *whole*
+/// series as in the paper's figures.
+///
+/// # Errors
+///
+/// Propagates the component computations' errors.
+pub fn gof_report(
+    model: &dyn ResilienceModel,
+    split: &TrainTestSplit,
+    full: &PerformanceSeries,
+    alpha: f64,
+) -> Result<GofReport, CoreError> {
+    let sse_train = sse(model, &split.train);
+    let pmse_test = pmse(model, &split.test)?;
+    let r2 = r2_adjusted(model, &split.train, model.n_params())?;
+    let sigma = residual_sigma(sse_train, split.train.len())?;
+    let band = confidence_band(model, full.times(), sigma, alpha)?;
+    let ec = empirical_coverage(full, &band)?;
+    Ok(GofReport {
+        sse: sse_train,
+        pmse: pmse_test,
+        r2_adj: r2,
+        ec,
+        sigma,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bathtub::QuadraticModel;
+
+    fn truth() -> QuadraticModel {
+        QuadraticModel::new(1.0, -0.012, 0.0004).unwrap()
+    }
+
+    fn exact_series(n: usize) -> PerformanceSeries {
+        let m = truth();
+        let values: Vec<f64> = (0..n).map(|i| m.predict(i as f64)).collect();
+        PerformanceSeries::monthly("exact", values).unwrap()
+    }
+
+    fn noisy_series(n: usize, amp: f64) -> PerformanceSeries {
+        let m = truth();
+        let mut w = 0.37_f64;
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                w = (w * 131.0).fract();
+                m.predict(i as f64) + amp * (w - 0.5)
+            })
+            .collect();
+        PerformanceSeries::monthly("noisy", values).unwrap()
+    }
+
+    #[test]
+    fn sse_zero_on_exact_fit() {
+        let s = exact_series(48);
+        assert!(sse(&truth(), &s) < 1e-28);
+    }
+
+    #[test]
+    fn sse_positive_with_noise() {
+        let s = noisy_series(48, 0.002);
+        let v = sse(&truth(), &s);
+        assert!(v > 0.0);
+        // Each residual ≤ 0.001, so SSE ≤ 48e-6.
+        assert!(v < 48.0 * 1e-6);
+    }
+
+    #[test]
+    fn pmse_is_mean_of_squared_prediction_errors() {
+        let s = noisy_series(48, 0.002);
+        let split = s.split_at(43).unwrap();
+        let p = pmse(&truth(), &split.test).unwrap();
+        assert!((p - sse(&truth(), &split.test) / 5.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn r2_adjusted_near_one_for_good_fit() {
+        let s = noisy_series(48, 0.001);
+        let r2 = r2_adjusted(&truth(), &s, 3).unwrap();
+        assert!(r2 > 0.99, "r2 = {r2}");
+    }
+
+    #[test]
+    fn r2_adjusted_negative_for_bad_fit() {
+        // A flat model on strongly trending data explains nothing; with
+        // the (n−1)/(n−m−1) correction the value can go negative.
+        struct Flat;
+        impl ResilienceModel for Flat {
+            fn name(&self) -> &'static str {
+                "Flat"
+            }
+            fn params(&self) -> Vec<f64> {
+                vec![0.9, 0.0, 0.0]
+            }
+            fn predict(&self, _t: f64) -> f64 {
+                0.9
+            }
+        }
+        let s = exact_series(48);
+        let r2 = r2_adjusted(&Flat, &s, 3).unwrap();
+        assert!(r2 < 0.0, "r2 = {r2}");
+    }
+
+    #[test]
+    fn r2_adjusted_penalizes_parameters() {
+        let s = noisy_series(20, 0.004);
+        let few = r2_adjusted(&truth(), &s, 1).unwrap();
+        let many = r2_adjusted(&truth(), &s, 10).unwrap();
+        assert!(few > many);
+    }
+
+    #[test]
+    fn r2_adjusted_rejects_degenerate() {
+        let s = exact_series(4);
+        assert!(r2_adjusted(&truth(), &s, 3).is_err());
+        let flat = PerformanceSeries::monthly("c", vec![1.0; 10]).unwrap();
+        assert!(r2_adjusted(&truth(), &flat, 3).is_err());
+    }
+
+    #[test]
+    fn residual_sigma_eq12() {
+        assert!((residual_sigma(0.46, 48).unwrap() - (0.46f64 / 46.0).sqrt()).abs() < 1e-15);
+        assert!(residual_sigma(1.0, 2).is_err());
+        assert!(residual_sigma(-1.0, 10).is_err());
+    }
+
+    #[test]
+    fn band_covers_exact_data_fully() {
+        let s = exact_series(48);
+        let band = confidence_band(&truth(), s.times(), 0.001, 0.05).unwrap();
+        assert_eq!(empirical_coverage(&s, &band).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn band_coverage_near_nominal_for_gaussian_like_noise() {
+        // Uniform(−amp/2, amp/2) noise with σ chosen from SSE: coverage
+        // should be high but typically below 1 for tight alpha... here we
+        // just check the mechanics: wider alpha ⇒ wider band ⇒ coverage
+        // monotone.
+        let s = noisy_series(48, 0.004);
+        let sse_v = sse(&truth(), &s);
+        let sigma = residual_sigma(sse_v, 48).unwrap();
+        let band95 = confidence_band(&truth(), s.times(), sigma, 0.05).unwrap();
+        let band50 = confidence_band(&truth(), s.times(), sigma, 0.50).unwrap();
+        let ec95 = empirical_coverage(&s, &band95).unwrap();
+        let ec50 = empirical_coverage(&s, &band50).unwrap();
+        assert!(ec95 >= ec50);
+        assert!(ec95 > 0.9);
+    }
+
+    #[test]
+    fn change_intervals_count_and_center() {
+        let s = exact_series(10);
+        let m = truth();
+        let cis = change_intervals(&m, s.times(), 0.001, 0.05).unwrap();
+        assert_eq!(cis.len(), 9);
+        // Centers are the model's increments.
+        let want = m.predict(1.0) - m.predict(0.0);
+        assert!((cis[0].center - want).abs() < 1e-15);
+        assert!(change_intervals(&m, &[0.0], 0.001, 0.05).is_err());
+    }
+
+    #[test]
+    fn coverage_length_mismatch_rejected() {
+        let s = exact_series(10);
+        let band = confidence_band(&truth(), &s.times()[..5], 0.001, 0.05).unwrap();
+        assert!(empirical_coverage(&s, &band).is_err());
+    }
+
+    #[test]
+    fn gof_report_end_to_end() {
+        let s = noisy_series(48, 0.002);
+        let split = s.split_at(43).unwrap();
+        let report = gof_report(&truth(), &split, &s, 0.05).unwrap();
+        assert!(report.sse > 0.0);
+        assert!(report.pmse > 0.0);
+        assert!(report.r2_adj > 0.95);
+        assert!(report.ec > 0.9);
+        assert!(report.sigma > 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for the data layer.
+
+use std::fmt;
+
+/// Errors produced by `resilience-data`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DataError {
+    /// A series construction or operation received invalid input.
+    InvalidSeries {
+        /// Routine name.
+        what: &'static str,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A split index was out of range.
+    BadSplit {
+        /// Requested number of training points.
+        train_len: usize,
+        /// Total series length.
+        total: usize,
+    },
+    /// CSV parsing failed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidSeries { what, detail } => {
+                write!(f, "{what}: invalid series: {detail}")
+            }
+            DataError::BadSplit { train_len, total } => write!(
+                f,
+                "cannot take {train_len} training points from a series of {total}"
+            ),
+            DataError::Parse { line, detail } => write!(f, "CSV parse error on line {line}: {detail}"),
+            DataError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+impl DataError {
+    /// Convenience constructor for [`DataError::InvalidSeries`].
+    pub fn invalid(what: &'static str, detail: impl Into<String>) -> Self {
+        DataError::InvalidSeries {
+            what,
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DataError::invalid("f", "bad").to_string().contains("bad"));
+        assert!(DataError::BadSplit {
+            train_len: 50,
+            total: 48
+        }
+        .to_string()
+        .contains("50"));
+        assert!(DataError::Parse {
+            line: 3,
+            detail: "not a number".into()
+        }
+        .to_string()
+        .contains("line 3"));
+    }
+
+    #[test]
+    fn io_source_preserved() {
+        use std::error::Error;
+        let e = DataError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,338 @@
+//! Performance time series.
+//!
+//! A [`PerformanceSeries`] is the empirical resilience curve `R(t_i)` of
+//! the paper: a strictly increasing time grid (months after the hazard /
+//! employment peak) paired with normalized performance values. The
+//! fitting, validation, and metrics layers all consume this type.
+
+use crate::DataError;
+use resilience_math::interp::{argmin, LinearInterp};
+
+/// An observed performance curve over a strictly increasing time grid.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PerformanceSeries {
+    name: String,
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl PerformanceSeries {
+    /// Creates a series from a name, time grid, and values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSeries`] when the slices differ in
+    /// length, have fewer than 2 points, contain non-finite entries, or
+    /// the time grid is not strictly increasing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use resilience_data::PerformanceSeries;
+    /// let s = PerformanceSeries::new(
+    ///     "example",
+    ///     vec![0.0, 1.0, 2.0],
+    ///     vec![1.0, 0.95, 0.99],
+    /// )?;
+    /// assert_eq!(s.len(), 3);
+    /// # Ok::<(), resilience_data::DataError>(())
+    /// ```
+    pub fn new(
+        name: impl Into<String>,
+        times: Vec<f64>,
+        values: Vec<f64>,
+    ) -> Result<Self, DataError> {
+        if times.len() != values.len() {
+            return Err(DataError::invalid(
+                "PerformanceSeries::new",
+                format!("{} times vs {} values", times.len(), values.len()),
+            ));
+        }
+        if times.len() < 2 {
+            return Err(DataError::invalid(
+                "PerformanceSeries::new",
+                "need at least two observations",
+            ));
+        }
+        if times.iter().chain(values.iter()).any(|v| !v.is_finite()) {
+            return Err(DataError::invalid(
+                "PerformanceSeries::new",
+                "times and values must be finite",
+            ));
+        }
+        for w in times.windows(2) {
+            if !(w[1] > w[0]) {
+                return Err(DataError::invalid(
+                    "PerformanceSeries::new",
+                    "times must be strictly increasing",
+                ));
+            }
+        }
+        Ok(PerformanceSeries {
+            name: name.into(),
+            times,
+            values,
+        })
+    }
+
+    /// Creates a series over the monthly grid `0, 1, …, n−1`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PerformanceSeries::new`].
+    pub fn monthly(name: impl Into<String>, values: Vec<f64>) -> Result<Self, DataError> {
+        let times = (0..values.len()).map(|i| i as f64).collect();
+        PerformanceSeries::new(name, times, values)
+    }
+
+    /// Series name (e.g. `"1990-93"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the series is empty (never true post-construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The time grid.
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The performance values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates over `(t, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The nominal (pre-hazard) performance: the value at the first
+    /// observation, `P(t_h)` in the paper's notation.
+    #[must_use]
+    pub fn nominal(&self) -> f64 {
+        self.values[0]
+    }
+
+    /// Time and value of the performance minimum (`t_d`, `P(t_d)`).
+    ///
+    /// Returns `None` only for pathological all-NaN data, which
+    /// construction prevents.
+    #[must_use]
+    pub fn trough(&self) -> Option<(f64, f64)> {
+        argmin(&self.values).map(|i| (self.times[i], self.values[i]))
+    }
+
+    /// Linear interpolation of the curve at an arbitrary time (clamped
+    /// outside the observed range).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSeries`] only if the internal state is
+    /// inconsistent (cannot happen through the public API).
+    pub fn value_at(&self, t: f64) -> Result<f64, DataError> {
+        let interp = LinearInterp::new(self.times.clone(), self.values.clone())
+            .map_err(|e| DataError::invalid("PerformanceSeries::value_at", e.to_string()))?;
+        Ok(interp.eval(t))
+    }
+
+    /// Rescales all values so the first observation equals 1 (the
+    /// normalization of the paper's Fig. 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSeries`] when the first value is zero.
+    pub fn normalized(&self) -> Result<PerformanceSeries, DataError> {
+        let base = self.values[0];
+        if base == 0.0 {
+            return Err(DataError::invalid(
+                "PerformanceSeries::normalized",
+                "first value is zero",
+            ));
+        }
+        Ok(PerformanceSeries {
+            name: self.name.clone(),
+            times: self.times.clone(),
+            values: self.values.iter().map(|v| v / base).collect(),
+        })
+    }
+
+    /// Splits into a training prefix of `train_len` points and a test
+    /// suffix (the paper fits on the prefix and computes PMSE on the
+    /// suffix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadSplit`] unless `2 ≤ train_len < len`.
+    pub fn split_at(&self, train_len: usize) -> Result<TrainTestSplit, DataError> {
+        if train_len < 2 || train_len >= self.len() {
+            return Err(DataError::BadSplit {
+                train_len,
+                total: self.len(),
+            });
+        }
+        let train = PerformanceSeries {
+            name: format!("{} (train)", self.name),
+            times: self.times[..train_len].to_vec(),
+            values: self.values[..train_len].to_vec(),
+        };
+        let test = PerformanceSeries {
+            name: format!("{} (test)", self.name),
+            times: self.times[train_len..].to_vec(),
+            values: self.values[train_len..].to_vec(),
+        };
+        Ok(TrainTestSplit { train, test })
+    }
+
+    /// Splits keeping the given *fraction* for training (e.g. `0.9` for
+    /// the paper's mixture experiments). The count is rounded to nearest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadSplit`] when the fraction leaves fewer than
+    /// 2 training points or no test points.
+    pub fn split_fraction(&self, train_fraction: f64) -> Result<TrainTestSplit, DataError> {
+        if !(0.0..1.0).contains(&train_fraction) && train_fraction != 0.0 {
+            // fall through to split_at's error with a computed length
+        }
+        let train_len = (self.len() as f64 * train_fraction).round() as usize;
+        self.split_at(train_len)
+    }
+}
+
+impl std::fmt::Display for PerformanceSeries {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} points, t ∈ [{}, {}])",
+            self.name,
+            self.len(),
+            self.times[0],
+            self.times[self.len() - 1]
+        )
+    }
+}
+
+/// A train/test split of a [`PerformanceSeries`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainTestSplit {
+    /// Training prefix used for parameter estimation.
+    pub train: PerformanceSeries,
+    /// Held-out suffix used for predictive validation (PMSE).
+    pub test: PerformanceSeries,
+}
+
+impl TrainTestSplit {
+    /// Number of held-out observations (the paper's `ℓ`).
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.test.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v_curve() -> PerformanceSeries {
+        let values: Vec<f64> = (0..20)
+            .map(|i| {
+                let t = i as f64;
+                1.0 - 0.05 * (-((t - 8.0) / 4.0).powi(2)).exp()
+            })
+            .collect();
+        PerformanceSeries::monthly("v", values).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(PerformanceSeries::new("x", vec![0.0], vec![1.0]).is_err());
+        assert!(PerformanceSeries::new("x", vec![0.0, 1.0], vec![1.0]).is_err());
+        assert!(PerformanceSeries::new("x", vec![1.0, 0.0], vec![1.0, 1.0]).is_err());
+        assert!(PerformanceSeries::new("x", vec![0.0, 0.0], vec![1.0, 1.0]).is_err());
+        assert!(PerformanceSeries::new("x", vec![0.0, f64::NAN], vec![1.0, 1.0]).is_err());
+        assert!(PerformanceSeries::new("x", vec![0.0, 1.0], vec![1.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn monthly_grid() {
+        let s = PerformanceSeries::monthly("m", vec![1.0, 0.9, 0.95]).unwrap();
+        assert_eq!(s.times(), &[0.0, 1.0, 2.0]);
+        assert_eq!(s.nominal(), 1.0);
+    }
+
+    #[test]
+    fn trough_detection() {
+        let s = v_curve();
+        let (t_min, p_min) = s.trough().unwrap();
+        assert_eq!(t_min, 8.0);
+        assert!((p_min - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_at_interpolates_and_clamps() {
+        let s = PerformanceSeries::monthly("m", vec![1.0, 0.9, 1.1]).unwrap();
+        assert!((s.value_at(0.5).unwrap() - 0.95).abs() < 1e-12);
+        assert_eq!(s.value_at(-5.0).unwrap(), 1.0);
+        assert_eq!(s.value_at(99.0).unwrap(), 1.1);
+    }
+
+    #[test]
+    fn normalization() {
+        let s = PerformanceSeries::monthly("m", vec![2.0, 1.8, 2.2]).unwrap();
+        let n = s.normalized().unwrap();
+        assert_eq!(n.values(), &[1.0, 0.9, 1.1]);
+        let z = PerformanceSeries::monthly("z", vec![0.0, 1.0]).unwrap();
+        assert!(z.normalized().is_err());
+    }
+
+    #[test]
+    fn split_at_prefix_suffix() {
+        let s = v_curve();
+        let split = s.split_at(15).unwrap();
+        assert_eq!(split.train.len(), 15);
+        assert_eq!(split.test.len(), 5);
+        assert_eq!(split.horizon(), 5);
+        assert_eq!(split.train.times()[14], 14.0);
+        assert_eq!(split.test.times()[0], 15.0);
+    }
+
+    #[test]
+    fn split_bounds_checked() {
+        let s = v_curve();
+        assert!(s.split_at(1).is_err());
+        assert!(s.split_at(20).is_err());
+        assert!(s.split_at(25).is_err());
+    }
+
+    #[test]
+    fn split_fraction_ninety_percent() {
+        let s = v_curve(); // 20 points
+        let split = s.split_fraction(0.9).unwrap();
+        assert_eq!(split.train.len(), 18);
+        assert_eq!(split.test.len(), 2);
+    }
+
+    #[test]
+    fn display_and_iter() {
+        let s = v_curve();
+        assert!(s.to_string().contains("20 points"));
+        let pairs: Vec<(f64, f64)> = s.iter().collect();
+        assert_eq!(pairs.len(), 20);
+        assert_eq!(pairs[0].0, 0.0);
+    }
+}

@@ -1,0 +1,472 @@
+//! Parametric resilience-curve generators.
+//!
+//! Economists label recession curves with letters — V, U, W, L, J, K
+//! (paper §V). This module builds synthetic curves of each shape from a
+//! small set of interpretable parameters: dips (when, how deep, how the
+//! decline and recovery progress), a secular drift, and deterministic
+//! noise. The seven embedded recessions in [`crate::recessions`] are
+//! specified through this machinery, and the workspace's shape-sweep
+//! ablation (DESIGN.md §5) generates controlled families from it.
+
+use crate::noise::XorShift64;
+use crate::series::PerformanceSeries;
+use crate::DataError;
+
+/// How a dip's recovery progresses after the trough.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RecoveryProfile {
+    /// Exponential approach back to baseline: fraction
+    /// `exp(−rate·(t−t_d))` of the depth remains at time `t`.
+    /// Characteristic of V-shaped rebounds.
+    Exponential {
+        /// Recovery rate per month (> 0).
+        rate: f64,
+    },
+    /// Smoothstep recovery completing over a fixed duration: S-shaped,
+    /// characteristic of U-shaped recoveries.
+    Smoothstep {
+        /// Months from trough to full recovery (> 0).
+        duration: f64,
+    },
+}
+
+/// One degradation/recovery episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Dip {
+    /// Month at which degradation begins.
+    pub start: f64,
+    /// Month of the performance minimum for this dip.
+    pub trough: f64,
+    /// Performance lost at the trough (e.g. 0.03 = 3 %).
+    pub depth: f64,
+    /// Decline sharpness: the decline progress is
+    /// `smoothstep(u^sharpness)`; values < 1 front-load the drop
+    /// (L-shaped crashes), values > 1 delay it.
+    pub sharpness: f64,
+    /// Recovery profile after the trough.
+    pub recovery: RecoveryProfile,
+}
+
+impl Dip {
+    fn validate(&self, what: &'static str) -> Result<(), DataError> {
+        if !(self.start >= 0.0) || !(self.trough > self.start) {
+            return Err(DataError::invalid(
+                what,
+                format!("need 0 <= start < trough, got start={}, trough={}", self.start, self.trough),
+            ));
+        }
+        if !(self.depth > 0.0) || !self.depth.is_finite() {
+            return Err(DataError::invalid(what, format!("depth must be positive, got {}", self.depth)));
+        }
+        if !(self.sharpness > 0.0) {
+            return Err(DataError::invalid(
+                what,
+                format!("sharpness must be positive, got {}", self.sharpness),
+            ));
+        }
+        match self.recovery {
+            RecoveryProfile::Exponential { rate } if !(rate > 0.0) => Err(DataError::invalid(
+                what,
+                format!("recovery rate must be positive, got {rate}"),
+            )),
+            RecoveryProfile::Smoothstep { duration } if !(duration > 0.0) => Err(DataError::invalid(
+                what,
+                format!("recovery duration must be positive, got {duration}"),
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// Performance lost to this dip at time `t` (non-negative, at most
+    /// `depth`).
+    #[must_use]
+    pub fn loss_at(&self, t: f64) -> f64 {
+        if t <= self.start {
+            return 0.0;
+        }
+        if t < self.trough {
+            let u = (t - self.start) / (self.trough - self.start);
+            return self.depth * smoothstep(u.powf(self.sharpness));
+        }
+        let since = t - self.trough;
+        let remaining = match self.recovery {
+            RecoveryProfile::Exponential { rate } => (-rate * since).exp(),
+            RecoveryProfile::Smoothstep { duration } => {
+                1.0 - smoothstep((since / duration).min(1.0))
+            }
+        };
+        self.depth * remaining
+    }
+}
+
+fn smoothstep(u: f64) -> f64 {
+    let u = u.clamp(0.0, 1.0);
+    u * u * (3.0 - 2.0 * u)
+}
+
+/// Specification of a full synthetic resilience curve.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CurveSpec {
+    /// Number of monthly observations.
+    pub n: usize,
+    /// Degradation/recovery episodes (one for V/U/L, two for W).
+    pub dips: Vec<Dip>,
+    /// Total secular drift accrued linearly from month 0 to month `n−1`
+    /// (positive for economies that out-grow the pre-hazard peak).
+    pub drift_total: f64,
+    /// Standard deviation of additive Gaussian observation noise.
+    pub noise_sd: f64,
+    /// Noise seed (same seed ⇒ identical curve).
+    pub seed: u64,
+}
+
+impl CurveSpec {
+    /// Generates the curve as a monthly [`PerformanceSeries`].
+    ///
+    /// The first observation is exactly the nominal level 1.0 (noise is
+    /// suppressed at `t = 0` so normalization is exact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSeries`] for fewer than 4 points, no
+    /// dips, negative noise, or an invalid dip.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use resilience_data::shapes::{CurveSpec, Dip, RecoveryProfile};
+    /// let spec = CurveSpec {
+    ///     n: 36,
+    ///     dips: vec![Dip {
+    ///         start: 0.0,
+    ///         trough: 10.0,
+    ///         depth: 0.04,
+    ///         sharpness: 1.0,
+    ///         recovery: RecoveryProfile::Exponential { rate: 0.2 },
+    ///     }],
+    ///     drift_total: 0.03,
+    ///     noise_sd: 0.0,
+    ///     seed: 1,
+    /// };
+    /// let series = spec.generate("demo")?;
+    /// let (t_min, _) = series.trough().unwrap();
+    /// assert!((t_min - 10.0).abs() <= 2.0);
+    /// # Ok::<(), resilience_data::DataError>(())
+    /// ```
+    pub fn generate(&self, name: impl Into<String>) -> Result<PerformanceSeries, DataError> {
+        if self.n < 4 {
+            return Err(DataError::invalid("CurveSpec::generate", "need at least 4 points"));
+        }
+        if self.dips.is_empty() {
+            return Err(DataError::invalid("CurveSpec::generate", "need at least one dip"));
+        }
+        if !(self.noise_sd >= 0.0) || !self.noise_sd.is_finite() {
+            return Err(DataError::invalid(
+                "CurveSpec::generate",
+                format!("noise_sd must be non-negative, got {}", self.noise_sd),
+            ));
+        }
+        for dip in &self.dips {
+            dip.validate("CurveSpec::generate")?;
+        }
+        let mut rng = XorShift64::new(self.seed);
+        let horizon = (self.n - 1) as f64;
+        let values: Vec<f64> = (0..self.n)
+            .map(|i| {
+                let t = i as f64;
+                let loss: f64 = self.dips.iter().map(|d| d.loss_at(t)).sum();
+                let drift = self.drift_total * t / horizon;
+                let noise = if i == 0 {
+                    0.0
+                } else {
+                    self.noise_sd * rng.next_gaussian()
+                };
+                1.0 - loss + drift + noise
+            })
+            .collect();
+        PerformanceSeries::monthly(name, values)
+    }
+}
+
+/// The letter taxonomy of recession shapes from the paper's §V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ShapeKind {
+    /// Sharp drop, sharp recovery.
+    V,
+    /// Slow drop, slow recovery.
+    U,
+    /// Two successive degradation/recovery episodes.
+    W,
+    /// Sudden crash followed by prolonged under-performance.
+    L,
+    /// Slow recovery that eventually rejoins the pre-hazard growth trend.
+    J,
+    /// Sharp drop with divergent recovery paths; represented here by its
+    /// aggregate: a crash with only partial long-run recovery.
+    K,
+}
+
+impl ShapeKind {
+    /// All shapes, in display order.
+    pub const ALL: [ShapeKind; 6] = [
+        ShapeKind::V,
+        ShapeKind::U,
+        ShapeKind::W,
+        ShapeKind::L,
+        ShapeKind::J,
+        ShapeKind::K,
+    ];
+
+    /// A canonical specification of this shape over `n` months.
+    ///
+    /// Used by the shape-sweep ablation: the paper's conclusion — V and U
+    /// fit well, W/L/K break both model families — is reproduced over
+    /// these controlled curves.
+    #[must_use]
+    pub fn canonical(self, n: usize, seed: u64) -> CurveSpec {
+        let exp = |rate: f64| RecoveryProfile::Exponential { rate };
+        let smooth = |duration: f64| RecoveryProfile::Smoothstep { duration };
+        let horizon = n as f64;
+        let dip = |start: f64, trough: f64, depth: f64, sharpness: f64, rec: RecoveryProfile| Dip {
+            start,
+            trough,
+            depth,
+            sharpness,
+            recovery: rec,
+        };
+        match self {
+            ShapeKind::V => CurveSpec {
+                n,
+                dips: vec![dip(0.0, 0.3 * horizon, 0.05, 1.2, exp(8.0 / horizon))],
+                drift_total: 0.04,
+                noise_sd: 0.0008,
+                seed,
+            },
+            ShapeKind::U => CurveSpec {
+                n,
+                dips: vec![dip(0.0, 0.35 * horizon, 0.04, 1.0, smooth(0.55 * horizon))],
+                drift_total: 0.03,
+                noise_sd: 0.0008,
+                seed,
+            },
+            ShapeKind::W => CurveSpec {
+                n,
+                dips: vec![
+                    dip(0.0, 0.12 * horizon, 0.02, 1.1, exp(16.0 / horizon)),
+                    dip(0.3 * horizon, 0.55 * horizon, 0.035, 1.1, exp(10.0 / horizon)),
+                ],
+                drift_total: 0.01,
+                noise_sd: 0.0008,
+                seed,
+            },
+            ShapeKind::L => CurveSpec {
+                n,
+                dips: vec![
+                    dip(0.0, 0.06 * horizon, 0.10, 0.7, exp(20.0 / horizon)),
+                    dip(0.0, 0.06 * horizon, 0.05, 0.7, exp(0.6 / horizon)),
+                ],
+                drift_total: 0.0,
+                noise_sd: 0.0008,
+                seed,
+            },
+            ShapeKind::J => CurveSpec {
+                n,
+                dips: vec![dip(0.0, 0.25 * horizon, 0.05, 1.0, exp(3.0 / horizon))],
+                drift_total: 0.06,
+                noise_sd: 0.0008,
+                seed,
+            },
+            ShapeKind::K => CurveSpec {
+                n,
+                dips: vec![
+                    dip(0.0, 0.05 * horizon, 0.09, 0.6, exp(25.0 / horizon)),
+                    dip(0.0, 0.05 * horizon, 0.07, 0.6, exp(0.3 / horizon)),
+                ],
+                drift_total: -0.01,
+                noise_sd: 0.0008,
+                seed,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ShapeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ShapeKind::V => "V",
+            ShapeKind::U => "U",
+            ShapeKind::W => "W",
+            ShapeKind::L => "L",
+            ShapeKind::J => "J",
+            ShapeKind::K => "K",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dip_loss_profile() {
+        let d = Dip {
+            start: 0.0,
+            trough: 10.0,
+            depth: 0.05,
+            sharpness: 1.0,
+            recovery: RecoveryProfile::Exponential { rate: 0.2 },
+        };
+        assert_eq!(d.loss_at(0.0), 0.0);
+        assert_eq!(d.loss_at(-1.0), 0.0);
+        assert!((d.loss_at(10.0) - 0.05).abs() < 1e-12);
+        // Monotone decline into the trough.
+        assert!(d.loss_at(3.0) < d.loss_at(7.0));
+        // Monotone recovery afterwards.
+        assert!(d.loss_at(15.0) > d.loss_at(25.0));
+        assert!(d.loss_at(100.0) < 1e-8);
+    }
+
+    #[test]
+    fn smoothstep_recovery_completes() {
+        let d = Dip {
+            start: 0.0,
+            trough: 5.0,
+            depth: 0.1,
+            sharpness: 1.0,
+            recovery: RecoveryProfile::Smoothstep { duration: 10.0 },
+        };
+        assert!((d.loss_at(5.0) - 0.1).abs() < 1e-12);
+        assert!((d.loss_at(10.0) - 0.05).abs() < 1e-12); // midpoint
+        assert_eq!(d.loss_at(15.0), 0.0);
+        assert_eq!(d.loss_at(50.0), 0.0);
+    }
+
+    #[test]
+    fn sharpness_front_loads_decline() {
+        let sharp = Dip {
+            start: 0.0,
+            trough: 10.0,
+            depth: 0.1,
+            sharpness: 0.5,
+            recovery: RecoveryProfile::Exponential { rate: 0.1 },
+        };
+        let gentle = Dip {
+            sharpness: 2.0,
+            ..sharp
+        };
+        // Early in the decline the sharp dip has lost more.
+        assert!(sharp.loss_at(2.0) > gentle.loss_at(2.0));
+    }
+
+    #[test]
+    fn generate_validates() {
+        let good_dip = Dip {
+            start: 0.0,
+            trough: 5.0,
+            depth: 0.05,
+            sharpness: 1.0,
+            recovery: RecoveryProfile::Exponential { rate: 0.2 },
+        };
+        let mut spec = CurveSpec {
+            n: 3,
+            dips: vec![good_dip],
+            drift_total: 0.0,
+            noise_sd: 0.0,
+            seed: 1,
+        };
+        assert!(spec.generate("x").is_err()); // too short
+        spec.n = 20;
+        spec.dips.clear();
+        assert!(spec.generate("x").is_err()); // no dips
+        spec.dips = vec![Dip {
+            trough: 0.0,
+            ..good_dip
+        }];
+        assert!(spec.generate("x").is_err()); // trough <= start
+        spec.dips = vec![good_dip];
+        spec.noise_sd = -1.0;
+        assert!(spec.generate("x").is_err());
+        spec.noise_sd = 0.0;
+        assert!(spec.generate("x").is_ok());
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let spec = ShapeKind::V.canonical(48, 7);
+        let a = spec.generate("a").unwrap();
+        let b = spec.generate("b").unwrap();
+        assert_eq!(a.values(), b.values());
+    }
+
+    #[test]
+    fn first_point_is_exactly_nominal() {
+        let spec = ShapeKind::U.canonical(48, 3);
+        let s = spec.generate("u").unwrap();
+        assert_eq!(s.values()[0], 1.0);
+    }
+
+    #[test]
+    fn v_shape_dips_and_recovers() {
+        let s = ShapeKind::V.canonical(48, 11).generate("v").unwrap();
+        let (t_min, p_min) = s.trough().unwrap();
+        assert!(p_min < 0.97);
+        assert!(t_min > 5.0 && t_min < 25.0);
+        // Recovered above nominal by the end.
+        assert!(s.values()[47] > 1.0);
+    }
+
+    #[test]
+    fn w_shape_has_two_local_minima() {
+        let s = ShapeKind::W.canonical(48, 5).generate("w").unwrap();
+        let v = s.values();
+        // Count strict local minima over a smoothed 3-point window.
+        let mut minima = 0;
+        for i in 2..(v.len() - 2) {
+            let prev = (v[i - 2] + v[i - 1]) / 2.0;
+            let next = (v[i + 1] + v[i + 2]) / 2.0;
+            if v[i] < prev - 1e-4 && v[i] < next - 1e-4 {
+                minima += 1;
+            }
+        }
+        assert!(minima >= 2, "expected a W (two minima), found {minima}");
+    }
+
+    #[test]
+    fn l_shape_crashes_fast_and_stays_low() {
+        let s = ShapeKind::L.canonical(24, 9).generate("l").unwrap();
+        let v = s.values();
+        let (_, p_min) = s.trough().unwrap();
+        assert!(p_min < 0.88, "deep crash: {p_min}");
+        // Still visibly below nominal at the end.
+        assert!(v[23] < 0.99);
+        // The crash happens within the first few months.
+        let early_min = v[..5].iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(early_min < 0.9);
+    }
+
+    #[test]
+    fn k_shape_ends_below_nominal() {
+        let s = ShapeKind::K.canonical(24, 13).generate("k").unwrap();
+        assert!(s.values()[23] < 0.99);
+    }
+
+    #[test]
+    fn all_canonical_shapes_generate() {
+        for kind in ShapeKind::ALL {
+            let s = kind.canonical(48, 1).generate(kind.to_string()).unwrap();
+            assert_eq!(s.len(), 48);
+            assert!(s.values().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn display_letters() {
+        assert_eq!(ShapeKind::V.to_string(), "V");
+        assert_eq!(ShapeKind::K.to_string(), "K");
+    }
+}

@@ -1,0 +1,202 @@
+//! Series transforms: smoothing, differencing, and rebasing.
+//!
+//! Real performance telemetry is noisier than the BLS monthly aggregates;
+//! these helpers condition such data before fitting (centered moving
+//! average), inspect momentum (first differences — the `ΔP(t_i)` quantity
+//! the paper's Eq. 13 bounds), and re-anchor curves whose pre-hazard
+//! baseline is not the first sample.
+
+use crate::series::PerformanceSeries;
+use crate::DataError;
+
+/// Centered moving average with an odd window of width `2k + 1`;
+/// endpoints use the available one-sided samples (shrinking window).
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidSeries`] when `half_width == 0` would be a
+/// no-op is allowed, but a window wider than the series is rejected.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_data::transform::moving_average;
+/// use resilience_data::PerformanceSeries;
+/// let s = PerformanceSeries::monthly("n", vec![1.0, 3.0, 1.0, 3.0, 1.0])?;
+/// let smooth = moving_average(&s, 1)?;
+/// // Interior points average their neighbours.
+/// assert!((smooth.values()[2] - (3.0 + 1.0 + 3.0) / 3.0).abs() < 1e-12);
+/// # Ok::<(), resilience_data::DataError>(())
+/// ```
+pub fn moving_average(series: &PerformanceSeries, half_width: usize) -> Result<PerformanceSeries, DataError> {
+    let n = series.len();
+    if 2 * half_width + 1 > n {
+        return Err(DataError::invalid(
+            "moving_average",
+            format!("window {} exceeds series length {n}", 2 * half_width + 1),
+        ));
+    }
+    let values = series.values();
+    let smoothed: Vec<f64> = (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half_width);
+            let hi = (i + half_width).min(n - 1);
+            let window = &values[lo..=hi];
+            window.iter().sum::<f64>() / window.len() as f64
+        })
+        .collect();
+    PerformanceSeries::new(
+        format!("{} (ma{})", series.name(), 2 * half_width + 1),
+        series.times().to_vec(),
+        smoothed,
+    )
+}
+
+/// First differences `ΔP(t_i) = P(t_i) − P(t_{i−1})`, indexed at the
+/// later time of each pair (length `n − 1`).
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidSeries`] for series with fewer than 3
+/// points (the result must itself be a valid series of ≥ 2 points).
+///
+/// # Examples
+///
+/// ```
+/// use resilience_data::transform::first_differences;
+/// use resilience_data::PerformanceSeries;
+/// let s = PerformanceSeries::monthly("d", vec![1.0, 0.98, 0.99])?;
+/// let d = first_differences(&s)?;
+/// assert!((d.values()[0] + 0.02).abs() < 1e-12);
+/// assert!((d.values()[1] - 0.01).abs() < 1e-12);
+/// # Ok::<(), resilience_data::DataError>(())
+/// ```
+pub fn first_differences(series: &PerformanceSeries) -> Result<PerformanceSeries, DataError> {
+    if series.len() < 3 {
+        return Err(DataError::invalid(
+            "first_differences",
+            "need at least three points",
+        ));
+    }
+    let times = series.times()[1..].to_vec();
+    let values: Vec<f64> = series
+        .values()
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .collect();
+    PerformanceSeries::new(format!("{} (diff)", series.name()), times, values)
+}
+
+/// Rebases the series so the value at (the sample nearest to) `t_base`
+/// becomes 1 — e.g. re-anchoring a curve whose pre-hazard peak is not the
+/// first observation.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidSeries`] when the base value is zero or
+/// `t_base` is outside the observed range.
+pub fn rebase(series: &PerformanceSeries, t_base: f64) -> Result<PerformanceSeries, DataError> {
+    let times = series.times();
+    if t_base < times[0] || t_base > times[times.len() - 1] {
+        return Err(DataError::invalid(
+            "rebase",
+            format!("t_base {t_base} outside observed range"),
+        ));
+    }
+    let idx = times
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            (a.1 - t_base)
+                .abs()
+                .total_cmp(&(b.1 - t_base).abs())
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty series");
+    let base = series.values()[idx];
+    if base == 0.0 {
+        return Err(DataError::invalid("rebase", "base value is zero"));
+    }
+    PerformanceSeries::new(
+        format!("{} (rebased)", series.name()),
+        times.to_vec(),
+        series.values().iter().map(|v| v / base).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> PerformanceSeries {
+        PerformanceSeries::monthly("t", vec![1.0, 0.98, 0.95, 0.96, 0.99, 1.01]).unwrap()
+    }
+
+    #[test]
+    fn moving_average_preserves_length_and_mean_roughly() {
+        let s = series();
+        let m = moving_average(&s, 1).unwrap();
+        assert_eq!(m.len(), s.len());
+        // Smoothing reduces total variation.
+        let tv = |v: &[f64]| v.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>();
+        assert!(tv(m.values()) <= tv(s.values()) + 1e-12);
+    }
+
+    #[test]
+    fn moving_average_zero_width_is_identity() {
+        let s = series();
+        let m = moving_average(&s, 0).unwrap();
+        assert_eq!(m.values(), s.values());
+    }
+
+    #[test]
+    fn moving_average_rejects_oversized_window() {
+        assert!(moving_average(&series(), 3).is_err());
+    }
+
+    #[test]
+    fn moving_average_endpoint_uses_one_sided_window() {
+        let s = series();
+        let m = moving_average(&s, 1).unwrap();
+        assert!((m.values()[0] - (1.0 + 0.98) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn differences_recover_increments() {
+        let s = series();
+        let d = first_differences(&s).unwrap();
+        assert_eq!(d.len(), s.len() - 1);
+        assert!((d.values()[0] + 0.02).abs() < 1e-12);
+        assert_eq!(d.times()[0], 1.0);
+    }
+
+    #[test]
+    fn differences_need_three_points() {
+        let s = PerformanceSeries::monthly("s", vec![1.0, 0.9]).unwrap();
+        assert!(first_differences(&s).is_err());
+    }
+
+    #[test]
+    fn rebase_reanchors() {
+        let s = series();
+        let r = rebase(&s, 2.0).unwrap();
+        assert!((r.values()[2] - 1.0).abs() < 1e-12);
+        assert!((r.values()[0] - 1.0 / 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebase_validates() {
+        let s = series();
+        assert!(rebase(&s, -1.0).is_err());
+        assert!(rebase(&s, 100.0).is_err());
+        let z = PerformanceSeries::monthly("z", vec![0.0, 1.0]).unwrap();
+        assert!(rebase(&z, 0.0).is_err());
+    }
+
+    #[test]
+    fn rebase_nearest_sample_snapping() {
+        let s = series();
+        let r = rebase(&s, 2.4).unwrap(); // nearest sample is t = 2
+        assert!((r.values()[2] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,538 @@
+//! Small dense linear algebra: column-major matrices with LU, Cholesky,
+//! and QR solvers.
+//!
+//! The Levenberg–Marquardt optimizer in `resilience-optim` solves the
+//! normal equations `(JᵀJ + λ diag(JᵀJ)) δ = Jᵀr` at every step; the
+//! resilience models have 2–5 parameters, so a simple dense implementation
+//! with partial pivoting is both sufficient and easy to audit.
+
+use crate::MathError;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::Shape`] when `data.len() != rows * cols`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use resilience_math::linalg::Matrix;
+    /// let m = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0])?;
+    /// assert_eq!(m[(1, 0)], 3.0);
+    /// # Ok::<(), resilience_math::MathError>(())
+    /// ```
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, MathError> {
+        if rows == 0 || cols == 0 || data.len() != rows * cols {
+            return Err(MathError::shape(
+                "Matrix::from_rows",
+                format!("{rows}x{cols} needs {} entries, got {}", rows * cols, data.len()),
+            ));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::Shape`] when the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, MathError> {
+        if self.cols != other.rows {
+            return Err(MathError::shape(
+                "Matrix::matmul",
+                format!(
+                    "{}x{} · {}x{} inner dimensions disagree",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            ));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::Shape`] when `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, MathError> {
+        if v.len() != self.cols {
+            return Err(MathError::shape(
+                "Matrix::matvec",
+                format!("matrix has {} cols but vector has {} entries", self.cols, v.len()),
+            ));
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * v[j];
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `AᵀA` (always square, symmetric positive semidefinite).
+    #[must_use]
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for j in 0..self.cols {
+            for k in j..self.cols {
+                let mut acc = 0.0;
+                for i in 0..self.rows {
+                    acc += self[(i, j)] * self[(i, k)];
+                }
+                g[(j, k)] = acc;
+                g[(k, j)] = acc;
+            }
+        }
+        g
+    }
+
+    /// `Aᵀ v` without forming the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::Shape`] when `v.len() != rows`.
+    pub fn transpose_matvec(&self, v: &[f64]) -> Result<Vec<f64>, MathError> {
+        if v.len() != self.rows {
+            return Err(MathError::shape(
+                "Matrix::transpose_matvec",
+                format!("matrix has {} rows but vector has {} entries", self.rows, v.len()),
+            ));
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[j] += self[(i, j)] * v[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solves `self · x = b` by LU decomposition with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`MathError::Shape`] when the matrix is not square or `b` has the
+    ///   wrong length.
+    /// * [`MathError::Singular`] when a pivot underflows.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use resilience_math::linalg::Matrix;
+    /// let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 3.0])?;
+    /// let x = a.solve(&[3.0, 5.0])?;
+    /// assert!((x[0] - 0.8).abs() < 1e-12);
+    /// assert!((x[1] - 1.4).abs() < 1e-12);
+    /// # Ok::<(), resilience_math::MathError>(())
+    /// ```
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MathError> {
+        if self.rows != self.cols {
+            return Err(MathError::shape(
+                "Matrix::solve",
+                format!("matrix is {}x{}, not square", self.rows, self.cols),
+            ));
+        }
+        if b.len() != self.rows {
+            return Err(MathError::shape(
+                "Matrix::solve",
+                format!("rhs has {} entries for an {}-dim system", b.len(), self.rows),
+            ));
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x: Vec<f64> = b.to_vec();
+        // Forward elimination with partial pivoting.
+        for col in 0..n {
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(MathError::Singular { what: "Matrix::solve", n });
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[r * n + j] -= factor * a[col * n + j];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for j in (col + 1)..n {
+                acc -= a[col * n + j] * x[j];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Ok(x)
+    }
+
+    /// Cholesky factor `L` with `self = L·Lᵀ` for a symmetric positive
+    /// definite matrix; returns the lower-triangular factor.
+    ///
+    /// # Errors
+    ///
+    /// * [`MathError::Shape`] when the matrix is not square.
+    /// * [`MathError::Singular`] when the matrix is not positive definite.
+    pub fn cholesky(&self) -> Result<Matrix, MathError> {
+        if self.rows != self.cols {
+            return Err(MathError::shape(
+                "Matrix::cholesky",
+                format!("matrix is {}x{}, not square", self.rows, self.cols),
+            ));
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut acc = self[(i, j)];
+                for k in 0..j {
+                    acc -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if acc <= 0.0 {
+                        return Err(MathError::Singular { what: "Matrix::cholesky", n });
+                    }
+                    l[(i, j)] = acc.sqrt();
+                } else {
+                    l[(i, j)] = acc / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solves `self · x = b` for a symmetric positive definite matrix via
+    /// Cholesky (twice as fast and more stable than LU for the LM normal
+    /// equations).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Matrix::cholesky`] plus a shape check on `b`.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>, MathError> {
+        if b.len() != self.rows {
+            return Err(MathError::shape(
+                "Matrix::solve_spd",
+                format!("rhs has {} entries for an {}-dim system", b.len(), self.rows),
+            ));
+        }
+        let l = self.cholesky()?;
+        let n = self.rows;
+        // Forward solve L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[i];
+            for k in 0..i {
+                acc -= l[(i, k)] * y[k];
+            }
+            y[i] = acc / l[(i, i)];
+        }
+        // Back solve Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for k in (i + 1)..n {
+                acc -= l[(k, i)] * x[k];
+            }
+            x[i] = acc / l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Returns `true` if every entry is finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Euclidean norm of a vector.
+#[must_use]
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length (programmer error, not data
+/// error — every call site controls both lengths).
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn identity_solves_to_rhs() {
+        let i = Matrix::identity(3);
+        let x = i.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_rows_rejects_bad_shape() {
+        assert!(Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        assert!(Matrix::from_rows(0, 2, vec![]).is_err());
+    }
+
+    #[test]
+    fn solve_3x3_known_system() {
+        let a = Matrix::from_rows(
+            3,
+            3,
+            vec![4.0, -2.0, 1.0, -2.0, 4.0, -2.0, 1.0, -2.0, 4.0],
+        )
+        .unwrap();
+        let b = [11.0, -16.0, 17.0];
+        let x = a.solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (got, want) in back.iter().zip(b) {
+            assert!(approx_eq(*got, want, 1e-10, 1e-10));
+        }
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal: naive elimination would fail.
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(matches!(a.solve(&[1.0, 2.0]), Err(MathError::Singular { .. })));
+    }
+
+    #[test]
+    fn solve_rejects_non_square_and_bad_rhs() {
+        let a = Matrix::zeros(2, 3);
+        assert!(a.solve(&[1.0, 2.0]).is_err());
+        let b = Matrix::identity(2);
+        assert!(b.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_shapes_and_values() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_rows(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c[(0, 0)], 58.0);
+        assert_eq!(c[(1, 1)], 154.0);
+        assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = Matrix::from_rows(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        assert_eq!(g, explicit);
+    }
+
+    #[test]
+    fn transpose_matvec_matches_explicit() {
+        let a = Matrix::from_rows(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let v = [1.0, 0.5, -1.0];
+        let got = a.transpose_matvec(&v).unwrap();
+        let want = a.transpose().matvec(&v).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = Matrix::from_rows(
+            3,
+            3,
+            vec![25.0, 15.0, -5.0, 15.0, 18.0, 0.0, -5.0, 0.0, 11.0],
+        )
+        .unwrap();
+        let l = a.cholesky().unwrap();
+        let back = l.matmul(&l.transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(approx_eq(back[(i, j)], a[(i, j)], 1e-10, 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(matches!(a.cholesky(), Err(MathError::Singular { .. })));
+    }
+
+    #[test]
+    fn solve_spd_matches_lu() {
+        let a = Matrix::from_rows(
+            3,
+            3,
+            vec![25.0, 15.0, -5.0, 15.0, 18.0, 0.0, -5.0, 0.0, 11.0],
+        )
+        .unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x1 = a.solve(&b).unwrap();
+        let x2 = a.solve_spd(&b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!(approx_eq(*u, *v, 1e-10, 1e-10));
+        }
+    }
+
+    #[test]
+    fn norm_and_dot() {
+        assert!(approx_eq(norm2(&[3.0, 4.0]), 5.0, 1e-15, 0.0));
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn frobenius_and_finiteness() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(approx_eq(a.frobenius_norm(), 5.0, 1e-12, 0.0));
+        assert!(a.is_finite());
+        let mut b = a.clone();
+        b[(0, 0)] = f64::NAN;
+        assert!(!b.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let a = Matrix::identity(2);
+        let _ = a[(2, 0)];
+    }
+}

@@ -1,0 +1,396 @@
+//! Polynomials and closed-form low-degree root formulas.
+//!
+//! The quadratic bathtub model (paper Eq. 1–3) is a polynomial hazard: its
+//! recovery time (Eq. 2) is a quadratic root, its area (Eq. 3) a cubic
+//! antiderivative. This module provides a small dense polynomial type plus
+//! numerically careful quadratic and cubic solvers.
+
+use crate::MathError;
+
+/// A dense univariate polynomial with coefficients in ascending order:
+/// `coeffs[k]` multiplies `x^k`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from ascending coefficients, trimming trailing
+    /// zeros so that `degree` is meaningful.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use resilience_math::poly::Polynomial;
+    /// let p = Polynomial::new(vec![1.0, 0.0, 3.0]); // 1 + 3x²
+    /// assert_eq!(p.degree(), 2);
+    /// ```
+    #[must_use]
+    pub fn new(mut coeffs: Vec<f64>) -> Self {
+        while coeffs.len() > 1 && coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Polynomial { coeffs }
+    }
+
+    /// The zero polynomial.
+    #[must_use]
+    pub fn zero() -> Self {
+        Polynomial { coeffs: vec![0.0] }
+    }
+
+    /// Degree of the polynomial (0 for constants, including zero).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Ascending coefficient slice.
+    #[must_use]
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Evaluates the polynomial at `x` by Horner's scheme.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use resilience_math::poly::Polynomial;
+    /// let p = Polynomial::new(vec![2.0, -3.0, 1.0]); // (x−1)(x−2)
+    /// assert_eq!(p.eval(1.0), 0.0);
+    /// assert_eq!(p.eval(3.0), 2.0);
+    /// ```
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Formal derivative.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use resilience_math::poly::Polynomial;
+    /// let p = Polynomial::new(vec![0.0, 0.0, 1.0]); // x²
+    /// assert_eq!(p.derivative().coeffs(), &[0.0, 2.0]);
+    /// ```
+    #[must_use]
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::zero();
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(k, &c)| k as f64 * c)
+            .collect();
+        Polynomial::new(coeffs)
+    }
+
+    /// Antiderivative with integration constant `c0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use resilience_math::poly::Polynomial;
+    /// let p = Polynomial::new(vec![0.0, 2.0]); // 2x
+    /// let int = p.antiderivative(1.0);          // x² + 1
+    /// assert_eq!(int.eval(3.0), 10.0);
+    /// ```
+    #[must_use]
+    pub fn antiderivative(&self, c0: f64) -> Polynomial {
+        let mut coeffs = Vec::with_capacity(self.coeffs.len() + 1);
+        coeffs.push(c0);
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            coeffs.push(c / (k as f64 + 1.0));
+        }
+        Polynomial::new(coeffs)
+    }
+
+    /// Definite integral over `[a, b]` via the antiderivative.
+    #[must_use]
+    pub fn integral(&self, a: f64, b: f64) -> f64 {
+        let anti = self.antiderivative(0.0);
+        anti.eval(b) - anti.eval(a)
+    }
+}
+
+impl std::fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            if c == 0.0 && self.degree() > 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " {} ", if c < 0.0 { "-" } else { "+" })?;
+            } else if c < 0.0 {
+                write!(f, "-")?;
+            }
+            let mag = c.abs();
+            match k {
+                0 => write!(f, "{mag}")?,
+                1 => write!(f, "{mag}·t")?,
+                _ => write!(f, "{mag}·t^{k}")?,
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+/// Real roots of `a x² + b x + c = 0`, in ascending order.
+///
+/// Uses the numerically stable form that avoids catastrophic cancellation
+/// when `b² ≫ 4ac`. A linear equation (`a == 0`) yields at most one root.
+///
+/// # Errors
+///
+/// Returns [`MathError::Domain`] when all coefficients are zero (the
+/// identically-zero equation has no meaningful root set).
+///
+/// # Examples
+///
+/// ```
+/// use resilience_math::poly::quadratic_roots;
+/// let roots = quadratic_roots(1.0, -3.0, 2.0)?;
+/// assert_eq!(roots, vec![1.0, 2.0]);
+/// # Ok::<(), resilience_math::MathError>(())
+/// ```
+pub fn quadratic_roots(a: f64, b: f64, c: f64) -> Result<Vec<f64>, MathError> {
+    if a == 0.0 {
+        if b == 0.0 {
+            if c == 0.0 {
+                return Err(MathError::domain(
+                    "quadratic_roots",
+                    "all coefficients are zero",
+                ));
+            }
+            return Ok(vec![]);
+        }
+        return Ok(vec![-c / b]);
+    }
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return Ok(vec![]);
+    }
+    if disc == 0.0 {
+        return Ok(vec![-b / (2.0 * a)]);
+    }
+    let sqrt_disc = disc.sqrt();
+    // q = −(b + sign(b)·√disc)/2 avoids subtracting nearly equal numbers.
+    let q = -0.5 * (b + b.signum() * sqrt_disc);
+    let (r1, r2) = if b == 0.0 {
+        let r = (disc.sqrt()) / (2.0 * a);
+        (-r, r)
+    } else {
+        (q / a, c / q)
+    };
+    let mut roots = vec![r1, r2];
+    roots.sort_by(|x, y| x.partial_cmp(y).expect("roots are finite"));
+    Ok(roots)
+}
+
+/// Real roots of the cubic `a x³ + b x² + c x + d = 0`, ascending.
+///
+/// Uses the trigonometric method for three real roots and Cardano's
+/// formula otherwise; degenerate leading coefficients fall back to
+/// [`quadratic_roots`].
+///
+/// # Errors
+///
+/// Returns [`MathError::Domain`] when all coefficients are zero.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_math::poly::cubic_roots;
+/// // (x−1)(x−2)(x−3) = x³ − 6x² + 11x − 6
+/// let roots = cubic_roots(1.0, -6.0, 11.0, -6.0)?;
+/// assert_eq!(roots.len(), 3);
+/// assert!((roots[0] - 1.0).abs() < 1e-9);
+/// assert!((roots[2] - 3.0).abs() < 1e-9);
+/// # Ok::<(), resilience_math::MathError>(())
+/// ```
+pub fn cubic_roots(a: f64, b: f64, c: f64, d: f64) -> Result<Vec<f64>, MathError> {
+    if a == 0.0 {
+        return quadratic_roots(b, c, d);
+    }
+    // Depressed cubic t³ + pt + q with x = t − b/(3a).
+    let shift = b / (3.0 * a);
+    let p = (3.0 * a * c - b * b) / (3.0 * a * a);
+    let q = (2.0 * b * b * b - 9.0 * a * b * c + 27.0 * a * a * d) / (27.0 * a * a * a);
+    let disc = -(4.0 * p * p * p + 27.0 * q * q);
+    let mut roots = if disc > 0.0 {
+        // Three distinct real roots: trigonometric method.
+        let m = 2.0 * (-p / 3.0).sqrt();
+        let theta = (3.0 * q / (p * m)).acos() / 3.0;
+        let two_pi_3 = 2.0 * std::f64::consts::PI / 3.0;
+        vec![
+            m * theta.cos() - shift,
+            m * (theta - two_pi_3).cos() - shift,
+            m * (theta + two_pi_3).cos() - shift,
+        ]
+    } else if p == 0.0 && q == 0.0 {
+        vec![-shift]
+    } else {
+        // One real root: Cardano with stable cube roots.
+        let half_q = q / 2.0;
+        let inner = half_q * half_q + p * p * p / 27.0;
+        let sqrt_inner = inner.max(0.0).sqrt();
+        let u = (-half_q + sqrt_inner).cbrt();
+        let v = (-half_q - sqrt_inner).cbrt();
+        let mut rs = vec![u + v - shift];
+        if inner == 0.0 && q != 0.0 {
+            // Double root case.
+            rs.push(-u - shift);
+        }
+        rs
+    };
+    roots.sort_by(|x, y| x.partial_cmp(y).expect("roots are finite"));
+    roots.dedup_by(|x, y| (*x - *y).abs() < 1e-12 * (1.0 + x.abs()));
+    Ok(roots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn polynomial_trims_trailing_zeros() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn polynomial_zero_is_degree_zero() {
+        assert_eq!(Polynomial::zero().degree(), 0);
+        assert_eq!(Polynomial::new(vec![]).degree(), 0);
+    }
+
+    #[test]
+    fn horner_matches_naive() {
+        let p = Polynomial::new(vec![1.5, -2.0, 0.5, 3.0]);
+        for &x in &[-2.0, -0.5, 0.0, 1.0, 2.5] {
+            let naive = 1.5 - 2.0 * x + 0.5 * x * x + 3.0 * x * x * x;
+            assert!(approx_eq(p.eval(x), naive, 1e-12, 1e-12));
+        }
+    }
+
+    #[test]
+    fn derivative_of_constant_is_zero() {
+        let p = Polynomial::new(vec![42.0]);
+        assert_eq!(p.derivative(), Polynomial::zero());
+    }
+
+    #[test]
+    fn derivative_antiderivative_roundtrip() {
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0]);
+        let back = p.antiderivative(7.0).derivative();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn integral_matches_quadrature() {
+        // ∫₀² (α + βt + γt²) dt = αt + βt²/2 + γt³/3 — the paper's Eq. 3.
+        let (alpha, beta, gamma) = (0.05, -0.01, 0.002);
+        let p = Polynomial::new(vec![alpha, beta, gamma]);
+        let exact = alpha * 2.0 + beta * 4.0 / 2.0 + gamma * 8.0 / 3.0;
+        assert!(approx_eq(p.integral(0.0, 2.0), exact, 1e-14, 1e-13));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Polynomial::zero().to_string(), "0");
+        let p = Polynomial::new(vec![1.0, -2.0, 3.0]);
+        let s = p.to_string();
+        assert!(s.contains("t^2"));
+    }
+
+    #[test]
+    fn quadratic_two_roots() {
+        let roots = quadratic_roots(2.0, -10.0, 12.0).unwrap();
+        assert_eq!(roots.len(), 2);
+        assert!(approx_eq(roots[0], 2.0, 1e-12, 0.0));
+        assert!(approx_eq(roots[1], 3.0, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn quadratic_no_real_roots() {
+        assert!(quadratic_roots(1.0, 0.0, 1.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn quadratic_double_root() {
+        let roots = quadratic_roots(1.0, -2.0, 1.0).unwrap();
+        assert_eq!(roots, vec![1.0]);
+    }
+
+    #[test]
+    fn quadratic_linear_fallback() {
+        assert_eq!(quadratic_roots(0.0, 2.0, -4.0).unwrap(), vec![2.0]);
+        assert!(quadratic_roots(0.0, 0.0, 3.0).unwrap().is_empty());
+        assert!(quadratic_roots(0.0, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn quadratic_cancellation_stability() {
+        // x² − 1e8·x + 1 = 0 has roots ~1e8 and ~1e-8; the naive formula
+        // destroys the small one.
+        let roots = quadratic_roots(1.0, -1e8, 1.0).unwrap();
+        assert_eq!(roots.len(), 2);
+        assert!(approx_eq(roots[0], 1e-8, 0.0, 1e-9));
+        assert!(approx_eq(roots[1], 1e8, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn cubic_three_real_roots() {
+        let roots = cubic_roots(1.0, -6.0, 11.0, -6.0).unwrap();
+        assert_eq!(roots.len(), 3);
+        for (got, want) in roots.iter().zip([1.0, 2.0, 3.0]) {
+            assert!(approx_eq(*got, want, 1e-9, 1e-9));
+        }
+    }
+
+    #[test]
+    fn cubic_one_real_root() {
+        // x³ + x + 1 has a single real root ≈ −0.6823278.
+        let roots = cubic_roots(1.0, 0.0, 1.0, 1.0).unwrap();
+        assert_eq!(roots.len(), 1);
+        assert!(approx_eq(roots[0], -0.682_327_803_828_019_3, 1e-10, 1e-10));
+    }
+
+    #[test]
+    fn cubic_triple_root() {
+        // (x−2)³ = x³ − 6x² + 12x − 8.
+        let roots = cubic_roots(1.0, -6.0, 12.0, -8.0).unwrap();
+        assert_eq!(roots.len(), 1);
+        assert!(approx_eq(roots[0], 2.0, 1e-7, 1e-7));
+    }
+
+    #[test]
+    fn cubic_degenerates_to_quadratic() {
+        let roots = cubic_roots(0.0, 1.0, -3.0, 2.0).unwrap();
+        assert_eq!(roots.len(), 2);
+    }
+
+    #[test]
+    fn cubic_roots_satisfy_equation() {
+        let (a, b, c, d) = (2.0, -3.0, -11.0, 6.0);
+        for r in cubic_roots(a, b, c, d).unwrap() {
+            let v = a * r * r * r + b * r * r + c * r + d;
+            assert!(v.abs() < 1e-8, "residual {v} at root {r}");
+        }
+    }
+}

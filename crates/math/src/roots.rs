@@ -1,0 +1,486 @@
+//! Scalar root finding.
+//!
+//! The workspace needs roots in three places: inverting distribution CDFs
+//! (quantiles of the Weibull mixture components that lack closed forms),
+//! solving the recovery-time equations of the bathtub models (paper Eq. 2
+//! and Eq. 5 cover the closed-form cases; the general path solves
+//! `P(t) = level` numerically), and locating curve minima via derivative
+//! sign changes.
+
+use crate::MathError;
+
+/// Result of a successful root search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Root {
+    /// Abscissa of the root.
+    pub x: f64,
+    /// Function value at `x` (should be ~0).
+    pub f_x: f64,
+    /// Number of iterations used.
+    pub iterations: usize,
+}
+
+/// Bisection on a bracketing interval `[lo, hi]`.
+///
+/// Robust but linearly convergent; use [`brent`] unless you need the
+/// guaranteed bracket-halving behaviour.
+///
+/// # Errors
+///
+/// * [`MathError::NoBracket`] when `f(lo)` and `f(hi)` have the same sign.
+/// * [`MathError::NoConvergence`] when `max_iter` is exhausted.
+/// * [`MathError::Domain`] for invalid intervals or tolerances.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_math::roots::bisection;
+/// let r = bisection(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200)?;
+/// assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-10);
+/// # Ok::<(), resilience_math::MathError>(())
+/// ```
+pub fn bisection<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Root, MathError> {
+    check_args("bisection", lo, hi, tol)?;
+    let mut lo = lo;
+    let mut hi = hi;
+    let mut f_lo = f(lo);
+    let f_hi = f(hi);
+    if f_lo == 0.0 {
+        return Ok(Root { x: lo, f_x: 0.0, iterations: 0 });
+    }
+    if f_hi == 0.0 {
+        return Ok(Root { x: hi, f_x: 0.0, iterations: 0 });
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Err(MathError::NoBracket { what: "bisection", f_lo, f_hi });
+    }
+    for i in 1..=max_iter {
+        let mid = 0.5 * (lo + hi);
+        let f_mid = f(mid);
+        if f_mid == 0.0 || 0.5 * (hi - lo) < tol {
+            return Ok(Root { x: mid, f_x: f_mid, iterations: i });
+        }
+        if f_mid.signum() == f_lo.signum() {
+            lo = mid;
+            f_lo = f_mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(MathError::NoConvergence {
+        what: "bisection",
+        iterations: max_iter,
+        last_error: hi - lo,
+    })
+}
+
+/// Newton–Raphson iteration from an initial guess with an explicit
+/// derivative.
+///
+/// # Errors
+///
+/// * [`MathError::NoConvergence`] if `max_iter` is exhausted or the
+///   derivative vanishes.
+/// * [`MathError::NonFinite`] if an iterate escapes to NaN/∞.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_math::roots::newton;
+/// let r = newton(|x| x * x - 2.0, |x| 2.0 * x, 1.0, 1e-14, 50)?;
+/// assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-12);
+/// # Ok::<(), resilience_math::MathError>(())
+/// ```
+pub fn newton<F, D>(mut f: F, mut df: D, x0: f64, tol: f64, max_iter: usize) -> Result<Root, MathError>
+where
+    F: FnMut(f64) -> f64,
+    D: FnMut(f64) -> f64,
+{
+    if !(tol > 0.0) {
+        return Err(MathError::domain("newton", format!("tolerance must be positive, got {tol}")));
+    }
+    let mut x = x0;
+    for i in 1..=max_iter {
+        let fx = f(x);
+        if !fx.is_finite() {
+            return Err(MathError::NonFinite { what: "newton", at: x });
+        }
+        let dfx = df(x);
+        if dfx == 0.0 || !dfx.is_finite() {
+            return Err(MathError::NoConvergence {
+                what: "newton",
+                iterations: i,
+                last_error: fx.abs(),
+            });
+        }
+        let next = x - fx / dfx;
+        if !next.is_finite() {
+            return Err(MathError::NonFinite { what: "newton", at: x });
+        }
+        if (next - x).abs() <= tol * (1.0 + x.abs()) {
+            return Ok(Root { x: next, f_x: f(next), iterations: i });
+        }
+        x = next;
+    }
+    Err(MathError::NoConvergence {
+        what: "newton",
+        iterations: max_iter,
+        last_error: f(x).abs(),
+    })
+}
+
+/// Secant method from two initial guesses (derivative-free Newton).
+///
+/// # Errors
+///
+/// * [`MathError::NoConvergence`] if `max_iter` is exhausted or the secant
+///   slope degenerates.
+/// * [`MathError::NonFinite`] if an iterate escapes to NaN/∞.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_math::roots::secant;
+/// let r = secant(|x| x.cos() - x, 0.0, 1.0, 1e-13, 100)?;
+/// assert!((r.x - 0.7390851332151607).abs() < 1e-11);
+/// # Ok::<(), resilience_math::MathError>(())
+/// ```
+pub fn secant<F: FnMut(f64) -> f64>(
+    mut f: F,
+    x0: f64,
+    x1: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Root, MathError> {
+    if !(tol > 0.0) {
+        return Err(MathError::domain("secant", format!("tolerance must be positive, got {tol}")));
+    }
+    let mut a = x0;
+    let mut b = x1;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    for i in 1..=max_iter {
+        if fb == 0.0 {
+            return Ok(Root { x: b, f_x: 0.0, iterations: i });
+        }
+        let denom = fb - fa;
+        if denom == 0.0 || !denom.is_finite() {
+            return Err(MathError::NoConvergence {
+                what: "secant",
+                iterations: i,
+                last_error: fb.abs(),
+            });
+        }
+        let next = b - fb * (b - a) / denom;
+        if !next.is_finite() {
+            return Err(MathError::NonFinite { what: "secant", at: b });
+        }
+        if (next - b).abs() <= tol * (1.0 + b.abs()) {
+            return Ok(Root { x: next, f_x: f(next), iterations: i });
+        }
+        a = b;
+        fa = fb;
+        b = next;
+        fb = f(b);
+    }
+    Err(MathError::NoConvergence {
+        what: "secant",
+        iterations: max_iter,
+        last_error: fb.abs(),
+    })
+}
+
+/// Brent's method: inverse-quadratic interpolation with bisection fallback.
+///
+/// The default root finder across the workspace — superlinear on smooth
+/// functions and never worse than bisection.
+///
+/// # Errors
+///
+/// * [`MathError::NoBracket`] when `[lo, hi]` does not bracket a sign change.
+/// * [`MathError::NoConvergence`] when `max_iter` is exhausted.
+/// * [`MathError::Domain`] for invalid intervals or tolerances.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_math::roots::brent;
+/// // Recovery-time-style problem: when does the curve re-cross 0.99?
+/// let p = |t: f64| 1.0 - 0.05 * (-(t - 10.0).powi(2) / 30.0).exp() - 0.99;
+/// let r = brent(p, 10.0, 40.0, 1e-12, 100)?;
+/// assert!(r.f_x.abs() < 1e-10);
+/// # Ok::<(), resilience_math::MathError>(())
+/// ```
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Root, MathError> {
+    check_args("brent", lo, hi, tol)?;
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(Root { x: a, f_x: 0.0, iterations: 0 });
+    }
+    if fb == 0.0 {
+        return Ok(Root { x: b, f_x: 0.0, iterations: 0 });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(MathError::NoBracket { what: "brent", f_lo: fa, f_hi: fb });
+    }
+    // Ensure |f(b)| <= |f(a)|: b is the best iterate.
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = 0.0;
+    for i in 1..=max_iter {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(Root { x: b, f_x: fb, iterations: i });
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo_bound = (3.0 * a + b) / 4.0;
+        let between = (lo_bound.min(b)..=lo_bound.max(b)).contains(&s);
+        let cond = !between
+            || (mflag && (s - b).abs() >= 0.5 * (b - c).abs())
+            || (!mflag && (s - b).abs() >= 0.5 * (c - d).abs())
+            || (mflag && (b - c).abs() < tol)
+            || (!mflag && (c - d).abs() < tol);
+        if cond {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(MathError::NoConvergence {
+        what: "brent",
+        iterations: max_iter,
+        last_error: fb.abs(),
+    })
+}
+
+/// Expands an interval geometrically around `[lo, hi]` until it brackets a
+/// sign change of `f`, then returns the bracketing interval.
+///
+/// Useful when only a rough location of the root is known (e.g. searching
+/// for a recovery time beyond the observed data).
+///
+/// # Errors
+///
+/// * [`MathError::NoBracket`] when no sign change is found within
+///   `max_expansions`.
+/// * [`MathError::Domain`] for invalid intervals.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_math::roots::{bracket_root, brent};
+/// let f = |x: f64| x - 37.5;
+/// let (lo, hi) = bracket_root(f, 0.0, 1.0, 60)?;
+/// let root = brent(f, lo, hi, 1e-12, 100)?;
+/// assert!((root.x - 37.5).abs() < 1e-9);
+/// # Ok::<(), resilience_math::MathError>(())
+/// ```
+pub fn bracket_root<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    max_expansions: usize,
+) -> Result<(f64, f64), MathError> {
+    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        return Err(MathError::domain(
+            "bracket_root",
+            format!("need finite lo < hi, got [{lo}, {hi}]"),
+        ));
+    }
+    let mut lo = lo;
+    let mut hi = hi;
+    let mut f_lo = f(lo);
+    let mut f_hi = f(hi);
+    const GROW: f64 = 1.6;
+    for _ in 0..max_expansions {
+        if f_lo.signum() != f_hi.signum() {
+            return Ok((lo, hi));
+        }
+        // Expand the side with the smaller |f| — the root is likelier there.
+        if f_lo.abs() < f_hi.abs() {
+            lo -= GROW * (hi - lo);
+            f_lo = f(lo);
+        } else {
+            hi += GROW * (hi - lo);
+            f_hi = f(hi);
+        }
+    }
+    Err(MathError::NoBracket {
+        what: "bracket_root",
+        f_lo,
+        f_hi,
+    })
+}
+
+fn check_args(what: &'static str, lo: f64, hi: f64, tol: f64) -> Result<(), MathError> {
+    if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+        return Err(MathError::domain(
+            what,
+            format!("need finite lo < hi, got [{lo}, {hi}]"),
+        ));
+    }
+    if !(tol > 0.0) {
+        return Err(MathError::domain(
+            what,
+            format!("tolerance must be positive, got {tol}"),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f_cubic(x: f64) -> f64 {
+        (x - 1.0) * (x + 2.0) * (x - 5.0)
+    }
+
+    #[test]
+    fn bisection_finds_simple_root() {
+        let r = bisection(f_cubic, 0.0, 2.0, 1e-12, 200).unwrap();
+        assert!((r.x - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisection_endpoint_root_short_circuits() {
+        let r = bisection(|x| x, 0.0, 1.0, 1e-12, 10).unwrap();
+        assert_eq!(r.x, 0.0);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn bisection_no_bracket() {
+        assert!(matches!(
+            bisection(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100),
+            Err(MathError::NoBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn bisection_rejects_bad_interval() {
+        assert!(bisection(|x| x, 1.0, 0.0, 1e-12, 10).is_err());
+        assert!(bisection(|x| x, 0.0, 1.0, -1.0, 10).is_err());
+    }
+
+    #[test]
+    fn newton_quadratic_convergence() {
+        let r = newton(|x| x * x - 612.0, |x| 2.0 * x, 10.0, 1e-14, 100).unwrap();
+        assert!((r.x - 612f64.sqrt()).abs() < 1e-10);
+        assert!(r.iterations < 12);
+    }
+
+    #[test]
+    fn newton_zero_derivative_errors() {
+        let r = newton(|x| x * x + 1.0, |_| 0.0, 1.0, 1e-12, 10);
+        assert!(matches!(r, Err(MathError::NoConvergence { .. })));
+    }
+
+    #[test]
+    fn secant_matches_newton() {
+        let n = newton(|x| x.exp() - 3.0, |x| x.exp(), 1.0, 1e-13, 100).unwrap();
+        let s = secant(|x| x.exp() - 3.0, 0.5, 1.5, 1e-13, 100).unwrap();
+        assert!((n.x - s.x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_beats_bisection_iterations() {
+        // Interval chosen so no bisection midpoint lands on the root.
+        let b = brent(f_cubic, 4.1, 6.3, 1e-13, 200).unwrap();
+        let bi = bisection(f_cubic, 4.1, 6.3, 1e-13, 200).unwrap();
+        assert!((b.x - 5.0).abs() < 1e-9);
+        assert!(b.iterations <= bi.iterations);
+    }
+
+    #[test]
+    fn brent_handles_flat_regions() {
+        // Nearly flat away from the root.
+        let f = |x: f64| (x - 2.0).powi(7);
+        let r = brent(f, 0.0, 5.0, 1e-10, 300).unwrap();
+        assert!((r.x - 2.0).abs() < 1e-2, "multiple root located approximately");
+    }
+
+    #[test]
+    fn brent_no_bracket() {
+        assert!(matches!(
+            brent(|x| x * x + 0.5, -1.0, 1.0, 1e-12, 100),
+            Err(MathError::NoBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn bracket_root_expands_upward() {
+        let (lo, hi) = bracket_root(|x| x - 100.0, 0.0, 1.0, 60).unwrap();
+        assert!(lo < 100.0 && 100.0 < hi);
+    }
+
+    #[test]
+    fn bracket_root_expands_downward() {
+        let (lo, hi) = bracket_root(|x| x + 50.0, 0.0, 1.0, 60).unwrap();
+        assert!(lo < -50.0 && -50.0 < hi);
+    }
+
+    #[test]
+    fn bracket_root_gives_up() {
+        assert!(matches!(
+            bracket_root(|x| x * x + 1.0, 0.0, 1.0, 5),
+            Err(MathError::NoBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn recovery_time_style_problem() {
+        // P(t) = 1 − 0.04·exp(−((t−12)/8)²); find when P returns to 0.995
+        // after the trough at t = 12.
+        let level = 0.995;
+        let p = |t: f64| 1.0 - 0.04 * (-((t - 12.0) / 8.0).powi(2)).exp() - level;
+        let r = brent(p, 12.0, 60.0, 1e-12, 200).unwrap();
+        assert!(r.x > 12.0);
+        // Check P(r.x) == level.
+        let val = 1.0 - 0.04 * (-((r.x - 12.0) / 8.0).powi(2)).exp();
+        assert!((val - level).abs() < 1e-10);
+    }
+}

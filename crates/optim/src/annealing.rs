@@ -1,0 +1,225 @@
+//! Simulated annealing.
+//!
+//! A second global optimizer, kept deliberately simple (Gaussian proposal,
+//! geometric cooling). Included for the ablation benches in
+//! `resilience-bench` comparing global optimizers on the mixture SSE
+//! surface; differential evolution is usually the better default.
+
+use crate::report::{OptimReport, TerminationReason};
+use crate::OptimError;
+use rand::Rng;
+
+/// Configuration for [`simulated_annealing`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaConfig {
+    /// Initial temperature.
+    pub initial_temp: f64,
+    /// Geometric cooling factor per step, in `(0, 1)`.
+    pub cooling: f64,
+    /// Number of proposal steps.
+    pub steps: usize,
+    /// Proposal standard deviation, relative to each coordinate's scale
+    /// `(1 + |x|)`.
+    pub step_scale: f64,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig {
+            initial_temp: 1.0,
+            cooling: 0.995,
+            steps: 5_000,
+            step_scale: 0.1,
+        }
+    }
+}
+
+/// Minimizes `f` from `x0` by simulated annealing with Gaussian proposals
+/// (Box–Muller) and Metropolis acceptance.
+///
+/// Non-finite objective values are rejected as proposals; a non-finite
+/// start is an error.
+///
+/// # Errors
+///
+/// * [`OptimError::InvalidConfig`] for bad configuration or empty `x0`.
+/// * [`OptimError::BadStartingPoint`] when `f(x0)` is non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_optim::annealing::{simulated_annealing, SaConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let f = |p: &[f64]| (p[0] - 2.0).powi(2);
+/// let report = simulated_annealing(&f, &[0.0], &SaConfig::default(), &mut rng)?;
+/// assert!((report.params[0] - 2.0).abs() < 0.1);
+/// # Ok::<(), resilience_optim::OptimError>(())
+/// ```
+pub fn simulated_annealing<F, R>(
+    f: &F,
+    x0: &[f64],
+    config: &SaConfig,
+    rng: &mut R,
+) -> Result<OptimReport, OptimError>
+where
+    F: Fn(&[f64]) -> f64,
+    R: Rng + ?Sized,
+{
+    if x0.is_empty() {
+        return Err(OptimError::config("simulated_annealing", "empty starting point"));
+    }
+    if !(config.initial_temp > 0.0) {
+        return Err(OptimError::config("simulated_annealing", "initial_temp must be positive"));
+    }
+    if !(config.cooling > 0.0 && config.cooling < 1.0) {
+        return Err(OptimError::config("simulated_annealing", "cooling must be in (0, 1)"));
+    }
+    if config.steps == 0 {
+        return Err(OptimError::config("simulated_annealing", "steps must be > 0"));
+    }
+    if !(config.step_scale > 0.0) {
+        return Err(OptimError::config("simulated_annealing", "step_scale must be positive"));
+    }
+    let mut current = x0.to_vec();
+    let mut current_val = f(&current);
+    let mut evaluations = 1usize;
+    if !current_val.is_finite() {
+        return Err(OptimError::BadStartingPoint { value: current_val });
+    }
+    let mut best = current.clone();
+    let mut best_val = current_val;
+    let mut temp = config.initial_temp;
+
+    // Box–Muller standard normal.
+    let gauss = |rng: &mut R| -> f64 {
+        let u1: f64 = loop {
+            let u: f64 = rng.random();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2: f64 = rng.random();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+
+    let mut proposal = vec![0.0; current.len()];
+    for _ in 0..config.steps {
+        for (j, p) in proposal.iter_mut().enumerate() {
+            *p = current[j] + config.step_scale * (1.0 + current[j].abs()) * gauss(rng);
+        }
+        let val = f(&proposal);
+        evaluations += 1;
+        if val.is_finite() {
+            let accept = val <= current_val || {
+                let u: f64 = rng.random();
+                u < ((current_val - val) / temp).exp()
+            };
+            if accept {
+                current.copy_from_slice(&proposal);
+                current_val = val;
+                if val < best_val {
+                    best.copy_from_slice(&proposal);
+                    best_val = val;
+                }
+            }
+        }
+        temp *= config.cooling;
+    }
+
+    Ok(OptimReport {
+        params: best,
+        value: best_val,
+        iterations: config.steps,
+        evaluations,
+        termination: TerminationReason::MaxIterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn anneals_to_quadratic_minimum() {
+        let f = |p: &[f64]| (p[0] - 3.0).powi(2) + (p[1] + 1.0).powi(2);
+        let r = simulated_annealing(&f, &[0.0, 0.0], &SaConfig::default(), &mut rng()).unwrap();
+        assert!((r.params[0] - 3.0).abs() < 0.2, "{:?}", r.params);
+        assert!((r.params[1] + 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn escapes_shallow_local_minimum() {
+        // Double well with the deeper well at x = 2.
+        let f = |p: &[f64]| {
+            let x = p[0];
+            (x * x - 4.0).powi(2) / 16.0 + 0.3 * (x - 2.0).powi(2)
+        };
+        let r = simulated_annealing(
+            &f,
+            &[-2.0],
+            &SaConfig {
+                steps: 50_000,
+                initial_temp: 3.0,
+                cooling: 0.9998,
+                step_scale: 0.3,
+            },
+            &mut rng(),
+        )
+        .unwrap();
+        assert!(r.params[0] > 0.0, "should reach the deep well: {:?}", r.params);
+    }
+
+    #[test]
+    fn best_value_never_worse_than_start() {
+        let f = |p: &[f64]| p[0].powi(2);
+        let r = simulated_annealing(&f, &[5.0], &SaConfig::default(), &mut rng()).unwrap();
+        assert!(r.value <= 25.0);
+    }
+
+    #[test]
+    fn rejects_invalid_config_and_start() {
+        let f = |p: &[f64]| p[0];
+        let mut r = rng();
+        assert!(simulated_annealing(&f, &[], &SaConfig::default(), &mut r).is_err());
+        let bad = SaConfig {
+            cooling: 1.5,
+            ..SaConfig::default()
+        };
+        assert!(simulated_annealing(&f, &[0.0], &bad, &mut r).is_err());
+        let nan = |_: &[f64]| f64::NAN;
+        assert!(matches!(
+            simulated_annealing(&nan, &[0.0], &SaConfig::default(), &mut r),
+            Err(OptimError::BadStartingPoint { .. })
+        ));
+    }
+
+    #[test]
+    fn proposals_avoid_nan_regions() {
+        // NaN for x < 0; the chain should stay in the feasible half-line.
+        let f = |p: &[f64]| {
+            if p[0] < 0.0 {
+                f64::NAN
+            } else {
+                (p[0] - 1.0).powi(2)
+            }
+        };
+        let r = simulated_annealing(&f, &[0.5], &SaConfig::default(), &mut rng()).unwrap();
+        assert!(r.params[0] >= 0.0);
+        assert!((r.params[0] - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let f = |p: &[f64]| (p[0] - 0.5).powi(2);
+        let a = simulated_annealing(&f, &[0.0], &SaConfig::default(), &mut rng()).unwrap();
+        let b = simulated_annealing(&f, &[0.0], &SaConfig::default(), &mut rng()).unwrap();
+        assert_eq!(a.params, b.params);
+    }
+}

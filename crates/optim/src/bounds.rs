@@ -1,0 +1,312 @@
+//! Smooth parameter transforms for box constraints.
+//!
+//! The bathtub models are only valid on parameter subsets (the paper's
+//! quadratic model needs `α, γ > 0` and `−2√(αγ) < β < 0`). Rather than
+//! teach every optimizer about constraints, each model fits in an
+//! *internal* unconstrained space and maps through these transforms:
+//!
+//! * [`Transform::Unbounded`] — identity.
+//! * [`Transform::Positive`] — `external = exp(internal)`, enforcing `> 0`.
+//! * [`Transform::Bounded`] — scaled logistic onto `(lo, hi)`.
+
+use crate::OptimError;
+
+/// A smooth bijection from ℝ (internal) onto a parameter's feasible set
+/// (external).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Transform {
+    /// Identity: the parameter is unconstrained.
+    Unbounded,
+    /// `external = exp(internal)`: the parameter must be positive.
+    Positive,
+    /// Scaled logistic onto the open interval `(lo, hi)`.
+    Bounded {
+        /// Lower bound (exclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+}
+
+impl Transform {
+    /// Maps an internal (unconstrained) value to the external space.
+    #[must_use]
+    pub fn to_external(&self, internal: f64) -> f64 {
+        match *self {
+            Transform::Unbounded => internal,
+            Transform::Positive => internal.exp(),
+            Transform::Bounded { lo, hi } => {
+                // Numerically safe logistic, clamped strictly inside (0, 1)
+                // so the external value never touches the open endpoints.
+                let s = if internal >= 0.0 {
+                    1.0 / (1.0 + (-internal).exp())
+                } else {
+                    let e = internal.exp();
+                    e / (1.0 + e)
+                };
+                let s = s.clamp(1e-12, 1.0 - 1e-12);
+                lo + (hi - lo) * s
+            }
+        }
+    }
+
+    /// Maps an external (feasible) value back to the internal space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidConfig`] when `external` is outside
+    /// the feasible set (≤ 0 for [`Transform::Positive`], outside
+    /// `(lo, hi)` for [`Transform::Bounded`]).
+    pub fn to_internal(&self, external: f64) -> Result<f64, OptimError> {
+        match *self {
+            Transform::Unbounded => Ok(external),
+            Transform::Positive => {
+                if external > 0.0 {
+                    Ok(external.ln())
+                } else {
+                    Err(OptimError::config(
+                        "Transform::Positive",
+                        format!("value {external} is not positive"),
+                    ))
+                }
+            }
+            Transform::Bounded { lo, hi } => {
+                if external > lo && external < hi {
+                    let s = (external - lo) / (hi - lo);
+                    Ok((s / (1.0 - s)).ln())
+                } else {
+                    Err(OptimError::config(
+                        "Transform::Bounded",
+                        format!("value {external} outside ({lo}, {hi})"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Validates the transform itself (bounded intervals must be proper).
+    fn validate(&self) -> Result<(), OptimError> {
+        if let Transform::Bounded { lo, hi } = *self {
+            if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+                return Err(OptimError::config(
+                    "Transform::Bounded",
+                    format!("need finite lo < hi, got ({lo}, {hi})"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An ordered set of per-parameter transforms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpace {
+    transforms: Vec<Transform>,
+}
+
+impl ParamSpace {
+    /// Builds a parameter space from per-parameter transforms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidConfig`] for an empty list or an
+    /// improper bounded interval.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use resilience_optim::{ParamSpace, Transform};
+    /// let space = ParamSpace::new(vec![
+    ///     Transform::Positive,
+    ///     Transform::Bounded { lo: -1.0, hi: 0.0 },
+    /// ])?;
+    /// let external = space.to_external(&[0.0, 0.0]);
+    /// assert_eq!(external[0], 1.0);          // exp(0)
+    /// assert_eq!(external[1], -0.5);         // logistic midpoint
+    /// # Ok::<(), resilience_optim::OptimError>(())
+    /// ```
+    pub fn new(transforms: Vec<Transform>) -> Result<Self, OptimError> {
+        if transforms.is_empty() {
+            return Err(OptimError::config("ParamSpace", "no transforms given"));
+        }
+        for t in &transforms {
+            t.validate()?;
+        }
+        Ok(ParamSpace { transforms })
+    }
+
+    /// An all-unbounded space of dimension `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidConfig`] when `n == 0`.
+    pub fn unbounded(n: usize) -> Result<Self, OptimError> {
+        ParamSpace::new(vec![Transform::Unbounded; n])
+    }
+
+    /// Dimension of the space.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.transforms.len()
+    }
+
+    /// Whether the space is empty (never true post-construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.transforms.is_empty()
+    }
+
+    /// The per-parameter transforms.
+    #[must_use]
+    pub fn transforms(&self) -> &[Transform] {
+        &self.transforms
+    }
+
+    /// Maps an internal vector to the external space.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `internal.len()` does not match the space dimension.
+    #[must_use]
+    pub fn to_external(&self, internal: &[f64]) -> Vec<f64> {
+        assert_eq!(internal.len(), self.transforms.len(), "dimension mismatch");
+        internal
+            .iter()
+            .zip(&self.transforms)
+            .map(|(&x, t)| t.to_external(x))
+            .collect()
+    }
+
+    /// Maps an external vector to the internal space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidConfig`] when any coordinate is
+    /// infeasible or the dimensions disagree.
+    pub fn to_internal(&self, external: &[f64]) -> Result<Vec<f64>, OptimError> {
+        if external.len() != self.transforms.len() {
+            return Err(OptimError::config(
+                "ParamSpace::to_internal",
+                format!(
+                    "expected {} coordinates, got {}",
+                    self.transforms.len(),
+                    external.len()
+                ),
+            ));
+        }
+        external
+            .iter()
+            .zip(&self.transforms)
+            .map(|(&x, t)| t.to_internal(x))
+            .collect()
+    }
+
+    /// Wraps an external-space objective as an internal-space objective.
+    ///
+    /// This is the adapter every fit in `resilience-core` uses: the
+    /// optimizer works on ℝⁿ while the model only ever sees feasible
+    /// parameters.
+    pub fn wrap<'a, F: Fn(&[f64]) -> f64 + 'a>(&'a self, f: F) -> impl Fn(&[f64]) -> f64 + 'a {
+        move |internal: &[f64]| f(&self.to_external(internal))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_is_identity() {
+        let t = Transform::Unbounded;
+        assert_eq!(t.to_external(3.5), 3.5);
+        assert_eq!(t.to_internal(-2.0).unwrap(), -2.0);
+    }
+
+    #[test]
+    fn positive_roundtrip() {
+        let t = Transform::Positive;
+        for &v in &[1e-8, 0.5, 1.0, 42.0, 1e8] {
+            let i = t.to_internal(v).unwrap();
+            assert!((t.to_external(i) - v).abs() / v < 1e-12);
+        }
+        assert!(t.to_internal(0.0).is_err());
+        assert!(t.to_internal(-1.0).is_err());
+    }
+
+    #[test]
+    fn bounded_roundtrip_and_range() {
+        let t = Transform::Bounded { lo: -2.0, hi: 3.0 };
+        for &v in &[-1.999, -1.0, 0.0, 2.9] {
+            let i = t.to_internal(v).unwrap();
+            assert!((t.to_external(i) - v).abs() < 1e-10);
+        }
+        // Extreme internal values stay inside the open interval.
+        assert!(t.to_external(1e3) < 3.0);
+        assert!(t.to_external(-1e3) > -2.0);
+        assert!(t.to_internal(-2.0).is_err());
+        assert!(t.to_internal(5.0).is_err());
+    }
+
+    #[test]
+    fn bounded_logistic_is_monotone() {
+        let t = Transform::Bounded { lo: 0.0, hi: 1.0 };
+        let mut prev = t.to_external(-10.0);
+        for i in -9..=10 {
+            let v = t.to_external(i as f64);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn param_space_validation() {
+        assert!(ParamSpace::new(vec![]).is_err());
+        assert!(ParamSpace::new(vec![Transform::Bounded { lo: 1.0, hi: 1.0 }]).is_err());
+        assert!(ParamSpace::unbounded(0).is_err());
+        let s = ParamSpace::unbounded(3).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn space_roundtrip_mixed() {
+        let s = ParamSpace::new(vec![
+            Transform::Unbounded,
+            Transform::Positive,
+            Transform::Bounded { lo: -1.0, hi: 0.0 },
+        ])
+        .unwrap();
+        let external = vec![2.0, 0.7, -0.3];
+        let internal = s.to_internal(&external).unwrap();
+        let back = s.to_external(&internal);
+        for (a, b) in external.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn to_internal_rejects_dimension_mismatch() {
+        let s = ParamSpace::unbounded(2).unwrap();
+        assert!(s.to_internal(&[1.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn to_external_panics_on_mismatch() {
+        let s = ParamSpace::unbounded(2).unwrap();
+        let _ = s.to_external(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn wrap_keeps_feasibility() {
+        // Objective that would blow up for non-positive parameters.
+        let s = ParamSpace::new(vec![Transform::Positive]).unwrap();
+        let f = s.wrap(|p: &[f64]| {
+            assert!(p[0] > 0.0, "objective must only see feasible points");
+            (p[0] - 2.0).powi(2)
+        });
+        // Any internal value is fine, even very negative ones.
+        let v = f(&[-50.0]);
+        assert!(v.is_finite());
+    }
+}

@@ -1,0 +1,296 @@
+//! Differential evolution: a population-based global optimizer.
+//!
+//! Used as the slow-but-thorough fallback when local fits disagree across
+//! starts, and in the ablation benches comparing global vs multi-start
+//! local optimization on the resilience SSE surfaces.
+
+use crate::report::{OptimReport, TerminationReason};
+use crate::OptimError;
+use rand::Rng;
+
+/// Configuration for [`differential_evolution`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeConfig {
+    /// Population size (≥ 4; default `10 × dims`, capped at 64, applied
+    /// when left at 0).
+    pub population: usize,
+    /// Differential weight `F ∈ (0, 2]`.
+    pub weight: f64,
+    /// Crossover probability `CR ∈ [0, 1]`.
+    pub crossover: f64,
+    /// Maximum number of generations.
+    pub max_generations: usize,
+    /// Convergence tolerance on the population's objective spread.
+    pub f_tol: f64,
+}
+
+impl Default for DeConfig {
+    fn default() -> Self {
+        DeConfig {
+            population: 0,
+            weight: 0.8,
+            crossover: 0.9,
+            max_generations: 300,
+            f_tol: 1e-12,
+        }
+    }
+}
+
+/// Minimizes `f` over the box `bounds` (per-coordinate `(lo, hi)`) with
+/// DE/rand/1/bin.
+///
+/// Non-finite objective values are treated as `+∞`.
+///
+/// # Errors
+///
+/// * [`OptimError::InvalidConfig`] for empty/invalid bounds or bad
+///   configuration.
+/// * [`OptimError::AllStartsFailed`] when the entire initial population is
+///   infeasible (objective non-finite everywhere sampled).
+///
+/// # Examples
+///
+/// ```
+/// use resilience_optim::differential_evolution::{differential_evolution, DeConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let f = |p: &[f64]| (p[0] - 1.0).powi(2) + (p[1] + 2.0).powi(2);
+/// let report = differential_evolution(
+///     &f,
+///     &[(-10.0, 10.0), (-10.0, 10.0)],
+///     &DeConfig::default(),
+///     &mut rng,
+/// )?;
+/// assert!((report.params[0] - 1.0).abs() < 1e-3);
+/// assert!((report.params[1] + 2.0).abs() < 1e-3);
+/// # Ok::<(), resilience_optim::OptimError>(())
+/// ```
+pub fn differential_evolution<F, R>(
+    f: &F,
+    bounds: &[(f64, f64)],
+    config: &DeConfig,
+    rng: &mut R,
+) -> Result<OptimReport, OptimError>
+where
+    F: Fn(&[f64]) -> f64,
+    R: Rng + ?Sized,
+{
+    if bounds.is_empty() {
+        return Err(OptimError::config("differential_evolution", "no bounds given"));
+    }
+    for (i, &(lo, hi)) in bounds.iter().enumerate() {
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(OptimError::config(
+                "differential_evolution",
+                format!("bound {i} is invalid: ({lo}, {hi})"),
+            ));
+        }
+    }
+    if !(config.weight > 0.0 && config.weight <= 2.0) {
+        return Err(OptimError::config("differential_evolution", "weight must be in (0, 2]"));
+    }
+    if !(0.0..=1.0).contains(&config.crossover) {
+        return Err(OptimError::config("differential_evolution", "crossover must be in [0, 1]"));
+    }
+    if config.max_generations == 0 {
+        return Err(OptimError::config(
+            "differential_evolution",
+            "max_generations must be > 0",
+        ));
+    }
+    let dims = bounds.len();
+    let pop_size = if config.population == 0 {
+        (10 * dims).clamp(8, 64)
+    } else if config.population < 4 {
+        return Err(OptimError::config("differential_evolution", "population must be >= 4"));
+    } else {
+        config.population
+    };
+
+    let clamp = |x: f64, i: usize| x.clamp(bounds[i].0, bounds[i].1);
+    let mut evaluations = 0usize;
+    let mut eval = |x: &[f64]| -> f64 {
+        evaluations += 1;
+        let v = f(x);
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    // Initial population uniform over the box.
+    let mut population: Vec<Vec<f64>> = (0..pop_size)
+        .map(|_| {
+            bounds
+                .iter()
+                .map(|&(lo, hi)| lo + (hi - lo) * rng.random::<f64>())
+                .collect()
+        })
+        .collect();
+    let mut fitness: Vec<f64> = population.iter().map(|p| eval(p)).collect();
+    if fitness.iter().all(|v| v.is_infinite()) {
+        return Err(OptimError::AllStartsFailed { attempts: pop_size });
+    }
+
+    let mut generations = 0usize;
+    let mut termination = TerminationReason::MaxIterations;
+    let mut trial = vec![0.0; dims];
+    for _gen in 0..config.max_generations {
+        generations += 1;
+        for i in 0..pop_size {
+            // Pick three distinct indices != i.
+            let mut pick = || loop {
+                let k = rng.random_range(0..pop_size);
+                if k != i {
+                    return k;
+                }
+            };
+            let (a, b, c) = {
+                let a = pick();
+                let mut b = pick();
+                while b == a {
+                    b = pick();
+                }
+                let mut c = pick();
+                while c == a || c == b {
+                    c = pick();
+                }
+                (a, b, c)
+            };
+            let forced = rng.random_range(0..dims);
+            for j in 0..dims {
+                trial[j] = if j == forced || rng.random::<f64>() < config.crossover {
+                    clamp(
+                        population[a][j] + config.weight * (population[b][j] - population[c][j]),
+                        j,
+                    )
+                } else {
+                    population[i][j]
+                };
+            }
+            let ft = eval(&trial);
+            if ft <= fitness[i] {
+                population[i].copy_from_slice(&trial);
+                fitness[i] = ft;
+            }
+        }
+        let best = fitness.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst_finite = fitness
+            .iter()
+            .cloned()
+            .filter(|v| v.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        if worst_finite.is_finite() && (worst_finite - best).abs() <= config.f_tol * (1.0 + best.abs())
+        {
+            termination = TerminationReason::Converged;
+            break;
+        }
+    }
+
+    let (best_idx, &best_val) = fitness
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+        .expect("population is non-empty");
+    Ok(OptimReport {
+        params: population[best_idx].clone(),
+        value: best_val,
+        iterations: generations,
+        evaluations,
+        termination,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn solves_sphere() {
+        let f = |p: &[f64]| p.iter().map(|x| x * x).sum::<f64>();
+        let r = differential_evolution(
+            &f,
+            &[(-5.0, 5.0), (-5.0, 5.0), (-5.0, 5.0)],
+            &DeConfig::default(),
+            &mut rng(),
+        )
+        .unwrap();
+        assert!(r.value < 1e-6, "value = {}", r.value);
+    }
+
+    #[test]
+    fn escapes_local_minima_of_rastrigin_like() {
+        // 1-D Rastrigin on [-5.12, 5.12]: global min 0 at 0.
+        let f = |p: &[f64]| {
+            let x = p[0];
+            10.0 + x * x - 10.0 * (2.0 * std::f64::consts::PI * x).cos()
+        };
+        let r = differential_evolution(
+            &f,
+            &[(-5.12, 5.12)],
+            &DeConfig {
+                population: 40,
+                max_generations: 800,
+                ..DeConfig::default()
+            },
+            &mut rng(),
+        )
+        .unwrap();
+        assert!(r.params[0].abs() < 0.01, "x = {}", r.params[0]);
+        assert!(r.value < 0.1);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        // Minimum of (x−10)² over [−1, 1] is at the boundary x = 1.
+        let f = |p: &[f64]| (p[0] - 10.0).powi(2);
+        let r =
+            differential_evolution(&f, &[(-1.0, 1.0)], &DeConfig::default(), &mut rng()).unwrap();
+        assert!(r.params[0] <= 1.0 && r.params[0] >= -1.0);
+        assert!((r.params[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let f = |p: &[f64]| p[0];
+        let mut r = rng();
+        assert!(differential_evolution(&f, &[], &DeConfig::default(), &mut r).is_err());
+        assert!(differential_evolution(&f, &[(1.0, 0.0)], &DeConfig::default(), &mut r).is_err());
+        let bad = DeConfig {
+            weight: 3.0,
+            ..DeConfig::default()
+        };
+        assert!(differential_evolution(&f, &[(0.0, 1.0)], &bad, &mut r).is_err());
+        let bad2 = DeConfig {
+            population: 2,
+            ..DeConfig::default()
+        };
+        assert!(differential_evolution(&f, &[(0.0, 1.0)], &bad2, &mut r).is_err());
+    }
+
+    #[test]
+    fn all_infeasible_population_errors() {
+        let f = |_: &[f64]| f64::NAN;
+        assert!(matches!(
+            differential_evolution(&f, &[(0.0, 1.0)], &DeConfig::default(), &mut rng()),
+            Err(OptimError::AllStartsFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let f = |p: &[f64]| (p[0] - 0.3).powi(2);
+        let r1 =
+            differential_evolution(&f, &[(0.0, 1.0)], &DeConfig::default(), &mut rng()).unwrap();
+        let r2 =
+            differential_evolution(&f, &[(0.0, 1.0)], &DeConfig::default(), &mut rng()).unwrap();
+        assert_eq!(r1.params, r2.params);
+    }
+}

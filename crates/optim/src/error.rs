@@ -1,0 +1,132 @@
+//! Error type for the optimizers.
+
+use resilience_math::MathError;
+use std::fmt;
+
+/// Errors produced by `resilience-optim`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptimError {
+    /// A configuration value was invalid (e.g. non-positive tolerance,
+    /// empty parameter vector).
+    InvalidConfig {
+        /// The offending option.
+        what: &'static str,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The objective returned NaN/∞ at the initial point, so no descent
+    /// direction exists.
+    BadStartingPoint {
+        /// Objective value observed.
+        value: f64,
+    },
+    /// The optimizer exhausted its evaluation budget before converging.
+    /// The best point found so far is carried so callers can decide
+    /// whether to accept it.
+    BudgetExhausted {
+        /// Best parameters at the time of failure.
+        best_params: Vec<f64>,
+        /// Best objective value at the time of failure.
+        best_value: f64,
+        /// Evaluations consumed.
+        evaluations: usize,
+    },
+    /// Every restart of a multi-start run failed.
+    AllStartsFailed {
+        /// Number of starts attempted.
+        attempts: usize,
+    },
+    /// An underlying numerical routine failed (e.g. singular normal
+    /// equations in Levenberg–Marquardt).
+    Numerical(MathError),
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::InvalidConfig { what, detail } => {
+                write!(f, "invalid configuration for {what}: {detail}")
+            }
+            OptimError::BadStartingPoint { value } => {
+                write!(f, "objective is non-finite at the starting point ({value})")
+            }
+            OptimError::BudgetExhausted {
+                best_value,
+                evaluations,
+                ..
+            } => write!(
+                f,
+                "evaluation budget exhausted after {evaluations} evaluations (best value {best_value:e})"
+            ),
+            OptimError::AllStartsFailed { attempts } => {
+                write!(f, "all {attempts} multi-start attempts failed")
+            }
+            OptimError::Numerical(e) => write!(f, "numerical error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptimError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for OptimError {
+    fn from(e: MathError) -> Self {
+        OptimError::Numerical(e)
+    }
+}
+
+impl OptimError {
+    /// Convenience constructor for [`OptimError::InvalidConfig`].
+    pub fn config(what: &'static str, detail: impl Into<String>) -> Self {
+        OptimError::InvalidConfig {
+            what,
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(OptimError::config("tol", "must be positive")
+            .to_string()
+            .contains("tol"));
+        assert!(OptimError::BadStartingPoint { value: f64::NAN }
+            .to_string()
+            .contains("non-finite"));
+        assert!(OptimError::AllStartsFailed { attempts: 5 }
+            .to_string()
+            .contains('5'));
+    }
+
+    #[test]
+    fn budget_exhausted_carries_best() {
+        let e = OptimError::BudgetExhausted {
+            best_params: vec![1.0, 2.0],
+            best_value: 0.5,
+            evaluations: 100,
+        };
+        if let OptimError::BudgetExhausted { best_params, .. } = &e {
+            assert_eq!(best_params.len(), 2);
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn from_math_error() {
+        use std::error::Error;
+        let e = OptimError::from(MathError::domain("f", "x"));
+        assert!(e.source().is_some());
+    }
+}

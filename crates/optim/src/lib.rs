@@ -1,0 +1,72 @@
+//! Derivative-free and least-squares optimizers for the
+//! `predictive-resilience` workspace.
+//!
+//! The paper fits every resilience model by least-squares estimation (its
+//! Eq. 8). The Rust ecosystem offers no batteries-included nonlinear LSE
+//! stack, so this crate implements the required machinery from scratch:
+//!
+//! * [`problem`] — objective and least-squares problem traits plus
+//!   numerical differentiation (forward/central gradients, Jacobians).
+//! * [`nelder_mead`] — the Nelder–Mead downhill simplex, the workspace's
+//!   robust derivative-free workhorse.
+//! * [`levenberg_marquardt`] — damped Gauss–Newton for fast local
+//!   refinement of least-squares fits.
+//! * [`scalar`] — golden-section and Brent minimization for 1-D
+//!   subproblems (e.g. profiling a single parameter).
+//! * [`bounds`] — smooth parameter transforms (log / logistic) that turn
+//!   box-constrained fitting into unconstrained fitting; this is how the
+//!   quadratic bathtub validity region `−2√(αγ) < β < 0` is enforced.
+//! * [`multi_start`] — grid seeding and multi-start drivers that make the
+//!   nonconvex fits reproducible without hand-tuned initial guesses.
+//! * [`differential_evolution`] / [`annealing`] — global optimizers used
+//!   as slow-but-sure fallbacks and in ablation benches.
+//!
+//! # Examples
+//!
+//! Fitting a 2-parameter exponential decay with Nelder–Mead:
+//!
+//! ```
+//! use resilience_optim::nelder_mead::{NelderMead, NelderMeadConfig};
+//!
+//! let data: Vec<(f64, f64)> = (0..20)
+//!     .map(|i| {
+//!         let t = i as f64;
+//!         (t, 3.0 * (-0.25 * t).exp())
+//!     })
+//!     .collect();
+//! let sse = |p: &[f64]| -> f64 {
+//!     data.iter()
+//!         .map(|&(t, y)| {
+//!             let pred = p[0] * (-p[1] * t).exp();
+//!             (y - pred) * (y - pred)
+//!         })
+//!         .sum()
+//! };
+//! let report = NelderMead::new(NelderMeadConfig::default())
+//!     .minimize(&sse, &[1.0, 0.1])?;
+//! assert!((report.params[0] - 3.0).abs() < 1e-4);
+//! assert!((report.params[1] - 0.25).abs() < 1e-4);
+//! # Ok::<(), resilience_optim::OptimError>(())
+//! ```
+
+// `!(x > 0.0)`-style comparisons are used deliberately throughout this
+// crate: unlike `x <= 0.0`, they also reject NaN, which is exactly the
+// validation semantics parameter checks need.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod annealing;
+pub mod bounds;
+pub mod differential_evolution;
+pub mod error;
+pub mod levenberg_marquardt;
+pub mod multi_start;
+pub mod nelder_mead;
+pub mod problem;
+pub mod report;
+pub mod scalar;
+
+pub use bounds::{ParamSpace, Transform};
+pub use error::OptimError;
+pub use report::{OptimReport, TerminationReason};

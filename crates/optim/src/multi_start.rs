@@ -1,0 +1,241 @@
+//! Grid seeding and multi-start drivers.
+//!
+//! The resilience fits are nonconvex (the mixture SSE surface in
+//! particular has local minima corresponding to "all degradation" or "all
+//! recovery" explanations). The paper does not describe its seeding; we
+//! make fitting deterministic and robust by running the local optimizer
+//! from a small grid or set of starts and keeping the best result.
+
+use crate::nelder_mead::{NelderMead, NelderMeadConfig};
+use crate::report::OptimReport;
+use crate::OptimError;
+
+/// Generates a full-factorial grid of starting points.
+///
+/// `axes[i]` lists candidate values for coordinate `i`; the output is the
+/// Cartesian product (row-major, first axis slowest).
+///
+/// # Errors
+///
+/// Returns [`OptimError::InvalidConfig`] when any axis is empty or the
+/// grid would exceed `1_000_000` points.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_optim::multi_start::grid_points;
+/// let grid = grid_points(&[vec![0.0, 1.0], vec![5.0, 6.0, 7.0]])?;
+/// assert_eq!(grid.len(), 6);
+/// assert_eq!(grid[0], vec![0.0, 5.0]);
+/// assert_eq!(grid[5], vec![1.0, 7.0]);
+/// # Ok::<(), resilience_optim::OptimError>(())
+/// ```
+pub fn grid_points(axes: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, OptimError> {
+    if axes.is_empty() {
+        return Err(OptimError::config("grid_points", "no axes given"));
+    }
+    let mut total = 1usize;
+    for (i, axis) in axes.iter().enumerate() {
+        if axis.is_empty() {
+            return Err(OptimError::config(
+                "grid_points",
+                format!("axis {i} is empty"),
+            ));
+        }
+        total = total.saturating_mul(axis.len());
+        if total > 1_000_000 {
+            return Err(OptimError::config(
+                "grid_points",
+                "grid exceeds 1,000,000 points",
+            ));
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    let mut idx = vec![0usize; axes.len()];
+    loop {
+        out.push(idx.iter().zip(axes).map(|(&i, a)| a[i]).collect());
+        // Odometer increment, last axis fastest.
+        let mut k = axes.len();
+        loop {
+            if k == 0 {
+                return Ok(out);
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < axes[k].len() {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+}
+
+/// Linearly spaced values, inclusive of both endpoints.
+///
+/// # Errors
+///
+/// Returns [`OptimError::InvalidConfig`] when `n == 0` or the endpoints
+/// are not finite.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_optim::multi_start::linspace;
+/// assert_eq!(linspace(0.0, 1.0, 3)?, vec![0.0, 0.5, 1.0]);
+/// # Ok::<(), resilience_optim::OptimError>(())
+/// ```
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Result<Vec<f64>, OptimError> {
+    if n == 0 {
+        return Err(OptimError::config("linspace", "n must be positive"));
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return Err(OptimError::config("linspace", "endpoints must be finite"));
+    }
+    if n == 1 {
+        return Ok(vec![0.5 * (lo + hi)]);
+    }
+    let step = (hi - lo) / (n - 1) as f64;
+    Ok((0..n).map(|i| lo + step * i as f64).collect())
+}
+
+/// Runs Nelder–Mead from every start and returns the best report.
+///
+/// Starts whose objective is non-finite are skipped; only if *every*
+/// start fails does this error.
+///
+/// # Errors
+///
+/// * [`OptimError::InvalidConfig`] when `starts` is empty.
+/// * [`OptimError::AllStartsFailed`] when no start produced a finite
+///   optimum.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_optim::multi_start::multi_start_nelder_mead;
+/// use resilience_optim::nelder_mead::NelderMeadConfig;
+///
+/// // Two-basin objective: global minimum at x = 3, local at x = -2.
+/// let f = |p: &[f64]| {
+///     let x = p[0];
+///     ((x - 3.0) * (x + 2.0)).powi(2) + 0.1 * (x - 3.0).powi(2)
+/// };
+/// let starts = vec![vec![-3.0], vec![0.0], vec![4.0]];
+/// let best = multi_start_nelder_mead(&f, &starts, &NelderMeadConfig::default())?;
+/// assert!((best.params[0] - 3.0).abs() < 1e-4);
+/// # Ok::<(), resilience_optim::OptimError>(())
+/// ```
+pub fn multi_start_nelder_mead<F: Fn(&[f64]) -> f64>(
+    f: &F,
+    starts: &[Vec<f64>],
+    config: &NelderMeadConfig,
+) -> Result<OptimReport, OptimError> {
+    if starts.is_empty() {
+        return Err(OptimError::config("multi_start_nelder_mead", "no starts given"));
+    }
+    let optimizer = NelderMead::new(config.clone());
+    let mut best: Option<OptimReport> = None;
+    let mut failures = 0usize;
+    for start in starts {
+        match optimizer.minimize(f, start) {
+            Ok(report) => {
+                let better = match &best {
+                    Some(b) => report.value < b.value,
+                    None => true,
+                };
+                if better {
+                    best = Some(report);
+                }
+            }
+            Err(_) => failures += 1,
+        }
+    }
+    best.ok_or(OptimError::AllStartsFailed { attempts: failures })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_cartesian_product() {
+        let g = grid_points(&[vec![1.0, 2.0], vec![10.0]]).unwrap();
+        assert_eq!(g, vec![vec![1.0, 10.0], vec![2.0, 10.0]]);
+    }
+
+    #[test]
+    fn grid_rejects_bad_axes() {
+        assert!(grid_points(&[]).is_err());
+        assert!(grid_points(&[vec![], vec![1.0]]).is_err());
+        // 101^3 > 1e6
+        let big = vec![linspace(0.0, 1.0, 101).unwrap(); 3];
+        assert!(grid_points(&big).is_err());
+    }
+
+    #[test]
+    fn grid_three_axes_count_and_order() {
+        let g = grid_points(&[vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 1.0]]).unwrap();
+        assert_eq!(g.len(), 8);
+        assert_eq!(g[0], vec![0.0, 0.0, 0.0]);
+        assert_eq!(g[1], vec![0.0, 0.0, 1.0]); // last axis fastest
+        assert_eq!(g[7], vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn linspace_basics() {
+        assert_eq!(linspace(0.0, 10.0, 5).unwrap(), vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+        assert_eq!(linspace(1.0, 3.0, 1).unwrap(), vec![2.0]);
+        assert!(linspace(0.0, 1.0, 0).is_err());
+        assert!(linspace(f64::NAN, 1.0, 2).is_err());
+    }
+
+    #[test]
+    fn multi_start_escapes_local_minimum() {
+        // f has a local min near x = -2 (value ≈ 2.5) and the global min
+        // at x = 3 (value 0).
+        let f = |p: &[f64]| {
+            let x = p[0];
+            ((x - 3.0) * (x + 2.0)).powi(2) + 0.1 * (x - 3.0).powi(2)
+        };
+        // A single start near the wrong basin converges locally…
+        let local = NelderMead::new(NelderMeadConfig::default())
+            .minimize(&f, &[-2.5])
+            .unwrap();
+        assert!((local.params[0] + 2.0).abs() < 0.2);
+        // …but multi-start finds the global one.
+        let starts = vec![vec![-2.5], vec![0.5], vec![5.0]];
+        let best =
+            multi_start_nelder_mead(&f, &starts, &NelderMeadConfig::default()).unwrap();
+        assert!((best.params[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn multi_start_skips_bad_starts() {
+        let f = |p: &[f64]| {
+            if p[0] < 0.0 {
+                f64::NAN
+            } else {
+                (p[0] - 1.0).powi(2)
+            }
+        };
+        let starts = vec![vec![-5.0], vec![2.0]];
+        let best = multi_start_nelder_mead(&f, &starts, &NelderMeadConfig::default()).unwrap();
+        assert!((best.params[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn multi_start_all_failed() {
+        let f = |_: &[f64]| f64::NAN;
+        let starts = vec![vec![0.0], vec![1.0]];
+        assert!(matches!(
+            multi_start_nelder_mead(&f, &starts, &NelderMeadConfig::default()),
+            Err(OptimError::AllStartsFailed { attempts: 2 })
+        ));
+    }
+
+    #[test]
+    fn multi_start_rejects_empty() {
+        let f = |p: &[f64]| p[0];
+        assert!(multi_start_nelder_mead(&f, &[], &NelderMeadConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,371 @@
+//! Nelder–Mead downhill simplex minimization.
+//!
+//! The derivative-free workhorse of the fitting pipeline: robust to the
+//! noisy, occasionally non-finite objectives that arise when a resilience
+//! model is probed near its validity boundary. Non-finite objective values
+//! are treated as `+∞`, so the simplex simply contracts away from invalid
+//! regions.
+
+use crate::report::{OptimReport, TerminationReason};
+use crate::OptimError;
+
+/// Configuration for [`NelderMead`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadConfig {
+    /// Maximum number of iterations (each iteration is 1–`n+2`
+    /// evaluations).
+    pub max_iterations: usize,
+    /// Convergence tolerance on the simplex's objective spread.
+    pub f_tol: f64,
+    /// Convergence tolerance on the simplex's coordinate spread.
+    pub x_tol: f64,
+    /// Relative size of the initial simplex around the starting point.
+    pub initial_step: f64,
+    /// Reflection coefficient (standard value 1).
+    pub alpha: f64,
+    /// Expansion coefficient (standard value 2).
+    pub gamma: f64,
+    /// Contraction coefficient (standard value 0.5).
+    pub rho: f64,
+    /// Shrink coefficient (standard value 0.5).
+    pub sigma: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        NelderMeadConfig {
+            max_iterations: 2000,
+            f_tol: 1e-12,
+            x_tol: 1e-10,
+            initial_step: 0.1,
+            alpha: 1.0,
+            gamma: 2.0,
+            rho: 0.5,
+            sigma: 0.5,
+        }
+    }
+}
+
+impl NelderMeadConfig {
+    fn validate(&self) -> Result<(), OptimError> {
+        if self.max_iterations == 0 {
+            return Err(OptimError::config("NelderMead", "max_iterations must be > 0"));
+        }
+        if !(self.f_tol > 0.0) || !(self.x_tol > 0.0) {
+            return Err(OptimError::config("NelderMead", "tolerances must be positive"));
+        }
+        if !(self.initial_step > 0.0) {
+            return Err(OptimError::config("NelderMead", "initial_step must be positive"));
+        }
+        if !(self.alpha > 0.0) || !(self.gamma > 1.0) || !(0.0..1.0).contains(&self.rho)
+            || !(0.0..1.0).contains(&self.sigma)
+        {
+            return Err(OptimError::config(
+                "NelderMead",
+                "need alpha > 0, gamma > 1, 0 < rho < 1, 0 < sigma < 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The Nelder–Mead simplex optimizer.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_optim::nelder_mead::{NelderMead, NelderMeadConfig};
+/// // Rosenbrock's banana.
+/// let f = |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
+/// let report = NelderMead::new(NelderMeadConfig {
+///     max_iterations: 5000,
+///     ..NelderMeadConfig::default()
+/// })
+/// .minimize(&f, &[-1.2, 1.0])?;
+/// assert!((report.params[0] - 1.0).abs() < 1e-4);
+/// # Ok::<(), resilience_optim::OptimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NelderMead {
+    config: NelderMeadConfig,
+}
+
+impl NelderMead {
+    /// Creates an optimizer with the given configuration.
+    #[must_use]
+    pub fn new(config: NelderMeadConfig) -> Self {
+        NelderMead { config }
+    }
+
+    /// Minimizes `f` starting from `x0`.
+    ///
+    /// Non-finite objective values are treated as `+∞` (the simplex moves
+    /// away from them); only a non-finite value at `x0` itself is an
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptimError::InvalidConfig`] for bad configuration or empty `x0`.
+    /// * [`OptimError::BadStartingPoint`] when `f(x0)` is non-finite.
+    pub fn minimize<F: Fn(&[f64]) -> f64>(
+        &self,
+        f: &F,
+        x0: &[f64],
+    ) -> Result<OptimReport, OptimError> {
+        self.config.validate()?;
+        if x0.is_empty() {
+            return Err(OptimError::config("NelderMead", "empty starting point"));
+        }
+        let n = x0.len();
+        let mut evaluations = 0usize;
+        let mut eval = |x: &[f64]| -> f64 {
+            evaluations += 1;
+            let v = f(x);
+            if v.is_finite() {
+                v
+            } else {
+                f64::INFINITY
+            }
+        };
+        let f0 = eval(x0);
+        if !f0.is_finite() {
+            return Err(OptimError::BadStartingPoint { value: f0 });
+        }
+        // Build the initial simplex: x0 plus a step along each axis.
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+        simplex.push((x0.to_vec(), f0));
+        for i in 0..n {
+            let mut v = x0.to_vec();
+            let step = self.config.initial_step * (1.0 + x0[i].abs());
+            v[i] += step;
+            let fv = eval(&v);
+            simplex.push((v, fv));
+        }
+        let sort = |s: &mut Vec<(Vec<f64>, f64)>| {
+            s.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN: mapped to +inf"));
+        };
+        sort(&mut simplex);
+
+        let cfg = &self.config;
+        let mut iterations = 0usize;
+        let termination = loop {
+            if iterations >= cfg.max_iterations {
+                break TerminationReason::MaxIterations;
+            }
+            iterations += 1;
+            let best = simplex[0].1;
+            let worst = simplex[n].1;
+            // Convergence: objective spread and coordinate spread.
+            let f_spread = (worst - best).abs();
+            let x_spread = (0..n)
+                .map(|j| {
+                    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                    for (v, _) in &simplex {
+                        lo = lo.min(v[j]);
+                        hi = hi.max(v[j]);
+                    }
+                    hi - lo
+                })
+                .fold(0.0f64, f64::max);
+            if f_spread <= cfg.f_tol * (1.0 + best.abs()) && x_spread <= cfg.x_tol {
+                break TerminationReason::Converged;
+            }
+
+            // Centroid of all but the worst vertex.
+            let mut centroid = vec![0.0; n];
+            for (v, _) in simplex.iter().take(n) {
+                for j in 0..n {
+                    centroid[j] += v[j];
+                }
+            }
+            for c in &mut centroid {
+                *c /= n as f64;
+            }
+
+            let worst_point = simplex[n].0.clone();
+            let lerp = |t: f64| -> Vec<f64> {
+                (0..n)
+                    .map(|j| centroid[j] + t * (centroid[j] - worst_point[j]))
+                    .collect()
+            };
+
+            // Reflection.
+            let xr = lerp(cfg.alpha);
+            let fr = eval(&xr);
+            if fr < simplex[0].1 {
+                // Expansion.
+                let xe = lerp(cfg.alpha * cfg.gamma);
+                let fe = eval(&xe);
+                simplex[n] = if fe < fr { (xe, fe) } else { (xr, fr) };
+            } else if fr < simplex[n - 1].1 {
+                simplex[n] = (xr, fr);
+            } else {
+                // Contraction (outside if reflection helped at all, inside
+                // otherwise).
+                let (xc, fc) = if fr < simplex[n].1 {
+                    let xc = lerp(cfg.alpha * cfg.rho);
+                    let fc = eval(&xc);
+                    (xc, fc)
+                } else {
+                    let xc = lerp(-cfg.rho);
+                    let fc = eval(&xc);
+                    (xc, fc)
+                };
+                if fc < simplex[n].1.min(fr) {
+                    simplex[n] = (xc, fc);
+                } else {
+                    // Shrink toward the best vertex.
+                    let best_point = simplex[0].0.clone();
+                    for entry in simplex.iter_mut().skip(1) {
+                        let v: Vec<f64> = (0..n)
+                            .map(|j| best_point[j] + cfg.sigma * (entry.0[j] - best_point[j]))
+                            .collect();
+                        let fv = eval(&v);
+                        *entry = (v, fv);
+                    }
+                }
+            }
+            sort(&mut simplex);
+        };
+
+        let (params, value) = simplex.swap_remove(0);
+        Ok(OptimReport {
+            params,
+            value,
+            iterations,
+            evaluations,
+            termination,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(p: &[f64]) -> f64 {
+        p.iter().map(|x| x * x).sum()
+    }
+
+    #[test]
+    fn minimizes_sphere() {
+        let r = NelderMead::new(NelderMeadConfig::default())
+            .minimize(&sphere, &[3.0, -4.0, 5.0])
+            .unwrap();
+        assert!(r.converged());
+        assert!(r.value < 1e-10);
+        for p in &r.params {
+            assert!(p.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let f = |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
+        let r = NelderMead::new(NelderMeadConfig {
+            max_iterations: 10_000,
+            ..NelderMeadConfig::default()
+        })
+        .minimize(&f, &[-1.2, 1.0])
+        .unwrap();
+        assert!((r.params[0] - 1.0).abs() < 1e-4, "{:?}", r.params);
+        assert!((r.params[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        let f = |p: &[f64]| (p[0] - 7.0).powi(2) + 2.0;
+        let r = NelderMead::new(NelderMeadConfig::default())
+            .minimize(&f, &[0.0])
+            .unwrap();
+        assert!((r.params[0] - 7.0).abs() < 1e-5);
+        assert!((r.value - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avoids_invalid_regions() {
+        // Objective undefined (NaN) for x < 0; minimum at x = 1.
+        let f = |p: &[f64]| {
+            if p[0] < 0.0 {
+                f64::NAN
+            } else {
+                (p[0] - 1.0).powi(2)
+            }
+        };
+        let r = NelderMead::new(NelderMeadConfig::default())
+            .minimize(&f, &[0.5])
+            .unwrap();
+        assert!((r.params[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rejects_bad_start() {
+        let f = |_: &[f64]| f64::NAN;
+        assert!(matches!(
+            NelderMead::new(NelderMeadConfig::default()).minimize(&f, &[0.0]),
+            Err(OptimError::BadStartingPoint { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_start_and_bad_config() {
+        let f = sphere;
+        assert!(NelderMead::new(NelderMeadConfig::default())
+            .minimize(&f, &[])
+            .is_err());
+        let bad = NelderMeadConfig {
+            f_tol: 0.0,
+            ..NelderMeadConfig::default()
+        };
+        assert!(NelderMead::new(bad).minimize(&f, &[1.0]).is_err());
+        let bad2 = NelderMeadConfig {
+            max_iterations: 0,
+            ..NelderMeadConfig::default()
+        };
+        assert!(NelderMead::new(bad2).minimize(&f, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn budget_exit_reports_max_iterations() {
+        let f = |p: &[f64]| (p[0] - 1.0).powi(2);
+        let r = NelderMead::new(NelderMeadConfig {
+            max_iterations: 2,
+            ..NelderMeadConfig::default()
+        })
+        .minimize(&f, &[100.0])
+        .unwrap();
+        assert_eq!(r.termination, TerminationReason::MaxIterations);
+        assert_eq!(r.iterations, 2);
+    }
+
+    #[test]
+    fn evaluation_count_is_tracked() {
+        let r = NelderMead::new(NelderMeadConfig::default())
+            .minimize(&sphere, &[1.0, 1.0])
+            .unwrap();
+        assert!(r.evaluations >= r.iterations);
+    }
+
+    #[test]
+    fn flat_objective_converges_immediately() {
+        let f = |_: &[f64]| 5.0;
+        let r = NelderMead::new(NelderMeadConfig::default())
+            .minimize(&f, &[1.0, 2.0])
+            .unwrap();
+        assert!(r.converged());
+        assert_eq!(r.value, 5.0);
+    }
+
+    #[test]
+    fn handles_badly_scaled_problems() {
+        // Coordinates at very different scales.
+        let f = |p: &[f64]| (p[0] - 1e4).powi(2) / 1e8 + (p[1] - 1e-4).powi(2) * 1e8;
+        let r = NelderMead::new(NelderMeadConfig {
+            max_iterations: 20_000,
+            ..NelderMeadConfig::default()
+        })
+        .minimize(&f, &[9e3, 2e-4])
+        .unwrap();
+        assert!(r.value < 1e-6, "value = {}", r.value);
+    }
+}

@@ -1,0 +1,91 @@
+//! Optimization result reporting.
+
+/// Why an optimizer stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminationReason {
+    /// The convergence tolerance on the objective (or simplex spread,
+    /// step size, gradient norm — optimizer-specific) was met.
+    Converged,
+    /// The iteration/evaluation budget ran out but the best point was
+    /// still improving slowly; the result is usable but not certified.
+    MaxIterations,
+    /// A stagnation heuristic fired (no improvement for many steps).
+    Stalled,
+}
+
+impl std::fmt::Display for TerminationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TerminationReason::Converged => write!(f, "converged"),
+            TerminationReason::MaxIterations => write!(f, "max iterations reached"),
+            TerminationReason::Stalled => write!(f, "stalled"),
+        }
+    }
+}
+
+/// The outcome of an optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimReport {
+    /// The best parameter vector found.
+    pub params: Vec<f64>,
+    /// Objective value at [`OptimReport::params`].
+    pub value: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Number of objective evaluations consumed.
+    pub evaluations: usize,
+    /// Why the optimizer stopped.
+    pub termination: TerminationReason,
+}
+
+impl OptimReport {
+    /// Whether the run is a certified convergence (vs budget/stall exit).
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.termination == TerminationReason::Converged
+    }
+}
+
+impl std::fmt::Display for OptimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "f = {:.6e} after {} iterations ({} evals, {})",
+            self.value, self.iterations, self.evaluations, self.termination
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converged_flag() {
+        let mut r = OptimReport {
+            params: vec![0.0],
+            value: 1.0,
+            iterations: 3,
+            evaluations: 10,
+            termination: TerminationReason::Converged,
+        };
+        assert!(r.converged());
+        r.termination = TerminationReason::MaxIterations;
+        assert!(!r.converged());
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let r = OptimReport {
+            params: vec![1.0, 2.0],
+            value: 0.125,
+            iterations: 42,
+            evaluations: 99,
+            termination: TerminationReason::Stalled,
+        };
+        let s = r.to_string();
+        assert!(s.contains("42"));
+        assert!(s.contains("99"));
+        assert!(s.contains("stalled"));
+    }
+}

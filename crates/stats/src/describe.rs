@@ -1,0 +1,426 @@
+//! Descriptive statistics.
+//!
+//! These are the building blocks of the paper's goodness-of-fit measures:
+//! the naive predictor `R̄(t)` in adjusted R² (its Eq. 11) is a sample
+//! mean, and `SSY` is a centered sum of squares.
+
+use crate::StatsError;
+use resilience_math::sum::CompensatedSum;
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_stats::describe::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0])?, 2.0);
+/// # Ok::<(), resilience_stats::StatsError>(())
+/// ```
+pub fn mean(values: &[f64]) -> Result<f64, StatsError> {
+    if values.is_empty() {
+        return Err(StatsError::NotEnoughData {
+            what: "mean",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let s: CompensatedSum = values.iter().copied().collect();
+    Ok(s.value() / values.len() as f64)
+}
+
+/// Sample variance with Bessel's correction (`n − 1` denominator),
+/// computed with a numerically stable two-pass algorithm.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] when fewer than two observations
+/// are given.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_stats::describe::variance;
+/// assert_eq!(variance(&[1.0, 2.0, 3.0])?, 1.0);
+/// # Ok::<(), resilience_stats::StatsError>(())
+/// ```
+pub fn variance(values: &[f64]) -> Result<f64, StatsError> {
+    if values.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            what: "variance",
+            needed: 2,
+            got: values.len(),
+        });
+    }
+    let m = mean(values)?;
+    let mut s = CompensatedSum::new();
+    for &v in values {
+        let d = v - m;
+        s.add(d * d);
+    }
+    Ok(s.value() / (values.len() - 1) as f64)
+}
+
+/// Sample standard deviation (Bessel-corrected).
+///
+/// # Errors
+///
+/// Same conditions as [`variance`].
+pub fn std_dev(values: &[f64]) -> Result<f64, StatsError> {
+    Ok(variance(values)?.sqrt())
+}
+
+/// Centered sum of squares `Σ (x_i − x̄)²` — the paper's `SSY`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] for an empty slice.
+pub fn centered_sum_of_squares(values: &[f64]) -> Result<f64, StatsError> {
+    if values.is_empty() {
+        return Err(StatsError::NotEnoughData {
+            what: "centered_sum_of_squares",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let m = mean(values)?;
+    let mut s = CompensatedSum::new();
+    for &v in values {
+        let d = v - m;
+        s.add(d * d);
+    }
+    Ok(s.value())
+}
+
+/// Linear-interpolated sample quantile (type-7, the R default) for
+/// `q ∈ [0, 1]`.
+///
+/// # Errors
+///
+/// * [`StatsError::NotEnoughData`] for an empty slice.
+/// * [`StatsError::InvalidProbability`] when `q ∉ [0, 1]`.
+/// * [`StatsError::InvalidParameter`] when the data contain NaN.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_stats::describe::quantile;
+/// let q = quantile(&[1.0, 2.0, 3.0, 4.0], 0.5)?;
+/// assert_eq!(q, 2.5);
+/// # Ok::<(), resilience_stats::StatsError>(())
+/// ```
+pub fn quantile(values: &[f64], q: f64) -> Result<f64, StatsError> {
+    if values.is_empty() {
+        return Err(StatsError::NotEnoughData {
+            what: "quantile",
+            needed: 1,
+            got: 0,
+        });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidProbability {
+            what: "quantile",
+            value: q,
+        });
+    }
+    if values.iter().any(|v| v.is_nan()) {
+        return Err(StatsError::InvalidParameter {
+            what: "quantile",
+            param: "values",
+            value: f64::NAN,
+            constraint: "no NaN values",
+        });
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        return Ok(sorted[lo]);
+    }
+    let frac = h - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Sample median (50 % quantile).
+///
+/// # Errors
+///
+/// Same conditions as [`quantile`].
+pub fn median(values: &[f64]) -> Result<f64, StatsError> {
+    quantile(values, 0.5)
+}
+
+/// Sample skewness (adjusted Fisher–Pearson, `g1` with bias correction).
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] when fewer than three
+/// observations are given, and [`StatsError::InvalidParameter`] when the
+/// variance is zero.
+pub fn skewness(values: &[f64]) -> Result<f64, StatsError> {
+    let n = values.len();
+    if n < 3 {
+        return Err(StatsError::NotEnoughData {
+            what: "skewness",
+            needed: 3,
+            got: n,
+        });
+    }
+    let m = mean(values)?;
+    let mut m2 = 0.0;
+    let mut m3 = 0.0;
+    for &v in values {
+        let d = v - m;
+        m2 += d * d;
+        m3 += d * d * d;
+    }
+    m2 /= n as f64;
+    m3 /= n as f64;
+    if m2 == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            what: "skewness",
+            param: "variance",
+            value: 0.0,
+            constraint: "variance > 0",
+        });
+    }
+    let g1 = m3 / m2.powf(1.5);
+    let nf = n as f64;
+    Ok(g1 * (nf * (nf - 1.0)).sqrt() / (nf - 2.0))
+}
+
+/// Sample excess kurtosis (bias-corrected), 0 for a normal population.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] when fewer than four
+/// observations are given, and [`StatsError::InvalidParameter`] when the
+/// variance is zero.
+pub fn excess_kurtosis(values: &[f64]) -> Result<f64, StatsError> {
+    let n = values.len();
+    if n < 4 {
+        return Err(StatsError::NotEnoughData {
+            what: "excess_kurtosis",
+            needed: 4,
+            got: n,
+        });
+    }
+    let m = mean(values)?;
+    let mut m2 = 0.0;
+    let mut m4 = 0.0;
+    for &v in values {
+        let d = v - m;
+        let d2 = d * d;
+        m2 += d2;
+        m4 += d2 * d2;
+    }
+    let nf = n as f64;
+    m2 /= nf;
+    m4 /= nf;
+    if m2 == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            what: "excess_kurtosis",
+            param: "variance",
+            value: 0.0,
+            constraint: "variance > 0",
+        });
+    }
+    // Bias-corrected excess kurtosis (the standard G2 estimator).
+    let g2 = m4 / (m2 * m2) - 3.0;
+    Ok(((nf - 1.0) / ((nf - 2.0) * (nf - 3.0))) * ((nf + 1.0) * g2 + 6.0))
+}
+
+/// Lag-`k` sample autocorrelation.
+///
+/// Useful for inspecting residual structure after a model fit (white
+/// residuals ⇒ the model captured the curve's dynamics).
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] when `values.len() <= k + 1` and
+/// [`StatsError::InvalidParameter`] when the series is constant.
+pub fn autocorrelation(values: &[f64], k: usize) -> Result<f64, StatsError> {
+    if values.len() <= k + 1 {
+        return Err(StatsError::NotEnoughData {
+            what: "autocorrelation",
+            needed: k + 2,
+            got: values.len(),
+        });
+    }
+    let m = mean(values)?;
+    let mut num = 0.0;
+    for i in k..values.len() {
+        num += (values[i] - m) * (values[i - k] - m);
+    }
+    let mut den = 0.0;
+    for &v in values {
+        den += (v - m) * (v - m);
+    }
+    if den == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            what: "autocorrelation",
+            param: "values",
+            value: 0.0,
+            constraint: "series must not be constant",
+        });
+    }
+    Ok(num / den)
+}
+
+/// Minimum and maximum, ignoring nothing (NaN rejected).
+///
+/// # Errors
+///
+/// * [`StatsError::NotEnoughData`] for an empty slice.
+/// * [`StatsError::InvalidParameter`] when the data contain NaN.
+pub fn min_max(values: &[f64]) -> Result<(f64, f64), StatsError> {
+    if values.is_empty() {
+        return Err(StatsError::NotEnoughData {
+            what: "min_max",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        if v.is_nan() {
+            return Err(StatsError::InvalidParameter {
+                what: "min_max",
+                param: "values",
+                value: f64::NAN,
+                constraint: "no NaN values",
+            });
+        }
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    Ok((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic_and_empty() {
+        assert_eq!(mean(&[2.0, 4.0, 6.0]).unwrap(), 4.0);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn mean_is_stable_for_large_offsets() {
+        let values: Vec<f64> = (0..1000).map(|i| 1e9 + (i % 7) as f64).collect();
+        let m = mean(&values).unwrap();
+        let exact = 1e9 + (0..1000).map(|i| (i % 7) as f64).sum::<f64>() / 1000.0;
+        assert!((m - exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variance_known_values() {
+        assert_eq!(variance(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 5.0 / 3.0);
+        assert!(variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn std_dev_is_sqrt_variance() {
+        let v = [3.0, 7.0, 7.0, 19.0];
+        assert!((std_dev(&v).unwrap() - variance(&v).unwrap().sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn centered_ss_matches_variance() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        let ssy = centered_sum_of_squares(&v).unwrap();
+        assert!((ssy - 3.0 * variance(&v).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_type7() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&v, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&v, 0.5).unwrap(), 2.5);
+        assert_eq!(quantile(&v, 0.25).unwrap(), 1.75);
+    }
+
+    #[test]
+    fn quantile_rejects_bad_input() {
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[1.0], 1.5).is_err());
+        assert!(quantile(&[1.0, f64::NAN], 0.5).is_err());
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn skewness_signs() {
+        // Right-skewed data has positive skewness.
+        let right = [1.0, 1.0, 1.0, 2.0, 2.0, 10.0];
+        assert!(skewness(&right).unwrap() > 0.0);
+        let left = [-10.0, -2.0, -2.0, -1.0, -1.0, -1.0];
+        assert!(skewness(&left).unwrap() < 0.0);
+        // Symmetric data ~ 0.
+        let sym = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&sym).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewness_rejects_constant_and_short() {
+        assert!(skewness(&[1.0, 2.0]).is_err());
+        assert!(skewness(&[3.0, 3.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn kurtosis_signs() {
+        // Heavy-tailed data (outliers) ⇒ positive excess kurtosis.
+        let heavy = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 10.0, -10.0];
+        assert!(excess_kurtosis(&heavy).unwrap() > 1.0);
+        // A uniform-ish spread is platykurtic (negative excess).
+        let flat: Vec<f64> = (0..20).map(f64::from).collect();
+        assert!(excess_kurtosis(&flat).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn kurtosis_rejects_degenerate() {
+        assert!(excess_kurtosis(&[1.0, 2.0, 3.0]).is_err());
+        assert!(excess_kurtosis(&[2.0, 2.0, 2.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_series() {
+        let v = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        let r1 = autocorrelation(&v, 1).unwrap();
+        assert!(r1 < -0.8, "alternating series has strong negative lag-1: {r1}");
+        let r2 = autocorrelation(&v, 2).unwrap();
+        assert!(r2 > 0.5);
+    }
+
+    #[test]
+    fn autocorrelation_lag_zero_is_one() {
+        let v = [1.0, 3.0, 2.0, 5.0, 4.0];
+        assert!((autocorrelation(&v, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_errors() {
+        assert!(autocorrelation(&[1.0, 2.0], 1).is_err());
+        assert!(autocorrelation(&[2.0, 2.0, 2.0, 2.0], 1).is_err());
+    }
+
+    #[test]
+    fn min_max_basic() {
+        assert_eq!(min_max(&[3.0, -1.0, 2.0]).unwrap(), (-1.0, 3.0));
+        assert!(min_max(&[]).is_err());
+        assert!(min_max(&[1.0, f64::NAN]).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type for statistical routines.
+
+use resilience_math::MathError;
+use std::fmt;
+
+/// Errors produced by `resilience-stats`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// A distribution parameter violated its domain (e.g. non-positive
+    /// rate or scale).
+    InvalidParameter {
+        /// Distribution or routine name.
+        what: &'static str,
+        /// Parameter name.
+        param: &'static str,
+        /// Offending value.
+        value: f64,
+        /// What the parameter must satisfy.
+        constraint: &'static str,
+    },
+    /// A probability argument was outside `[0, 1]` (or an open subinterval
+    /// where required).
+    InvalidProbability {
+        /// Routine name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Input data was empty or too short for the requested statistic.
+    NotEnoughData {
+        /// Routine name.
+        what: &'static str,
+        /// Number of observations required.
+        needed: usize,
+        /// Number of observations provided.
+        got: usize,
+    },
+    /// An underlying numerical routine failed.
+    Numerical(MathError),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                what,
+                param,
+                value,
+                constraint,
+            } => write!(f, "{what}: parameter {param} = {value} violates {constraint}"),
+            StatsError::InvalidProbability { what, value } => {
+                write!(f, "{what}: probability {value} outside valid range")
+            }
+            StatsError::NotEnoughData { what, needed, got } => {
+                write!(f, "{what}: needs at least {needed} observations, got {got}")
+            }
+            StatsError::Numerical(e) => write!(f, "numerical error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StatsError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for StatsError {
+    fn from(e: MathError) -> Self {
+        StatsError::Numerical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = StatsError::InvalidParameter {
+            what: "Weibull",
+            param: "shape",
+            value: -1.0,
+            constraint: "shape > 0",
+        };
+        assert!(e.to_string().contains("Weibull"));
+        assert!(e.to_string().contains("shape > 0"));
+    }
+
+    #[test]
+    fn from_math_error_preserves_source() {
+        use std::error::Error;
+        let e = StatsError::from(MathError::domain("f", "bad"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

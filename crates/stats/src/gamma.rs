@@ -1,0 +1,172 @@
+//! Gamma distribution.
+
+use crate::{ContinuousDistribution, StatsError};
+use resilience_math::special::{ln_gamma, reg_gamma_p, reg_gamma_q};
+
+/// Gamma distribution with shape `k > 0` and rate `θ⁻¹` (i.e. rate
+/// parameterization: density `∝ x^{k−1} e^{−rate·x}`).
+///
+/// Offered as an *extension* mixture component beyond the paper's
+/// Exponential/Weibull pair (DESIGN.md §5). With `shape = 1` it reduces to
+/// the exponential distribution.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_stats::{ContinuousDistribution, Gamma};
+/// let g = Gamma::new(2.0, 1.0)?;
+/// // Mean of Γ(k, rate) is k / rate.
+/// assert_eq!(g.mean(), Some(2.0));
+/// # Ok::<(), resilience_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Gamma {
+    shape: f64,
+    rate: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma distribution with the given shape and rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless both parameters are
+    /// finite and positive.
+    pub fn new(shape: f64, rate: f64) -> Result<Self, StatsError> {
+        if !(shape > 0.0) || !shape.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                what: "Gamma",
+                param: "shape",
+                value: shape,
+                constraint: "shape > 0 and finite",
+            });
+        }
+        if !(rate > 0.0) || !rate.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                what: "Gamma",
+                param: "rate",
+                value: rate,
+                constraint: "rate > 0 and finite",
+            });
+        }
+        Ok(Gamma { shape, rate })
+    }
+
+    /// The shape parameter `k`.
+    #[must_use]
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The rate parameter.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ContinuousDistribution for Gamma {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return match self.shape.partial_cmp(&1.0) {
+                Some(std::cmp::Ordering::Greater) => 0.0,
+                Some(std::cmp::Ordering::Equal) => self.rate,
+                _ => f64::INFINITY,
+            };
+        }
+        let ln_g = ln_gamma(self.shape).expect("shape validated at construction");
+        (self.shape * self.rate.ln() + (self.shape - 1.0) * x.ln() - self.rate * x - ln_g).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            reg_gamma_p(self.shape, self.rate * x).expect("arguments validated")
+        }
+    }
+
+    fn survival(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            reg_gamma_q(self.shape, self.rate * x).expect("arguments validated")
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.shape / self.rate)
+    }
+
+    fn variance(&self) -> Option<f64> {
+        Some(self.shape / (self.rate * self.rate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, -1.0).is_err());
+        assert!(Gamma::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn reduces_to_exponential_at_shape_one() {
+        let g = Gamma::new(1.0, 0.7).unwrap();
+        let e = crate::Exponential::new(0.7).unwrap();
+        for &x in &[0.0, 0.5, 2.0, 8.0] {
+            assert!((g.cdf(x) - e.cdf(x)).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        let g = Gamma::new(3.0, 2.0).unwrap();
+        let int =
+            resilience_math::quad::adaptive_simpson(|x| g.pdf(x), 0.0, 4.0, 1e-12, 40).unwrap();
+        assert!((int - g.cdf(4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_via_default_numeric_inversion() {
+        let g = Gamma::new(2.5, 1.5).unwrap();
+        for &p in &[0.1, 0.5, 0.9] {
+            let x = g.quantile(p).unwrap();
+            assert!((g.cdf(x) - p).abs() < 1e-9, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn erlang_sum_property() {
+        // Sum of two Exp(λ) is Γ(2, λ): check CDF against the closed form
+        // 1 − e^{−λx}(1 + λx).
+        let lam = 1.3;
+        let g = Gamma::new(2.0, lam).unwrap();
+        for &x in &[0.5, 1.0, 3.0] {
+            let want = 1.0 - (-lam * x).exp() * (1.0 + lam * x);
+            assert!((g.cdf(x) - want).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn moments() {
+        let g = Gamma::new(4.0, 2.0).unwrap();
+        assert_eq!(g.mean(), Some(2.0));
+        assert_eq!(g.variance(), Some(1.0));
+    }
+
+    #[test]
+    fn density_at_zero_by_shape() {
+        assert_eq!(Gamma::new(2.0, 1.0).unwrap().pdf(0.0), 0.0);
+        assert_eq!(Gamma::new(1.0, 3.0).unwrap().pdf(0.0), 3.0);
+        assert_eq!(Gamma::new(0.5, 1.0).unwrap().pdf(0.0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,266 @@
+//! Hjorth distribution (the competing-risks bathtub distribution).
+
+use crate::{ContinuousDistribution, StatsError};
+
+/// The Hjorth (1980) distribution, whose hazard is the sum of a linearly
+/// increasing risk and a decreasing (Pareto-like) risk:
+///
+/// ```text
+/// h(t) = δ·t + θ / (1 + β·t),          t ≥ 0
+/// S(t) = exp(−δt²/2) / (1 + βt)^{θ/β}
+/// ```
+///
+/// This is the *competing risks* construction the paper's second bathtub
+/// model borrows (its reference \[20\]): increasing, decreasing, constant,
+/// and bathtub-shaped hazards are all reachable. The hazard is
+/// bathtub-shaped exactly when `0 < δ < θ·β`.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_stats::{ContinuousDistribution, Hjorth};
+/// let h = Hjorth::new(0.01, 2.0, 0.5)?; // δ, θ, β: bathtub (0.01 < 1.0)
+/// assert!(h.is_bathtub());
+/// // Hazard decreases initially, then increases.
+/// assert!(h.hazard(0.1) > h.hazard(5.0) || h.hazard(30.0) > h.hazard(5.0));
+/// # Ok::<(), resilience_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Hjorth {
+    delta: f64,
+    theta: f64,
+    beta: f64,
+}
+
+impl Hjorth {
+    /// Creates a Hjorth distribution with linear-risk slope `delta ≥ 0`,
+    /// initial decreasing-risk level `theta ≥ 0`, and decay `beta > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when a parameter is
+    /// negative or non-finite, when `beta ≤ 0`, or when
+    /// `delta + theta == 0` (identically zero hazard).
+    pub fn new(delta: f64, theta: f64, beta: f64) -> Result<Self, StatsError> {
+        if !(delta >= 0.0) || !delta.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                what: "Hjorth",
+                param: "delta",
+                value: delta,
+                constraint: "delta >= 0 and finite",
+            });
+        }
+        if !(theta >= 0.0) || !theta.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                what: "Hjorth",
+                param: "theta",
+                value: theta,
+                constraint: "theta >= 0 and finite",
+            });
+        }
+        if !(beta > 0.0) || !beta.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                what: "Hjorth",
+                param: "beta",
+                value: beta,
+                constraint: "beta > 0 and finite",
+            });
+        }
+        if delta + theta == 0.0 {
+            return Err(StatsError::InvalidParameter {
+                what: "Hjorth",
+                param: "delta+theta",
+                value: 0.0,
+                constraint: "delta + theta > 0",
+            });
+        }
+        Ok(Hjorth { delta, theta, beta })
+    }
+
+    /// The linear-risk slope `δ`.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The decreasing-risk level `θ`.
+    #[must_use]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The decreasing-risk decay `β`.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Whether the hazard is bathtub-shaped (`0 < δ < θβ`).
+    #[must_use]
+    pub fn is_bathtub(&self) -> bool {
+        self.delta > 0.0 && self.delta < self.theta * self.beta
+    }
+
+    /// Time of minimum hazard for bathtub-shaped parameterizations:
+    /// `t* = (√(θβ/δ) − 1)/β`.
+    ///
+    /// Returns `None` when the hazard is monotone.
+    #[must_use]
+    pub fn hazard_minimum(&self) -> Option<f64> {
+        if !self.is_bathtub() {
+            return None;
+        }
+        Some(((self.theta * self.beta / self.delta).sqrt() - 1.0) / self.beta)
+    }
+}
+
+impl ContinuousDistribution for Hjorth {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.hazard(x) * self.survival(x)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.survival(x)
+        }
+    }
+
+    fn survival(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        (-0.5 * self.delta * x * x).exp() / (1.0 + self.beta * x).powf(self.theta / self.beta)
+    }
+
+    fn hazard(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.delta * x + self.theta / (1.0 + self.beta * x)
+        }
+    }
+
+    fn cumulative_hazard(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            0.5 * self.delta * x * x + (self.theta / self.beta) * (1.0 + self.beta * x).ln()
+        }
+    }
+
+    /// No closed form; the Hjorth mean requires numerical integration of
+    /// the survival function, which callers can do with
+    /// `resilience_math::quad` if needed.
+    fn mean(&self) -> Option<f64> {
+        None
+    }
+
+    fn variance(&self) -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bathtub() -> Hjorth {
+        Hjorth::new(0.01, 2.0, 0.5).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Hjorth::new(-0.1, 1.0, 1.0).is_err());
+        assert!(Hjorth::new(0.1, -1.0, 1.0).is_err());
+        assert!(Hjorth::new(0.1, 1.0, 0.0).is_err());
+        assert!(Hjorth::new(0.0, 0.0, 1.0).is_err());
+        assert!(Hjorth::new(f64::NAN, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn bathtub_detection() {
+        assert!(bathtub().is_bathtub());
+        // δ > θβ: monotone increasing dominates.
+        assert!(!Hjorth::new(5.0, 1.0, 1.0).unwrap().is_bathtub());
+        // δ = 0: pure decreasing hazard.
+        assert!(!Hjorth::new(0.0, 1.0, 1.0).unwrap().is_bathtub());
+    }
+
+    #[test]
+    fn hazard_minimum_location() {
+        let h = bathtub();
+        let t_star = h.hazard_minimum().unwrap();
+        // t* = (√(θβ/δ) − 1)/β = (√100 − 1)/0.5 = 18.
+        assert!((t_star - 18.0).abs() < 1e-12);
+        // The hazard is locally minimal there.
+        let hm = h.hazard(t_star);
+        assert!(h.hazard(t_star - 1.0) > hm);
+        assert!(h.hazard(t_star + 1.0) > hm);
+    }
+
+    #[test]
+    fn hazard_minimum_none_when_monotone() {
+        assert!(Hjorth::new(0.0, 1.0, 1.0).unwrap().hazard_minimum().is_none());
+    }
+
+    #[test]
+    fn survival_matches_cumulative_hazard() {
+        let h = bathtub();
+        for &x in &[0.5, 2.0, 10.0, 30.0] {
+            let want = (-h.cumulative_hazard(x)).exp();
+            assert!((h.survival(x) - want).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn pdf_is_hazard_times_survival_and_integrates() {
+        let h = bathtub();
+        let total =
+            resilience_math::quad::adaptive_simpson(|x| h.pdf(x), 0.0, 100.0, 1e-10, 45).unwrap();
+        assert!((total - 1.0).abs() < 1e-6, "integral = {total}");
+    }
+
+    #[test]
+    fn special_case_pure_linear_is_rayleigh() {
+        // θ = 0 would be rejected only if δ + θ = 0; θ = 0 with δ > 0 is
+        // the Rayleigh distribution: S(t) = exp(−δt²/2).
+        let h = Hjorth::new(0.5, 0.0, 1.0).unwrap();
+        for &x in &[0.5, 1.0, 2.0] {
+            assert!((h.survival(x) - (-0.25 * x * x).exp()).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let h = bathtub();
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let x = i as f64 * 0.5;
+            let c = h.cdf(x);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn quantile_default_inversion_works() {
+        let h = bathtub();
+        for &p in &[0.1, 0.5, 0.9] {
+            let x = h.quantile(p).unwrap();
+            assert!((h.cdf(x) - p).abs() < 1e-9, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn moments_are_none() {
+        assert_eq!(bathtub().mean(), None);
+        assert_eq!(bathtub().variance(), None);
+    }
+}

@@ -1,0 +1,66 @@
+//! Probability distributions and statistical utilities for the
+//! `predictive-resilience` workspace.
+//!
+//! The mixture resilience models of *Predictive Resilience Modeling*
+//! (Silva et al., RWS 2022) compose cumulative distribution functions —
+//! the paper evaluates Exponential and Weibull components (its Eq. 23) —
+//! and the validation layer needs normal critical values for confidence
+//! intervals (its Eq. 13). This crate supplies:
+//!
+//! * [`distribution`] — the [`ContinuousDistribution`] trait: densities,
+//!   CDFs, survival and hazard functions, quantiles, and moments.
+//! * Concrete distributions: [`Exponential`], [`Weibull`], [`Normal`],
+//!   [`LogNormal`], [`Gamma`], [`Uniform`], and [`Hjorth`] (the
+//!   competing-risks distribution behind the paper's bathtub model).
+//! * [`empirical`] — empirical CDFs from samples.
+//! * [`describe`] — descriptive statistics (means, variances, quantiles,
+//!   autocorrelation).
+//! * [`inference`] — normal and Student-t critical values, confidence
+//!   interval helpers.
+//! * [`ols`] — simple ordinary least squares for diagnostics.
+//! * [`sample`] — inverse-transform sampling bridged to [`rand`].
+//!
+//! # Examples
+//!
+//! ```
+//! use resilience_stats::{ContinuousDistribution, Weibull};
+//!
+//! let w = Weibull::new(1.5, 10.0)?; // shape k, scale λ
+//! assert!((w.cdf(0.0) - 0.0).abs() < 1e-15);
+//! assert!(w.cdf(10.0) > 0.6 && w.cdf(10.0) < 0.7); // 1 − 1/e ≈ 0.632
+//! # Ok::<(), resilience_stats::StatsError>(())
+//! ```
+
+// `!(x > 0.0)`-style comparisons are used deliberately throughout this
+// crate: unlike `x <= 0.0`, they also reject NaN, which is exactly the
+// validation semantics parameter checks need.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod describe;
+pub mod distribution;
+pub mod empirical;
+pub mod error;
+pub mod inference;
+pub mod ols;
+pub mod sample;
+
+mod exponential;
+mod gamma;
+mod hjorth;
+mod lognormal;
+mod normal;
+mod uniform;
+mod weibull;
+
+pub use distribution::ContinuousDistribution;
+pub use empirical::EmpiricalCdf;
+pub use error::StatsError;
+pub use exponential::Exponential;
+pub use gamma::Gamma;
+pub use hjorth::Hjorth;
+pub use lognormal::LogNormal;
+pub use normal::Normal;
+pub use uniform::Uniform;
+pub use weibull::Weibull;

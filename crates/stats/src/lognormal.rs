@@ -1,0 +1,143 @@
+//! Log-normal distribution.
+
+use crate::{ContinuousDistribution, Normal, StatsError};
+
+/// Log-normal distribution: `ln X ~ N(μ, σ²)`.
+///
+/// Offered as an *extension* mixture component beyond the paper's
+/// Exponential/Weibull pair (DESIGN.md §5) — its long right tail models
+/// slow-recovery (“J-shaped”) processes.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_stats::{ContinuousDistribution, LogNormal};
+/// let ln = LogNormal::new(0.0, 1.0)?;
+/// // Median is e^μ = 1.
+/// assert!((ln.cdf(1.0) - 0.5).abs() < 1e-12);
+/// # Ok::<(), resilience_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LogNormal {
+    underlying: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with log-mean `mu` and log-std-dev `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `sigma` is finite
+    /// and positive and `mu` is finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, StatsError> {
+        Ok(LogNormal {
+            underlying: Normal::new(mu, sigma)?,
+        })
+    }
+
+    /// The log-scale mean `μ`.
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.underlying.mu()
+    }
+
+    /// The log-scale standard deviation `σ`.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.underlying.sigma()
+    }
+}
+
+impl ContinuousDistribution for LogNormal {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.underlying.pdf(x.ln()) / x
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.underlying.cdf(x.ln())
+        }
+    }
+
+    fn survival(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            self.underlying.survival(x.ln())
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64, StatsError> {
+        Ok(self.underlying.quantile(p)?.exp())
+    }
+
+    fn mean(&self) -> Option<f64> {
+        let s2 = self.sigma() * self.sigma();
+        Some((self.mu() + 0.5 * s2).exp())
+    }
+
+    fn variance(&self) -> Option<f64> {
+        let s2 = self.sigma() * self.sigma();
+        Some((s2.exp() - 1.0) * (2.0 * self.mu() + s2).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn support_is_positive_reals() {
+        let ln = LogNormal::new(0.0, 1.0).unwrap();
+        assert_eq!(ln.pdf(-1.0), 0.0);
+        assert_eq!(ln.pdf(0.0), 0.0);
+        assert_eq!(ln.cdf(0.0), 0.0);
+        assert_eq!(ln.survival(-2.0), 1.0);
+        assert!(ln.pdf(1.0) > 0.0);
+    }
+
+    #[test]
+    fn median_is_exp_mu() {
+        let ln = LogNormal::new(1.5, 0.8).unwrap();
+        assert!((ln.quantile(0.5).unwrap() - 1.5f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let ln = LogNormal::new(0.0, 0.5).unwrap();
+        let total =
+            resilience_math::quad::adaptive_simpson(|x| ln.pdf(x), 1e-9, 50.0, 1e-11, 45).unwrap();
+        assert!((total - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn moments_closed_form() {
+        let (mu, sigma) = (0.3, 0.6);
+        let ln = LogNormal::new(mu, sigma).unwrap();
+        let want_mean = (mu + 0.5 * sigma * sigma).exp();
+        assert!((ln.mean().unwrap() - want_mean).abs() < 1e-12);
+        assert!(ln.variance().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        let ln = LogNormal::new(-0.5, 1.2).unwrap();
+        for &p in &[0.05, 0.5, 0.95] {
+            let x = ln.quantile(p).unwrap();
+            assert!((ln.cdf(x) - p).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Simple ordinary least squares (one predictor).
+//!
+//! Used for diagnostics (residual trend checks) and as the reference
+//! implementation that the nonlinear LSE pipeline in `resilience-core` is
+//! validated against on linear problems.
+
+use crate::StatsError;
+use resilience_math::sum::CompensatedSum;
+
+/// Result of a simple linear regression `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimpleOls {
+    /// Estimated intercept.
+    pub intercept: f64,
+    /// Estimated slope.
+    pub slope: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Residual sum of squares.
+    pub sse: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl SimpleOls {
+    /// Fits `y = a + b·x` by least squares.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::NotEnoughData`] with fewer than two points or
+    ///   mismatched lengths.
+    /// * [`StatsError::InvalidParameter`] when all `x` are identical (the
+    ///   slope is unidentifiable).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use resilience_stats::ols::SimpleOls;
+    /// let x = [0.0, 1.0, 2.0, 3.0];
+    /// let y = [1.0, 3.0, 5.0, 7.0];
+    /// let fit = SimpleOls::fit(&x, &y)?;
+    /// assert!((fit.slope - 2.0).abs() < 1e-12);
+    /// assert!((fit.intercept - 1.0).abs() < 1e-12);
+    /// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    /// # Ok::<(), resilience_stats::StatsError>(())
+    /// ```
+    pub fn fit(x: &[f64], y: &[f64]) -> Result<Self, StatsError> {
+        if x.len() != y.len() || x.len() < 2 {
+            return Err(StatsError::NotEnoughData {
+                what: "SimpleOls::fit",
+                needed: 2,
+                got: x.len().min(y.len()),
+            });
+        }
+        let n = x.len() as f64;
+        let mean_x = crate::describe::mean(x)?;
+        let mean_y = crate::describe::mean(y)?;
+        let mut sxx = CompensatedSum::new();
+        let mut sxy = CompensatedSum::new();
+        for (&xi, &yi) in x.iter().zip(y) {
+            let dx = xi - mean_x;
+            sxx.add(dx * dx);
+            sxy.add(dx * (yi - mean_y));
+        }
+        let sxx = sxx.value();
+        if sxx == 0.0 {
+            return Err(StatsError::InvalidParameter {
+                what: "SimpleOls::fit",
+                param: "x",
+                value: mean_x,
+                constraint: "x values must not all be equal",
+            });
+        }
+        let slope = sxy.value() / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let mut sse = CompensatedSum::new();
+        let mut ssy = CompensatedSum::new();
+        for (&xi, &yi) in x.iter().zip(y) {
+            let resid = yi - (intercept + slope * xi);
+            sse.add(resid * resid);
+            let dy = yi - mean_y;
+            ssy.add(dy * dy);
+        }
+        let sse = sse.value();
+        let ssy = ssy.value();
+        let r_squared = if ssy == 0.0 { 1.0 } else { 1.0 - sse / ssy };
+        Ok(SimpleOls {
+            intercept,
+            slope,
+            r_squared,
+            sse,
+            n: n as usize,
+        })
+    }
+
+    /// Predicts `y` at a new `x`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 4.0, 6.0];
+        let fit = SimpleOls::fit(&x, &y).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-13);
+        assert!(fit.intercept.abs() < 1e-13);
+        assert!(fit.sse < 1e-24);
+        assert_eq!(fit.n, 3);
+    }
+
+    #[test]
+    fn noisy_line_r_squared_below_one() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y = [0.1, 0.9, 2.2, 2.8, 4.1];
+        let fit = SimpleOls::fit(&x, &y).unwrap();
+        assert!(fit.r_squared > 0.98 && fit.r_squared < 1.0);
+        assert!((fit.slope - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn constant_y_gives_zero_slope() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [5.0, 5.0, 5.0];
+        let fit = SimpleOls::fit(&x, &y).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0); // degenerate SSY convention
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(SimpleOls::fit(&[1.0], &[1.0]).is_err());
+        assert!(SimpleOls::fit(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(SimpleOls::fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn predict_interpolates() {
+        let fit = SimpleOls::fit(&[0.0, 10.0], &[0.0, 20.0]).unwrap();
+        assert!((fit.predict(5.0) - 10.0).abs() < 1e-12);
+    }
+}

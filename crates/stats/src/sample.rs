@@ -1,0 +1,135 @@
+//! Inverse-transform sampling bridged to [`rand`].
+//!
+//! Any [`ContinuousDistribution`] with a working quantile function can be
+//! sampled by pushing uniform variates through it. The synthetic-shape
+//! generators in `resilience-data` and the bootstrap machinery use this.
+
+use crate::{ContinuousDistribution, StatsError};
+use rand::Rng;
+
+/// Draws one sample from `dist` by inverse-transform sampling.
+///
+/// # Errors
+///
+/// Propagates quantile failures (e.g. a distribution whose numeric
+/// inversion did not converge).
+///
+/// # Examples
+///
+/// ```
+/// use resilience_stats::{sample::draw, Exponential};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let e = Exponential::new(2.0)?;
+/// let x = draw(&e, &mut rng)?;
+/// assert!(x >= 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn draw<D, R>(dist: &D, rng: &mut R) -> Result<f64, StatsError>
+where
+    D: ContinuousDistribution + ?Sized,
+    R: Rng + ?Sized,
+{
+    // Uniform in the open interval (0, 1): rejection-resample the endpoints,
+    // which occur with probability ~2⁻⁵³ each.
+    loop {
+        let u: f64 = rng.random();
+        if u > 0.0 && u < 1.0 {
+            return dist.quantile(u);
+        }
+    }
+}
+
+/// Draws `n` samples from `dist`.
+///
+/// # Errors
+///
+/// Propagates the first quantile failure encountered.
+pub fn draw_many<D, R>(dist: &D, rng: &mut R, n: usize) -> Result<Vec<f64>, StatsError>
+where
+    D: ContinuousDistribution + ?Sized,
+    R: Rng + ?Sized,
+{
+    (0..n).map(|_| draw(dist, rng)).collect()
+}
+
+/// Resamples `data` with replacement (the bootstrap's inner loop).
+///
+/// Returns an empty vector for empty input.
+pub fn resample_with_replacement<R: Rng + ?Sized>(data: &[f64], rng: &mut R) -> Vec<f64> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    (0..data.len())
+        .map(|_| data[rng.random_range(0..data.len())])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EmpiricalCdf, Exponential, Normal, Weibull};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xDEC0DE)
+    }
+
+    #[test]
+    fn exponential_sample_mean_converges() {
+        let e = Exponential::new(0.5).unwrap();
+        let mut r = rng();
+        let xs = draw_many(&e, &mut r, 20_000).unwrap();
+        let m = crate::describe::mean(&xs).unwrap();
+        assert!((m - 2.0).abs() < 0.1, "sample mean {m} vs 2.0");
+    }
+
+    #[test]
+    fn weibull_samples_pass_ks_test() {
+        let w = Weibull::new(1.8, 3.0).unwrap();
+        let mut r = rng();
+        let xs = draw_many(&w, &mut r, 5_000).unwrap();
+        let ecdf = EmpiricalCdf::new(xs).unwrap();
+        let d = ecdf.ks_statistic(|x| w.cdf(x));
+        // KS 1% critical value ≈ 1.63/√n ≈ 0.023 for n = 5000.
+        assert!(d < 0.025, "KS statistic {d} too large");
+    }
+
+    #[test]
+    fn normal_samples_symmetric() {
+        let n = Normal::new(10.0, 2.0).unwrap();
+        let mut r = rng();
+        let xs = draw_many(&n, &mut r, 20_000).unwrap();
+        let m = crate::describe::mean(&xs).unwrap();
+        let s = crate::describe::std_dev(&xs).unwrap();
+        assert!((m - 10.0).abs() < 0.06);
+        assert!((s - 2.0).abs() < 0.06);
+    }
+
+    #[test]
+    fn samples_are_nonnegative_for_positive_support() {
+        let e = Exponential::new(1.0).unwrap();
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(draw(&e, &mut r).unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn resample_preserves_length_and_membership() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let mut r = rng();
+        let rs = resample_with_replacement(&data, &mut r);
+        assert_eq!(rs.len(), 4);
+        assert!(rs.iter().all(|v| data.contains(v)));
+        assert!(resample_with_replacement(&[], &mut r).is_empty());
+    }
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let e = Exponential::new(1.0).unwrap();
+        let a = draw_many(&e, &mut rng(), 10).unwrap();
+        let b = draw_many(&e, &mut rng(), 10).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,134 @@
+//! Continuous uniform distribution.
+
+use crate::{ContinuousDistribution, StatsError};
+
+/// Continuous uniform distribution on `[lo, hi]`.
+///
+/// Used mainly as a building block in tests and samplers; also a valid
+/// mixture component for abrupt, bounded-duration transitions.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_stats::{ContinuousDistribution, Uniform};
+/// let u = Uniform::new(2.0, 6.0)?;
+/// assert_eq!(u.cdf(4.0), 0.5);
+/// assert_eq!(u.mean(), Some(4.0));
+/// # Ok::<(), resilience_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `lo < hi` and both
+    /// are finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, StatsError> {
+        if !lo.is_finite() || !hi.is_finite() || !(lo < hi) {
+            return Err(StatsError::InvalidParameter {
+                what: "Uniform",
+                param: "bounds",
+                value: hi - lo,
+                constraint: "lo < hi, both finite",
+            });
+        }
+        Ok(Uniform { lo, hi })
+    }
+
+    /// Lower bound.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+impl ContinuousDistribution for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            0.0
+        } else {
+            1.0 / self.width()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.lo) / self.width()).clamp(0.0, 1.0)
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64, StatsError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(StatsError::InvalidProbability {
+                what: "Uniform::quantile",
+                value: p,
+            });
+        }
+        Ok(self.lo + p * self.width())
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(0.5 * (self.lo + self.hi))
+    }
+
+    fn variance(&self) -> Option<f64> {
+        Some(self.width() * self.width() / 12.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_bounds() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NEG_INFINITY, 0.0).is_err());
+    }
+
+    #[test]
+    fn cdf_clamps() {
+        let u = Uniform::new(0.0, 2.0).unwrap();
+        assert_eq!(u.cdf(-1.0), 0.0);
+        assert_eq!(u.cdf(3.0), 1.0);
+        assert_eq!(u.cdf(0.5), 0.25);
+    }
+
+    #[test]
+    fn pdf_flat_inside_zero_outside() {
+        let u = Uniform::new(1.0, 3.0).unwrap();
+        assert_eq!(u.pdf(2.0), 0.5);
+        assert_eq!(u.pdf(0.999), 0.0);
+        assert_eq!(u.pdf(3.001), 0.0);
+    }
+
+    #[test]
+    fn quantile_linear() {
+        let u = Uniform::new(10.0, 20.0).unwrap();
+        assert_eq!(u.quantile(0.25).unwrap(), 12.5);
+        assert!(u.quantile(0.0).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let u = Uniform::new(0.0, 12.0).unwrap();
+        assert_eq!(u.mean(), Some(6.0));
+        assert_eq!(u.variance(), Some(12.0));
+    }
+}

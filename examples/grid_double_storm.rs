@@ -1,0 +1,77 @@
+//! Infrastructure scenario: a power grid hit by two storms in sequence —
+//! the W-shaped case that defeats the paper's single-episode models.
+//!
+//! A first storm knocks out feeders; restoration is underway when a
+//! second front lands. We fit the paper's competing-risks model and the
+//! workspace's double-bathtub extension side by side, then inspect the
+//! residual diagnostics that reveal *why* the single-episode fit is
+//! inadequate even before looking at R².
+//!
+//! ```sh
+//! cargo run --release --example grid_double_storm
+//! ```
+
+use resilience_core::analysis::evaluate_model;
+use resilience_core::bathtub::CompetingRisksFamily;
+use resilience_core::diagnostics::residual_diagnostics;
+use resilience_core::extended::DoubleBathtubFamily;
+use resilience_core::model::ModelFamily;
+use resilience_data::shapes::{CurveSpec, Dip, RecoveryProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Hourly fraction of customers with power over 96 hours.
+    let storm = CurveSpec {
+        n: 96,
+        dips: vec![
+            // First storm: fast outage growth, crews restore within ~30 h.
+            Dip {
+                start: 0.0,
+                trough: 10.0,
+                depth: 0.12,
+                sharpness: 1.3,
+                recovery: RecoveryProfile::Exponential { rate: 0.07 },
+            },
+            // Second front lands at hour 40.
+            Dip {
+                start: 40.0,
+                trough: 52.0,
+                depth: 0.09,
+                sharpness: 1.1,
+                recovery: RecoveryProfile::Exponential { rate: 0.06 },
+            },
+        ],
+        drift_total: 0.0,
+        noise_sd: 0.003,
+        seed: 0x57012,
+    };
+    let series = storm.generate("grid double storm")?;
+    println!("data: {series}");
+
+    for family in [&CompetingRisksFamily as &dyn ModelFamily, &DoubleBathtubFamily] {
+        let eval = evaluate_model(family, &series, 8, 0.05)?;
+        let diag = residual_diagnostics(eval.fit.model.as_ref(), &series)?;
+        println!("\n{}:", eval.family_name);
+        println!("  adjusted R²        {:.4}", eval.gof.r2_adj);
+        println!("  train SSE          {:.6}", eval.gof.sse);
+        println!("  lag-1 residual ACF {:+.3}", diag.lag1_autocorrelation);
+        println!(
+            "  sign runs          {} observed vs {:.1} expected",
+            diag.runs, diag.expected_runs
+        );
+        println!(
+            "  residuals look     {}",
+            if diag.looks_unstructured() {
+                "unstructured (model adequate)"
+            } else {
+                "structured (model misses dynamics)"
+            }
+        );
+    }
+
+    println!(
+        "\nThe single-episode model averages over both storms; its residuals trace\n\
+         the second outage. The double-bathtub extension assigns the second storm\n\
+         its own episode, as the paper's conclusion prescribes for W-shaped events."
+    );
+    Ok(())
+}

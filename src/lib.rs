@@ -1,0 +1,80 @@
+//! Meta-crate for the `predictive-resilience` workspace: re-exports the
+//! five library crates and provides a [`prelude`] so applications can
+//! depend on one crate.
+//!
+//! The workspace reproduces *Predictive Resilience Modeling* (Silva,
+//! Hermosillo Hidalgo, Linkov, Fiondella — 2022 Resilience Week): fitting
+//! bathtub-shaped and mixture-distribution models to degradation-and-
+//! recovery curves so that performance, recovery time, and resilience
+//! metrics can be predicted during a disruption. See the README for a
+//! tour and `DESIGN.md`/`EXPERIMENTS.md` for the reproduction record.
+//!
+//! # Examples
+//!
+//! ```
+//! use predictive_resilience::prelude::*;
+//!
+//! let series = Recession::R1990_93.payroll_index();
+//! let eval = evaluate_model(&CompetingRisksFamily, &series, 5, 0.05)?;
+//! assert!(eval.gof.r2_adj > 0.9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use resilience_core as core;
+pub use resilience_data as data;
+pub use resilience_math as math;
+pub use resilience_optim as optim;
+pub use resilience_stats as stats;
+
+/// One-stop imports for typical applications: the model families, the
+/// analysis drivers, and the embedded data sets.
+pub mod prelude {
+    pub use resilience_core::analysis::{
+        band_series, evaluate_model, metrics_comparison, ModelEvaluation,
+    };
+    pub use resilience_core::bathtub::{
+        CompetingRisksFamily, CompetingRisksModel, QuadraticFamily, QuadraticModel,
+        QuarticFamily, QuarticModel,
+    };
+    pub use resilience_core::extended::{
+        CrashRecoveryFamily, CrashRecoveryModel, DoubleBathtubFamily, DoubleBathtubModel,
+    };
+    pub use resilience_core::diagnostics::{residual_diagnostics, ResidualDiagnostics};
+    pub use resilience_core::fit::{fit_least_squares, FitConfig, FittedModel};
+    pub use resilience_core::forecast::{forecast, recovery_outlook, Forecast, ForecastPoint};
+    pub use resilience_core::metrics::{
+        actual_metric, point_metrics, predicted_metric, relative_error, MetricContext,
+        MetricKind,
+    };
+    pub use resilience_core::mixture::{ComponentKind, MixtureFamily, MixtureModel, Trend};
+    pub use resilience_core::model::{ModelFamily, ResilienceModel};
+    pub use resilience_core::validate::{gof_report, GofReport};
+    pub use resilience_core::CoreError;
+    pub use resilience_data::recessions::Recession;
+    pub use resilience_data::shapes::{CurveSpec, Dip, RecoveryProfile, ShapeKind};
+    pub use resilience_data::{PerformanceSeries, TrainTestSplit};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_supports_typical_flow() {
+        let series = Recession::R2001_05.payroll_index();
+        let fit = fit_least_squares(&QuadraticFamily, &series, &FitConfig::default()).unwrap();
+        assert_eq!(fit.model.name(), "Quadratic");
+        let pm = point_metrics(fit.model.as_ref(), 0.0, 47.0).unwrap();
+        assert!(pm.robustness > 0.9 && pm.robustness < 1.0);
+    }
+
+    #[test]
+    fn crate_aliases_resolve() {
+        let _ = crate::math::approx_eq(1.0, 1.0, 0.0, 0.0);
+        let _ = crate::stats::Normal::standard();
+        assert_eq!(crate::data::recessions::Recession::ALL.len(), 7);
+    }
+}

@@ -1,0 +1,187 @@
+//! Hand-computed reference tests for the interval-metric protocol behind
+//! the paper's Tables II and IV: tiny series whose integrals can be done
+//! on paper, checked against the implementation exactly.
+
+use resilience_core::metrics::{
+    actual_metric, integrate_series, predicted_metric, MetricContext, MetricKind,
+};
+use resilience_core::model::ResilienceModel;
+use resilience_data::PerformanceSeries;
+
+/// A constant model for hand-checkable predictions.
+struct Constant(f64);
+
+impl ResilienceModel for Constant {
+    fn name(&self) -> &'static str {
+        "Constant"
+    }
+    fn params(&self) -> Vec<f64> {
+        vec![self.0]
+    }
+    fn predict(&self, _t: f64) -> f64 {
+        self.0
+    }
+}
+
+/// A linear model `P(t) = a + b·t`.
+struct Linear {
+    a: f64,
+    b: f64,
+}
+
+impl ResilienceModel for Linear {
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+    fn params(&self) -> Vec<f64> {
+        vec![self.a, self.b]
+    }
+    fn predict(&self, t: f64) -> f64 {
+        self.a + self.b * t
+    }
+}
+
+fn tiny_series() -> PerformanceSeries {
+    // t: 0  1    2    3    4    5    6
+    // P: 1  0.9  0.8  0.9  1.0  1.1  1.2   (trough at t = 2)
+    PerformanceSeries::monthly("tiny", vec![1.0, 0.9, 0.8, 0.9, 1.0, 1.1, 1.2]).unwrap()
+}
+
+fn ctx() -> MetricContext {
+    MetricContext {
+        t_start: 4.0,
+        t_end: 6.0,
+        nominal: 1.0, // observed value at t = 4
+        t_min: 2.0,
+        t_full_start: 0.0,
+        weight: 0.5,
+    }
+    .validated()
+    .unwrap()
+}
+
+#[test]
+fn integrate_series_hand_computed() {
+    let s = tiny_series();
+    // Full integral: trapezoids (1+0.9)/2 + (0.9+0.8)/2 + (0.8+0.9)/2 +
+    // (0.9+1)/2 + (1+1.1)/2 + (1.1+1.2)/2 = 0.95+0.85+0.85+0.95+1.05+1.15
+    // = 5.8.
+    assert!((integrate_series(&s, 0.0, 6.0).unwrap() - 5.8).abs() < 1e-12);
+    // Window [4, 6]: 1.05 + 1.15 = 2.2.
+    assert!((integrate_series(&s, 4.0, 6.0).unwrap() - 2.2).abs() < 1e-12);
+    // Fractional window [1.5, 2.5]: left half-segment mean P = (0.85+0.8)/2
+    // = 0.825 over 0.5 → 0.4125; right: (0.8+0.85)/2 = 0.825 over 0.5 →
+    // 0.4125; total 0.825.
+    assert!((integrate_series(&s, 1.5, 2.5).unwrap() - 0.825).abs() < 1e-12);
+}
+
+#[test]
+fn eq14_performance_preserved_hand_computed() {
+    let v = actual_metric(&tiny_series(), MetricKind::PerformancePreserved, &ctx()).unwrap();
+    assert!((v - 2.2).abs() < 1e-12);
+}
+
+#[test]
+fn eq16_performance_lost_hand_computed() {
+    // Nominal rectangle = 1.0·(6−4) = 2; lost = 2 − 2.2 = −0.2.
+    let v = actual_metric(&tiny_series(), MetricKind::PerformanceLost, &ctx()).unwrap();
+    assert!((v + 0.2).abs() < 1e-12);
+}
+
+#[test]
+fn eq15_eq17_normalized_pair_hand_computed() {
+    let p = actual_metric(&tiny_series(), MetricKind::NormalizedAveragePreserved, &ctx()).unwrap();
+    let l = actual_metric(&tiny_series(), MetricKind::NormalizedAverageLost, &ctx()).unwrap();
+    assert!((p - 1.1).abs() < 1e-12); // 2.2 / 2
+    assert!((l + 0.1).abs() < 1e-12); // −0.2 / 2
+}
+
+#[test]
+fn eq18_preserved_from_minimum_hand_computed() {
+    // ∫ from t_min = 2 to 6: 0.85 + 0.95 + 1.05 + 1.15 = 4.0.
+    // Rectangle below the minimum: P(2)·(6−2) = 0.8·4 = 3.2.
+    let v = actual_metric(&tiny_series(), MetricKind::PreservedFromMinimum, &ctx()).unwrap();
+    assert!((v - 0.8).abs() < 1e-12);
+}
+
+#[test]
+fn eq19_eq20_averages_hand_computed() {
+    let ap = actual_metric(&tiny_series(), MetricKind::AveragePreserved, &ctx()).unwrap();
+    let al = actual_metric(&tiny_series(), MetricKind::AverageLost, &ctx()).unwrap();
+    assert!((ap - 1.1).abs() < 1e-12); // 2.2 / 2
+    assert!((al + 0.1).abs() < 1e-12); // −0.2 / 2
+}
+
+#[test]
+fn eq21_weighted_before_after_hand_computed() {
+    // Before: ∫₀² P = 0.95 + 0.85 = 1.8 over width 2 → 0.9.
+    // After: ∫₂⁶ P = 4.0 over width 4 → 1.0.
+    // α = 0.5: 0.5·0.9 + 0.5·1.0 = 0.95.
+    let v =
+        actual_metric(&tiny_series(), MetricKind::WeightedBeforeAfterMinimum, &ctx()).unwrap();
+    assert!((v - 0.95).abs() < 1e-12);
+}
+
+#[test]
+fn predicted_metrics_for_constant_model() {
+    // P ≡ 0.9: preserved over [4, 6] = 1.8; lost = 2 − 1.8 = 0.2;
+    // preserved-from-min = 0.9·4 − 0.9·4 = 0 (flat curve).
+    let m = Constant(0.9);
+    let c = ctx();
+    assert!(
+        (predicted_metric(&m, MetricKind::PerformancePreserved, &c).unwrap() - 1.8).abs() < 1e-9
+    );
+    assert!((predicted_metric(&m, MetricKind::PerformanceLost, &c).unwrap() - 0.2).abs() < 1e-9);
+    assert!(predicted_metric(&m, MetricKind::PreservedFromMinimum, &c).unwrap().abs() < 1e-9);
+    // Weighted: both halves average 0.9 → 0.9.
+    assert!(
+        (predicted_metric(&m, MetricKind::WeightedBeforeAfterMinimum, &c).unwrap() - 0.9).abs()
+            < 1e-9
+    );
+}
+
+#[test]
+fn predicted_metrics_for_linear_model() {
+    // P(t) = 0.8 + 0.05 t: over [4, 6], ∫ = 0.8·2 + 0.05·(36−16)/2 = 1.6 +
+    // 0.5 = 2.1.
+    let m = Linear { a: 0.8, b: 0.05 };
+    let c = ctx();
+    let preserved = predicted_metric(&m, MetricKind::PerformancePreserved, &c).unwrap();
+    assert!((preserved - 2.1).abs() < 1e-9);
+    // Preserved from minimum: over [2, 6], ∫ = 0.8·4 + 0.05·(36−4)/2 = 4.0;
+    // P(2) = 0.9; 4.0 − 0.9·4 = 0.4.
+    let pfm = predicted_metric(&m, MetricKind::PreservedFromMinimum, &c).unwrap();
+    assert!((pfm - 0.4).abs() < 1e-9);
+}
+
+#[test]
+fn relative_errors_between_hand_computed_values() {
+    use resilience_core::metrics::relative_error;
+    // Actual preserved 2.2, constant-model prediction 1.8: δ = 0.4/2.2.
+    let d = relative_error(2.2, 1.8).unwrap();
+    assert!((d - 0.4 / 2.2).abs() < 1e-12);
+}
+
+#[test]
+fn actual_metrics_invariant_to_time_offset() {
+    // Shifting the whole series in time must not change any metric when
+    // the context shifts with it.
+    let s1 = tiny_series();
+    let times2: Vec<f64> = s1.times().iter().map(|t| t + 100.0).collect();
+    let s2 = PerformanceSeries::new("shifted", times2, s1.values().to_vec()).unwrap();
+    let c1 = ctx();
+    let c2 = MetricContext {
+        t_start: c1.t_start + 100.0,
+        t_end: c1.t_end + 100.0,
+        t_min: c1.t_min + 100.0,
+        t_full_start: c1.t_full_start + 100.0,
+        ..c1
+    }
+    .validated()
+    .unwrap();
+    for kind in MetricKind::ALL {
+        let a = actual_metric(&s1, kind, &c1).unwrap();
+        let b = actual_metric(&s2, kind, &c2).unwrap();
+        assert!((a - b).abs() < 1e-10, "{kind}: {a} vs {b}");
+    }
+}

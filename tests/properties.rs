@@ -1,0 +1,312 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+
+use proptest::prelude::*;
+use resilience_core::bathtub::{CompetingRisksModel, QuadraticFamily, QuadraticModel};
+use resilience_core::metrics::{actual_metric, MetricContext, MetricKind};
+use resilience_core::mixture::{ComponentKind, MixtureModel, Trend};
+use resilience_core::model::{ModelFamily, ResilienceModel};
+use resilience_data::csv::{read_series, write_series};
+use resilience_data::PerformanceSeries;
+use resilience_stats::{ContinuousDistribution, Exponential, Normal, Weibull};
+
+/// Strategy: feasible quadratic bathtub parameters (α, β, γ) via the
+/// same (α, s, γ) construction the family uses.
+fn quadratic_params() -> impl Strategy<Value = (f64, f64, f64)> {
+    (0.1f64..10.0, 0.05f64..0.95, 1e-6f64..0.1).prop_map(|(alpha, s, gamma)| {
+        let beta = -2.0 * (alpha * gamma).sqrt() * s;
+        (alpha, beta, gamma)
+    })
+}
+
+proptest! {
+    /// The quadratic trough formula matches a numerical minimum.
+    #[test]
+    fn quadratic_trough_is_a_minimum((alpha, beta, gamma) in quadratic_params()) {
+        let m = QuadraticModel::new(alpha, beta, gamma).unwrap();
+        let t_d = m.trough();
+        prop_assert!(t_d > 0.0);
+        let p_d = m.predict(t_d);
+        prop_assert!(m.predict(t_d - 0.1) >= p_d);
+        prop_assert!(m.predict(t_d + 0.1) >= p_d);
+        prop_assert!((m.minimum() - p_d).abs() < 1e-10);
+    }
+
+    /// Eq. 2: the closed-form recovery time satisfies P(t_r) = level and
+    /// lies at/after the trough.
+    #[test]
+    fn quadratic_recovery_time_solves_curve(
+        (alpha, beta, gamma) in quadratic_params(),
+        frac in 0.01f64..0.99,
+    ) {
+        let m = QuadraticModel::new(alpha, beta, gamma).unwrap();
+        // A level strictly between the minimum and the initial value.
+        let level = m.minimum() + frac * (alpha - m.minimum());
+        if level > m.minimum() {
+            let t_r = m.recovery_time(level).unwrap();
+            prop_assert!(t_r >= m.trough() - 1e-9);
+            prop_assert!((m.predict(t_r) - level).abs() < 1e-6 * (1.0 + level.abs()));
+        }
+    }
+
+    /// Eq. 3: the closed-form area equals numerical quadrature.
+    #[test]
+    fn quadratic_area_matches_quadrature(
+        (alpha, beta, gamma) in quadratic_params(),
+        span in 1.0f64..100.0,
+    ) {
+        let m = QuadraticModel::new(alpha, beta, gamma).unwrap();
+        let analytic = m.area(0.0, span).unwrap();
+        let numeric = resilience_math::quad::adaptive_simpson(
+            |t| m.predict(t), 0.0, span, 1e-10, 40).unwrap();
+        prop_assert!((analytic - numeric).abs() < 1e-6 * (1.0 + analytic.abs()));
+    }
+
+    /// Quadratic family: internal → external always lands in the bathtub
+    /// validity region, and the roundtrip is the identity.
+    #[test]
+    fn quadratic_family_transform_roundtrip(
+        a in -8.0f64..4.0,
+        b in -12.0f64..12.0,
+        c in -12.0f64..2.0,
+    ) {
+        let fam = QuadraticFamily;
+        let params = fam.internal_to_params(&[a, b, c]);
+        // Feasible by construction.
+        prop_assert!(QuadraticModel::new(params[0], params[1], params[2]).is_ok());
+        let back = fam.params_to_internal(&params).unwrap();
+        let again = fam.internal_to_params(&back);
+        for (x, y) in params.iter().zip(&again) {
+            prop_assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()), "{params:?} vs {again:?}");
+        }
+    }
+
+    /// Eq. 5/6: competing-risks closed forms match numerics for random
+    /// positive parameters.
+    #[test]
+    fn competing_risks_closed_forms(
+        alpha in 0.2f64..5.0,
+        beta in 0.01f64..2.0,
+        gamma in 1e-5f64..0.05,
+    ) {
+        let m = CompetingRisksModel::new(alpha, beta, gamma).unwrap();
+        // Area (Eq. 6).
+        let analytic = m.area(0.0, 47.0).unwrap();
+        let numeric = resilience_math::quad::adaptive_simpson(
+            |t| m.predict(t), 0.0, 47.0, 1e-10, 40).unwrap();
+        prop_assert!((analytic - numeric).abs() < 1e-6 * (1.0 + analytic.abs()));
+        // Recovery time (Eq. 5) for a reachable level.
+        let level = m.minimum() + 0.5 * (alpha - m.minimum()).abs() + 1e-6;
+        if let Ok(t_r) = m.recovery_time(level) {
+            prop_assert!((m.predict(t_r) - level).abs() < 1e-6 * (1.0 + level));
+        }
+    }
+
+    /// Mixture models always start at the nominal level 1 for trends that
+    /// vanish (or equal 1) at t = 0.
+    #[test]
+    fn mixture_starts_at_nominal(
+        rate1 in 0.01f64..2.0,
+        rate2 in 0.01f64..2.0,
+        beta in 0.01f64..2.0,
+    ) {
+        for trend in [Trend::Logarithmic, Trend::Linear] {
+            let m = MixtureModel::new(
+                ComponentKind::Exponential, vec![rate1],
+                ComponentKind::Exponential, vec![rate2],
+                trend, beta,
+            ).unwrap();
+            prop_assert!((m.predict(0.0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Metric identities hold for arbitrary observed curves: preserved +
+    /// lost = nominal rectangle; normalized pair sums to 1; averages are
+    /// consistent with totals.
+    #[test]
+    fn metric_identities(values in prop::collection::vec(0.5f64..1.5, 12..40)) {
+        let series = PerformanceSeries::monthly("prop", values).unwrap();
+        let n = series.len();
+        let t_end = (n - 1) as f64;
+        let (t_min, _) = series.trough().unwrap();
+        // Keep t_min strictly interior for the weighted metric.
+        let t_min = t_min.clamp(0.5, t_end - 0.5);
+        let ctx = MetricContext {
+            t_start: t_end - 4.0,
+            t_end,
+            nominal: series.value_at(t_end - 4.0).unwrap(),
+            t_min,
+            t_full_start: 0.0,
+            weight: 0.5,
+        }.validated().unwrap();
+        let preserved = actual_metric(&series, MetricKind::PerformancePreserved, &ctx).unwrap();
+        let lost = actual_metric(&series, MetricKind::PerformanceLost, &ctx).unwrap();
+        let rect = ctx.nominal * (ctx.t_end - ctx.t_start);
+        prop_assert!((preserved + lost - rect).abs() < 1e-9);
+        let np = actual_metric(&series, MetricKind::NormalizedAveragePreserved, &ctx).unwrap();
+        let nl = actual_metric(&series, MetricKind::NormalizedAverageLost, &ctx).unwrap();
+        prop_assert!((np + nl - 1.0).abs() < 1e-9);
+        let avg = actual_metric(&series, MetricKind::AveragePreserved, &ctx).unwrap();
+        prop_assert!((avg * (ctx.t_end - ctx.t_start) - preserved).abs() < 1e-9);
+    }
+
+    /// CSV round trips arbitrary finite series exactly enough to be
+    /// indistinguishable (shortest-roundtrip float formatting).
+    #[test]
+    fn csv_roundtrip(values in prop::collection::vec(0.0f64..10.0, 2..50)) {
+        let series = PerformanceSeries::monthly("rt", values).unwrap();
+        let mut buf = Vec::new();
+        write_series(&mut buf, &series).unwrap();
+        let back = read_series(buf.as_slice(), "rt").unwrap();
+        prop_assert_eq!(series.values(), back.values());
+        prop_assert_eq!(series.times(), back.times());
+    }
+
+    /// Distribution sanity across random parameters: CDFs are monotone,
+    /// bounded, and inverse-consistent.
+    #[test]
+    fn distribution_quantile_roundtrip(
+        shape in 0.3f64..5.0,
+        scale in 0.1f64..20.0,
+        p in 0.01f64..0.99,
+    ) {
+        let w = Weibull::new(shape, scale).unwrap();
+        let x = w.quantile(p).unwrap();
+        prop_assert!((w.cdf(x) - p).abs() < 1e-9);
+        let e = Exponential::new(1.0 / scale).unwrap();
+        let xe = e.quantile(p).unwrap();
+        prop_assert!((e.cdf(xe) - p).abs() < 1e-9);
+        let n = Normal::new(shape, scale).unwrap();
+        let xn = n.quantile(p).unwrap();
+        prop_assert!((n.cdf(xn) - p).abs() < 1e-9);
+    }
+
+    /// Survival + CDF = 1 over the support for all stats distributions
+    /// used by the mixture layer.
+    #[test]
+    fn survival_complements_cdf(x in 0.0f64..50.0, k in 0.5f64..4.0, lam in 0.2f64..10.0) {
+        let w = Weibull::new(k, lam).unwrap();
+        prop_assert!((w.cdf(x) + w.survival(x) - 1.0).abs() < 1e-10);
+        let e = Exponential::new(1.0 / lam).unwrap();
+        prop_assert!((e.cdf(x) + e.survival(x) - 1.0).abs() < 1e-10);
+    }
+}
+
+proptest! {
+    /// Crash-recovery closed forms: continuity at the kink, recovery-time
+    /// inversion, and area vs quadrature, across random parameters.
+    #[test]
+    fn crash_recovery_closed_forms(
+        t_c in 0.5f64..10.0,
+        p_min_share in 0.3f64..0.95,
+        p_inf in 0.5f64..1.2,
+        rate in 0.01f64..1.0,
+        sharpness in 1.0f64..8.0,
+    ) {
+        use resilience_core::extended::CrashRecoveryModel;
+        let p_min = p_inf * p_min_share;
+        let m = CrashRecoveryModel::new(t_c, p_min, p_inf, rate, sharpness).unwrap();
+        // Continuity at the crash time.
+        prop_assert!((m.predict(t_c - 1e-9) - m.predict(t_c + 1e-9)).abs() < 1e-6);
+        // Recovery-time inversion for a mid-level.
+        let level = p_min + 0.5 * (p_inf - p_min);
+        let t_r = m.recovery_time(level).unwrap();
+        prop_assert!((m.predict(t_r) - level).abs() < 1e-9);
+        // Area against quadrature across the kink.
+        let analytic = m.area(0.0, t_c + 20.0).unwrap();
+        let numeric = resilience_math::quad::adaptive_simpson(
+            |t| m.predict(t), 0.0, t_c + 20.0, 1e-10, 44).unwrap();
+        prop_assert!((analytic - numeric).abs() < 1e-6 * (1.0 + analytic.abs()));
+    }
+
+    /// Double-bathtub closed-form area matches quadrature for random
+    /// parameters, including windows straddling the second-episode onset.
+    #[test]
+    fn double_bathtub_area(
+        alpha in 0.3f64..3.0,
+        beta in 0.02f64..1.0,
+        gamma in 1e-5f64..0.02,
+        depth in 0.005f64..0.1,
+        onset in 5.0f64..30.0,
+        width in 2.0f64..15.0,
+    ) {
+        use resilience_core::extended::DoubleBathtubModel;
+        let m = DoubleBathtubModel::new(alpha, beta, gamma, depth, onset, width).unwrap();
+        let analytic = m.area(0.0, 47.0).unwrap();
+        let numeric = resilience_math::quad::adaptive_simpson(
+            |t| m.predict(t), 0.0, 47.0, 1e-10, 44).unwrap();
+        prop_assert!((analytic - numeric).abs() < 1e-6 * (1.0 + analytic.abs()));
+    }
+
+    /// Hjorth distribution invariants across random parameters.
+    #[test]
+    fn hjorth_distribution_invariants(
+        delta in 0.001f64..0.5,
+        theta in 0.1f64..3.0,
+        beta in 0.05f64..2.0,
+        x in 0.1f64..30.0,
+    ) {
+        use resilience_stats::Hjorth;
+        let h = Hjorth::new(delta, theta, beta).unwrap();
+        // Survival = exp(−cumulative hazard).
+        prop_assert!((h.survival(x) - (-h.cumulative_hazard(x)).exp()).abs() < 1e-10);
+        // Hazard is the sum of its two competing parts.
+        let want = delta * x + theta / (1.0 + beta * x);
+        prop_assert!((h.hazard(x) - want).abs() < 1e-12);
+        // CDF in [0, 1] and monotone over a step.
+        let c = h.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(h.cdf(x + 1.0) >= c);
+    }
+
+    /// Nelder–Mead never returns a point worse than its starting point.
+    #[test]
+    fn nelder_mead_never_worsens(
+        x0 in prop::collection::vec(-5.0f64..5.0, 1..4),
+        shift in -3.0f64..3.0,
+    ) {
+        use resilience_optim::nelder_mead::{NelderMead, NelderMeadConfig};
+        let f = move |p: &[f64]| {
+            p.iter().map(|x| (x - shift) * (x - shift)).sum::<f64>()
+        };
+        let start_value = f(&x0);
+        let report = NelderMead::new(NelderMeadConfig::default()).minimize(&f, &x0).unwrap();
+        prop_assert!(report.value <= start_value + 1e-12);
+    }
+
+    /// Information criteria order models by SSE at fixed complexity.
+    #[test]
+    fn criteria_monotone_in_sse(sse1 in 1e-8f64..1.0, factor in 1.01f64..100.0) {
+        use resilience_core::selection::information_criteria;
+        let a = information_criteria(sse1, 48, 3).unwrap();
+        let b = information_criteria(sse1 * factor, 48, 3).unwrap();
+        prop_assert!(a.aic < b.aic);
+        prop_assert!(a.aicc < b.aicc);
+        prop_assert!(a.bic < b.bic);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fitting noiseless quadratic data recovers parameters for random
+    /// feasible truths (an expensive case-count-limited property).
+    #[test]
+    fn fit_recovers_random_quadratic_truth((alpha, beta, gamma) in quadratic_params()) {
+        // Scale the curve into a plausible window so every truth is
+        // identifiable from 40 monthly samples.
+        let m = QuadraticModel::new(alpha, beta, gamma).unwrap();
+        let trough = m.trough();
+        // Only test truths whose trough is inside the sampled window.
+        prop_assume!(trough > 2.0 && trough < 35.0);
+        let values: Vec<f64> = (0..40).map(|i| m.predict(i as f64)).collect();
+        prop_assume!(values.iter().all(|v| *v > 0.0));
+        let series = PerformanceSeries::monthly("truth", values).unwrap();
+        let fit = resilience_core::fit::fit_least_squares(
+            &QuadraticFamily,
+            &series,
+            &resilience_core::fit::FitConfig::default(),
+        ).unwrap();
+        let ssy: f64 = series.values().iter().map(|v| (v - alpha) * (v - alpha)).sum();
+        prop_assert!(fit.sse < 1e-9 * (1.0 + ssy), "sse = {}", fit.sse);
+    }
+}

@@ -1,0 +1,193 @@
+//! Failure-injection tests: pathological inputs must produce typed
+//! errors (or degrade gracefully), never panics or silent garbage, at
+//! every public entry point.
+
+use resilience_core::analysis::evaluate_model;
+use resilience_core::bathtub::{CompetingRisksFamily, QuadraticFamily};
+use resilience_core::fit::{fit_least_squares, FitConfig};
+use resilience_core::forecast::forecast;
+use resilience_core::metrics::MetricContext;
+use resilience_core::mixture::{ComponentKind, MixtureFamily, Trend};
+use resilience_core::model::ModelFamily;
+use resilience_data::csv::read_series;
+use resilience_data::PerformanceSeries;
+
+/// Series construction rejects every malformed input combination.
+#[test]
+fn series_construction_rejects_garbage() {
+    // NaN / infinity in values.
+    assert!(PerformanceSeries::monthly("x", vec![1.0, f64::NAN, 1.0]).is_err());
+    assert!(PerformanceSeries::monthly("x", vec![1.0, f64::INFINITY]).is_err());
+    // NaN in times.
+    assert!(PerformanceSeries::new("x", vec![0.0, f64::NAN], vec![1.0, 1.0]).is_err());
+    // Too short / mismatched / non-monotone.
+    assert!(PerformanceSeries::monthly("x", vec![1.0]).is_err());
+    assert!(PerformanceSeries::new("x", vec![0.0, 1.0, 2.0], vec![1.0, 1.0]).is_err());
+    assert!(PerformanceSeries::new("x", vec![0.0, 2.0, 1.0], vec![1.0, 1.0, 1.0]).is_err());
+}
+
+/// Fitting a constant series: the bathtub families cannot represent a
+/// flat line exactly (β < 0 strictly), but the pipeline must return a
+/// finite fit or a typed error — not panic.
+#[test]
+fn fitting_constant_series_is_graceful() {
+    let series = PerformanceSeries::monthly("flat", vec![1.0; 30]).unwrap();
+    for fam in [&QuadraticFamily as &dyn ModelFamily, &CompetingRisksFamily] {
+        match fit_least_squares(fam, &series, &FitConfig::default()) {
+            Ok(fit) => {
+                assert!(fit.sse.is_finite());
+                assert!(fit.params.iter().all(|p| p.is_finite()));
+            }
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+}
+
+/// Fitting a two-point series: underdetermined for every family; must
+/// error or return finite parameters.
+#[test]
+fn fitting_minimal_series_is_graceful() {
+    let series = PerformanceSeries::monthly("tiny", vec![1.0, 0.9]).unwrap();
+    for fam in [&QuadraticFamily as &dyn ModelFamily, &CompetingRisksFamily] {
+        match fit_least_squares(fam, &series, &FitConfig::default()) {
+            Ok(fit) => assert!(fit.params.iter().all(|p| p.is_finite())),
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+}
+
+/// Extreme magnitudes: values around 1e6 (an unnormalized curve) must
+/// not break the pipeline.
+#[test]
+fn fitting_unnormalized_series_works() {
+    let values: Vec<f64> = (0..40)
+        .map(|i| {
+            let t = i as f64;
+            1.0e6 * (1.0 - 0.012 * t + 0.0004 * t * t)
+        })
+        .collect();
+    let series = PerformanceSeries::monthly("big", values).unwrap();
+    let fit = fit_least_squares(&QuadraticFamily, &series, &FitConfig::default()).unwrap();
+    // Relative fit quality: SSE small compared to the scale².
+    assert!(fit.sse / 1.0e12 < 1e-6, "sse = {}", fit.sse);
+}
+
+/// A sawtooth (pure noise) series: fits succeed with poor quality and
+/// every reported diagnostic stays finite.
+#[test]
+fn fitting_noise_reports_finite_diagnostics() {
+    let values: Vec<f64> = (0..48)
+        .map(|i| 1.0 + if i % 2 == 0 { 0.05 } else { -0.05 })
+        .collect();
+    let series = PerformanceSeries::monthly("saw", values).unwrap();
+    for fam in [&QuadraticFamily as &dyn ModelFamily, &CompetingRisksFamily] {
+        if let Ok(eval) = evaluate_model(fam, &series, 5, 0.05) {
+            assert!(eval.gof.sse.is_finite());
+            assert!(eval.gof.r2_adj.is_finite());
+            assert!(eval.gof.r2_adj < 0.5, "noise must not look explained");
+        }
+    }
+}
+
+/// Metric context validation blocks every degenerate geometry.
+#[test]
+fn metric_context_rejects_degenerate_geometry() {
+    let base = MetricContext {
+        t_start: 40.0,
+        t_end: 47.0,
+        nominal: 1.0,
+        t_min: 10.0,
+        t_full_start: 0.0,
+        weight: 0.5,
+    };
+    assert!(base.validated().is_ok());
+    for ctx in [
+        MetricContext { t_start: 47.0, ..base },          // empty window
+        MetricContext { t_min: 47.5, ..base },            // min past end
+        MetricContext { t_min: -1.0, ..base },            // min before start
+        MetricContext { weight: 0.0, ..base },            // weight boundary
+        MetricContext { weight: 1.5, ..base },            // weight out of range
+    ] {
+        assert!(ctx.validated().is_err(), "{ctx:?} should be rejected");
+    }
+}
+
+/// CSV parser survives hostile input without panicking.
+#[test]
+fn csv_parser_handles_hostile_input() {
+    let cases: &[&str] = &[
+        "",                          // empty
+        "\n\n\n",                    // only blank lines
+        "a,b\nc,d\n",                // all header-ish
+        "0,1\n0,1\n",                // duplicate times
+        "0,1\n1,1e309\n",            // overflow to infinity
+        "0,1\n1",                    // truncated row
+        "0,1,2,3\n",                 // too many fields
+        "🦀,🦀\n",                   // non-numeric unicode
+    ];
+    for case in cases {
+        let r = read_series(case.as_bytes(), "hostile");
+        assert!(r.is_err(), "case {case:?} should fail, got {:?}", r.map(|s| s.len()));
+    }
+}
+
+/// Forecasting from a series that never dips (monotone growth): the fit
+/// may be poor, but forecasting must not panic and intervals must be
+/// ordered.
+#[test]
+fn forecast_on_monotone_series_is_graceful() {
+    let values: Vec<f64> = (0..30).map(|i| 1.0 + 0.002 * i as f64).collect();
+    let series = PerformanceSeries::monthly("growth", values).unwrap();
+    if let Ok(fc) = forecast(&CompetingRisksFamily, &series, 6, 0.05) {
+        for p in &fc.points {
+            assert!(p.interval.lower() <= p.interval.upper());
+            assert!(p.predicted.is_finite());
+        }
+    }
+}
+
+/// Mixture families reject malformed parameter vectors at every entry
+/// point rather than producing NaN curves.
+#[test]
+fn mixture_api_rejects_malformed_parameters() {
+    let fam = MixtureFamily {
+        f1: ComponentKind::Weibull,
+        f2: ComponentKind::Exponential,
+        trend: Trend::Logarithmic,
+    };
+    // Wrong arity.
+    assert!(fam.build(&[1.0, 2.0]).is_err());
+    // Negative shape.
+    assert!(fam.build(&[-1.0, 2.0, 0.5, 0.1]).is_err());
+    // Zero trend coefficient.
+    assert!(fam.build(&[1.0, 2.0, 0.5, 0.0]).is_err());
+    assert!(fam.params_to_internal(&[1.0, 2.0, 0.5, -0.1]).is_err());
+}
+
+/// Holdout geometry is validated at the analysis boundary.
+#[test]
+fn evaluate_model_rejects_bad_holdouts() {
+    let series = PerformanceSeries::monthly("s", (0..10).map(|i| 1.0 - 0.01 * i as f64).collect())
+        .unwrap();
+    assert!(evaluate_model(&QuadraticFamily, &series, 0, 0.05).is_err());
+    assert!(evaluate_model(&QuadraticFamily, &series, 9, 0.05).is_err());
+    assert!(evaluate_model(&QuadraticFamily, &series, 100, 0.05).is_err());
+}
+
+/// Every public error type renders a useful message (non-empty, contains
+/// the offending routine's context).
+#[test]
+fn error_messages_are_informative() {
+    let e = PerformanceSeries::monthly("x", vec![1.0]).unwrap_err();
+    assert!(e.to_string().len() > 10);
+    let e = read_series("".as_bytes(), "x").unwrap_err();
+    assert!(e.to_string().len() > 10);
+    let Err(e) = QuadraticFamily.build(&[1.0, 1.0, 1.0]) else {
+        panic!("β > 0 must be rejected");
+    };
+    assert!(e.to_string().contains("Quadratic"));
+}
