@@ -1,0 +1,165 @@
+//! Micro-benchmark binary: serial-vs-parallel timings for the two
+//! fan-out stages of the fitting pipeline, written as JSON baselines.
+//!
+//! ```sh
+//! cargo run --release -p resilience-bench --bin bench
+//! ```
+//!
+//! Writes `BENCH_fitting.json` (`rank_models` over the six paper
+//! families) and `BENCH_bootstrap.json` (`bootstrap_band`, 200
+//! replicates) to the working directory. Each file records the machine's
+//! core count, min/median/mean wall-clock per configuration, the
+//! serial-over-parallel speedup, and whether the parallel outputs were
+//! bit-identical to the serial ones (they must always be — see
+//! DESIGN.md §Performance & determinism).
+
+use resilience_bench::harness::{bench, Measurement, SpeedupReport};
+use resilience_core::bathtub::{CompetingRisksFamily, QuadraticFamily};
+use resilience_core::bootstrap::{bootstrap_band, BootstrapBand, BootstrapConfig};
+use resilience_core::fit::FitConfig;
+use resilience_core::mixture::MixtureFamily;
+use resilience_core::model::ModelFamily;
+use resilience_core::selection::{rank_models, Ranking};
+use resilience_data::recessions::Recession;
+use resilience_optim::Parallelism;
+
+const WARMUP: usize = 1;
+const SAMPLES: usize = 5;
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The six families the paper fits: the two bathtub curves (§IV-A) and
+/// the four mixture combinations (§IV-B).
+fn paper_families(mixtures: &[MixtureFamily]) -> Vec<&dyn ModelFamily> {
+    let mut families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily, &CompetingRisksFamily];
+    for fam in mixtures {
+        families.push(fam);
+    }
+    families
+}
+
+fn rankings_identical(a: &Ranking, b: &Ranking) -> bool {
+    a.rows.len() == b.rows.len()
+        && a.rows.iter().zip(&b.rows).all(|(x, y)| {
+            x.family_name == y.family_name
+                && x.sse.to_bits() == y.sse.to_bits()
+                && x.r2_adj.to_bits() == y.r2_adj.to_bits()
+        })
+}
+
+fn bands_identical(a: &BootstrapBand, b: &BootstrapBand) -> bool {
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    bits(&a.lower) == bits(&b.lower)
+        && bits(&a.upper) == bits(&b.upper)
+        && a.replicates == b.replicates
+}
+
+fn bench_fitting() -> SpeedupReport {
+    let series = Recession::R1990_93.payroll_index();
+    let mixtures = MixtureFamily::paper_combinations();
+    let families = paper_families(&mixtures);
+    let config = |p: Parallelism| FitConfig {
+        parallelism: p,
+        ..FitConfig::default()
+    };
+
+    let serial_out =
+        rank_models(&families, &series, &config(Parallelism::Serial)).expect("serial rank_models");
+    let parallel_out =
+        rank_models(&families, &series, &config(Parallelism::Auto)).expect("parallel rank_models");
+    let identical = rankings_identical(&serial_out, &parallel_out);
+
+    let time = |name: &str, p: Parallelism| -> Measurement {
+        let cfg = config(p);
+        bench(name, WARMUP, SAMPLES, || {
+            rank_models(&families, &series, &cfg).expect("rank_models")
+        })
+    };
+    SpeedupReport {
+        benchmark: "rank_models".into(),
+        cores: cores(),
+        serial: time("serial", Parallelism::Serial),
+        parallel: time("parallel_auto", Parallelism::Auto),
+        identical,
+        context: vec![
+            ("series".into(), "1990-93 payroll index".into()),
+            ("families".into(), families.len().to_string()),
+        ],
+    }
+}
+
+fn bench_bootstrap() -> SpeedupReport {
+    let series = Recession::R1990_93.payroll_index();
+    let fit_config = FitConfig::default();
+    let config = |p: Parallelism| BootstrapConfig {
+        parallelism: p,
+        ..BootstrapConfig::default()
+    };
+
+    let serial_out = bootstrap_band(
+        &QuadraticFamily,
+        &series,
+        &fit_config,
+        &config(Parallelism::Serial),
+    )
+    .expect("serial bootstrap_band");
+    let parallel_out = bootstrap_band(
+        &QuadraticFamily,
+        &series,
+        &fit_config,
+        &config(Parallelism::Auto),
+    )
+    .expect("parallel bootstrap_band");
+    let identical = bands_identical(&serial_out, &parallel_out);
+
+    let time = |name: &str, p: Parallelism| -> Measurement {
+        let cfg = config(p);
+        bench(name, WARMUP, SAMPLES, || {
+            bootstrap_band(&QuadraticFamily, &series, &fit_config, &cfg).expect("bootstrap_band")
+        })
+    };
+    SpeedupReport {
+        benchmark: "bootstrap_band".into(),
+        cores: cores(),
+        serial: time("serial", Parallelism::Serial),
+        parallel: time("parallel_auto", Parallelism::Auto),
+        identical,
+        context: vec![
+            ("series".into(), "1990-93 payroll index".into()),
+            ("family".into(), "Quadratic".into()),
+            (
+                "replicates".into(),
+                BootstrapConfig::default().replicates.to_string(),
+            ),
+        ],
+    }
+}
+
+fn write_report(path: &str, report: &SpeedupReport) {
+    assert!(
+        report.identical,
+        "{}: parallel output differs from serial — determinism contract broken",
+        report.benchmark
+    );
+    std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!(
+        "{:14} cores={} serial={:.1}ms parallel={:.1}ms speedup={:.2}x identical={} -> {path}",
+        report.benchmark,
+        report.cores,
+        report.serial.min_ns() as f64 / 1e6,
+        report.parallel.min_ns() as f64 / 1e6,
+        report.speedup(),
+        report.identical,
+    );
+}
+
+fn main() {
+    println!(
+        "predictive-resilience micro-bench (warmup {WARMUP}, min of {SAMPLES}, {} cores)",
+        cores()
+    );
+    write_report("BENCH_fitting.json", &bench_fitting());
+    write_report("BENCH_bootstrap.json", &bench_bootstrap());
+}

@@ -45,8 +45,21 @@ fn run(which: &str) -> Result<Vec<String>, Box<dyn std::error::Error>> {
         "all" => {
             let mut blocks = Vec::new();
             for name in [
-                "fig2", "table1", "fig3", "fig4", "table2", "table3", "fig5", "fig6", "table4",
-                "shapes", "trends", "w-ext", "l-ext", "selection", "bootstrap",
+                "fig2",
+                "table1",
+                "fig3",
+                "fig4",
+                "table2",
+                "table3",
+                "fig5",
+                "fig6",
+                "table4",
+                "shapes",
+                "trends",
+                "w-ext",
+                "l-ext",
+                "selection",
+                "bootstrap",
             ] {
                 blocks.extend(run(name)?);
             }

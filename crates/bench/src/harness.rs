@@ -1,0 +1,242 @@
+//! Hermetic micro-benchmark harness: warmup + min-of-N wall-clock timing
+//! over [`std::time::Instant`], with hand-rolled JSON output.
+//!
+//! criterion cannot be fetched in the offline build environment, so this
+//! module provides the minimal subset the workspace needs: run a closure
+//! a few warmup iterations, sample it N times, keep every sample, and
+//! report the minimum (the least-noise estimator for wall-clock
+//! micro-benchmarks), plus median and mean for context. The `bench`
+//! binary serializes [`SpeedupReport`]s to `BENCH_*.json` files that
+//! track the repo's perf trajectory.
+
+use std::time::Instant;
+
+/// Timing samples for one benchmarked operation.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Operation label.
+    pub name: String,
+    /// Wall-clock nanoseconds per sample, in execution order.
+    pub samples_ns: Vec<u128>,
+}
+
+impl Measurement {
+    /// Fastest sample — the standard micro-benchmark estimator, since
+    /// noise is strictly additive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when there are no samples.
+    #[must_use]
+    pub fn min_ns(&self) -> u128 {
+        *self.samples_ns.iter().min().expect("at least one sample")
+    }
+
+    /// Median sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when there are no samples.
+    #[must_use]
+    pub fn median_ns(&self) -> u128 {
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        sorted[sorted.len() / 2]
+    }
+
+    /// Mean sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when there are no samples.
+    #[must_use]
+    pub fn mean_ns(&self) -> u128 {
+        assert!(!self.samples_ns.is_empty(), "at least one sample");
+        self.samples_ns.iter().sum::<u128>() / self.samples_ns.len() as u128
+    }
+
+    /// JSON object with the summary statistics and raw samples.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let samples: Vec<String> = self.samples_ns.iter().map(u128::to_string).collect();
+        format!(
+            "{{\"name\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples_ns\": [{}]}}",
+            json_escape(&self.name),
+            self.min_ns(),
+            self.median_ns(),
+            self.mean_ns(),
+            samples.join(", ")
+        )
+    }
+}
+
+/// Runs `f` for `warmup` untimed iterations, then `samples` timed ones.
+///
+/// The closure's return value goes through [`std::hint::black_box`] so
+/// the optimizer cannot elide the work.
+///
+/// # Panics
+///
+/// Panics when `samples == 0`.
+pub fn bench<T, F: FnMut() -> T>(
+    name: &str,
+    warmup: usize,
+    samples: usize,
+    mut f: F,
+) -> Measurement {
+    assert!(samples > 0, "bench requires at least one sample");
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let samples_ns = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    Measurement {
+        name: name.to_string(),
+        samples_ns,
+    }
+}
+
+/// A serial-vs-parallel comparison for one pipeline stage, serialized to
+/// a `BENCH_*.json` file by the `bench` binary.
+#[derive(Debug, Clone)]
+pub struct SpeedupReport {
+    /// Benchmark name (e.g. `rank_models`).
+    pub benchmark: String,
+    /// `std::thread::available_parallelism()` on the measuring machine —
+    /// speedups are only meaningful relative to this.
+    pub cores: usize,
+    /// Timing of the serial configuration.
+    pub serial: Measurement,
+    /// Timing of the parallel configuration.
+    pub parallel: Measurement,
+    /// Whether the parallel run produced bit-identical results to the
+    /// serial run (checked by the caller on the actual outputs).
+    pub identical: bool,
+    /// Free-form context keys (series name, replicate count, …).
+    pub context: Vec<(String, String)>,
+}
+
+impl SpeedupReport {
+    /// Serial-over-parallel speedup from the min-of-N estimates.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.serial.min_ns() as f64 / self.parallel.min_ns().max(1) as f64
+    }
+
+    /// Full JSON document for this comparison.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let context: Vec<String> = self
+            .context
+            .iter()
+            .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+            .collect();
+        format!(
+            "{{\n  \"benchmark\": \"{}\",\n  \"cores\": {},\n  \"identical\": {},\n  \"speedup\": {:.3},\n  \"serial\": {},\n  \"parallel\": {},\n  \"context\": {{{}}}\n}}\n",
+            json_escape(&self.benchmark),
+            self.cores,
+            self.identical,
+            self.speedup(),
+            self.serial.to_json(),
+            self.parallel.to_json(),
+            context.join(", ")
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_requested_samples() {
+        let mut calls = 0usize;
+        let m = bench("noop", 2, 5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(m.samples_ns.len(), 5);
+        assert_eq!(calls, 7, "2 warmup + 5 timed");
+        assert!(m.min_ns() <= m.median_ns());
+        assert!(m.min_ns() <= m.mean_ns());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn bench_rejects_zero_samples() {
+        bench("empty", 0, 0, || ());
+    }
+
+    #[test]
+    fn measurement_statistics() {
+        let m = Measurement {
+            name: "m".into(),
+            samples_ns: vec![30, 10, 20],
+        };
+        assert_eq!(m.min_ns(), 10);
+        assert_eq!(m.median_ns(), 20);
+        assert_eq!(m.mean_ns(), 20);
+    }
+
+    #[test]
+    fn json_contains_fields_and_parses_shapewise() {
+        let report = SpeedupReport {
+            benchmark: "rank_models".into(),
+            cores: 4,
+            serial: Measurement {
+                name: "serial".into(),
+                samples_ns: vec![400],
+            },
+            parallel: Measurement {
+                name: "parallel".into(),
+                samples_ns: vec![100],
+            },
+            identical: true,
+            context: vec![("series".into(), "1990-93".into())],
+        };
+        assert!((report.speedup() - 4.0).abs() < 1e-12);
+        let json = report.to_json();
+        for needle in [
+            "\"benchmark\": \"rank_models\"",
+            "\"cores\": 4",
+            "\"identical\": true",
+            "\"speedup\": 4.000",
+            "\"min_ns\": 400",
+            "\"series\": \"1990-93\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Balanced braces/brackets — a cheap structural sanity check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

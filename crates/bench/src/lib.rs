@@ -2,13 +2,14 @@
 //!
 //! Each public function regenerates one table or figure of *Predictive
 //! Resilience Modeling* (Silva et al., RWS 2022) and returns it as a
-//! rendered text block. The `repro` binary prints them; the Criterion
-//! benches time the underlying computations. DESIGN.md §4 maps each
+//! rendered text block. The `repro` binary prints them; the `bench`
+//! binary times the underlying computations with the in-repo [`harness`]
+//! (no criterion — the workspace builds offline). DESIGN.md §4 maps each
 //! experiment to the modules it exercises.
 
-use resilience_core::analysis::{
-    band_series, evaluate_model, metrics_comparison, ModelEvaluation,
-};
+pub mod harness;
+
+use resilience_core::analysis::{band_series, evaluate_model, metrics_comparison, ModelEvaluation};
 use resilience_core::bathtub::{CompetingRisksFamily, QuadraticFamily, QuarticFamily};
 use resilience_core::mixture::MixtureFamily;
 use resilience_core::model::ModelFamily;
@@ -96,9 +97,15 @@ pub fn bathtub_evaluations(series: &PerformanceSeries) -> Result<Vec<ModelEvalua
 /// Propagates fit/validation failures.
 pub fn table1() -> Result<String, CoreError> {
     let mut table = Table::new(
-        ["U.S. Recession", "n", "Measure", "Quadratic", "Competing Risks"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "U.S. Recession",
+            "n",
+            "Measure",
+            "Quadratic",
+            "Competing Risks",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for recession in Recession::ALL {
         let series = recession.payroll_index();
@@ -112,8 +119,16 @@ pub fn table1() -> Result<String, CoreError> {
         ];
         for (i, (measure, qv, crv)) in rows.into_iter().enumerate() {
             table.add_row(vec![
-                if i == 0 { recession.label().into() } else { String::new() },
-                if i == 0 { series.len().to_string() } else { String::new() },
+                if i == 0 {
+                    recession.label().into()
+                } else {
+                    String::new()
+                },
+                if i == 0 {
+                    series.len().to_string()
+                } else {
+                    String::new()
+                },
                 measure.to_string(),
                 qv,
                 crv,
@@ -151,7 +166,12 @@ pub fn fit_figure(
             format!("{:.5}", band.predicted[i]),
             format!("{:.5}", ci.lower()),
             format!("{:.5}", ci.upper()),
-            if ci.contains(band.observed[i]) { "yes" } else { "NO" }.to_string(),
+            if ci.contains(band.observed[i]) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     let train_boundary = series.times()[series.len() - holdout - 1];
@@ -255,9 +275,16 @@ pub fn mixture_evaluations(series: &PerformanceSeries) -> Result<Vec<ModelEvalua
 /// Propagates fit/validation failures.
 pub fn table3() -> Result<String, CoreError> {
     let mut table = Table::new(
-        ["U.S. Recession", "Measure", "Exp-Exp", "Wei-Exp", "Exp-Wei", "Wei-Wei"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "U.S. Recession",
+            "Measure",
+            "Exp-Exp",
+            "Wei-Exp",
+            "Exp-Wei",
+            "Wei-Wei",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for recession in Recession::ALL {
         let series = recession.payroll_index();
@@ -271,7 +298,11 @@ pub fn table3() -> Result<String, CoreError> {
         ];
         for (i, (name, extract)) in measures.iter().enumerate() {
             let mut row = vec![
-                if i == 0 { recession.label().into() } else { String::new() },
+                if i == 0 {
+                    recession.label().into()
+                } else {
+                    String::new()
+                },
                 (*name).to_string(),
             ];
             for e in &evals {
@@ -351,14 +382,23 @@ pub fn table4() -> Result<String, CoreError> {
 /// Propagates fit failures.
 pub fn shape_sweep() -> Result<String, CoreError> {
     let mut table = Table::new(
-        ["Shape", "Quadratic r2_adj", "Competing Risks r2_adj", "Quartic r2_adj"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Shape",
+            "Quadratic r2_adj",
+            "Competing Risks r2_adj",
+            "Quartic r2_adj",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for kind in ShapeKind::ALL {
         let series = kind.canonical(48, 42).generate(kind.to_string())?;
         let mut row = vec![kind.to_string()];
-        for fam in [&QuadraticFamily as &dyn ModelFamily, &CompetingRisksFamily, &QuarticFamily] {
+        for fam in [
+            &QuadraticFamily as &dyn ModelFamily,
+            &CompetingRisksFamily,
+            &QuarticFamily,
+        ] {
             let cell = match evaluate_model(fam, &series, 5, ALPHA) {
                 Ok(e) => fmt_metric(e.gof.r2_adj),
                 Err(_) => "fit failed".to_string(),
@@ -493,9 +533,17 @@ pub fn selection_table() -> Result<String, CoreError> {
     use resilience_core::selection::rank_models;
     let mixtures = MixtureFamily::paper_combinations();
     let mut table = Table::new(
-        ["U.S. Recession", "AICc rank", "Model", "k", "AICc", "BIC", "r2_adj"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "U.S. Recession",
+            "AICc rank",
+            "Model",
+            "k",
+            "AICc",
+            "BIC",
+            "r2_adj",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for recession in Recession::ALL {
         let series = recession.payroll_index();
@@ -509,14 +557,29 @@ pub fn selection_table() -> Result<String, CoreError> {
         for fam in &mixtures {
             families.push(fam);
         }
-        let rows = rank_models(&families, &series, &FitConfig::default())?;
-        for (rank, row) in rows.iter().take(3).enumerate() {
+        let ranking = rank_models(&families, &series, &FitConfig::default())?;
+        for failure in &ranking.failures {
+            table.add_row(vec![
+                String::new(),
+                "-".into(),
+                failure.family_name.to_string(),
+                "-".into(),
+                format!("failed: {}", failure.reason),
+                String::new(),
+                String::new(),
+            ]);
+        }
+        for (rank, row) in ranking.rows.iter().take(3).enumerate() {
             let (aicc, bic) = row
                 .criteria
                 .map(|c| (format!("{:.2}", c.aicc), format!("{:.2}", c.bic)))
                 .unwrap_or_else(|| ("-inf".into(), "-inf".into()));
             table.add_row(vec![
-                if rank == 0 { recession.label().into() } else { String::new() },
+                if rank == 0 {
+                    recession.label().into()
+                } else {
+                    String::new()
+                },
                 (rank + 1).to_string(),
                 row.family_name.to_string(),
                 row.n_params.to_string(),

@@ -9,9 +9,7 @@
 //! * [`band_series`] — fit + confidence band traces (Figs. 3–6).
 
 use crate::fit::{fit_least_squares, FitConfig, FittedModel};
-use crate::metrics::{
-    actual_metric, predicted_metric, relative_error, MetricContext, MetricKind,
-};
+use crate::metrics::{actual_metric, predicted_metric, relative_error, MetricContext, MetricKind};
 use crate::model::ModelFamily;
 use crate::validate::{gof_report, GofReport};
 use crate::CoreError;

@@ -109,7 +109,10 @@ impl CompetingRisksModel {
         if disc < 0.0 {
             return Err(CoreError::no_solution(
                 "CompetingRisksModel::recovery_time",
-                format!("level {level} is below the curve minimum {}", self.minimum()),
+                format!(
+                    "level {level} is below the curve minimum {}",
+                    self.minimum()
+                ),
             ));
         }
         let t = (level * b - 2.0 * g + disc.sqrt()) / (4.0 * b * g);
@@ -124,6 +127,17 @@ impl CompetingRisksModel {
 
     fn predict_inner(&self, t: f64) -> f64 {
         2.0 * self.gamma * t + self.alpha / (1.0 + self.beta * t)
+    }
+
+    /// Allocation-free mirror of the `new` constraints, used by the
+    /// fitting hot path.
+    fn feasible(alpha: f64, beta: f64, gamma: f64) -> bool {
+        alpha > 0.0
+            && alpha.is_finite()
+            && beta > 0.0
+            && beta.is_finite()
+            && gamma > 0.0
+            && gamma.is_finite()
     }
 
     /// Antiderivative (paper Eq. 6): `γt² + (α/β)·ln(1+βt)`.
@@ -143,6 +157,17 @@ impl ResilienceModel for CompetingRisksModel {
 
     fn predict(&self, t: f64) -> f64 {
         self.predict_inner(t)
+    }
+
+    fn predict_into(&self, ts: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            ts.len(),
+            out.len(),
+            "predict_into requires ts and out of equal length"
+        );
+        for (o, &t) in out.iter_mut().zip(ts) {
+            *o = 2.0 * self.gamma * t + self.alpha / (1.0 + self.beta * t);
+        }
     }
 
     /// Closed-form area (paper Eq. 6) between the endpoints.
@@ -203,8 +228,41 @@ impl ModelFamily for CompetingRisksFamily {
     }
 
     fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
-        assert_eq!(internal.len(), 3, "CompetingRisksFamily expects 3 internal params");
+        assert_eq!(
+            internal.len(),
+            3,
+            "CompetingRisksFamily expects 3 internal params"
+        );
         internal.iter().map(|v| v.exp()).collect()
+    }
+
+    fn internal_to_params_into(&self, internal: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            internal.len(),
+            3,
+            "CompetingRisksFamily expects 3 internal params"
+        );
+        assert_eq!(
+            out.len(),
+            3,
+            "CompetingRisksFamily writes 3 external params"
+        );
+        for (o, v) in out.iter_mut().zip(internal) {
+            *o = v.exp();
+        }
+    }
+
+    fn predict_params_into(&self, params: &[f64], ts: &[f64], out: &mut [f64]) -> bool {
+        if params.len() != 3 || !CompetingRisksModel::feasible(params[0], params[1], params[2]) {
+            return false;
+        }
+        let model = CompetingRisksModel {
+            alpha: params[0],
+            beta: params[1],
+            gamma: params[2],
+        };
+        model.predict_into(ts, out);
+        true
     }
 
     fn params_to_internal(&self, params: &[f64]) -> Result<Vec<f64>, CoreError> {
@@ -296,7 +354,11 @@ mod tests {
         let level = 0.9;
         let t = m.recovery_time(level).unwrap();
         assert!(t > m.trough(), "recovery is after the trough");
-        assert!((m.predict(t) - level).abs() < 1e-10, "P({t}) = {}", m.predict(t));
+        assert!(
+            (m.predict(t) - level).abs() < 1e-10,
+            "P({t}) = {}",
+            m.predict(t)
+        );
         // Unreachable level.
         assert!(m.recovery_time(0.1).is_err());
     }
@@ -354,6 +416,24 @@ mod tests {
                 "infeasible guess {g:?}"
             );
         }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let fam = CompetingRisksFamily;
+        let internal = [0.01_f64, -1.6, -5.3];
+        let mut params = [0.0; 3];
+        fam.internal_to_params_into(&internal, &mut params);
+        assert_eq!(params.to_vec(), fam.internal_to_params(&internal));
+
+        let ts = [0.0, 3.0, 11.0, 40.0];
+        let mut out = [f64::NAN; 4];
+        assert!(fam.predict_params_into(&params, &ts, &mut out));
+        let model = fam.build(&params).unwrap();
+        assert_eq!(out.to_vec(), model.predict_many(&ts));
+
+        assert!(!fam.predict_params_into(&[1.0, -0.1, 0.1], &ts, &mut out));
+        assert!(!fam.predict_params_into(&[1.0, 0.1], &ts, &mut out));
     }
 
     #[test]

@@ -102,22 +102,31 @@ impl QuadraticModel {
     pub fn recovery_time(&self, level: f64) -> Result<f64, CoreError> {
         let roots = quadratic_roots(self.gamma, self.beta, self.alpha - level)?;
         let trough = self.trough();
-        roots
-            .into_iter()
-            .find(|&t| t >= trough)
-            .ok_or_else(|| {
-                CoreError::no_solution(
-                    "QuadraticModel::recovery_time",
-                    format!(
-                        "level {level} is below the curve minimum {}",
-                        self.minimum()
-                    ),
-                )
-            })
+        roots.into_iter().find(|&t| t >= trough).ok_or_else(|| {
+            CoreError::no_solution(
+                "QuadraticModel::recovery_time",
+                format!(
+                    "level {level} is below the curve minimum {}",
+                    self.minimum()
+                ),
+            )
+        })
     }
 
     fn polynomial(&self) -> Polynomial {
         Polynomial::new(vec![self.alpha, self.beta, self.gamma])
+    }
+
+    /// Allocation-free mirror of the `new` constraints, used by the
+    /// fitting hot path (`new` reports the same conditions with
+    /// diagnostics, which costs a `String`).
+    fn feasible(alpha: f64, beta: f64, gamma: f64) -> bool {
+        alpha > 0.0
+            && alpha.is_finite()
+            && gamma > 0.0
+            && gamma.is_finite()
+            && beta > -2.0 * (alpha * gamma).sqrt()
+            && beta < 0.0
     }
 }
 
@@ -132,6 +141,17 @@ impl ResilienceModel for QuadraticModel {
 
     fn predict(&self, t: f64) -> f64 {
         self.alpha + self.beta * t + self.gamma * t * t
+    }
+
+    fn predict_into(&self, ts: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            ts.len(),
+            out.len(),
+            "predict_into requires ts and out of equal length"
+        );
+        for (o, &t) in out.iter_mut().zip(ts) {
+            *o = self.alpha + self.beta * t + self.gamma * t * t;
+        }
     }
 
     /// Closed-form area (paper Eq. 3): `αt + βt²/2 + γt³/3` evaluated
@@ -197,12 +217,44 @@ impl ModelFamily for QuadraticFamily {
     }
 
     fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
-        assert_eq!(internal.len(), 3, "QuadraticFamily expects 3 internal params");
+        assert_eq!(
+            internal.len(),
+            3,
+            "QuadraticFamily expects 3 internal params"
+        );
         let alpha = internal[0].exp();
         // Numerically safe logistic clamped strictly inside (0, 1).
         let s = (1.0 / (1.0 + (-internal[1]).exp())).clamp(1e-9, 1.0 - 1e-9);
         let gamma = internal[2].exp();
         QuadraticFamily::external(alpha, s, gamma)
+    }
+
+    fn internal_to_params_into(&self, internal: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            internal.len(),
+            3,
+            "QuadraticFamily expects 3 internal params"
+        );
+        assert_eq!(out.len(), 3, "QuadraticFamily writes 3 external params");
+        let alpha = internal[0].exp();
+        let s = (1.0 / (1.0 + (-internal[1]).exp())).clamp(1e-9, 1.0 - 1e-9);
+        let gamma = internal[2].exp();
+        out[0] = alpha;
+        out[1] = -2.0 * (alpha * gamma).sqrt() * s;
+        out[2] = gamma;
+    }
+
+    fn predict_params_into(&self, params: &[f64], ts: &[f64], out: &mut [f64]) -> bool {
+        if params.len() != 3 || !QuadraticModel::feasible(params[0], params[1], params[2]) {
+            return false;
+        }
+        let model = QuadraticModel {
+            alpha: params[0],
+            beta: params[1],
+            gamma: params[2],
+        };
+        model.predict_into(ts, out);
+        true
     }
 
     fn params_to_internal(&self, params: &[f64]) -> Result<Vec<f64>, CoreError> {
@@ -221,7 +273,9 @@ impl ModelFamily for QuadraticFamily {
         if params.len() != 3 {
             return Err(CoreError::params("Quadratic", "expected 3 parameters"));
         }
-        Ok(Box::new(QuadraticModel::new(params[0], params[1], params[2])?))
+        Ok(Box::new(QuadraticModel::new(
+            params[0], params[1], params[2],
+        )?))
     }
 
     fn initial_guesses(&self, series: &PerformanceSeries) -> Vec<Vec<f64>> {
@@ -265,7 +319,7 @@ mod tests {
         assert!(QuadraticModel::new(1.0, -0.01, 0.0).is_err()); // γ = 0
         assert!(QuadraticModel::new(1.0, 0.01, 0.1).is_err()); // β > 0
         assert!(QuadraticModel::new(1.0, 0.0, 0.1).is_err()); // β = 0
-        // β below −2√(αγ): −2√(0.1) ≈ −0.632.
+                                                              // β below −2√(αγ): −2√(0.1) ≈ −0.632.
         assert!(QuadraticModel::new(1.0, -0.7, 0.1).is_err());
         assert!(QuadraticModel::new(1.0, -0.6, 0.1).is_ok());
     }
@@ -378,6 +432,25 @@ mod tests {
         let g0 = &guesses[0];
         assert!((g0[0] - 1.0).abs() < 1e-6);
         assert!((g0[1] + 0.012).abs() < 1e-6);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let fam = QuadraticFamily;
+        let internal = [0.02, -0.3, -7.5];
+        let mut params = [0.0; 3];
+        fam.internal_to_params_into(&internal, &mut params);
+        assert_eq!(params.to_vec(), fam.internal_to_params(&internal));
+
+        let ts = [0.0, 5.0, 10.0, 20.0];
+        let mut out = [f64::NAN; 4];
+        assert!(fam.predict_params_into(&params, &ts, &mut out));
+        let model = fam.build(&params).unwrap();
+        assert_eq!(out.to_vec(), model.predict_many(&ts));
+
+        // Infeasible params: β > 0.
+        assert!(!fam.predict_params_into(&[1.0, 0.5, 0.1], &ts, &mut out));
+        assert!(!fam.predict_params_into(&[1.0, -0.01], &ts, &mut out));
     }
 
     #[test]

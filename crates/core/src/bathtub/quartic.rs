@@ -68,10 +68,18 @@ impl ResilienceModel for QuarticModel {
 
     fn predict(&self, t: f64) -> f64 {
         // Horner.
-        self.coeffs
-            .iter()
-            .rev()
-            .fold(0.0, |acc, &c| acc * t + c)
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * t + c)
+    }
+
+    fn predict_into(&self, ts: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            ts.len(),
+            out.len(),
+            "predict_into requires ts and out of equal length"
+        );
+        for (o, &t) in out.iter_mut().zip(ts) {
+            *o = self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * t + c);
+        }
     }
 
     fn area(&self, a: f64, b: f64) -> Result<f64, CoreError> {
@@ -104,6 +112,26 @@ impl ModelFamily for QuarticFamily {
     fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
         assert_eq!(internal.len(), 5, "QuarticFamily expects 5 internal params");
         internal.to_vec()
+    }
+
+    fn internal_to_params_into(&self, internal: &[f64], out: &mut [f64]) {
+        assert_eq!(internal.len(), 5, "QuarticFamily expects 5 internal params");
+        out.copy_from_slice(internal);
+    }
+
+    fn predict_params_into(&self, params: &[f64], ts: &[f64], out: &mut [f64]) -> bool {
+        assert_eq!(
+            ts.len(),
+            out.len(),
+            "predict_params_into requires ts and out of equal length"
+        );
+        if params.len() != 5 || params.iter().any(|c| !c.is_finite()) {
+            return false;
+        }
+        for (o, &t) in out.iter_mut().zip(ts) {
+            *o = params.iter().rev().fold(0.0, |acc, &c| acc * t + c);
+        }
+        true
     }
 
     fn params_to_internal(&self, params: &[f64]) -> Result<Vec<f64>, CoreError> {
@@ -184,6 +212,23 @@ mod tests {
         for (got, want) in g.iter().zip(coeffs) {
             assert!((got - want).abs() < 1e-6, "{g:?}");
         }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let fam = QuarticFamily;
+        let internal = [1.0, -0.24, 0.22, -0.08, 0.01];
+        let mut params = [0.0; 5];
+        fam.internal_to_params_into(&internal, &mut params);
+        assert_eq!(params.to_vec(), fam.internal_to_params(&internal));
+
+        let ts = [0.0, 1.0, 2.5, 4.0];
+        let mut out = [f64::NAN; 4];
+        assert!(fam.predict_params_into(&params, &ts, &mut out));
+        let model = fam.build(&params).unwrap();
+        assert_eq!(out.to_vec(), model.predict_many(&ts));
+
+        assert!(!fam.predict_params_into(&[1.0, f64::NAN, 0.0, 0.0, 0.0], &ts, &mut out));
     }
 
     #[test]

@@ -14,6 +14,8 @@ use crate::model::ModelFamily;
 use crate::CoreError;
 use resilience_data::noise::XorShift64;
 use resilience_data::PerformanceSeries;
+use resilience_optim::parallel::run_indexed;
+use resilience_optim::Parallelism;
 use resilience_stats::describe::quantile;
 
 /// A pointwise bootstrap *prediction* band: each limit reflects both
@@ -56,7 +58,11 @@ impl BootstrapBand {
         if series.len() != self.times.len() {
             return Err(CoreError::arg(
                 "BootstrapBand::coverage",
-                format!("{} observations vs {} band points", series.len(), self.times.len()),
+                format!(
+                    "{} observations vs {} band points",
+                    series.len(),
+                    self.times.len()
+                ),
             ));
         }
         let inside = series
@@ -76,12 +82,19 @@ pub struct BootstrapConfig {
     pub replicates: usize,
     /// Significance level (0.05 → 95 % band).
     pub alpha: f64,
-    /// Deterministic seed for the residual resampling.
+    /// Deterministic seed for the residual resampling. Replicate `i`
+    /// draws from its own counter-derived stream
+    /// ([`XorShift64::stream`]`(seed, i)`), so the band depends only on
+    /// the seed — never on scheduling or thread count.
     pub seed: u64,
     /// Fit configuration for the replicate refits. Defaults to a single
     /// start at the base fit's optimum with a reduced iteration budget —
     /// replicate surfaces are small perturbations of the original.
     pub refit: FitConfig,
+    /// Thread fan-out across replicates. Every setting produces
+    /// bit-identical bands; the replicate refits themselves run serially
+    /// so the fan-out happens at exactly one level.
+    pub parallelism: Parallelism,
 }
 
 impl Default for BootstrapConfig {
@@ -94,6 +107,7 @@ impl Default for BootstrapConfig {
             alpha: 0.05,
             seed: 0x0B007,
             refit,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -134,51 +148,66 @@ pub fn bootstrap_band(
         .map(|(y, f)| y - f)
         .collect();
 
-    // Replicate refits always start at the base optimum.
+    // Replicate refits always start at the base optimum, and run
+    // serially — the fan-out happens across replicates, not inside them.
     let mut refit_config = config.refit.clone();
     refit_config.max_starts = refit_config.max_starts.max(1);
+    refit_config.parallelism = Parallelism::Serial;
 
-    let mut rng = XorShift64::new(config.seed);
+    // Start from the base optimum: wrap the family so initial_guesses
+    // returns only the base parameters.
+    let wrapped = SeededFamily {
+        inner: family,
+        seed_params: base.params.clone(),
+    };
+
     let n = series.len();
+    // Each replicate owns a counter-derived RNG stream, so its draws are
+    // a pure function of (seed, replicate index): replicates can run on
+    // any thread in any order and still produce the same band.
+    let replicate_preds = run_indexed(
+        config.parallelism,
+        config.replicates,
+        |rep| -> Option<Vec<f64>> {
+            let mut rng = XorShift64::stream(config.seed, rep as u64);
+            let synth_values: Vec<f64> = (0..n)
+                .map(|i| fitted[i] + residuals[rng.next_index(n)])
+                .collect();
+            let synth = PerformanceSeries::new(series.name(), times.clone(), synth_values).ok()?;
+            let fit = fit_least_squares(&wrapped, &synth, &refit_config).ok()?;
+            let mut preds = vec![0.0; n];
+            fit.model.predict_into(&times, &mut preds);
+            for p in &mut preds {
+                // Prediction band: parameter uncertainty (the refit) plus
+                // observation noise (one more residual draw) — the bootstrap
+                // analogue of the paper's Eq. 13 band, which also targets
+                // observations rather than the mean curve.
+                *p += residuals[rng.next_index(n)];
+            }
+            Some(preds)
+        },
+    );
+
     let mut per_time: Vec<Vec<f64>> = vec![Vec::with_capacity(config.replicates); n];
     let mut failed = 0usize;
-    for _ in 0..config.replicates {
-        let synth_values: Vec<f64> = (0..n)
-            .map(|i| {
-                let j = (rng.next_u64() % n as u64) as usize;
-                fitted[i] + residuals[j]
-            })
-            .collect();
-        let Ok(synth) = PerformanceSeries::new(series.name(), times.clone(), synth_values) else {
-            failed += 1;
-            continue;
-        };
-        // Start from the base optimum: wrap the family so initial_guesses
-        // returns only the base parameters.
-        let wrapped = SeededFamily {
-            inner: family,
-            seed_params: base.params.clone(),
-        };
-        match fit_least_squares(&wrapped, &synth, &refit_config) {
-            Ok(fit) => {
-                for (i, &t) in times.iter().enumerate() {
-                    // Prediction band: parameter uncertainty (the refit)
-                    // plus observation noise (one more residual draw) —
-                    // the bootstrap analogue of the paper's Eq. 13 band,
-                    // which also targets observations rather than the
-                    // mean curve.
-                    let j = (rng.next_u64() % n as u64) as usize;
-                    per_time[i].push(fit.model.predict(t) + residuals[j]);
+    for preds in replicate_preds {
+        match preds {
+            Some(preds) => {
+                for (slot, p) in per_time.iter_mut().zip(preds) {
+                    slot.push(p);
                 }
             }
-            Err(_) => failed += 1,
+            None => failed += 1,
         }
     }
     let ok = config.replicates - failed;
     if ok < 20 || ok * 2 < config.replicates {
         return Err(CoreError::arg(
             "bootstrap_band",
-            format!("only {ok}/{} replicates refit successfully", config.replicates),
+            format!(
+                "only {ok}/{} replicates refit successfully",
+                config.replicates
+            ),
         ));
     }
     let mut lower = Vec::with_capacity(n);
@@ -228,6 +257,16 @@ impl ModelFamily for SeededFamily<'_> {
     fn initial_guesses(&self, _series: &PerformanceSeries) -> Vec<Vec<f64>> {
         vec![self.seed_params.clone()]
     }
+
+    // Forward the allocation-free hot-path hooks so replicate refits keep
+    // the wrapped family's specialized implementations.
+    fn internal_to_params_into(&self, internal: &[f64], out: &mut [f64]) {
+        self.inner.internal_to_params_into(internal, out);
+    }
+
+    fn predict_params_into(&self, params: &[f64], ts: &[f64], out: &mut [f64]) -> bool {
+        self.inner.predict_params_into(params, ts, out)
+    }
 }
 
 #[cfg(test)]
@@ -267,12 +306,50 @@ mod tests {
     #[test]
     fn band_is_deterministic_under_seed() {
         let series = Recession::R1990_93.payroll_index();
-        let a = bootstrap_band(&QuadraticFamily, &series, &FitConfig::default(), &quick_config())
-            .unwrap();
-        let b = bootstrap_band(&QuadraticFamily, &series, &FitConfig::default(), &quick_config())
-            .unwrap();
+        let a = bootstrap_band(
+            &QuadraticFamily,
+            &series,
+            &FitConfig::default(),
+            &quick_config(),
+        )
+        .unwrap();
+        let b = bootstrap_band(
+            &QuadraticFamily,
+            &series,
+            &FitConfig::default(),
+            &quick_config(),
+        )
+        .unwrap();
         assert_eq!(a.lower, b.lower);
         assert_eq!(a.upper, b.upper);
+    }
+
+    #[test]
+    fn band_is_invariant_to_thread_count() {
+        let series = Recession::R1990_93.payroll_index();
+        let run = |p: Parallelism| {
+            bootstrap_band(
+                &QuadraticFamily,
+                &series,
+                &FitConfig::default(),
+                &BootstrapConfig {
+                    parallelism: p,
+                    ..quick_config()
+                },
+            )
+            .unwrap()
+        };
+        let serial = run(Parallelism::Serial);
+        for p in [
+            Parallelism::Fixed(1),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            let par = run(p);
+            assert_eq!(par.lower, serial.lower, "{p:?}");
+            assert_eq!(par.upper, serial.upper, "{p:?}");
+            assert_eq!(par.replicates, serial.replicates, "{p:?}");
+        }
     }
 
     #[test]

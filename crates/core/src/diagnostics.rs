@@ -220,7 +220,9 @@ mod tests {
                 0.0
             }
         }
-        let values: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 0.01 } else { -0.01 }).collect();
+        let values: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 0.01 } else { -0.01 })
+            .collect();
         let s = PerformanceSeries::monthly("alt", values).unwrap();
         let d = residual_diagnostics(&Zero, &s).unwrap();
         assert_eq!(d.runs, 20);

@@ -91,6 +91,21 @@ impl CrashRecoveryModel {
         })
     }
 
+    /// Allocation-free mirror of the `new` constraints, used by the
+    /// fitting hot path.
+    fn feasible(params: &[f64]) -> bool {
+        params.len() == 5
+            && params[0] > 0.0
+            && params[0].is_finite()
+            && params[1] > 0.0
+            && params[2] > params[1]
+            && params[2].is_finite()
+            && params[3] > 0.0
+            && params[3].is_finite()
+            && params[4] >= 1.0
+            && params[4].is_finite()
+    }
+
     /// The crash (trough) time `t_c`.
     #[must_use]
     pub fn crash_time(&self) -> f64 {
@@ -155,6 +170,23 @@ impl ResilienceModel for CrashRecoveryModel {
             1.0 - (1.0 - self.p_min) * (t / self.crash_time).powf(self.sharpness)
         } else {
             self.p_inf - (self.p_inf - self.p_min) * (-self.rate * (t - self.crash_time)).exp()
+        }
+    }
+
+    fn predict_into(&self, ts: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            ts.len(),
+            out.len(),
+            "predict_into requires ts and out of equal length"
+        );
+        for (o, &t) in out.iter_mut().zip(ts) {
+            *o = if t < 0.0 {
+                1.0
+            } else if t < self.crash_time {
+                1.0 - (1.0 - self.p_min) * (t / self.crash_time).powf(self.sharpness)
+            } else {
+                self.p_inf - (self.p_inf - self.p_min) * (-self.rate * (t - self.crash_time)).exp()
+            };
         }
     }
 
@@ -244,13 +276,47 @@ impl ModelFamily for CrashRecoveryFamily {
     }
 
     fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
-        assert_eq!(internal.len(), 5, "CrashRecoveryFamily expects 5 internal params");
+        assert_eq!(
+            internal.len(),
+            5,
+            "CrashRecoveryFamily expects 5 internal params"
+        );
         let crash_time = internal[0].exp();
         let p_inf = internal[2].exp();
         let p_min = p_inf * CrashRecoveryFamily::sigmoid(internal[1]);
         let rate = internal[3].exp();
         let sharpness = 1.0 + internal[4].exp();
         vec![crash_time, p_min, p_inf, rate, sharpness]
+    }
+
+    fn internal_to_params_into(&self, internal: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            internal.len(),
+            5,
+            "CrashRecoveryFamily expects 5 internal params"
+        );
+        assert_eq!(out.len(), 5, "CrashRecoveryFamily writes 5 external params");
+        let p_inf = internal[2].exp();
+        out[0] = internal[0].exp();
+        out[1] = p_inf * CrashRecoveryFamily::sigmoid(internal[1]);
+        out[2] = p_inf;
+        out[3] = internal[3].exp();
+        out[4] = 1.0 + internal[4].exp();
+    }
+
+    fn predict_params_into(&self, params: &[f64], ts: &[f64], out: &mut [f64]) -> bool {
+        if !CrashRecoveryModel::feasible(params) {
+            return false;
+        }
+        let model = CrashRecoveryModel {
+            crash_time: params[0],
+            p_min: params[1],
+            p_inf: params[2],
+            rate: params[3],
+            sharpness: params[4],
+        };
+        model.predict_into(ts, out);
+        true
     }
 
     fn params_to_internal(&self, params: &[f64]) -> Result<Vec<f64>, CoreError> {
@@ -278,9 +344,7 @@ impl ModelFamily for CrashRecoveryFamily {
     }
 
     fn initial_guesses(&self, series: &PerformanceSeries) -> Vec<Vec<f64>> {
-        let (t_d, p_d) = series
-            .trough()
-            .unwrap_or((1.0, 0.9 * series.nominal()));
+        let (t_d, p_d) = series.trough().unwrap_or((1.0, 0.9 * series.nominal()));
         let t_d = t_d.max(0.5);
         let end_val = series.values()[series.len() - 1];
         let p_inf = end_val.max(p_d + 1e-3) * 1.01;
@@ -349,8 +413,7 @@ mod tests {
         for (a, b) in [(0.0, 1.5), (0.0, 10.0), (1.0, 23.0), (5.0, 20.0)] {
             let analytic = m.area(a, b).unwrap();
             let numeric =
-                resilience_math::quad::adaptive_simpson(|t| m.predict(t), a, b, 1e-11, 44)
-                    .unwrap();
+                resilience_math::quad::adaptive_simpson(|t| m.predict(t), a, b, 1e-11, 44).unwrap();
             assert!(
                 (analytic - numeric).abs() < 1e-7,
                 "[{a}, {b}]: {analytic} vs {numeric}"
@@ -382,6 +445,25 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let fam = CrashRecoveryFamily;
+        let params = [2.0, 0.85, 0.96, 0.15, 3.0];
+        let internal = fam.params_to_internal(&params).unwrap();
+        let mut back = [0.0; 5];
+        fam.internal_to_params_into(&internal, &mut back);
+        assert_eq!(back.to_vec(), fam.internal_to_params(&internal));
+
+        let ts = [0.0, 1.0, 2.0, 10.0, 40.0];
+        let mut out = [f64::NAN; 5];
+        assert!(fam.predict_params_into(&params, &ts, &mut out));
+        let model = fam.build(&params).unwrap();
+        assert_eq!(out.to_vec(), model.predict_many(&ts));
+
+        assert!(!fam.predict_params_into(&[1.0, 0.9, 0.8, 0.1, 2.0], &ts, &mut out));
+        assert!(!fam.predict_params_into(&[1.0, 0.8, 0.9, 0.1], &ts, &mut out));
     }
 
     #[test]

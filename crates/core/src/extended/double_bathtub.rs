@@ -107,6 +107,12 @@ impl DoubleBathtubModel {
         self.depth * self.width * std::f64::consts::E * (1.0 - (-u).exp() * (1.0 + u))
     }
 
+    /// Allocation-free mirror of the `new` constraints, used by the
+    /// fitting hot path.
+    fn feasible(params: &[f64]) -> bool {
+        params.len() == 6 && params.iter().all(|&v| v > 0.0 && v.is_finite())
+    }
+
     /// Onset time of the second episode.
     #[must_use]
     pub fn onset(&self) -> f64 {
@@ -135,6 +141,17 @@ impl ResilienceModel for DoubleBathtubModel {
         2.0 * self.gamma * t + self.alpha / (1.0 + self.beta * t) - self.second_dip(t)
     }
 
+    fn predict_into(&self, ts: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            ts.len(),
+            out.len(),
+            "predict_into requires ts and out of equal length"
+        );
+        for (o, &t) in out.iter_mut().zip(ts) {
+            *o = 2.0 * self.gamma * t + self.alpha / (1.0 + self.beta * t) - self.second_dip(t);
+        }
+    }
+
     fn area(&self, a: f64, b: f64) -> Result<f64, CoreError> {
         if !(a <= b) || !a.is_finite() || !b.is_finite() {
             return Err(CoreError::arg(
@@ -148,9 +165,8 @@ impl ResilienceModel for DoubleBathtubModel {
                 format!("lower endpoint {a} outside the model domain"),
             ));
         }
-        let base = |t: f64| {
-            self.gamma * t * t + (self.alpha / self.beta) * (1.0 + self.beta * t).ln()
-        };
+        let base =
+            |t: f64| self.gamma * t * t + (self.alpha / self.beta) * (1.0 + self.beta * t).ln();
         Ok(base(b) - base(a) - (self.second_dip_integral(b) - self.second_dip_integral(a)))
     }
 }
@@ -170,8 +186,40 @@ impl ModelFamily for DoubleBathtubFamily {
     }
 
     fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
-        assert_eq!(internal.len(), 6, "DoubleBathtubFamily expects 6 internal params");
+        assert_eq!(
+            internal.len(),
+            6,
+            "DoubleBathtubFamily expects 6 internal params"
+        );
         internal.iter().map(|v| v.exp()).collect()
+    }
+
+    fn internal_to_params_into(&self, internal: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            internal.len(),
+            6,
+            "DoubleBathtubFamily expects 6 internal params"
+        );
+        assert_eq!(out.len(), 6, "DoubleBathtubFamily writes 6 external params");
+        for (o, v) in out.iter_mut().zip(internal) {
+            *o = v.exp();
+        }
+    }
+
+    fn predict_params_into(&self, params: &[f64], ts: &[f64], out: &mut [f64]) -> bool {
+        if !DoubleBathtubModel::feasible(params) {
+            return false;
+        }
+        let model = DoubleBathtubModel {
+            alpha: params[0],
+            beta: params[1],
+            gamma: params[2],
+            depth: params[3],
+            onset: params[4],
+            width: params[5],
+        };
+        model.predict_into(ts, out);
+        true
     }
 
     fn params_to_internal(&self, params: &[f64]) -> Result<Vec<f64>, CoreError> {
@@ -313,6 +361,25 @@ mod tests {
         }
         assert!(fam.params_to_internal(&[1.0; 5]).is_err());
         assert!(fam.build(&[1.0, 1.0, 1.0, 1.0, 1.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let fam = DoubleBathtubFamily;
+        let params = [1.0, 0.5, 0.002, 0.03, 18.0, 8.0];
+        let internal = fam.params_to_internal(&params).unwrap();
+        let mut back = [0.0; 6];
+        fam.internal_to_params_into(&internal, &mut back);
+        assert_eq!(back.to_vec(), fam.internal_to_params(&internal));
+
+        let ts = [0.0, 10.0, 26.0, 47.0];
+        let mut out = [f64::NAN; 4];
+        assert!(fam.predict_params_into(&params, &ts, &mut out));
+        let model = fam.build(&params).unwrap();
+        assert_eq!(out.to_vec(), model.predict_many(&ts));
+
+        assert!(!fam.predict_params_into(&[1.0, 1.0, 1.0, 1.0, 1.0, -1.0], &ts, &mut out));
+        assert!(!fam.predict_params_into(&[1.0; 5], &ts, &mut out));
     }
 
     #[test]

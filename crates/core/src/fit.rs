@@ -11,9 +11,11 @@ use crate::CoreError;
 use resilience_data::PerformanceSeries;
 use resilience_math::sum::sum_squared_diff;
 use resilience_optim::levenberg_marquardt::{LevenbergMarquardt, LmConfig};
-use resilience_optim::multi_start::multi_start_nelder_mead;
+use resilience_optim::multi_start::multi_start_nelder_mead_with;
 use resilience_optim::nelder_mead::NelderMeadConfig;
 use resilience_optim::problem::ClosureLeastSquares;
+use resilience_optim::Parallelism;
+use std::cell::RefCell;
 
 /// Configuration for [`fit_least_squares`].
 #[derive(Debug, Clone)]
@@ -27,6 +29,9 @@ pub struct FitConfig {
     /// Cap on the number of starting points taken from
     /// [`ModelFamily::initial_guesses`].
     pub max_starts: usize,
+    /// Thread fan-out for the multi-start phase. Every setting produces
+    /// bit-identical results; see `DESIGN.md` §Performance & determinism.
+    pub parallelism: Parallelism,
 }
 
 impl Default for FitConfig {
@@ -41,6 +46,7 @@ impl Default for FitConfig {
             lm_polish: true,
             lm: LmConfig::default(),
             max_starts: 24,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -103,20 +109,28 @@ pub fn fit_least_squares(
 ) -> Result<FittedModel, CoreError> {
     let observed = series.values();
     let times = series.times();
+    let n_params = family.n_params();
 
-    // SSE objective over the internal space; infeasible builds map to +∞
-    // so the simplex contracts away from them.
-    let objective = |internal: &[f64]| -> f64 {
-        let params = family.internal_to_params(internal);
-        match family.build(&params) {
-            Ok(model) => {
-                let predicted = model.predict_many(times);
-                if predicted.iter().any(|v| !v.is_finite()) {
-                    return f64::INFINITY;
-                }
-                sum_squared_diff(observed, &predicted)
+    // SSE objective over the internal space; infeasible parameters map to
+    // +∞ so the simplex contracts away from them. Each objective instance
+    // owns scratch buffers for the external parameters and predictions
+    // (behind a `RefCell`, since the optimizer only sees `Fn`), so the
+    // inner loop performs zero heap allocations per evaluation. The
+    // factory hands every worker thread of the multi-start phase its own
+    // instance.
+    let make_objective = || {
+        let scratch = RefCell::new((vec![0.0; n_params], vec![0.0; times.len()]));
+        move |internal: &[f64]| -> f64 {
+            let mut guard = scratch.borrow_mut();
+            let (params, predicted) = &mut *guard;
+            family.internal_to_params_into(internal, params);
+            if !family.predict_params_into(params, times, predicted) {
+                return f64::INFINITY;
             }
-            Err(_) => f64::INFINITY,
+            if predicted.iter().any(|v| !v.is_finite()) {
+                return f64::INFINITY;
+            }
+            sum_squared_diff(observed, predicted)
         }
     };
 
@@ -128,33 +142,43 @@ pub fn fit_least_squares(
         .take(config.max_starts)
         .collect();
     if starts.is_empty() {
-        return Err(CoreError::Fit(resilience_optim::OptimError::AllStartsFailed {
-            attempts: 0,
-        }));
+        return Err(CoreError::Fit(
+            resilience_optim::OptimError::AllStartsFailed { attempts: 0 },
+        ));
     }
 
-    let best = multi_start_nelder_mead(&objective, &starts, &config.nelder_mead)?;
+    let best = multi_start_nelder_mead_with(
+        &make_objective,
+        &starts,
+        &config.nelder_mead,
+        config.parallelism,
+    )?;
     let mut best_internal = best.params;
     let mut best_sse = best.value;
     let mut evaluations = best.evaluations;
 
     if config.lm_polish {
+        // Same scratch trick for the residual closure: predictions are
+        // written straight into the residual buffer, then flipped in
+        // place, so LM's finite-difference sweeps allocate nothing.
+        let lm_params = RefCell::new(vec![0.0; n_params]);
         let problem = ClosureLeastSquares::new(
             best_internal.len(),
             observed.len(),
             |internal: &[f64], out: &mut [f64]| {
-                let params = family.internal_to_params(internal);
-                match family.build(&params) {
-                    Ok(model) => {
-                        for (i, (&t, &y)) in times.iter().zip(observed).enumerate() {
-                            out[i] = y - model.predict(t);
-                        }
+                let params = &mut *lm_params.borrow_mut();
+                family.internal_to_params_into(internal, params);
+                if family.predict_params_into(params, times, out) {
+                    for (r, &y) in out.iter_mut().zip(observed) {
+                        *r = y - *r;
                     }
-                    Err(_) => out.fill(f64::NAN),
+                } else {
+                    out.fill(f64::NAN);
                 }
             },
         );
-        if let Ok(report) = LevenbergMarquardt::new(config.lm.clone()).minimize(&problem, &best_internal)
+        if let Ok(report) =
+            LevenbergMarquardt::new(config.lm.clone()).minimize(&problem, &best_internal)
         {
             evaluations += report.evaluations;
             if report.value < best_sse {
@@ -213,8 +237,7 @@ mod tests {
 
     #[test]
     fn competing_risks_recovers_exact_parameters() {
-        let truth =
-            crate::bathtub::CompetingRisksModel::new(1.0, 0.2, 0.0008).unwrap();
+        let truth = crate::bathtub::CompetingRisksModel::new(1.0, 0.2, 0.0008).unwrap();
         use crate::model::ResilienceModel;
         let values: Vec<f64> = (0..48).map(|i| truth.predict(i as f64)).collect();
         let s = PerformanceSeries::monthly("cr", values).unwrap();
@@ -241,6 +264,38 @@ mod tests {
         let b = fit_least_squares(&QuadraticFamily, &s, &FitConfig::default()).unwrap();
         assert_eq!(a.params, b.params);
         assert_eq!(a.sse, b.sse);
+    }
+
+    #[test]
+    fn fit_parallelism_is_bit_identical() {
+        let s = quadratic_series(0.002);
+        let serial = fit_least_squares(
+            &QuadraticFamily,
+            &s,
+            &FitConfig {
+                parallelism: Parallelism::Serial,
+                ..FitConfig::default()
+            },
+        )
+        .unwrap();
+        for p in [
+            Parallelism::Fixed(1),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            let fit = fit_least_squares(
+                &QuadraticFamily,
+                &s,
+                &FitConfig {
+                    parallelism: p,
+                    ..FitConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(fit.params, serial.params, "{p:?}");
+            assert_eq!(fit.sse, serial.sse, "{p:?}");
+            assert_eq!(fit.evaluations, serial.evaluations, "{p:?}");
+        }
     }
 
     #[test]

@@ -144,13 +144,16 @@ pub fn recovery_outlook(
         return Err(CoreError::arg("recovery_outlook", "no levels given"));
     }
     if !(horizon_months > 0.0) {
-        return Err(CoreError::arg("recovery_outlook", "horizon must be positive"));
+        return Err(CoreError::arg(
+            "recovery_outlook",
+            "horizon must be positive",
+        ));
     }
     let fit = fit_least_squares(family, series, &FitConfig::default())?;
     let times = series.times();
-    let (t_min, _) = series.trough().ok_or_else(|| {
-        CoreError::arg("recovery_outlook", "series is empty")
-    })?;
+    let (t_min, _) = series
+        .trough()
+        .ok_or_else(|| CoreError::arg("recovery_outlook", "series is empty"))?;
     let horizon_end = times[times.len() - 1] + horizon_months;
     Ok(levels
         .iter()

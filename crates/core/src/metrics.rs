@@ -115,7 +115,10 @@ impl MetricContext {
         if !(self.t_start < self.t_end) {
             return Err(CoreError::arg(
                 "MetricContext",
-                format!("need t_start < t_end, got [{}, {}]", self.t_start, self.t_end),
+                format!(
+                    "need t_start < t_end, got [{}, {}]",
+                    self.t_start, self.t_end
+                ),
             ));
         }
         if !(self.t_full_start <= self.t_min && self.t_min < self.t_end) {
@@ -274,9 +277,7 @@ fn compute(curve: &Curve<'_>, kind: MetricKind, ctx: &MetricContext) -> Result<f
             let p_min = curve.value(ctx.t_min)?;
             Ok(area - p_min * (ctx.t_end - ctx.t_min))
         }
-        MetricKind::AveragePreserved => {
-            Ok(curve.area(ctx.t_start, ctx.t_end)? / width)
-        }
+        MetricKind::AveragePreserved => Ok(curve.area(ctx.t_start, ctx.t_end)? / width),
         MetricKind::AverageLost => {
             let preserved = curve.area(ctx.t_start, ctx.t_end)?;
             Ok((ctx.nominal * width - preserved) / width)
@@ -471,10 +472,7 @@ mod tests {
             // Tolerance: trapezoid discretization error of the monthly
             // grid, h²·|f''|·width/12 ≈ 7e-5 per month; the widest window
             // any metric integrates spans the full 47 months.
-            assert!(
-                (a - p).abs() < 4e-3,
-                "{kind}: actual {a} vs predicted {p}"
-            );
+            assert!((a - p).abs() < 4e-3, "{kind}: actual {a} vs predicted {p}");
         }
     }
 

@@ -8,7 +8,6 @@ use resilience_stats::{ContinuousDistribution, Exponential, Gamma, LogNormal, We
 /// The paper evaluates Exponential and Weibull (its Eq. 23); Gamma and
 /// LogNormal are workspace extensions (DESIGN.md §5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ComponentKind {
     /// Exponential(rate) — 1 parameter.
     Exponential,
@@ -71,6 +70,30 @@ impl ComponentKind {
         Ok(built)
     }
 
+    /// Allocation-free variant of [`ComponentKind::build`] for the
+    /// fitting hot path: returns `None` instead of constructing an error
+    /// for the wrong parameter count or infeasible values.
+    #[must_use]
+    pub fn try_build(&self, params: &[f64]) -> Option<BuiltComponent> {
+        if params.len() != self.n_params() {
+            return None;
+        }
+        // The distribution constructors carry static-str errors, so even
+        // the failure path here allocates nothing.
+        Some(match self {
+            ComponentKind::Exponential => {
+                BuiltComponent::Exponential(Exponential::new(params[0]).ok()?)
+            }
+            ComponentKind::Weibull => {
+                BuiltComponent::Weibull(Weibull::new(params[0], params[1]).ok()?)
+            }
+            ComponentKind::Gamma => BuiltComponent::Gamma(Gamma::new(params[0], params[1]).ok()?),
+            ComponentKind::LogNormal => {
+                BuiltComponent::LogNormal(LogNormal::new(params[0], params[1]).ok()?)
+            }
+        })
+    }
+
     /// Whether parameter `i` must be positive (`true` for every parameter
     /// except LogNormal's location μ).
     #[must_use]
@@ -85,11 +108,7 @@ impl ComponentKind {
         let t = t_scale.max(1.0);
         match self {
             ComponentKind::Exponential => vec![vec![1.0 / t], vec![2.0 / t], vec![0.5 / t]],
-            ComponentKind::Weibull => vec![
-                vec![1.5, t],
-                vec![2.5, t],
-                vec![1.0, 2.0 * t],
-            ],
+            ComponentKind::Weibull => vec![vec![1.5, t], vec![2.5, t], vec![1.0, 2.0 * t]],
             ComponentKind::Gamma => vec![vec![2.0, 2.0 / t], vec![1.0, 1.0 / t]],
             ComponentKind::LogNormal => vec![vec![t.ln(), 0.5], vec![t.ln(), 1.0]],
         }
@@ -167,6 +186,23 @@ mod tests {
         let w = ComponentKind::Weibull.build(&[2.0, 5.0]).unwrap();
         assert!((w.cdf(5.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-14);
         assert!((e.survival(2.0) + e.cdf(2.0) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn try_build_agrees_with_build() {
+        for kind in [
+            ComponentKind::Exponential,
+            ComponentKind::Weibull,
+            ComponentKind::Gamma,
+            ComponentKind::LogNormal,
+        ] {
+            for params in kind.candidate_params(8.0) {
+                assert_eq!(kind.try_build(&params), Some(kind.build(&params).unwrap()));
+            }
+        }
+        assert_eq!(ComponentKind::Exponential.try_build(&[1.0, 2.0]), None);
+        assert_eq!(ComponentKind::Exponential.try_build(&[-1.0]), None);
+        assert_eq!(ComponentKind::Weibull.try_build(&[f64::NAN, 1.0]), None);
     }
 
     #[test]

@@ -143,6 +143,17 @@ impl ResilienceModel for MixtureModel {
     fn predict(&self, t: f64) -> f64 {
         self.degradation_term(t) + self.recovery_term(t)
     }
+
+    fn predict_into(&self, ts: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            ts.len(),
+            out.len(),
+            "predict_into requires ts and out of equal length"
+        );
+        for (o, &t) in out.iter_mut().zip(ts) {
+            *o = self.f1.survival(t) + self.trend.eval(self.beta, t) * self.f2.cdf(t);
+        }
+    }
 }
 
 /// Table label for a component pairing (e.g. `"Wei-Exp"`).
@@ -223,6 +234,20 @@ impl MixtureFamily {
         let n2 = self.f2.n_params();
         (&params[..n1], &params[n1..n1 + n2], params[n1 + n2])
     }
+
+    /// Positivity flag for external parameter `i` without materializing
+    /// the whole flag vector (hot-path counterpart of `positivity`).
+    fn param_positive_at(&self, i: usize) -> bool {
+        let n1 = self.f1.n_params();
+        let n2 = self.f2.n_params();
+        if i < n1 {
+            self.f1.param_positive(i)
+        } else if i < n1 + n2 {
+            self.f2.param_positive(i - n1)
+        } else {
+            true // β > 0
+        }
+    }
 }
 
 impl ModelFamily for MixtureFamily {
@@ -235,7 +260,11 @@ impl ModelFamily for MixtureFamily {
     }
 
     fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
-        assert_eq!(internal.len(), self.n_params(), "internal dimension mismatch");
+        assert_eq!(
+            internal.len(),
+            self.n_params(),
+            "internal dimension mismatch"
+        );
         internal
             .iter()
             .zip(self.positivity())
@@ -243,11 +272,53 @@ impl ModelFamily for MixtureFamily {
             .collect()
     }
 
+    fn internal_to_params_into(&self, internal: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            internal.len(),
+            self.n_params(),
+            "internal dimension mismatch"
+        );
+        assert_eq!(out.len(), self.n_params(), "external dimension mismatch");
+        for (i, (o, &v)) in out.iter_mut().zip(internal).enumerate() {
+            *o = if self.param_positive_at(i) {
+                v.exp()
+            } else {
+                v
+            };
+        }
+    }
+
+    fn predict_params_into(&self, params: &[f64], ts: &[f64], out: &mut [f64]) -> bool {
+        assert_eq!(
+            ts.len(),
+            out.len(),
+            "predict_params_into requires ts and out of equal length"
+        );
+        if params.len() != self.n_params() {
+            return false;
+        }
+        let (p1, p2, beta) = self.split_params(params);
+        if !(beta > 0.0) || !beta.is_finite() {
+            return false;
+        }
+        let (Some(f1), Some(f2)) = (self.f1.try_build(p1), self.f2.try_build(p2)) else {
+            return false;
+        };
+        for (o, &t) in out.iter_mut().zip(ts) {
+            *o = f1.survival(t) + self.trend.eval(beta, t) * f2.cdf(t);
+        }
+        true
+    }
+
     fn params_to_internal(&self, params: &[f64]) -> Result<Vec<f64>, CoreError> {
         if params.len() != self.n_params() {
             return Err(CoreError::params(
                 "Mixture",
-                format!("expected {} parameters, got {}", self.n_params(), params.len()),
+                format!(
+                    "expected {} parameters, got {}",
+                    self.n_params(),
+                    params.len()
+                ),
             ));
         }
         params
@@ -274,7 +345,11 @@ impl ModelFamily for MixtureFamily {
         if params.len() != self.n_params() {
             return Err(CoreError::params(
                 "Mixture",
-                format!("expected {} parameters, got {}", self.n_params(), params.len()),
+                format!(
+                    "expected {} parameters, got {}",
+                    self.n_params(),
+                    params.len()
+                ),
             ));
         }
         let (p1, p2, beta) = self.split_params(params);
@@ -449,9 +524,37 @@ mod tests {
             let guesses = fam.initial_guesses(&s);
             assert!(!guesses.is_empty(), "{}", fam.name());
             for g in &guesses {
-                assert!(fam.build(g).is_ok(), "{}: infeasible guess {g:?}", fam.name());
+                assert!(
+                    fam.build(g).is_ok(),
+                    "{}: infeasible guess {g:?}",
+                    fam.name()
+                );
             }
         }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let fam = MixtureFamily {
+            f1: ComponentKind::Weibull,
+            f2: ComponentKind::Exponential,
+            trend: Trend::Logarithmic,
+        };
+        let internal = fam.params_to_internal(&[1.7, 12.0, 0.05, 0.25]).unwrap();
+        let mut params = [0.0; 4];
+        fam.internal_to_params_into(&internal, &mut params);
+        assert_eq!(params.to_vec(), fam.internal_to_params(&internal));
+
+        let ts = [0.0, 4.0, 15.0, 40.0];
+        let mut out = [f64::NAN; 4];
+        assert!(fam.predict_params_into(&params, &ts, &mut out));
+        let model = fam.build(&params).unwrap();
+        assert_eq!(out.to_vec(), model.predict_many(&ts));
+
+        // Infeasible: negative Weibull shape, and bad β.
+        assert!(!fam.predict_params_into(&[-1.7, 12.0, 0.05, 0.25], &ts, &mut out));
+        assert!(!fam.predict_params_into(&[1.7, 12.0, 0.05, 0.0], &ts, &mut out));
+        assert!(!fam.predict_params_into(&[1.7, 12.0, 0.05], &ts, &mut out));
     }
 
     #[test]

@@ -4,7 +4,6 @@
 /// considers four increasing forms characteristic of economic recovery:
 /// `{β, βt, e^{βt}, β·ln t}`, and evaluates `β·ln t` in its Table III.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Trend {
     /// `a₂(t) = β` — recovery saturates at a constant level.
     Constant,
@@ -106,8 +105,7 @@ mod tests {
 
     #[test]
     fn labels_unique() {
-        let labels: std::collections::HashSet<_> =
-            Trend::ALL.iter().map(Trend::label).collect();
+        let labels: std::collections::HashSet<_> = Trend::ALL.iter().map(Trend::label).collect();
         assert_eq!(labels.len(), 4);
     }
 }

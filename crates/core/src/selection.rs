@@ -15,6 +15,8 @@ use crate::model::ModelFamily;
 use crate::validate;
 use crate::CoreError;
 use resilience_data::PerformanceSeries;
+use resilience_optim::parallel::run_indexed;
+use resilience_optim::Parallelism;
 
 /// Information criteria for a least-squares fit under the Gaussian
 /// likelihood: `AIC = n·ln(SSE/n) + 2k`, the small-sample `AICc`, and
@@ -162,10 +164,35 @@ pub struct SelectionRow {
     pub criteria: Option<InformationCriteria>,
 }
 
+/// A family that could not be ranked, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyFailure {
+    /// Family name.
+    pub family_name: &'static str,
+    /// Human-readable reason the family was excluded from the ranking.
+    pub reason: String,
+}
+
+/// The full outcome of [`rank_models`]: ranked rows plus an explicit
+/// record of every family that failed, so a selection table can show
+/// "failed: …" rows instead of silently shrinking.
+#[derive(Debug, Clone)]
+pub struct Ranking {
+    /// Successfully fitted families, ranked by AICc (ascending; ties and
+    /// zero-SSE fits sort first).
+    pub rows: Vec<SelectionRow>,
+    /// Families that failed to fit or score, in input order.
+    pub failures: Vec<FamilyFailure>,
+}
+
 /// Fits each family to the full series and ranks them by AICc (ascending;
 /// ties and zero-SSE fits sort first).
 ///
-/// Families that fail to fit are omitted.
+/// Families fit in parallel according to `config.parallelism` (the
+/// per-family multi-start runs serially so the two levels do not
+/// oversubscribe); results are identical for every thread count. Families
+/// that fail are reported in [`Ranking::failures`] with the underlying
+/// error, not silently omitted.
 ///
 /// # Errors
 ///
@@ -174,23 +201,40 @@ pub fn rank_models(
     families: &[&dyn ModelFamily],
     series: &PerformanceSeries,
     config: &FitConfig,
-) -> Result<Vec<SelectionRow>, CoreError> {
+) -> Result<Ranking, CoreError> {
+    // Parallelize across families; the inner multi-start goes serial so
+    // the fan-out happens at exactly one level.
+    let mut inner = config.clone();
+    inner.parallelism = Parallelism::Serial;
+    let outcomes = run_indexed(
+        config.parallelism,
+        families.len(),
+        |i| -> Result<SelectionRow, FamilyFailure> {
+            let family = families[i];
+            let fail = |stage: &str, e: CoreError| FamilyFailure {
+                family_name: family.name(),
+                reason: format!("{stage}: {e}"),
+            };
+            let fit = fit_least_squares(family, series, &inner).map_err(|e| fail("fit", e))?;
+            let r2 = validate::r2_adjusted(fit.model.as_ref(), series, family.n_params())
+                .map_err(|e| fail("adjusted R²", e))?;
+            let criteria = information_criteria(fit.sse, series.len(), family.n_params()).ok();
+            Ok(SelectionRow {
+                family_name: family.name(),
+                n_params: family.n_params(),
+                sse: fit.sse,
+                r2_adj: r2,
+                criteria,
+            })
+        },
+    );
     let mut rows = Vec::new();
-    for family in families {
-        let Ok(fit) = fit_least_squares(*family, series, config) else {
-            continue;
-        };
-        let Ok(r2) = validate::r2_adjusted(fit.model.as_ref(), series, family.n_params()) else {
-            continue;
-        };
-        let criteria = information_criteria(fit.sse, series.len(), family.n_params()).ok();
-        rows.push(SelectionRow {
-            family_name: family.name(),
-            n_params: family.n_params(),
-            sse: fit.sse,
-            r2_adj: r2,
-            criteria,
-        });
+    let mut failures = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(row) => rows.push(row),
+            Err(failure) => failures.push(failure),
+        }
     }
     if rows.is_empty() {
         return Err(CoreError::arg("rank_models", "no family produced a fit"));
@@ -200,7 +244,7 @@ pub fn rank_models(
         let kb = b.criteria.map(|c| c.aicc).unwrap_or(f64::NEG_INFINITY);
         ka.total_cmp(&kb)
     });
-    Ok(rows)
+    Ok(Ranking { rows, failures })
 }
 
 #[cfg(test)]
@@ -249,26 +293,99 @@ mod tests {
             .collect();
         let series = PerformanceSeries::monthly("q", values).unwrap();
         let families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily, &QuarticFamily];
-        let rows = rank_models(&families, &series, &FitConfig::default()).unwrap();
-        assert_eq!(rows.len(), 2);
+        let ranking = rank_models(&families, &series, &FitConfig::default()).unwrap();
+        assert_eq!(ranking.rows.len(), 2);
+        assert!(ranking.failures.is_empty());
         assert_eq!(
-            rows[0].family_name, "Quadratic",
-            "parsimony should win on quadratic truth: {rows:?}"
+            ranking.rows[0].family_name, "Quadratic",
+            "parsimony should win on quadratic truth: {:?}",
+            ranking.rows
         );
+    }
+
+    #[test]
+    fn rank_models_reports_failures_with_reasons() {
+        // A family whose every start is infeasible: params_to_internal
+        // always errors, so fitting has no starts and fails.
+        struct Hopeless;
+        impl ModelFamily for Hopeless {
+            fn name(&self) -> &'static str {
+                "Hopeless"
+            }
+            fn n_params(&self) -> usize {
+                3
+            }
+            fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
+                internal.to_vec()
+            }
+            fn params_to_internal(&self, _params: &[f64]) -> Result<Vec<f64>, CoreError> {
+                Err(CoreError::arg("Hopeless", "never feasible"))
+            }
+            fn build(
+                &self,
+                _params: &[f64],
+            ) -> Result<Box<dyn crate::model::ResilienceModel>, CoreError> {
+                Err(CoreError::arg("Hopeless", "never feasible"))
+            }
+            fn initial_guesses(&self, _series: &PerformanceSeries) -> Vec<Vec<f64>> {
+                vec![vec![1.0, 1.0, 1.0]]
+            }
+        }
+        let series = Recession::R1990_93.payroll_index();
+        let families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily, &Hopeless];
+        let ranking = rank_models(&families, &series, &FitConfig::default()).unwrap();
+        assert_eq!(ranking.rows.len(), 1);
+        assert_eq!(ranking.failures.len(), 1);
+        assert_eq!(ranking.failures[0].family_name, "Hopeless");
+        assert!(
+            ranking.failures[0].reason.starts_with("fit: "),
+            "reason should name the failing stage: {}",
+            ranking.failures[0].reason
+        );
+        // With *only* failing families the call errors outright.
+        let none: Vec<&dyn ModelFamily> = vec![&Hopeless];
+        assert!(rank_models(&none, &series, &FitConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rank_models_parallelism_is_bit_identical() {
+        use resilience_optim::Parallelism;
+        let series = Recession::R1990_93.payroll_index();
+        let families: Vec<&dyn ModelFamily> =
+            vec![&QuadraticFamily, &QuarticFamily, &CompetingRisksFamily];
+        let run = |p: Parallelism| {
+            rank_models(
+                &families,
+                &series,
+                &FitConfig {
+                    parallelism: p,
+                    ..FitConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let serial = run(Parallelism::Serial);
+        for p in [
+            Parallelism::Fixed(1),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            let par = run(p);
+            assert_eq!(par.rows.len(), serial.rows.len(), "{p:?}");
+            for (a, b) in par.rows.iter().zip(&serial.rows) {
+                assert_eq!(a.family_name, b.family_name, "{p:?}");
+                assert_eq!(a.sse, b.sse, "{p:?}");
+                assert_eq!(a.r2_adj, b.r2_adj, "{p:?}");
+                assert_eq!(a.criteria, b.criteria, "{p:?}");
+            }
+        }
     }
 
     #[test]
     fn forward_chain_cv_runs_and_averages() {
         let series = Recession::R1990_93.payroll_index();
-        let cv = forward_chain_cv(
-            &QuadraticFamily,
-            &series,
-            30,
-            3,
-            5,
-            &FitConfig::default(),
-        )
-        .unwrap();
+        let cv =
+            forward_chain_cv(&QuadraticFamily, &series, 30, 3, 5, &FitConfig::default()).unwrap();
         assert!(!cv.fold_pmse.is_empty());
         assert!(cv.mean_pmse > 0.0);
         let mean = cv.fold_pmse.iter().sum::<f64>() / cv.fold_pmse.len() as f64;

@@ -59,7 +59,10 @@ pub fn r2_adjusted(
     }
     let ssy = centered_sum_of_squares(series.values())?;
     if ssy == 0.0 {
-        return Err(CoreError::arg("r2_adjusted", "series is constant (SSY = 0)"));
+        return Err(CoreError::arg(
+            "r2_adjusted",
+            "series is constant (SSY = 0)",
+        ));
     }
     let sse_val = sse(model, series);
     let ratio = sse_val / ssy;

@@ -41,7 +41,9 @@ impl fmt::Display for DataError {
                 f,
                 "cannot take {train_len} training points from a series of {total}"
             ),
-            DataError::Parse { line, detail } => write!(f, "CSV parse error on line {line}: {detail}"),
+            DataError::Parse { line, detail } => {
+                write!(f, "CSV parse error on line {line}: {detail}")
+            }
             DataError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }

@@ -31,7 +31,6 @@ use crate::shapes::{CurveSpec, Dip, RecoveryProfile, ShapeKind};
 
 /// One of the seven U.S. recessions used in the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[allow(non_camel_case_types)]
 pub enum Recession {
     /// November 1973 – 1976 recovery window (V-shaped).
@@ -202,7 +201,10 @@ impl std::fmt::Display for Recession {
 /// All seven curves, in chronological order — the full Fig. 2 data set.
 #[must_use]
 pub fn all_payroll_curves() -> Vec<PerformanceSeries> {
-    Recession::ALL.iter().map(Recession::payroll_index).collect()
+    Recession::ALL
+        .iter()
+        .map(Recession::payroll_index)
+        .collect()
 }
 
 #[cfg(test)]
@@ -274,7 +276,11 @@ mod tests {
 
     #[test]
     fn strong_recoveries_exceed_nominal() {
-        for r in [Recession::R1974_76, Recession::R1981_83, Recession::R1990_93] {
+        for r in [
+            Recession::R1974_76,
+            Recession::R1981_83,
+            Recession::R1990_93,
+        ] {
             let s = r.payroll_index();
             let last = s.values()[s.len() - 1];
             assert!(last > 1.02, "{r}: end level {last}");

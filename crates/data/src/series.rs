@@ -10,7 +10,6 @@ use resilience_math::interp::{argmin, LinearInterp};
 
 /// An observed performance curve over a strictly increasing time grid.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PerformanceSeries {
     name: String,
     times: Vec<f64>,

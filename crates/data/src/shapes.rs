@@ -14,7 +14,6 @@ use crate::DataError;
 
 /// How a dip's recovery progresses after the trough.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RecoveryProfile {
     /// Exponential approach back to baseline: fraction
     /// `exp(−rate·(t−t_d))` of the depth remains at time `t`.
@@ -33,7 +32,6 @@ pub enum RecoveryProfile {
 
 /// One degradation/recovery episode.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Dip {
     /// Month at which degradation begins.
     pub start: f64,
@@ -54,11 +52,17 @@ impl Dip {
         if !(self.start >= 0.0) || !(self.trough > self.start) {
             return Err(DataError::invalid(
                 what,
-                format!("need 0 <= start < trough, got start={}, trough={}", self.start, self.trough),
+                format!(
+                    "need 0 <= start < trough, got start={}, trough={}",
+                    self.start, self.trough
+                ),
             ));
         }
         if !(self.depth > 0.0) || !self.depth.is_finite() {
-            return Err(DataError::invalid(what, format!("depth must be positive, got {}", self.depth)));
+            return Err(DataError::invalid(
+                what,
+                format!("depth must be positive, got {}", self.depth),
+            ));
         }
         if !(self.sharpness > 0.0) {
             return Err(DataError::invalid(
@@ -71,10 +75,12 @@ impl Dip {
                 what,
                 format!("recovery rate must be positive, got {rate}"),
             )),
-            RecoveryProfile::Smoothstep { duration } if !(duration > 0.0) => Err(DataError::invalid(
-                what,
-                format!("recovery duration must be positive, got {duration}"),
-            )),
+            RecoveryProfile::Smoothstep { duration } if !(duration > 0.0) => {
+                Err(DataError::invalid(
+                    what,
+                    format!("recovery duration must be positive, got {duration}"),
+                ))
+            }
             _ => Ok(()),
         }
     }
@@ -108,7 +114,6 @@ fn smoothstep(u: f64) -> f64 {
 
 /// Specification of a full synthetic resilience curve.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CurveSpec {
     /// Number of monthly observations.
     pub n: usize,
@@ -158,10 +163,16 @@ impl CurveSpec {
     /// ```
     pub fn generate(&self, name: impl Into<String>) -> Result<PerformanceSeries, DataError> {
         if self.n < 4 {
-            return Err(DataError::invalid("CurveSpec::generate", "need at least 4 points"));
+            return Err(DataError::invalid(
+                "CurveSpec::generate",
+                "need at least 4 points",
+            ));
         }
         if self.dips.is_empty() {
-            return Err(DataError::invalid("CurveSpec::generate", "need at least one dip"));
+            return Err(DataError::invalid(
+                "CurveSpec::generate",
+                "need at least one dip",
+            ));
         }
         if !(self.noise_sd >= 0.0) || !self.noise_sd.is_finite() {
             return Err(DataError::invalid(
@@ -193,7 +204,6 @@ impl CurveSpec {
 
 /// The letter taxonomy of recession shapes from the paper's §V.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ShapeKind {
     /// Sharp drop, sharp recovery.
     V,
@@ -257,7 +267,13 @@ impl ShapeKind {
                 n,
                 dips: vec![
                     dip(0.0, 0.12 * horizon, 0.02, 1.1, exp(16.0 / horizon)),
-                    dip(0.3 * horizon, 0.55 * horizon, 0.035, 1.1, exp(10.0 / horizon)),
+                    dip(
+                        0.3 * horizon,
+                        0.55 * horizon,
+                        0.035,
+                        1.1,
+                        exp(10.0 / horizon),
+                    ),
                 ],
                 drift_total: 0.01,
                 noise_sd: 0.0008,

@@ -28,7 +28,10 @@ use crate::DataError;
 /// assert!((smooth.values()[2] - (3.0 + 1.0 + 3.0) / 3.0).abs() < 1e-12);
 /// # Ok::<(), resilience_data::DataError>(())
 /// ```
-pub fn moving_average(series: &PerformanceSeries, half_width: usize) -> Result<PerformanceSeries, DataError> {
+pub fn moving_average(
+    series: &PerformanceSeries,
+    half_width: usize,
+) -> Result<PerformanceSeries, DataError> {
     let n = series.len();
     if 2 * half_width + 1 > n {
         return Err(DataError::invalid(
@@ -79,11 +82,7 @@ pub fn first_differences(series: &PerformanceSeries) -> Result<PerformanceSeries
         ));
     }
     let times = series.times()[1..].to_vec();
-    let values: Vec<f64> = series
-        .values()
-        .windows(2)
-        .map(|w| w[1] - w[0])
-        .collect();
+    let values: Vec<f64> = series.values().windows(2).map(|w| w[1] - w[0]).collect();
     PerformanceSeries::new(format!("{} (diff)", series.name()), times, values)
 }
 
@@ -106,11 +105,7 @@ pub fn rebase(series: &PerformanceSeries, t_base: f64) -> Result<PerformanceSeri
     let idx = times
         .iter()
         .enumerate()
-        .min_by(|a, b| {
-            (a.1 - t_base)
-                .abs()
-                .total_cmp(&(b.1 - t_base).abs())
-        })
+        .min_by(|a, b| (a.1 - t_base).abs().total_cmp(&(b.1 - t_base).abs()))
         .map(|(i, _)| i)
         .expect("non-empty series");
     let base = series.values()[idx];

@@ -40,7 +40,10 @@ impl LinearInterp {
             ));
         }
         if xs.len() < 2 {
-            return Err(MathError::shape("LinearInterp::new", "need at least two samples"));
+            return Err(MathError::shape(
+                "LinearInterp::new",
+                "need at least two samples",
+            ));
         }
         for w in xs.windows(2) {
             if !(w[1] > w[0]) {
@@ -51,7 +54,10 @@ impl LinearInterp {
             }
         }
         if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
-            return Err(MathError::domain("LinearInterp::new", "samples must be finite"));
+            return Err(MathError::domain(
+                "LinearInterp::new",
+                "samples must be finite",
+            ));
         }
         Ok(LinearInterp { xs, ys })
     }

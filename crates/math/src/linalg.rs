@@ -60,7 +60,11 @@ impl Matrix {
         if rows == 0 || cols == 0 || data.len() != rows * cols {
             return Err(MathError::shape(
                 "Matrix::from_rows",
-                format!("{rows}x{cols} needs {} entries, got {}", rows * cols, data.len()),
+                format!(
+                    "{rows}x{cols} needs {} entries, got {}",
+                    rows * cols,
+                    data.len()
+                ),
             ));
         }
         Ok(Matrix { rows, cols, data })
@@ -129,7 +133,11 @@ impl Matrix {
         if v.len() != self.cols {
             return Err(MathError::shape(
                 "Matrix::matvec",
-                format!("matrix has {} cols but vector has {} entries", self.cols, v.len()),
+                format!(
+                    "matrix has {} cols but vector has {} entries",
+                    self.cols,
+                    v.len()
+                ),
             ));
         }
         let mut out = vec![0.0; self.rows];
@@ -169,7 +177,11 @@ impl Matrix {
         if v.len() != self.rows {
             return Err(MathError::shape(
                 "Matrix::transpose_matvec",
-                format!("matrix has {} rows but vector has {} entries", self.rows, v.len()),
+                format!(
+                    "matrix has {} rows but vector has {} entries",
+                    self.rows,
+                    v.len()
+                ),
             ));
         }
         let mut out = vec![0.0; self.cols];
@@ -209,7 +221,11 @@ impl Matrix {
         if b.len() != self.rows {
             return Err(MathError::shape(
                 "Matrix::solve",
-                format!("rhs has {} entries for an {}-dim system", b.len(), self.rows),
+                format!(
+                    "rhs has {} entries for an {}-dim system",
+                    b.len(),
+                    self.rows
+                ),
             ));
         }
         let n = self.rows;
@@ -227,7 +243,10 @@ impl Matrix {
                 }
             }
             if pivot_val < 1e-300 {
-                return Err(MathError::Singular { what: "Matrix::solve", n });
+                return Err(MathError::Singular {
+                    what: "Matrix::solve",
+                    n,
+                });
             }
             if pivot_row != col {
                 for j in 0..n {
@@ -282,7 +301,10 @@ impl Matrix {
                 }
                 if i == j {
                     if acc <= 0.0 {
-                        return Err(MathError::Singular { what: "Matrix::cholesky", n });
+                        return Err(MathError::Singular {
+                            what: "Matrix::cholesky",
+                            n,
+                        });
                     }
                     l[(i, j)] = acc.sqrt();
                 } else {
@@ -304,7 +326,11 @@ impl Matrix {
         if b.len() != self.rows {
             return Err(MathError::shape(
                 "Matrix::solve_spd",
-                format!("rhs has {} entries for an {}-dim system", b.len(), self.rows),
+                format!(
+                    "rhs has {} entries for an {}-dim system",
+                    b.len(),
+                    self.rows
+                ),
             ));
         }
         let l = self.cholesky()?;
@@ -347,14 +373,20 @@ impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -397,12 +429,8 @@ mod tests {
 
     #[test]
     fn solve_3x3_known_system() {
-        let a = Matrix::from_rows(
-            3,
-            3,
-            vec![4.0, -2.0, 1.0, -2.0, 4.0, -2.0, 1.0, -2.0, 4.0],
-        )
-        .unwrap();
+        let a =
+            Matrix::from_rows(3, 3, vec![4.0, -2.0, 1.0, -2.0, 4.0, -2.0, 1.0, -2.0, 4.0]).unwrap();
         let b = [11.0, -16.0, 17.0];
         let x = a.solve(&b).unwrap();
         let back = a.matvec(&x).unwrap();
@@ -422,7 +450,10 @@ mod tests {
     #[test]
     fn solve_detects_singular() {
         let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
-        assert!(matches!(a.solve(&[1.0, 2.0]), Err(MathError::Singular { .. })));
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(MathError::Singular { .. })
+        ));
     }
 
     #[test]

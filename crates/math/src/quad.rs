@@ -31,7 +31,12 @@ use crate::MathError;
 /// assert!((area - 0.5).abs() < 1e-15);
 /// # Ok::<(), resilience_math::MathError>(())
 /// ```
-pub fn trapezoid<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) -> Result<f64, MathError> {
+pub fn trapezoid<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    n: usize,
+) -> Result<f64, MathError> {
     check_interval("trapezoid", a, b)?;
     if n == 0 {
         return Err(MathError::domain("trapezoid", "need at least one panel"));
@@ -427,7 +432,10 @@ mod tests {
         let exact = 2.0; // ∫₀^π sin
         let e1 = (trapezoid(f64::sin, 0.0, std::f64::consts::PI, 50).unwrap() - exact).abs();
         let e2 = (trapezoid(f64::sin, 0.0, std::f64::consts::PI, 100).unwrap() - exact).abs();
-        assert!(e2 < e1 / 3.5, "halving h should quarter the error: {e1} -> {e2}");
+        assert!(
+            e2 < e1 / 3.5,
+            "halving h should quarter the error: {e1} -> {e2}"
+        );
     }
 
     #[test]
@@ -485,11 +493,17 @@ mod tests {
     #[test]
     fn adaptive_simpson_peaked_integrand() {
         // Narrow Gaussian bump: ∫ exp(−200(x−0.5)²) over [0,1] = √(π/200)·erf-ish ≈ 0.12533141.
-        let v = adaptive_simpson(|x| (-200.0 * (x - 0.5) * (x - 0.5)).exp(), 0.0, 1.0, 1e-12, 40)
-            .unwrap();
+        let v = adaptive_simpson(
+            |x| (-200.0 * (x - 0.5) * (x - 0.5)).exp(),
+            0.0,
+            1.0,
+            1e-12,
+            40,
+        )
+        .unwrap();
         // Exact value √(π/200)·erf(0.5·√200); erf(7.07…) = 1 to machine precision.
-        let exact = (std::f64::consts::PI / 200.0).sqrt()
-            * crate::special::erf(0.5 * 200f64.sqrt());
+        let exact =
+            (std::f64::consts::PI / 200.0).sqrt() * crate::special::erf(0.5 * 200f64.sqrt());
         assert!(approx_eq(v, exact, 1e-9, 1e-9));
     }
 

@@ -52,19 +52,35 @@ pub fn bisection<F: FnMut(f64) -> f64>(
     let mut f_lo = f(lo);
     let f_hi = f(hi);
     if f_lo == 0.0 {
-        return Ok(Root { x: lo, f_x: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: lo,
+            f_x: 0.0,
+            iterations: 0,
+        });
     }
     if f_hi == 0.0 {
-        return Ok(Root { x: hi, f_x: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: hi,
+            f_x: 0.0,
+            iterations: 0,
+        });
     }
     if f_lo.signum() == f_hi.signum() {
-        return Err(MathError::NoBracket { what: "bisection", f_lo, f_hi });
+        return Err(MathError::NoBracket {
+            what: "bisection",
+            f_lo,
+            f_hi,
+        });
     }
     for i in 1..=max_iter {
         let mid = 0.5 * (lo + hi);
         let f_mid = f(mid);
         if f_mid == 0.0 || 0.5 * (hi - lo) < tol {
-            return Ok(Root { x: mid, f_x: f_mid, iterations: i });
+            return Ok(Root {
+                x: mid,
+                f_x: f_mid,
+                iterations: i,
+            });
         }
         if f_mid.signum() == f_lo.signum() {
             lo = mid;
@@ -97,19 +113,31 @@ pub fn bisection<F: FnMut(f64) -> f64>(
 /// assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-12);
 /// # Ok::<(), resilience_math::MathError>(())
 /// ```
-pub fn newton<F, D>(mut f: F, mut df: D, x0: f64, tol: f64, max_iter: usize) -> Result<Root, MathError>
+pub fn newton<F, D>(
+    mut f: F,
+    mut df: D,
+    x0: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Root, MathError>
 where
     F: FnMut(f64) -> f64,
     D: FnMut(f64) -> f64,
 {
     if !(tol > 0.0) {
-        return Err(MathError::domain("newton", format!("tolerance must be positive, got {tol}")));
+        return Err(MathError::domain(
+            "newton",
+            format!("tolerance must be positive, got {tol}"),
+        ));
     }
     let mut x = x0;
     for i in 1..=max_iter {
         let fx = f(x);
         if !fx.is_finite() {
-            return Err(MathError::NonFinite { what: "newton", at: x });
+            return Err(MathError::NonFinite {
+                what: "newton",
+                at: x,
+            });
         }
         let dfx = df(x);
         if dfx == 0.0 || !dfx.is_finite() {
@@ -121,10 +149,17 @@ where
         }
         let next = x - fx / dfx;
         if !next.is_finite() {
-            return Err(MathError::NonFinite { what: "newton", at: x });
+            return Err(MathError::NonFinite {
+                what: "newton",
+                at: x,
+            });
         }
         if (next - x).abs() <= tol * (1.0 + x.abs()) {
-            return Ok(Root { x: next, f_x: f(next), iterations: i });
+            return Ok(Root {
+                x: next,
+                f_x: f(next),
+                iterations: i,
+            });
         }
         x = next;
     }
@@ -159,7 +194,10 @@ pub fn secant<F: FnMut(f64) -> f64>(
     max_iter: usize,
 ) -> Result<Root, MathError> {
     if !(tol > 0.0) {
-        return Err(MathError::domain("secant", format!("tolerance must be positive, got {tol}")));
+        return Err(MathError::domain(
+            "secant",
+            format!("tolerance must be positive, got {tol}"),
+        ));
     }
     let mut a = x0;
     let mut b = x1;
@@ -167,7 +205,11 @@ pub fn secant<F: FnMut(f64) -> f64>(
     let mut fb = f(b);
     for i in 1..=max_iter {
         if fb == 0.0 {
-            return Ok(Root { x: b, f_x: 0.0, iterations: i });
+            return Ok(Root {
+                x: b,
+                f_x: 0.0,
+                iterations: i,
+            });
         }
         let denom = fb - fa;
         if denom == 0.0 || !denom.is_finite() {
@@ -179,10 +221,17 @@ pub fn secant<F: FnMut(f64) -> f64>(
         }
         let next = b - fb * (b - a) / denom;
         if !next.is_finite() {
-            return Err(MathError::NonFinite { what: "secant", at: b });
+            return Err(MathError::NonFinite {
+                what: "secant",
+                at: b,
+            });
         }
         if (next - b).abs() <= tol * (1.0 + b.abs()) {
-            return Ok(Root { x: next, f_x: f(next), iterations: i });
+            return Ok(Root {
+                x: next,
+                f_x: f(next),
+                iterations: i,
+            });
         }
         a = b;
         fa = fb;
@@ -230,13 +279,25 @@ pub fn brent<F: FnMut(f64) -> f64>(
     let mut fa = f(a);
     let mut fb = f(b);
     if fa == 0.0 {
-        return Ok(Root { x: a, f_x: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: a,
+            f_x: 0.0,
+            iterations: 0,
+        });
     }
     if fb == 0.0 {
-        return Ok(Root { x: b, f_x: 0.0, iterations: 0 });
+        return Ok(Root {
+            x: b,
+            f_x: 0.0,
+            iterations: 0,
+        });
     }
     if fa.signum() == fb.signum() {
-        return Err(MathError::NoBracket { what: "brent", f_lo: fa, f_hi: fb });
+        return Err(MathError::NoBracket {
+            what: "brent",
+            f_lo: fa,
+            f_hi: fb,
+        });
     }
     // Ensure |f(b)| <= |f(a)|: b is the best iterate.
     if fa.abs() < fb.abs() {
@@ -249,7 +310,11 @@ pub fn brent<F: FnMut(f64) -> f64>(
     let mut d = 0.0;
     for i in 1..=max_iter {
         if fb == 0.0 || (b - a).abs() < tol {
-            return Ok(Root { x: b, f_x: fb, iterations: i });
+            return Ok(Root {
+                x: b,
+                f_x: fb,
+                iterations: i,
+            });
         }
         let mut s = if fa != fc && fb != fc {
             // Inverse quadratic interpolation.
@@ -440,7 +505,10 @@ mod tests {
         // Nearly flat away from the root.
         let f = |x: f64| (x - 2.0).powi(7);
         let r = brent(f, 0.0, 5.0, 1e-10, 300).unwrap();
-        assert!((r.x - 2.0).abs() < 1e-2, "multiple root located approximately");
+        assert!(
+            (r.x - 2.0).abs() < 1e-2,
+            "multiple root located approximately"
+        );
     }
 
     #[test]

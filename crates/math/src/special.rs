@@ -464,12 +464,12 @@ pub fn digamma(x: f64) -> Result<f64, MathError> {
     // Asymptotic expansion with Bernoulli terms through x⁻¹⁰.
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result += x.ln() - 0.5 * inv
+    result += x.ln()
+        - 0.5 * inv
         - inv2
             * (1.0 / 12.0
                 - inv2
-                    * (1.0 / 120.0
-                        - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))));
+                    * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))));
     Ok(result)
 }
 
@@ -504,7 +504,12 @@ mod tests {
     #[test]
     fn ln_gamma_small_argument_reflection() {
         // Γ(0.1) = 9.513507698668732...
-        assert!(approx_eq(gamma(0.1).unwrap(), 9.513_507_698_668_732, 1e-10, 1e-10));
+        assert!(approx_eq(
+            gamma(0.1).unwrap(),
+            9.513_507_698_668_732,
+            1e-10,
+            1e-10
+        ));
     }
 
     #[test]
@@ -544,10 +549,7 @@ mod tests {
     #[test]
     fn erfc_complements_erf() {
         for &x in &[0.0, 0.3, 1.0, 2.5, 5.0] {
-            assert!(
-                approx_eq(erfc(x), 1.0 - erf(x), 1e-12, 1e-10),
-                "erfc({x})"
-            );
+            assert!(approx_eq(erfc(x), 1.0 - erf(x), 1e-12, 1e-10), "erfc({x})");
         }
     }
 
@@ -642,7 +644,12 @@ mod tests {
 
     #[test]
     fn ln_beta_symmetry_and_identity() {
-        assert!(approx_eq(ln_beta(2.0, 3.0).unwrap(), ln_beta(3.0, 2.0).unwrap(), 1e-14, 0.0));
+        assert!(approx_eq(
+            ln_beta(2.0, 3.0).unwrap(),
+            ln_beta(3.0, 2.0).unwrap(),
+            1e-14,
+            0.0
+        ));
         // B(2, 3) = 1/12.
         assert!(approx_eq(
             ln_beta(2.0, 3.0).unwrap().exp(),
@@ -655,7 +662,12 @@ mod tests {
     #[test]
     fn reg_inc_beta_uniform_case() {
         for &x in &[0.0, 0.25, 0.5, 0.75, 1.0] {
-            assert!(approx_eq(reg_inc_beta(x, 1.0, 1.0).unwrap(), x, 1e-13, 1e-12));
+            assert!(approx_eq(
+                reg_inc_beta(x, 1.0, 1.0).unwrap(),
+                x,
+                1e-13,
+                1e-12
+            ));
         }
     }
 
@@ -671,7 +683,12 @@ mod tests {
     fn reg_inc_beta_reference_value() {
         // I_{0.5}(2, 2) = 0.5 by symmetry; I_{0.3}(2, 5) = 0.579825 exactly
         // (binomial expansion: Σ_{j=2}^{6} C(6,j) 0.3^j 0.7^{6−j}).
-        assert!(approx_eq(reg_inc_beta(0.5, 2.0, 2.0).unwrap(), 0.5, 1e-13, 0.0));
+        assert!(approx_eq(
+            reg_inc_beta(0.5, 2.0, 2.0).unwrap(),
+            0.5,
+            1e-13,
+            0.0
+        ));
         assert!(approx_eq(
             reg_inc_beta(0.3, 2.0, 5.0).unwrap(),
             0.579_825,

@@ -7,7 +7,7 @@
 
 use crate::report::{OptimReport, TerminationReason};
 use crate::OptimError;
-use rand::Rng;
+use resilience_stats::rng::RandomSource;
 
 /// Configuration for [`simulated_annealing`].
 #[derive(Debug, Clone, PartialEq)]
@@ -49,9 +49,9 @@ impl Default for SaConfig {
 ///
 /// ```
 /// use resilience_optim::annealing::{simulated_annealing, SaConfig};
-/// use rand::SeedableRng;
+/// use resilience_stats::XorShift64;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = XorShift64::new(7);
 /// let f = |p: &[f64]| (p[0] - 2.0).powi(2);
 /// let report = simulated_annealing(&f, &[0.0], &SaConfig::default(), &mut rng)?;
 /// assert!((report.params[0] - 2.0).abs() < 0.1);
@@ -65,22 +65,37 @@ pub fn simulated_annealing<F, R>(
 ) -> Result<OptimReport, OptimError>
 where
     F: Fn(&[f64]) -> f64,
-    R: Rng + ?Sized,
+    R: RandomSource + ?Sized,
 {
     if x0.is_empty() {
-        return Err(OptimError::config("simulated_annealing", "empty starting point"));
+        return Err(OptimError::config(
+            "simulated_annealing",
+            "empty starting point",
+        ));
     }
     if !(config.initial_temp > 0.0) {
-        return Err(OptimError::config("simulated_annealing", "initial_temp must be positive"));
+        return Err(OptimError::config(
+            "simulated_annealing",
+            "initial_temp must be positive",
+        ));
     }
     if !(config.cooling > 0.0 && config.cooling < 1.0) {
-        return Err(OptimError::config("simulated_annealing", "cooling must be in (0, 1)"));
+        return Err(OptimError::config(
+            "simulated_annealing",
+            "cooling must be in (0, 1)",
+        ));
     }
     if config.steps == 0 {
-        return Err(OptimError::config("simulated_annealing", "steps must be > 0"));
+        return Err(OptimError::config(
+            "simulated_annealing",
+            "steps must be > 0",
+        ));
     }
     if !(config.step_scale > 0.0) {
-        return Err(OptimError::config("simulated_annealing", "step_scale must be positive"));
+        return Err(OptimError::config(
+            "simulated_annealing",
+            "step_scale must be positive",
+        ));
     }
     let mut current = x0.to_vec();
     let mut current_val = f(&current);
@@ -92,28 +107,16 @@ where
     let mut best_val = current_val;
     let mut temp = config.initial_temp;
 
-    // Box–Muller standard normal.
-    let gauss = |rng: &mut R| -> f64 {
-        let u1: f64 = loop {
-            let u: f64 = rng.random();
-            if u > 0.0 {
-                break u;
-            }
-        };
-        let u2: f64 = rng.random();
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-    };
-
     let mut proposal = vec![0.0; current.len()];
     for _ in 0..config.steps {
         for (j, p) in proposal.iter_mut().enumerate() {
-            *p = current[j] + config.step_scale * (1.0 + current[j].abs()) * gauss(rng);
+            *p = current[j] + config.step_scale * (1.0 + current[j].abs()) * rng.next_gaussian();
         }
         let val = f(&proposal);
         evaluations += 1;
         if val.is_finite() {
             let accept = val <= current_val || {
-                let u: f64 = rng.random();
+                let u: f64 = rng.next_f64();
                 u < ((current_val - val) / temp).exp()
             };
             if accept {
@@ -140,10 +143,10 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use resilience_stats::XorShift64;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(99)
+    fn rng() -> XorShift64 {
+        XorShift64::new(99)
     }
 
     #[test]
@@ -173,7 +176,11 @@ mod tests {
             &mut rng(),
         )
         .unwrap();
-        assert!(r.params[0] > 0.0, "should reach the deep well: {:?}", r.params);
+        assert!(
+            r.params[0] > 0.0,
+            "should reach the deep well: {:?}",
+            r.params
+        );
     }
 
     #[test]

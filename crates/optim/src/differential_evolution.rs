@@ -6,7 +6,7 @@
 
 use crate::report::{OptimReport, TerminationReason};
 use crate::OptimError;
-use rand::Rng;
+use resilience_stats::rng::RandomSource;
 
 /// Configuration for [`differential_evolution`].
 #[derive(Debug, Clone, PartialEq)]
@@ -52,9 +52,9 @@ impl Default for DeConfig {
 ///
 /// ```
 /// use resilience_optim::differential_evolution::{differential_evolution, DeConfig};
-/// use rand::SeedableRng;
+/// use resilience_stats::XorShift64;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let mut rng = XorShift64::new(42);
 /// let f = |p: &[f64]| (p[0] - 1.0).powi(2) + (p[1] + 2.0).powi(2);
 /// let report = differential_evolution(
 ///     &f,
@@ -74,10 +74,13 @@ pub fn differential_evolution<F, R>(
 ) -> Result<OptimReport, OptimError>
 where
     F: Fn(&[f64]) -> f64,
-    R: Rng + ?Sized,
+    R: RandomSource + ?Sized,
 {
     if bounds.is_empty() {
-        return Err(OptimError::config("differential_evolution", "no bounds given"));
+        return Err(OptimError::config(
+            "differential_evolution",
+            "no bounds given",
+        ));
     }
     for (i, &(lo, hi)) in bounds.iter().enumerate() {
         if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
@@ -88,10 +91,16 @@ where
         }
     }
     if !(config.weight > 0.0 && config.weight <= 2.0) {
-        return Err(OptimError::config("differential_evolution", "weight must be in (0, 2]"));
+        return Err(OptimError::config(
+            "differential_evolution",
+            "weight must be in (0, 2]",
+        ));
     }
     if !(0.0..=1.0).contains(&config.crossover) {
-        return Err(OptimError::config("differential_evolution", "crossover must be in [0, 1]"));
+        return Err(OptimError::config(
+            "differential_evolution",
+            "crossover must be in [0, 1]",
+        ));
     }
     if config.max_generations == 0 {
         return Err(OptimError::config(
@@ -103,7 +112,10 @@ where
     let pop_size = if config.population == 0 {
         (10 * dims).clamp(8, 64)
     } else if config.population < 4 {
-        return Err(OptimError::config("differential_evolution", "population must be >= 4"));
+        return Err(OptimError::config(
+            "differential_evolution",
+            "population must be >= 4",
+        ));
     } else {
         config.population
     };
@@ -125,7 +137,7 @@ where
         .map(|_| {
             bounds
                 .iter()
-                .map(|&(lo, hi)| lo + (hi - lo) * rng.random::<f64>())
+                .map(|&(lo, hi)| lo + (hi - lo) * rng.next_f64())
                 .collect()
         })
         .collect();
@@ -142,7 +154,7 @@ where
         for i in 0..pop_size {
             // Pick three distinct indices != i.
             let mut pick = || loop {
-                let k = rng.random_range(0..pop_size);
+                let k = rng.next_index(pop_size);
                 if k != i {
                     return k;
                 }
@@ -159,9 +171,9 @@ where
                 }
                 (a, b, c)
             };
-            let forced = rng.random_range(0..dims);
+            let forced = rng.next_index(dims);
             for j in 0..dims {
-                trial[j] = if j == forced || rng.random::<f64>() < config.crossover {
+                trial[j] = if j == forced || rng.next_f64() < config.crossover {
                     clamp(
                         population[a][j] + config.weight * (population[b][j] - population[c][j]),
                         j,
@@ -182,7 +194,8 @@ where
             .cloned()
             .filter(|v| v.is_finite())
             .fold(f64::NEG_INFINITY, f64::max);
-        if worst_finite.is_finite() && (worst_finite - best).abs() <= config.f_tol * (1.0 + best.abs())
+        if worst_finite.is_finite()
+            && (worst_finite - best).abs() <= config.f_tol * (1.0 + best.abs())
         {
             termination = TerminationReason::Converged;
             break;
@@ -206,10 +219,10 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use resilience_stats::XorShift64;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(1234)
+    fn rng() -> XorShift64 {
+        XorShift64::new(1234)
     }
 
     #[test]

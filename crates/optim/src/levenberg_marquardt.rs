@@ -44,12 +44,21 @@ impl Default for LmConfig {
 impl LmConfig {
     fn validate(&self) -> Result<(), OptimError> {
         if self.max_iterations == 0 {
-            return Err(OptimError::config("LevenbergMarquardt", "max_iterations must be > 0"));
+            return Err(OptimError::config(
+                "LevenbergMarquardt",
+                "max_iterations must be > 0",
+            ));
         }
         if !(self.f_tol > 0.0) || !(self.x_tol > 0.0) {
-            return Err(OptimError::config("LevenbergMarquardt", "tolerances must be positive"));
+            return Err(OptimError::config(
+                "LevenbergMarquardt",
+                "tolerances must be positive",
+            ));
         }
-        if !(self.initial_lambda > 0.0) || !(self.lambda_factor > 1.0) || !(self.max_lambda > self.initial_lambda) {
+        if !(self.initial_lambda > 0.0)
+            || !(self.lambda_factor > 1.0)
+            || !(self.max_lambda > self.initial_lambda)
+        {
             return Err(OptimError::config(
                 "LevenbergMarquardt",
                 "need initial_lambda > 0, lambda_factor > 1, max_lambda > initial_lambda",
@@ -114,7 +123,11 @@ impl LevenbergMarquardt {
         if x0.len() != problem.n_params() {
             return Err(OptimError::config(
                 "LevenbergMarquardt",
-                format!("problem has {} parameters, x0 has {}", problem.n_params(), x0.len()),
+                format!(
+                    "problem has {} parameters, x0 has {}",
+                    problem.n_params(),
+                    x0.len()
+                ),
             ));
         }
         let m = problem.n_residuals();
@@ -338,6 +351,8 @@ mod tests {
             ..LmConfig::default()
         };
         let p = exp_decay_problem(1.0, 0.1, 5);
-        assert!(LevenbergMarquardt::new(bad).minimize(&p, &[1.0, 0.1]).is_err());
+        assert!(LevenbergMarquardt::new(bad)
+            .minimize(&p, &[1.0, 0.1])
+            .is_err());
     }
 }

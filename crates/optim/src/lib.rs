@@ -18,6 +18,9 @@
 //!   quadratic bathtub validity region `−2√(αγ) < β < 0` is enforced.
 //! * [`multi_start`] — grid seeding and multi-start drivers that make the
 //!   nonconvex fits reproducible without hand-tuned initial guesses.
+//! * [`parallel`] — a `std`-only scoped thread pool ([`Parallelism`],
+//!   [`parallel::run_indexed`]) whose index-ordered results make parallel
+//!   runs bit-identical to serial ones.
 //! * [`differential_evolution`] / [`annealing`] — global optimizers used
 //!   as slow-but-sure fallbacks and in ablation benches.
 //!
@@ -63,10 +66,12 @@ pub mod error;
 pub mod levenberg_marquardt;
 pub mod multi_start;
 pub mod nelder_mead;
+pub mod parallel;
 pub mod problem;
 pub mod report;
 pub mod scalar;
 
 pub use bounds::{ParamSpace, Transform};
 pub use error::OptimError;
+pub use parallel::Parallelism;
 pub use report::{OptimReport, TerminationReason};

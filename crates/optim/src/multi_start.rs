@@ -7,6 +7,7 @@
 //! from a small grid or set of starts and keeping the best result.
 
 use crate::nelder_mead::{NelderMead, NelderMeadConfig};
+use crate::parallel::{run_indexed, Parallelism};
 use crate::report::OptimReport;
 use crate::OptimError;
 
@@ -131,13 +132,93 @@ pub fn multi_start_nelder_mead<F: Fn(&[f64]) -> f64>(
     config: &NelderMeadConfig,
 ) -> Result<OptimReport, OptimError> {
     if starts.is_empty() {
-        return Err(OptimError::config("multi_start_nelder_mead", "no starts given"));
+        return Err(OptimError::config(
+            "multi_start_nelder_mead",
+            "no starts given",
+        ));
     }
     let optimizer = NelderMead::new(config.clone());
     let mut best: Option<OptimReport> = None;
     let mut failures = 0usize;
     for start in starts {
         match optimizer.minimize(f, start) {
+            Ok(report) => {
+                let better = match &best {
+                    Some(b) => report.value < b.value,
+                    None => true,
+                };
+                if better {
+                    best = Some(report);
+                }
+            }
+            Err(_) => failures += 1,
+        }
+    }
+    best.ok_or(OptimError::AllStartsFailed { attempts: failures })
+}
+
+/// Parallel [`multi_start_nelder_mead`], bit-identical to the serial
+/// driver for every thread count.
+///
+/// Because stateful objectives (e.g. ones carrying reusable scratch
+/// buffers) are rarely `Sync`, this takes an objective *factory*: each
+/// start invokes `make_objective()` for a private objective instance, so
+/// the factory must be `Sync` but the objectives it makes need not be.
+///
+/// Every start is minimized independently; the winner is then reduced in
+/// **start order** with a strict `value <` comparison, so ties keep the
+/// earliest start — exactly the serial driver's first-best-wins rule —
+/// and the result does not depend on scheduling.
+///
+/// # Errors
+///
+/// * [`OptimError::InvalidConfig`] when `starts` is empty.
+/// * [`OptimError::AllStartsFailed`] when no start produced a finite
+///   optimum.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_optim::multi_start::multi_start_nelder_mead_with;
+/// use resilience_optim::nelder_mead::NelderMeadConfig;
+/// use resilience_optim::Parallelism;
+///
+/// let make = || |p: &[f64]| (p[0] - 3.0_f64).powi(2);
+/// let starts = vec![vec![-2.5], vec![0.5], vec![5.0]];
+/// let best = multi_start_nelder_mead_with(
+///     &make,
+///     &starts,
+///     &NelderMeadConfig::default(),
+///     Parallelism::Auto,
+/// )?;
+/// assert!((best.params[0] - 3.0).abs() < 1e-4);
+/// # Ok::<(), resilience_optim::OptimError>(())
+/// ```
+pub fn multi_start_nelder_mead_with<F, G>(
+    make_objective: &G,
+    starts: &[Vec<f64>],
+    config: &NelderMeadConfig,
+    parallelism: Parallelism,
+) -> Result<OptimReport, OptimError>
+where
+    F: Fn(&[f64]) -> f64,
+    G: Fn() -> F + Sync,
+{
+    if starts.is_empty() {
+        return Err(OptimError::config(
+            "multi_start_nelder_mead",
+            "no starts given",
+        ));
+    }
+    let optimizer = NelderMead::new(config.clone());
+    let results = run_indexed(parallelism, starts.len(), |i| {
+        let f = make_objective();
+        optimizer.minimize(&f, &starts[i])
+    });
+    let mut best: Option<OptimReport> = None;
+    let mut failures = 0usize;
+    for result in results {
+        match result {
             Ok(report) => {
                 let better = match &best {
                     Some(b) => report.value < b.value,
@@ -183,7 +264,10 @@ mod tests {
 
     #[test]
     fn linspace_basics() {
-        assert_eq!(linspace(0.0, 10.0, 5).unwrap(), vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+        assert_eq!(
+            linspace(0.0, 10.0, 5).unwrap(),
+            vec![0.0, 2.5, 5.0, 7.5, 10.0]
+        );
         assert_eq!(linspace(1.0, 3.0, 1).unwrap(), vec![2.0]);
         assert!(linspace(0.0, 1.0, 0).is_err());
         assert!(linspace(f64::NAN, 1.0, 2).is_err());
@@ -204,8 +288,7 @@ mod tests {
         assert!((local.params[0] + 2.0).abs() < 0.2);
         // …but multi-start finds the global one.
         let starts = vec![vec![-2.5], vec![0.5], vec![5.0]];
-        let best =
-            multi_start_nelder_mead(&f, &starts, &NelderMeadConfig::default()).unwrap();
+        let best = multi_start_nelder_mead(&f, &starts, &NelderMeadConfig::default()).unwrap();
         assert!((best.params[0] - 3.0).abs() < 1e-3);
     }
 
@@ -237,5 +320,88 @@ mod tests {
     fn multi_start_rejects_empty() {
         let f = |p: &[f64]| p[0];
         assert!(multi_start_nelder_mead(&f, &[], &NelderMeadConfig::default()).is_err());
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let f = |p: &[f64]| {
+            let x = p[0];
+            let y = p[1];
+            (x - 3.0).powi(2) * (x + 2.0).powi(2) + (y + 1.0).powi(2) + 0.1 * x.sin()
+        };
+        let starts: Vec<Vec<f64>> = (0..9)
+            .map(|i| vec![f64::from(i) - 4.0, 0.3 * f64::from(i)])
+            .collect();
+        let cfg = NelderMeadConfig::default();
+        let serial = multi_start_nelder_mead(&f, &starts, &cfg).unwrap();
+        for p in [
+            Parallelism::Serial,
+            Parallelism::Fixed(1),
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            let par = multi_start_nelder_mead_with(&|| f, &starts, &cfg, p).unwrap();
+            assert_eq!(par.params, serial.params, "{p:?}");
+            assert_eq!(par.value, serial.value, "{p:?}");
+            assert_eq!(par.evaluations, serial.evaluations, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_tie_break_keeps_earliest_start() {
+        // Both starts sit exactly at distinct global minima with the same
+        // value; the earliest start must win regardless of thread count.
+        let f = |p: &[f64]| (p[0] * p[0] - 1.0).powi(2);
+        let starts = vec![vec![1.0], vec![-1.0]];
+        for p in [
+            Parallelism::Serial,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+        ] {
+            let best =
+                multi_start_nelder_mead_with(&|| f, &starts, &NelderMeadConfig::default(), p)
+                    .unwrap();
+            assert!(best.params[0] > 0.0, "{p:?}: {:?}", best.params);
+        }
+    }
+
+    #[test]
+    fn parallel_all_failed_counts_attempts() {
+        let make = || |_: &[f64]| f64::NAN;
+        let starts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        assert!(matches!(
+            multi_start_nelder_mead_with(
+                &make,
+                &starts,
+                &NelderMeadConfig::default(),
+                Parallelism::Fixed(2)
+            ),
+            Err(OptimError::AllStartsFailed { attempts: 3 })
+        ));
+    }
+
+    #[test]
+    fn parallel_objective_factories_may_carry_state() {
+        // Each start gets a private, non-Sync objective (interior
+        // mutability) — the pattern fit_least_squares uses for scratch
+        // buffers.
+        use std::cell::Cell;
+        let make = || {
+            let calls = Cell::new(0usize);
+            move |p: &[f64]| {
+                calls.set(calls.get() + 1);
+                (p[0] - 2.0).powi(2)
+            }
+        };
+        let starts = vec![vec![0.0], vec![4.0], vec![9.0]];
+        let best = multi_start_nelder_mead_with(
+            &make,
+            &starts,
+            &NelderMeadConfig::default(),
+            Parallelism::Fixed(3),
+        )
+        .unwrap();
+        assert!((best.params[0] - 2.0).abs() < 1e-5);
     }
 }

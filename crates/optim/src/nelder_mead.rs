@@ -49,15 +49,26 @@ impl Default for NelderMeadConfig {
 impl NelderMeadConfig {
     fn validate(&self) -> Result<(), OptimError> {
         if self.max_iterations == 0 {
-            return Err(OptimError::config("NelderMead", "max_iterations must be > 0"));
+            return Err(OptimError::config(
+                "NelderMead",
+                "max_iterations must be > 0",
+            ));
         }
         if !(self.f_tol > 0.0) || !(self.x_tol > 0.0) {
-            return Err(OptimError::config("NelderMead", "tolerances must be positive"));
+            return Err(OptimError::config(
+                "NelderMead",
+                "tolerances must be positive",
+            ));
         }
         if !(self.initial_step > 0.0) {
-            return Err(OptimError::config("NelderMead", "initial_step must be positive"));
+            return Err(OptimError::config(
+                "NelderMead",
+                "initial_step must be positive",
+            ));
         }
-        if !(self.alpha > 0.0) || !(self.gamma > 1.0) || !(0.0..1.0).contains(&self.rho)
+        if !(self.alpha > 0.0)
+            || !(self.gamma > 1.0)
+            || !(0.0..1.0).contains(&self.rho)
             || !(0.0..1.0).contains(&self.sigma)
         {
             return Err(OptimError::config(
@@ -148,6 +159,11 @@ impl NelderMead {
 
         let cfg = &self.config;
         let mut iterations = 0usize;
+        // Work buffers reused across iterations — the simplex update loop
+        // below performs no heap allocation.
+        let mut centroid = vec![0.0; n];
+        let mut reflected = vec![0.0; n];
+        let mut extra = vec![0.0; n];
         let termination = loop {
             if iterations >= cfg.max_iterations {
                 break TerminationReason::MaxIterations;
@@ -172,56 +188,62 @@ impl NelderMead {
             }
 
             // Centroid of all but the worst vertex.
-            let mut centroid = vec![0.0; n];
+            centroid.fill(0.0);
             for (v, _) in simplex.iter().take(n) {
-                for j in 0..n {
-                    centroid[j] += v[j];
+                for (c, x) in centroid.iter_mut().zip(v) {
+                    *c += x;
                 }
             }
             for c in &mut centroid {
                 *c /= n as f64;
             }
 
-            let worst_point = simplex[n].0.clone();
-            let lerp = |t: f64| -> Vec<f64> {
-                (0..n)
-                    .map(|j| centroid[j] + t * (centroid[j] - worst_point[j]))
-                    .collect()
-            };
-
-            // Reflection.
-            let xr = lerp(cfg.alpha);
-            let fr = eval(&xr);
+            // Reflection: x_c + α(x_c − x_worst).
+            for j in 0..n {
+                reflected[j] = centroid[j] + cfg.alpha * (centroid[j] - simplex[n].0[j]);
+            }
+            let fr = eval(&reflected);
             if fr < simplex[0].1 {
                 // Expansion.
-                let xe = lerp(cfg.alpha * cfg.gamma);
-                let fe = eval(&xe);
-                simplex[n] = if fe < fr { (xe, fe) } else { (xr, fr) };
+                for j in 0..n {
+                    extra[j] =
+                        centroid[j] + cfg.alpha * cfg.gamma * (centroid[j] - simplex[n].0[j]);
+                }
+                let fe = eval(&extra);
+                if fe < fr {
+                    simplex[n].0.copy_from_slice(&extra);
+                    simplex[n].1 = fe;
+                } else {
+                    simplex[n].0.copy_from_slice(&reflected);
+                    simplex[n].1 = fr;
+                }
             } else if fr < simplex[n - 1].1 {
-                simplex[n] = (xr, fr);
+                simplex[n].0.copy_from_slice(&reflected);
+                simplex[n].1 = fr;
             } else {
                 // Contraction (outside if reflection helped at all, inside
                 // otherwise).
-                let (xc, fc) = if fr < simplex[n].1 {
-                    let xc = lerp(cfg.alpha * cfg.rho);
-                    let fc = eval(&xc);
-                    (xc, fc)
+                let t = if fr < simplex[n].1 {
+                    cfg.alpha * cfg.rho
                 } else {
-                    let xc = lerp(-cfg.rho);
-                    let fc = eval(&xc);
-                    (xc, fc)
+                    -cfg.rho
                 };
+                for j in 0..n {
+                    extra[j] = centroid[j] + t * (centroid[j] - simplex[n].0[j]);
+                }
+                let fc = eval(&extra);
                 if fc < simplex[n].1.min(fr) {
-                    simplex[n] = (xc, fc);
+                    simplex[n].0.copy_from_slice(&extra);
+                    simplex[n].1 = fc;
                 } else {
-                    // Shrink toward the best vertex.
-                    let best_point = simplex[0].0.clone();
-                    for entry in simplex.iter_mut().skip(1) {
-                        let v: Vec<f64> = (0..n)
-                            .map(|j| best_point[j] + cfg.sigma * (entry.0[j] - best_point[j]))
-                            .collect();
-                        let fv = eval(&v);
-                        *entry = (v, fv);
+                    // Shrink toward the best vertex (in place; each
+                    // coordinate update only reads its own old value).
+                    let (best, rest) = simplex.split_first_mut().expect("simplex non-empty");
+                    for entry in rest {
+                        for (x, b) in entry.0.iter_mut().zip(&best.0) {
+                            *x = b + cfg.sigma * (*x - b);
+                        }
+                        entry.1 = eval(&entry.0);
                     }
                 }
             }

@@ -1,0 +1,177 @@
+//! Deterministic fan-out over OS threads.
+//!
+//! The fitting pipeline parallelizes three embarrassingly parallel loops:
+//! multi-start optimization (over starts), model ranking (over families)
+//! and bootstrap bands (over replicates). All three go through
+//! [`run_indexed`], which runs a job-per-index closure on a scoped thread
+//! pool and returns results **in index order** — so any reduction over
+//! the output is independent of scheduling, and parallel results are
+//! bit-identical to serial ones.
+//!
+//! The pool is `std`-only (`std::thread::scope`), keeping the workspace
+//! hermetic: no rayon, no crates.io.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many worker threads a parallel loop may use.
+///
+/// Every parallel entry point in the workspace takes one of these;
+/// `Serial` is guaranteed to produce bit-identical results to `Auto` and
+/// `Fixed(n)` for any `n`, because each job is independent and the
+/// reduction happens in index order after all jobs finish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Use [`std::thread::available_parallelism`] threads (falling back
+    /// to 1 when it is unavailable).
+    #[default]
+    Auto,
+    /// Use exactly `n` worker threads (`Fixed(0)` is treated as `Fixed(1)`).
+    Fixed(usize),
+    /// Run on the calling thread without spawning.
+    Serial,
+}
+
+impl Parallelism {
+    /// Number of worker threads to use for `jobs` independent jobs.
+    ///
+    /// Never exceeds `jobs` and never returns 0.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use resilience_optim::Parallelism;
+    /// assert_eq!(Parallelism::Serial.threads_for(8), 1);
+    /// assert_eq!(Parallelism::Fixed(4).threads_for(8), 4);
+    /// assert_eq!(Parallelism::Fixed(4).threads_for(2), 2);
+    /// assert!(Parallelism::Auto.threads_for(8) >= 1);
+    /// ```
+    #[must_use]
+    pub fn threads_for(&self, jobs: usize) -> usize {
+        let cap = match self {
+            Parallelism::Serial => 1,
+            Parallelism::Fixed(n) => (*n).max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        };
+        cap.min(jobs).max(1)
+    }
+}
+
+/// Runs `job(0..jobs)` and returns the results in index order.
+///
+/// Jobs are dispatched to a scoped thread pool via an atomic work
+/// counter, so heterogeneous job costs balance automatically; the output
+/// ordering (and therefore any deterministic reduction over it) does not
+/// depend on the thread count or scheduling. With one thread (or one
+/// job) everything runs on the calling thread.
+///
+/// Panics in `job` propagate to the caller once the scope joins.
+pub fn run_indexed<T, F>(parallelism: Parallelism, jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = parallelism.threads_for(jobs);
+    if threads <= 1 {
+        return (0..jobs).map(job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    // One slot per job: threads write disjoint slots, so the per-slot
+    // mutexes are never contended.
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let value = job(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker pool ran every job")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_is_one_thread() {
+        assert_eq!(Parallelism::Serial.threads_for(100), 1);
+    }
+
+    #[test]
+    fn fixed_is_capped_by_jobs_and_floored_at_one() {
+        assert_eq!(Parallelism::Fixed(8).threads_for(3), 3);
+        assert_eq!(Parallelism::Fixed(0).threads_for(3), 1);
+        assert_eq!(Parallelism::Fixed(2).threads_for(0), 1);
+    }
+
+    #[test]
+    fn auto_is_at_least_one() {
+        assert!(Parallelism::Auto.threads_for(16) >= 1);
+    }
+
+    #[test]
+    fn default_is_auto() {
+        assert_eq!(Parallelism::default(), Parallelism::Auto);
+    }
+
+    #[test]
+    fn results_are_in_index_order() {
+        for p in [
+            Parallelism::Serial,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(7),
+            Parallelism::Auto,
+        ] {
+            let out = run_indexed(p, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<usize> = run_indexed(Parallelism::Auto, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // A job with uneven cost per index; every parallelism level must
+        // produce the identical vector.
+        let job = |i: usize| -> f64 {
+            let mut acc = i as f64;
+            for k in 0..(i % 13) * 100 {
+                acc = (acc + k as f64).sin() + i as f64;
+            }
+            acc
+        };
+        let serial = run_indexed(Parallelism::Serial, 40, job);
+        for threads in [1, 2, 3, 4, 8] {
+            let parallel = run_indexed(Parallelism::Fixed(threads), 40, job);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn non_send_free_jobs_can_borrow_environment() {
+        let data: Vec<u64> = (0..50).map(|i| i * 3).collect();
+        let out = run_indexed(Parallelism::Fixed(4), data.len(), |i| data[i] + 1);
+        assert_eq!(out[49], 49 * 3 + 1);
+    }
+}

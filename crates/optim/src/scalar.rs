@@ -52,7 +52,10 @@ pub fn golden_section<F: Fn(f64) -> f64>(
         ));
     }
     if !(tol > 0.0) {
-        return Err(OptimError::config("golden_section", "tolerance must be positive"));
+        return Err(OptimError::config(
+            "golden_section",
+            "tolerance must be positive",
+        ));
     }
     let mut a = lo;
     let mut b = hi;
@@ -123,7 +126,10 @@ pub fn brent_min<F: Fn(f64) -> f64>(
         ));
     }
     if !(tol > 0.0) {
-        return Err(OptimError::config("brent_min", "tolerance must be positive"));
+        return Err(OptimError::config(
+            "brent_min",
+            "tolerance must be positive",
+        ));
     }
     const CGOLD: f64 = 0.381_966_011_250_105;
     let mut a = lo;

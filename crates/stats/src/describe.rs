@@ -400,7 +400,10 @@ mod tests {
     fn autocorrelation_of_alternating_series() {
         let v = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
         let r1 = autocorrelation(&v, 1).unwrap();
-        assert!(r1 < -0.8, "alternating series has strong negative lag-1: {r1}");
+        assert!(
+            r1 < -0.8,
+            "alternating series has strong negative lag-1: {r1}"
+        );
         let r2 = autocorrelation(&v, 2).unwrap();
         assert!(r2 > 0.5);
     }

@@ -48,7 +48,10 @@ impl fmt::Display for StatsError {
                 param,
                 value,
                 constraint,
-            } => write!(f, "{what}: parameter {param} = {value} violates {constraint}"),
+            } => write!(
+                f,
+                "{what}: parameter {param} = {value} violates {constraint}"
+            ),
             StatsError::InvalidProbability { what, value } => {
                 write!(f, "{what}: probability {value} outside valid range")
             }

@@ -17,7 +17,6 @@ use crate::{ContinuousDistribution, StatsError};
 /// # Ok::<(), resilience_stats::StatsError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Exponential {
     rate: f64,
 }

@@ -20,7 +20,6 @@ use resilience_math::special::{ln_gamma, reg_gamma_p, reg_gamma_q};
 /// # Ok::<(), resilience_stats::StatsError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Gamma {
     shape: f64,
     rate: f64,

@@ -26,7 +26,6 @@ use crate::{ContinuousDistribution, StatsError};
 /// # Ok::<(), resilience_stats::StatsError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Hjorth {
     delta: f64,
     theta: f64,
@@ -207,7 +206,10 @@ mod tests {
 
     #[test]
     fn hazard_minimum_none_when_monotone() {
-        assert!(Hjorth::new(0.0, 1.0, 1.0).unwrap().hazard_minimum().is_none());
+        assert!(Hjorth::new(0.0, 1.0, 1.0)
+            .unwrap()
+            .hazard_minimum()
+            .is_none());
     }
 
     #[test]

@@ -150,7 +150,11 @@ impl std::fmt::Display for ConfidenceInterval {
 /// assert!(!ci.contains(2.1));
 /// # Ok::<(), resilience_stats::StatsError>(())
 /// ```
-pub fn normal_interval(center: f64, sigma: f64, alpha: f64) -> Result<ConfidenceInterval, StatsError> {
+pub fn normal_interval(
+    center: f64,
+    sigma: f64,
+    alpha: f64,
+) -> Result<ConfidenceInterval, StatsError> {
     if !(sigma >= 0.0) || !sigma.is_finite() {
         return Err(StatsError::InvalidParameter {
             what: "normal_interval",

@@ -18,7 +18,9 @@
 //! * [`inference`] — normal and Student-t critical values, confidence
 //!   interval helpers.
 //! * [`ols`] — simple ordinary least squares for diagnostics.
-//! * [`sample`] — inverse-transform sampling bridged to [`rand`].
+//! * [`rng`] — the workspace's canonical deterministic PRNG
+//!   ([`XorShift64`], [`SplitMix64`], the [`RandomSource`] trait).
+//! * [`sample`] — inverse-transform sampling over any [`RandomSource`].
 //!
 //! # Examples
 //!
@@ -44,6 +46,7 @@ pub mod empirical;
 pub mod error;
 pub mod inference;
 pub mod ols;
+pub mod rng;
 pub mod sample;
 
 mod exponential;
@@ -62,5 +65,6 @@ pub use gamma::Gamma;
 pub use hjorth::Hjorth;
 pub use lognormal::LogNormal;
 pub use normal::Normal;
+pub use rng::{RandomSource, SplitMix64, XorShift64};
 pub use uniform::Uniform;
 pub use weibull::Weibull;

@@ -18,7 +18,6 @@ use crate::{ContinuousDistribution, Normal, StatsError};
 /// # Ok::<(), resilience_stats::StatsError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LogNormal {
     underlying: Normal,
 }

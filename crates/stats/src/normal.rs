@@ -19,7 +19,6 @@ use resilience_math::special::{erf, erfc, inv_erf};
 /// # Ok::<(), resilience_stats::StatsError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Normal {
     mean: f64,
     std_dev: f64,

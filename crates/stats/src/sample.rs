@@ -1,11 +1,11 @@
-//! Inverse-transform sampling bridged to [`rand`].
+//! Inverse-transform sampling over any [`RandomSource`].
 //!
 //! Any [`ContinuousDistribution`] with a working quantile function can be
 //! sampled by pushing uniform variates through it. The synthetic-shape
 //! generators in `resilience-data` and the bootstrap machinery use this.
 
+use crate::rng::RandomSource;
 use crate::{ContinuousDistribution, StatsError};
-use rand::Rng;
 
 /// Draws one sample from `dist` by inverse-transform sampling.
 ///
@@ -17,9 +17,8 @@ use rand::Rng;
 /// # Examples
 ///
 /// ```
-/// use resilience_stats::{sample::draw, Exponential};
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// use resilience_stats::{sample::draw, Exponential, XorShift64};
+/// let mut rng = XorShift64::new(7);
 /// let e = Exponential::new(2.0)?;
 /// let x = draw(&e, &mut rng)?;
 /// assert!(x >= 0.0);
@@ -28,12 +27,12 @@ use rand::Rng;
 pub fn draw<D, R>(dist: &D, rng: &mut R) -> Result<f64, StatsError>
 where
     D: ContinuousDistribution + ?Sized,
-    R: Rng + ?Sized,
+    R: RandomSource + ?Sized,
 {
     // Uniform in the open interval (0, 1): rejection-resample the endpoints,
     // which occur with probability ~2⁻⁵³ each.
     loop {
-        let u: f64 = rng.random();
+        let u: f64 = rng.next_f64();
         if u > 0.0 && u < 1.0 {
             return dist.quantile(u);
         }
@@ -48,7 +47,7 @@ where
 pub fn draw_many<D, R>(dist: &D, rng: &mut R, n: usize) -> Result<Vec<f64>, StatsError>
 where
     D: ContinuousDistribution + ?Sized,
-    R: Rng + ?Sized,
+    R: RandomSource + ?Sized,
 {
     (0..n).map(|_| draw(dist, rng)).collect()
 }
@@ -56,23 +55,23 @@ where
 /// Resamples `data` with replacement (the bootstrap's inner loop).
 ///
 /// Returns an empty vector for empty input.
-pub fn resample_with_replacement<R: Rng + ?Sized>(data: &[f64], rng: &mut R) -> Vec<f64> {
+pub fn resample_with_replacement<R: RandomSource + ?Sized>(data: &[f64], rng: &mut R) -> Vec<f64> {
     if data.is_empty() {
         return Vec::new();
     }
     (0..data.len())
-        .map(|_| data[rng.random_range(0..data.len())])
+        .map(|_| data[rng.next_index(data.len())])
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::XorShift64;
     use crate::{EmpiricalCdf, Exponential, Normal, Weibull};
-    use rand::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(0xDEC0DE)
+    fn rng() -> XorShift64 {
+        XorShift64::new(0xDEC0DE)
     }
 
     #[test]
@@ -131,5 +130,14 @@ mod tests {
         let a = draw_many(&e, &mut rng(), 10).unwrap();
         let b = draw_many(&e, &mut rng(), 10).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn works_through_dyn_random_source() {
+        // `?Sized` bound: samplers accept a type-erased source.
+        let e = Exponential::new(1.0).unwrap();
+        let mut concrete = rng();
+        let r: &mut dyn RandomSource = &mut concrete;
+        assert!(draw(&e, r).unwrap() >= 0.0);
     }
 }

@@ -21,7 +21,6 @@ use resilience_math::special::ln_gamma;
 /// # Ok::<(), resilience_stats::StatsError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Weibull {
     shape: f64,
     scale: f64,
@@ -173,7 +172,10 @@ mod tests {
             let total =
                 resilience_math::quad::adaptive_simpson(|x| w.pdf(x), a, b, 1e-11, 40).unwrap();
             let want = w.cdf(b) - w.cdf(a);
-            assert!((total - want).abs() < 1e-8, "k={k}, λ={lam}: {total} vs {want}");
+            assert!(
+                (total - want).abs() < 1e-8,
+                "k={k}, λ={lam}: {total} vs {want}"
+            );
         }
     }
 

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|fam| evaluate_model(fam, &series, holdout, 0.05))
         .collect::<Result<_, _>>()?;
 
-    println!("{:10} {:>12} {:>12} {:>10} {:>8}", "model", "SSE", "PMSE", "r2_adj", "EC");
+    println!(
+        "{:10} {:>12} {:>12} {:>10} {:>8}",
+        "model", "SSE", "PMSE", "r2_adj", "EC"
+    );
     for e in &evals {
         println!(
             "{:10} {:>12.3e} {:>12.3e} {:>10.4} {:>7.1}%",

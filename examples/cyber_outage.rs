@@ -41,16 +41,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let observed_hours = 30;
     let holdout = full.len() - observed_hours;
     let eval = evaluate_model(&CompetingRisksFamily, &full, holdout, 0.05)?;
-    println!("fitted {} on the first {observed_hours} hours", eval.family_name);
+    println!(
+        "fitted {} on the first {observed_hours} hours",
+        eval.family_name
+    );
     println!("  params: {:?}", eval.fit.params);
-    println!("  train SSE {:.6}, adjusted R² {:.4}\n", eval.gof.sse, eval.gof.r2_adj);
+    println!(
+        "  train SSE {:.6}, adjusted R² {:.4}\n",
+        eval.gof.sse, eval.gof.r2_adj
+    );
 
     // Forecast: when does capacity recover to the 99 % SLO?
-    let model = CompetingRisksModel::new(
-        eval.fit.params[0],
-        eval.fit.params[1],
-        eval.fit.params[2],
-    )?;
+    let model =
+        CompetingRisksModel::new(eval.fit.params[0], eval.fit.params[1], eval.fit.params[2])?;
     let slo = 0.99;
     let forecast = model.recovery_time(slo)?;
     // Ground truth from the withheld data: first observed hour at/above SLO
@@ -70,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Predictive interval metrics over the unobserved remainder.
     let split = full.split_at(observed_hours)?;
     let ctx = MetricContext::predictive(&split, &full, &model, 0.5)?;
-    println!("\npredictive interval metrics over hours {}..{}:", ctx.t_start, ctx.t_end);
+    println!(
+        "\npredictive interval metrics over hours {}..{}:",
+        ctx.t_start, ctx.t_end
+    );
     for kind in [
         MetricKind::PerformancePreserved,
         MetricKind::AveragePreserved,

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let series = storm.generate("grid double storm")?;
     println!("data: {series}");
 
-    for family in [&CompetingRisksFamily as &dyn ModelFamily, &DoubleBathtubFamily] {
+    for family in [
+        &CompetingRisksFamily as &dyn ModelFamily,
+        &DoubleBathtubFamily,
+    ] {
         let eval = evaluate_model(family, &series, 8, 0.05)?;
         let diag = residual_diagnostics(eval.fit.model.as_ref(), &series)?;
         println!("\n{}:", eval.family_name);

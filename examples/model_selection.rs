@@ -36,9 +36,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // In-sample, complexity penalized.
-    println!("{:16} {:>3} {:>12} {:>10} {:>10} {:>10}", "model", "k", "SSE", "r2_adj", "AICc", "BIC");
-    let ranked = rank_models(&families, &series, &FitConfig::default())?;
-    for row in &ranked {
+    println!(
+        "{:16} {:>3} {:>12} {:>10} {:>10} {:>10}",
+        "model", "k", "SSE", "r2_adj", "AICc", "BIC"
+    );
+    let ranking = rank_models(&families, &series, &FitConfig::default())?;
+    for failure in &ranking.failures {
+        println!("{:16} failed: {}", failure.family_name, failure.reason);
+    }
+    for row in &ranking.rows {
         let (aicc, bic) = row
             .criteria
             .map(|c| (format!("{:.1}", c.aicc), format!("{:.1}", c.bic)))

@@ -33,11 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Ask the competing-risks model when the system recovers to the
     //    nominal level — the predictive question the paper motivates.
     let eval = evaluate_model(&CompetingRisksFamily, &series, 5, 0.05)?;
-    let model = CompetingRisksModel::new(
-        eval.fit.params[0],
-        eval.fit.params[1],
-        eval.fit.params[2],
-    )?;
+    let model =
+        CompetingRisksModel::new(eval.fit.params[0], eval.fit.params[1], eval.fit.params[2])?;
     let nominal = series.nominal();
     match model.recovery_time(nominal) {
         Ok(t) => println!("predicted recovery to nominal {nominal}: t = {t:.1} months"),

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Full offline verification: build, tests, formatting, lints.
+# Run from the repository root. Fails fast on the first broken step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: all checks passed"

@@ -36,18 +36,17 @@ pub mod prelude {
         band_series, evaluate_model, metrics_comparison, ModelEvaluation,
     };
     pub use resilience_core::bathtub::{
-        CompetingRisksFamily, CompetingRisksModel, QuadraticFamily, QuadraticModel,
-        QuarticFamily, QuarticModel,
+        CompetingRisksFamily, CompetingRisksModel, QuadraticFamily, QuadraticModel, QuarticFamily,
+        QuarticModel,
     };
+    pub use resilience_core::diagnostics::{residual_diagnostics, ResidualDiagnostics};
     pub use resilience_core::extended::{
         CrashRecoveryFamily, CrashRecoveryModel, DoubleBathtubFamily, DoubleBathtubModel,
     };
-    pub use resilience_core::diagnostics::{residual_diagnostics, ResidualDiagnostics};
     pub use resilience_core::fit::{fit_least_squares, FitConfig, FittedModel};
     pub use resilience_core::forecast::{forecast, recovery_outlook, Forecast, ForecastPoint};
     pub use resilience_core::metrics::{
-        actual_metric, point_metrics, predicted_metric, relative_error, MetricContext,
-        MetricKind,
+        actual_metric, point_metrics, predicted_metric, relative_error, MetricContext, MetricKind,
     };
     pub use resilience_core::mixture::{ComponentKind, MixtureFamily, MixtureModel, Trend};
     pub use resilience_core::model::{ModelFamily, ResilienceModel};

@@ -1,0 +1,210 @@
+//! Allocation-regression tests for the fitting hot path.
+//!
+//! The SSE objective contract (DESIGN.md §Performance & determinism):
+//! after setup, one objective evaluation — `internal_to_params_into` +
+//! `predict_params_into` over reusable scratch — performs **zero** heap
+//! allocations, and the Nelder–Mead iteration loop allocates nothing
+//! beyond its setup buffers. A counting global allocator makes both
+//! contracts a hard test instead of a code-review convention.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use resilience_core::bathtub::{CompetingRisksFamily, QuadraticFamily, QuarticFamily};
+use resilience_core::extended::{CrashRecoveryFamily, DoubleBathtubFamily};
+use resilience_core::fit::{fit_least_squares, FitConfig};
+use resilience_core::mixture::MixtureFamily;
+use resilience_core::model::ModelFamily;
+use resilience_data::recessions::Recession;
+use resilience_optim::Parallelism;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// Counting is Relaxed: the tests are single-threaded around the measured
+// sections (Parallelism::Serial), so the counter needs no ordering.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Minimum allocation delta over `reps` runs of `f`. The libtest harness
+/// occasionally allocates on its own threads (output capture, bookkeeping)
+/// inside a measured window; that noise only ever adds to the count, so the
+/// minimum over a few repetitions recovers the true footprint of `f`.
+fn min_delta(reps: usize, mut f: impl FnMut()) -> u64 {
+    (0..reps)
+        .map(|_| {
+            let before = allocations();
+            f();
+            allocations() - before
+        })
+        .min()
+        .expect("reps > 0")
+}
+
+/// Every family the pipeline fits, paper and extended.
+fn all_families(mixtures: &[MixtureFamily]) -> Vec<&dyn ModelFamily> {
+    let mut families: Vec<&dyn ModelFamily> = vec![
+        &QuadraticFamily,
+        &CompetingRisksFamily,
+        &QuarticFamily,
+        &DoubleBathtubFamily,
+        &CrashRecoveryFamily,
+    ];
+    for fam in mixtures {
+        families.push(fam);
+    }
+    families
+}
+
+/// One SSE-objective evaluation allocates nothing, for every family: the
+/// exact scratch-buffer pattern `fit_least_squares` uses.
+#[test]
+fn sse_objective_is_allocation_free() {
+    let series = Recession::R1990_93.payroll_index();
+    let times = series.times();
+    let observed = series.values();
+    let mixtures = MixtureFamily::paper_combinations();
+
+    for family in all_families(&mixtures) {
+        // Setup (allowed to allocate): a feasible internal point and the
+        // scratch buffers.
+        let guess = family.initial_guesses(&series).remove(0);
+        let internal = family
+            .params_to_internal(&guess)
+            .expect("first guess is feasible");
+        let scratch = RefCell::new((vec![0.0; family.n_params()], vec![0.0; times.len()]));
+        let objective = |x: &[f64]| -> f64 {
+            let mut guard = scratch.borrow_mut();
+            let (params, predicted) = &mut *guard;
+            family.internal_to_params_into(x, params);
+            if !family.predict_params_into(params, times, predicted) {
+                return f64::INFINITY;
+            }
+            observed
+                .iter()
+                .zip(predicted.iter())
+                .map(|(y, p)| (y - p) * (y - p))
+                .sum()
+        };
+        // Warm-up call outside the measured window.
+        let warm = objective(&internal);
+        assert!(
+            warm.is_finite(),
+            "{}: objective at a feasible point",
+            family.name()
+        );
+
+        let mut acc = 0.0;
+        let delta = min_delta(3, || {
+            for _ in 0..100 {
+                acc += objective(&internal);
+            }
+        });
+        assert!(acc.is_finite());
+        assert_eq!(
+            delta,
+            0,
+            "{}: SSE objective allocated {delta} times over 100 calls",
+            family.name(),
+        );
+
+        // The infeasible path must be allocation-free too (it runs
+        // constantly while the simplex probes outside the feasible set).
+        let bad = vec![f64::NAN; internal.len()];
+        let mut bad_params = vec![0.0; family.n_params()];
+        let mut bad_pred = vec![0.0; times.len()];
+        family.internal_to_params_into(&bad, &mut bad_params);
+        let delta = min_delta(3, || {
+            for _ in 0..100 {
+                assert!(!family.predict_params_into(&bad_params, times, &mut bad_pred));
+            }
+        });
+        assert_eq!(
+            delta,
+            0,
+            "{}: infeasible probe allocated {delta} times over 100 calls",
+            family.name(),
+        );
+    }
+}
+
+/// `predict_into` allocates nothing for a built model.
+#[test]
+fn predict_into_is_allocation_free() {
+    let series = Recession::R1990_93.payroll_index();
+    let times = series.times();
+    let fit = fit_least_squares(&QuadraticFamily, &series, &FitConfig::default()).unwrap();
+    let mut out = vec![0.0; times.len()];
+    fit.model.predict_into(times, &mut out);
+
+    let delta = min_delta(3, || {
+        for _ in 0..100 {
+            fit.model.predict_into(times, &mut out);
+        }
+    });
+    assert_eq!(
+        delta, 0,
+        "predict_into allocated {delta} times over 100 calls"
+    );
+}
+
+/// The Nelder–Mead iteration loop allocates nothing: a fit capped at 10×
+/// the iterations allocates exactly as much as one capped at 1× (all
+/// allocation is setup, none is per-iteration).
+#[test]
+fn nelder_mead_iterations_do_not_allocate() {
+    let series = Recession::R1990_93.payroll_index();
+    // Wei-Exp mixture: slow to converge, so both runs hit their caps.
+    let family = &MixtureFamily::paper_combinations()[1];
+
+    let count_fit = |max_iterations: usize| -> u64 {
+        let mut config = FitConfig {
+            lm_polish: false,
+            parallelism: Parallelism::Serial,
+            max_starts: 1,
+            ..FitConfig::default()
+        };
+        config.nelder_mead.max_iterations = max_iterations;
+        min_delta(5, || {
+            let fit = fit_least_squares(family, &series, &config).unwrap();
+            assert!(fit.sse.is_finite());
+        })
+    };
+
+    // Warm-up to populate any lazily initialized state.
+    count_fit(50);
+    let short = count_fit(50);
+    let long = count_fit(500);
+    assert_eq!(
+        short, long,
+        "10x the Nelder-Mead iterations changed the allocation count \
+         ({short} vs {long}) - the iteration loop allocates"
+    );
+}

@@ -54,14 +54,14 @@ fn selection_matches_structure_to_shape() {
     let config = FitConfig::default();
 
     let w = Recession::R1980.payroll_index();
-    let rows = rank_models(&families, &w, &config).unwrap();
+    let rows = rank_models(&families, &w, &config).unwrap().rows;
     assert_eq!(
         rows[0].family_name, "Double Bathtub",
         "W shape should pick the two-episode model: {rows:?}"
     );
 
     let l = Recession::R2020_21.payroll_index();
-    let rows = rank_models(&families, &l, &config).unwrap();
+    let rows = rank_models(&families, &l, &config).unwrap().rows;
     assert_eq!(
         rows[0].family_name, "Crash Recovery",
         "L shape should pick the crash model: {rows:?}"

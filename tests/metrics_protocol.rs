@@ -90,7 +90,12 @@ fn eq16_performance_lost_hand_computed() {
 
 #[test]
 fn eq15_eq17_normalized_pair_hand_computed() {
-    let p = actual_metric(&tiny_series(), MetricKind::NormalizedAveragePreserved, &ctx()).unwrap();
+    let p = actual_metric(
+        &tiny_series(),
+        MetricKind::NormalizedAveragePreserved,
+        &ctx(),
+    )
+    .unwrap();
     let l = actual_metric(&tiny_series(), MetricKind::NormalizedAverageLost, &ctx()).unwrap();
     assert!((p - 1.1).abs() < 1e-12); // 2.2 / 2
     assert!((l + 0.1).abs() < 1e-12); // −0.2 / 2
@@ -117,8 +122,12 @@ fn eq21_weighted_before_after_hand_computed() {
     // Before: ∫₀² P = 0.95 + 0.85 = 1.8 over width 2 → 0.9.
     // After: ∫₂⁶ P = 4.0 over width 4 → 1.0.
     // α = 0.5: 0.5·0.9 + 0.5·1.0 = 0.95.
-    let v =
-        actual_metric(&tiny_series(), MetricKind::WeightedBeforeAfterMinimum, &ctx()).unwrap();
+    let v = actual_metric(
+        &tiny_series(),
+        MetricKind::WeightedBeforeAfterMinimum,
+        &ctx(),
+    )
+    .unwrap();
     assert!((v - 0.95).abs() < 1e-12);
 }
 
@@ -132,7 +141,12 @@ fn predicted_metrics_for_constant_model() {
         (predicted_metric(&m, MetricKind::PerformancePreserved, &c).unwrap() - 1.8).abs() < 1e-9
     );
     assert!((predicted_metric(&m, MetricKind::PerformanceLost, &c).unwrap() - 0.2).abs() < 1e-9);
-    assert!(predicted_metric(&m, MetricKind::PreservedFromMinimum, &c).unwrap().abs() < 1e-9);
+    assert!(
+        predicted_metric(&m, MetricKind::PreservedFromMinimum, &c)
+            .unwrap()
+            .abs()
+            < 1e-9
+    );
     // Weighted: both halves average 0.9 → 0.9.
     assert!(
         (predicted_metric(&m, MetricKind::WeightedBeforeAfterMinimum, &c).unwrap() - 0.9).abs()

@@ -1,129 +1,187 @@
-//! Property-based tests (proptest) on the workspace's core invariants.
+//! Property-style tests on the workspace's core invariants.
+//!
+//! Each property is exercised over many randomized cases drawn from a
+//! seeded [`XorShift64`] stream, so failures are reproducible (the case
+//! index and drawn values appear in the assertion message) and the suite
+//! is hermetic — no proptest dependency.
 
-use proptest::prelude::*;
 use resilience_core::bathtub::{CompetingRisksModel, QuadraticFamily, QuadraticModel};
 use resilience_core::metrics::{actual_metric, MetricContext, MetricKind};
 use resilience_core::mixture::{ComponentKind, MixtureModel, Trend};
 use resilience_core::model::{ModelFamily, ResilienceModel};
 use resilience_data::csv::{read_series, write_series};
 use resilience_data::PerformanceSeries;
-use resilience_stats::{ContinuousDistribution, Exponential, Normal, Weibull};
+use resilience_stats::{ContinuousDistribution, Exponential, Normal, Weibull, XorShift64};
 
-/// Strategy: feasible quadratic bathtub parameters (α, β, γ) via the
-/// same (α, s, γ) construction the family uses.
-fn quadratic_params() -> impl Strategy<Value = (f64, f64, f64)> {
-    (0.1f64..10.0, 0.05f64..0.95, 1e-6f64..0.1).prop_map(|(alpha, s, gamma)| {
-        let beta = -2.0 * (alpha * gamma).sqrt() * s;
-        (alpha, beta, gamma)
-    })
+const CASES: usize = 200;
+
+/// Uniform draw in `[lo, hi)`.
+fn uniform(rng: &mut XorShift64, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.next_f64()
 }
 
-proptest! {
-    /// The quadratic trough formula matches a numerical minimum.
-    #[test]
-    fn quadratic_trough_is_a_minimum((alpha, beta, gamma) in quadratic_params()) {
+/// Vector of uniform draws with a random length in `[min_len, max_len)`.
+fn uniform_vec(rng: &mut XorShift64, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+    let len = min_len + rng.next_index(max_len - min_len);
+    (0..len).map(|_| uniform(rng, lo, hi)).collect()
+}
+
+/// Feasible quadratic bathtub parameters (α, β, γ) via the same
+/// (α, s, γ) construction the family uses.
+fn quadratic_params(rng: &mut XorShift64) -> (f64, f64, f64) {
+    let alpha = uniform(rng, 0.1, 10.0);
+    let s = uniform(rng, 0.05, 0.95);
+    let gamma = uniform(rng, 1e-6, 0.1);
+    let beta = -2.0 * (alpha * gamma).sqrt() * s;
+    (alpha, beta, gamma)
+}
+
+/// The quadratic trough formula matches a numerical minimum.
+#[test]
+fn quadratic_trough_is_a_minimum() {
+    let mut rng = XorShift64::new(0xA001);
+    for case in 0..CASES {
+        let (alpha, beta, gamma) = quadratic_params(&mut rng);
         let m = QuadraticModel::new(alpha, beta, gamma).unwrap();
         let t_d = m.trough();
-        prop_assert!(t_d > 0.0);
+        assert!(t_d > 0.0, "case {case}: ({alpha}, {beta}, {gamma})");
         let p_d = m.predict(t_d);
-        prop_assert!(m.predict(t_d - 0.1) >= p_d);
-        prop_assert!(m.predict(t_d + 0.1) >= p_d);
-        prop_assert!((m.minimum() - p_d).abs() < 1e-10);
+        assert!(m.predict(t_d - 0.1) >= p_d, "case {case}");
+        assert!(m.predict(t_d + 0.1) >= p_d, "case {case}");
+        assert!((m.minimum() - p_d).abs() < 1e-10, "case {case}");
     }
+}
 
-    /// Eq. 2: the closed-form recovery time satisfies P(t_r) = level and
-    /// lies at/after the trough.
-    #[test]
-    fn quadratic_recovery_time_solves_curve(
-        (alpha, beta, gamma) in quadratic_params(),
-        frac in 0.01f64..0.99,
-    ) {
+/// Eq. 2: the closed-form recovery time satisfies P(t_r) = level and
+/// lies at/after the trough.
+#[test]
+fn quadratic_recovery_time_solves_curve() {
+    let mut rng = XorShift64::new(0xA002);
+    for case in 0..CASES {
+        let (alpha, beta, gamma) = quadratic_params(&mut rng);
+        let frac = uniform(&mut rng, 0.01, 0.99);
         let m = QuadraticModel::new(alpha, beta, gamma).unwrap();
         // A level strictly between the minimum and the initial value.
         let level = m.minimum() + frac * (alpha - m.minimum());
         if level > m.minimum() {
             let t_r = m.recovery_time(level).unwrap();
-            prop_assert!(t_r >= m.trough() - 1e-9);
-            prop_assert!((m.predict(t_r) - level).abs() < 1e-6 * (1.0 + level.abs()));
+            assert!(t_r >= m.trough() - 1e-9, "case {case}");
+            assert!(
+                (m.predict(t_r) - level).abs() < 1e-6 * (1.0 + level.abs()),
+                "case {case}: ({alpha}, {beta}, {gamma}), frac {frac}"
+            );
         }
     }
+}
 
-    /// Eq. 3: the closed-form area equals numerical quadrature.
-    #[test]
-    fn quadratic_area_matches_quadrature(
-        (alpha, beta, gamma) in quadratic_params(),
-        span in 1.0f64..100.0,
-    ) {
+/// Eq. 3: the closed-form area equals numerical quadrature.
+#[test]
+fn quadratic_area_matches_quadrature() {
+    let mut rng = XorShift64::new(0xA003);
+    for case in 0..CASES {
+        let (alpha, beta, gamma) = quadratic_params(&mut rng);
+        let span = uniform(&mut rng, 1.0, 100.0);
         let m = QuadraticModel::new(alpha, beta, gamma).unwrap();
         let analytic = m.area(0.0, span).unwrap();
-        let numeric = resilience_math::quad::adaptive_simpson(
-            |t| m.predict(t), 0.0, span, 1e-10, 40).unwrap();
-        prop_assert!((analytic - numeric).abs() < 1e-6 * (1.0 + analytic.abs()));
+        let numeric =
+            resilience_math::quad::adaptive_simpson(|t| m.predict(t), 0.0, span, 1e-10, 40)
+                .unwrap();
+        assert!(
+            (analytic - numeric).abs() < 1e-6 * (1.0 + analytic.abs()),
+            "case {case}: analytic {analytic} vs numeric {numeric}"
+        );
     }
+}
 
-    /// Quadratic family: internal → external always lands in the bathtub
-    /// validity region, and the roundtrip is the identity.
-    #[test]
-    fn quadratic_family_transform_roundtrip(
-        a in -8.0f64..4.0,
-        b in -12.0f64..12.0,
-        c in -12.0f64..2.0,
-    ) {
+/// Quadratic family: internal → external always lands in the bathtub
+/// validity region, and the roundtrip is the identity.
+#[test]
+fn quadratic_family_transform_roundtrip() {
+    let mut rng = XorShift64::new(0xA004);
+    for case in 0..CASES {
+        let a = uniform(&mut rng, -8.0, 4.0);
+        let b = uniform(&mut rng, -12.0, 12.0);
+        let c = uniform(&mut rng, -12.0, 2.0);
         let fam = QuadraticFamily;
         let params = fam.internal_to_params(&[a, b, c]);
         // Feasible by construction.
-        prop_assert!(QuadraticModel::new(params[0], params[1], params[2]).is_ok());
+        assert!(
+            QuadraticModel::new(params[0], params[1], params[2]).is_ok(),
+            "case {case}: {params:?}"
+        );
         let back = fam.params_to_internal(&params).unwrap();
         let again = fam.internal_to_params(&back);
         for (x, y) in params.iter().zip(&again) {
-            prop_assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()), "{params:?} vs {again:?}");
+            assert!(
+                (x - y).abs() < 1e-6 * (1.0 + x.abs()),
+                "case {case}: {params:?} vs {again:?}"
+            );
         }
     }
+}
 
-    /// Eq. 5/6: competing-risks closed forms match numerics for random
-    /// positive parameters.
-    #[test]
-    fn competing_risks_closed_forms(
-        alpha in 0.2f64..5.0,
-        beta in 0.01f64..2.0,
-        gamma in 1e-5f64..0.05,
-    ) {
+/// Eq. 5/6: competing-risks closed forms match numerics for random
+/// positive parameters.
+#[test]
+fn competing_risks_closed_forms() {
+    let mut rng = XorShift64::new(0xA005);
+    for case in 0..CASES {
+        let alpha = uniform(&mut rng, 0.2, 5.0);
+        let beta = uniform(&mut rng, 0.01, 2.0);
+        let gamma = uniform(&mut rng, 1e-5, 0.05);
         let m = CompetingRisksModel::new(alpha, beta, gamma).unwrap();
         // Area (Eq. 6).
         let analytic = m.area(0.0, 47.0).unwrap();
-        let numeric = resilience_math::quad::adaptive_simpson(
-            |t| m.predict(t), 0.0, 47.0, 1e-10, 40).unwrap();
-        prop_assert!((analytic - numeric).abs() < 1e-6 * (1.0 + analytic.abs()));
+        let numeric =
+            resilience_math::quad::adaptive_simpson(|t| m.predict(t), 0.0, 47.0, 1e-10, 40)
+                .unwrap();
+        assert!(
+            (analytic - numeric).abs() < 1e-6 * (1.0 + analytic.abs()),
+            "case {case}: analytic {analytic} vs numeric {numeric}"
+        );
         // Recovery time (Eq. 5) for a reachable level.
         let level = m.minimum() + 0.5 * (alpha - m.minimum()).abs() + 1e-6;
         if let Ok(t_r) = m.recovery_time(level) {
-            prop_assert!((m.predict(t_r) - level).abs() < 1e-6 * (1.0 + level));
+            assert!(
+                (m.predict(t_r) - level).abs() < 1e-6 * (1.0 + level),
+                "case {case}"
+            );
         }
     }
+}
 
-    /// Mixture models always start at the nominal level 1 for trends that
-    /// vanish (or equal 1) at t = 0.
-    #[test]
-    fn mixture_starts_at_nominal(
-        rate1 in 0.01f64..2.0,
-        rate2 in 0.01f64..2.0,
-        beta in 0.01f64..2.0,
-    ) {
+/// Mixture models always start at the nominal level 1 for trends that
+/// vanish (or equal 1) at t = 0.
+#[test]
+fn mixture_starts_at_nominal() {
+    let mut rng = XorShift64::new(0xA006);
+    for case in 0..CASES {
+        let rate1 = uniform(&mut rng, 0.01, 2.0);
+        let rate2 = uniform(&mut rng, 0.01, 2.0);
+        let beta = uniform(&mut rng, 0.01, 2.0);
         for trend in [Trend::Logarithmic, Trend::Linear] {
             let m = MixtureModel::new(
-                ComponentKind::Exponential, vec![rate1],
-                ComponentKind::Exponential, vec![rate2],
-                trend, beta,
-            ).unwrap();
-            prop_assert!((m.predict(0.0) - 1.0).abs() < 1e-12);
+                ComponentKind::Exponential,
+                vec![rate1],
+                ComponentKind::Exponential,
+                vec![rate2],
+                trend,
+                beta,
+            )
+            .unwrap();
+            assert!((m.predict(0.0) - 1.0).abs() < 1e-12, "case {case}");
         }
     }
+}
 
-    /// Metric identities hold for arbitrary observed curves: preserved +
-    /// lost = nominal rectangle; normalized pair sums to 1; averages are
-    /// consistent with totals.
-    #[test]
-    fn metric_identities(values in prop::collection::vec(0.5f64..1.5, 12..40)) {
+/// Metric identities hold for arbitrary observed curves: preserved +
+/// lost = nominal rectangle; normalized pair sums to 1; averages are
+/// consistent with totals.
+#[test]
+fn metric_identities() {
+    let mut rng = XorShift64::new(0xA007);
+    for case in 0..CASES {
+        let values = uniform_vec(&mut rng, 0.5, 1.5, 12, 40);
         let series = PerformanceSeries::monthly("prop", values).unwrap();
         let n = series.len();
         let t_end = (n - 1) as f64;
@@ -137,176 +195,243 @@ proptest! {
             t_min,
             t_full_start: 0.0,
             weight: 0.5,
-        }.validated().unwrap();
+        }
+        .validated()
+        .unwrap();
         let preserved = actual_metric(&series, MetricKind::PerformancePreserved, &ctx).unwrap();
         let lost = actual_metric(&series, MetricKind::PerformanceLost, &ctx).unwrap();
         let rect = ctx.nominal * (ctx.t_end - ctx.t_start);
-        prop_assert!((preserved + lost - rect).abs() < 1e-9);
+        assert!((preserved + lost - rect).abs() < 1e-9, "case {case}");
         let np = actual_metric(&series, MetricKind::NormalizedAveragePreserved, &ctx).unwrap();
         let nl = actual_metric(&series, MetricKind::NormalizedAverageLost, &ctx).unwrap();
-        prop_assert!((np + nl - 1.0).abs() < 1e-9);
+        assert!((np + nl - 1.0).abs() < 1e-9, "case {case}");
         let avg = actual_metric(&series, MetricKind::AveragePreserved, &ctx).unwrap();
-        prop_assert!((avg * (ctx.t_end - ctx.t_start) - preserved).abs() < 1e-9);
+        assert!(
+            (avg * (ctx.t_end - ctx.t_start) - preserved).abs() < 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    /// CSV round trips arbitrary finite series exactly enough to be
-    /// indistinguishable (shortest-roundtrip float formatting).
-    #[test]
-    fn csv_roundtrip(values in prop::collection::vec(0.0f64..10.0, 2..50)) {
+/// CSV round trips arbitrary finite series exactly enough to be
+/// indistinguishable (shortest-roundtrip float formatting).
+#[test]
+fn csv_roundtrip() {
+    let mut rng = XorShift64::new(0xA008);
+    for case in 0..CASES {
+        let values = uniform_vec(&mut rng, 0.0, 10.0, 2, 50);
         let series = PerformanceSeries::monthly("rt", values).unwrap();
         let mut buf = Vec::new();
         write_series(&mut buf, &series).unwrap();
         let back = read_series(buf.as_slice(), "rt").unwrap();
-        prop_assert_eq!(series.values(), back.values());
-        prop_assert_eq!(series.times(), back.times());
-    }
-
-    /// Distribution sanity across random parameters: CDFs are monotone,
-    /// bounded, and inverse-consistent.
-    #[test]
-    fn distribution_quantile_roundtrip(
-        shape in 0.3f64..5.0,
-        scale in 0.1f64..20.0,
-        p in 0.01f64..0.99,
-    ) {
-        let w = Weibull::new(shape, scale).unwrap();
-        let x = w.quantile(p).unwrap();
-        prop_assert!((w.cdf(x) - p).abs() < 1e-9);
-        let e = Exponential::new(1.0 / scale).unwrap();
-        let xe = e.quantile(p).unwrap();
-        prop_assert!((e.cdf(xe) - p).abs() < 1e-9);
-        let n = Normal::new(shape, scale).unwrap();
-        let xn = n.quantile(p).unwrap();
-        prop_assert!((n.cdf(xn) - p).abs() < 1e-9);
-    }
-
-    /// Survival + CDF = 1 over the support for all stats distributions
-    /// used by the mixture layer.
-    #[test]
-    fn survival_complements_cdf(x in 0.0f64..50.0, k in 0.5f64..4.0, lam in 0.2f64..10.0) {
-        let w = Weibull::new(k, lam).unwrap();
-        prop_assert!((w.cdf(x) + w.survival(x) - 1.0).abs() < 1e-10);
-        let e = Exponential::new(1.0 / lam).unwrap();
-        prop_assert!((e.cdf(x) + e.survival(x) - 1.0).abs() < 1e-10);
+        assert_eq!(series.values(), back.values(), "case {case}");
+        assert_eq!(series.times(), back.times(), "case {case}");
     }
 }
 
-proptest! {
-    /// Crash-recovery closed forms: continuity at the kink, recovery-time
-    /// inversion, and area vs quadrature, across random parameters.
-    #[test]
-    fn crash_recovery_closed_forms(
-        t_c in 0.5f64..10.0,
-        p_min_share in 0.3f64..0.95,
-        p_inf in 0.5f64..1.2,
-        rate in 0.01f64..1.0,
-        sharpness in 1.0f64..8.0,
-    ) {
-        use resilience_core::extended::CrashRecoveryModel;
+/// Distribution sanity across random parameters: CDFs are monotone,
+/// bounded, and inverse-consistent.
+#[test]
+fn distribution_quantile_roundtrip() {
+    let mut rng = XorShift64::new(0xA009);
+    for case in 0..CASES {
+        let shape = uniform(&mut rng, 0.3, 5.0);
+        let scale = uniform(&mut rng, 0.1, 20.0);
+        let p = uniform(&mut rng, 0.01, 0.99);
+        let w = Weibull::new(shape, scale).unwrap();
+        let x = w.quantile(p).unwrap();
+        assert!((w.cdf(x) - p).abs() < 1e-9, "case {case}");
+        let e = Exponential::new(1.0 / scale).unwrap();
+        let xe = e.quantile(p).unwrap();
+        assert!((e.cdf(xe) - p).abs() < 1e-9, "case {case}");
+        let n = Normal::new(shape, scale).unwrap();
+        let xn = n.quantile(p).unwrap();
+        assert!((n.cdf(xn) - p).abs() < 1e-9, "case {case}");
+    }
+}
+
+/// Survival + CDF = 1 over the support for all stats distributions used
+/// by the mixture layer.
+#[test]
+fn survival_complements_cdf() {
+    let mut rng = XorShift64::new(0xA00A);
+    for case in 0..CASES {
+        let x = uniform(&mut rng, 0.0, 50.0);
+        let k = uniform(&mut rng, 0.5, 4.0);
+        let lam = uniform(&mut rng, 0.2, 10.0);
+        let w = Weibull::new(k, lam).unwrap();
+        assert!(
+            (w.cdf(x) + w.survival(x) - 1.0).abs() < 1e-10,
+            "case {case}"
+        );
+        let e = Exponential::new(1.0 / lam).unwrap();
+        assert!(
+            (e.cdf(x) + e.survival(x) - 1.0).abs() < 1e-10,
+            "case {case}"
+        );
+    }
+}
+
+/// Crash-recovery closed forms: continuity at the kink, recovery-time
+/// inversion, and area vs quadrature, across random parameters.
+#[test]
+fn crash_recovery_closed_forms() {
+    use resilience_core::extended::CrashRecoveryModel;
+    let mut rng = XorShift64::new(0xA00B);
+    for case in 0..CASES {
+        let t_c = uniform(&mut rng, 0.5, 10.0);
+        let p_min_share = uniform(&mut rng, 0.3, 0.95);
+        let p_inf = uniform(&mut rng, 0.5, 1.2);
+        let rate = uniform(&mut rng, 0.01, 1.0);
+        let sharpness = uniform(&mut rng, 1.0, 8.0);
         let p_min = p_inf * p_min_share;
         let m = CrashRecoveryModel::new(t_c, p_min, p_inf, rate, sharpness).unwrap();
         // Continuity at the crash time.
-        prop_assert!((m.predict(t_c - 1e-9) - m.predict(t_c + 1e-9)).abs() < 1e-6);
+        assert!(
+            (m.predict(t_c - 1e-9) - m.predict(t_c + 1e-9)).abs() < 1e-6,
+            "case {case}"
+        );
         // Recovery-time inversion for a mid-level.
         let level = p_min + 0.5 * (p_inf - p_min);
         let t_r = m.recovery_time(level).unwrap();
-        prop_assert!((m.predict(t_r) - level).abs() < 1e-9);
+        assert!((m.predict(t_r) - level).abs() < 1e-9, "case {case}");
         // Area against quadrature across the kink.
         let analytic = m.area(0.0, t_c + 20.0).unwrap();
-        let numeric = resilience_math::quad::adaptive_simpson(
-            |t| m.predict(t), 0.0, t_c + 20.0, 1e-10, 44).unwrap();
-        prop_assert!((analytic - numeric).abs() < 1e-6 * (1.0 + analytic.abs()));
-    }
-
-    /// Double-bathtub closed-form area matches quadrature for random
-    /// parameters, including windows straddling the second-episode onset.
-    #[test]
-    fn double_bathtub_area(
-        alpha in 0.3f64..3.0,
-        beta in 0.02f64..1.0,
-        gamma in 1e-5f64..0.02,
-        depth in 0.005f64..0.1,
-        onset in 5.0f64..30.0,
-        width in 2.0f64..15.0,
-    ) {
-        use resilience_core::extended::DoubleBathtubModel;
-        let m = DoubleBathtubModel::new(alpha, beta, gamma, depth, onset, width).unwrap();
-        let analytic = m.area(0.0, 47.0).unwrap();
-        let numeric = resilience_math::quad::adaptive_simpson(
-            |t| m.predict(t), 0.0, 47.0, 1e-10, 44).unwrap();
-        prop_assert!((analytic - numeric).abs() < 1e-6 * (1.0 + analytic.abs()));
-    }
-
-    /// Hjorth distribution invariants across random parameters.
-    #[test]
-    fn hjorth_distribution_invariants(
-        delta in 0.001f64..0.5,
-        theta in 0.1f64..3.0,
-        beta in 0.05f64..2.0,
-        x in 0.1f64..30.0,
-    ) {
-        use resilience_stats::Hjorth;
-        let h = Hjorth::new(delta, theta, beta).unwrap();
-        // Survival = exp(−cumulative hazard).
-        prop_assert!((h.survival(x) - (-h.cumulative_hazard(x)).exp()).abs() < 1e-10);
-        // Hazard is the sum of its two competing parts.
-        let want = delta * x + theta / (1.0 + beta * x);
-        prop_assert!((h.hazard(x) - want).abs() < 1e-12);
-        // CDF in [0, 1] and monotone over a step.
-        let c = h.cdf(x);
-        prop_assert!((0.0..=1.0).contains(&c));
-        prop_assert!(h.cdf(x + 1.0) >= c);
-    }
-
-    /// Nelder–Mead never returns a point worse than its starting point.
-    #[test]
-    fn nelder_mead_never_worsens(
-        x0 in prop::collection::vec(-5.0f64..5.0, 1..4),
-        shift in -3.0f64..3.0,
-    ) {
-        use resilience_optim::nelder_mead::{NelderMead, NelderMeadConfig};
-        let f = move |p: &[f64]| {
-            p.iter().map(|x| (x - shift) * (x - shift)).sum::<f64>()
-        };
-        let start_value = f(&x0);
-        let report = NelderMead::new(NelderMeadConfig::default()).minimize(&f, &x0).unwrap();
-        prop_assert!(report.value <= start_value + 1e-12);
-    }
-
-    /// Information criteria order models by SSE at fixed complexity.
-    #[test]
-    fn criteria_monotone_in_sse(sse1 in 1e-8f64..1.0, factor in 1.01f64..100.0) {
-        use resilience_core::selection::information_criteria;
-        let a = information_criteria(sse1, 48, 3).unwrap();
-        let b = information_criteria(sse1 * factor, 48, 3).unwrap();
-        prop_assert!(a.aic < b.aic);
-        prop_assert!(a.aicc < b.aicc);
-        prop_assert!(a.bic < b.bic);
+        let numeric =
+            resilience_math::quad::adaptive_simpson(|t| m.predict(t), 0.0, t_c + 20.0, 1e-10, 44)
+                .unwrap();
+        assert!(
+            (analytic - numeric).abs() < 1e-6 * (1.0 + analytic.abs()),
+            "case {case}: analytic {analytic} vs numeric {numeric}"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Double-bathtub closed-form area matches quadrature for random
+/// parameters, including windows straddling the second-episode onset.
+#[test]
+fn double_bathtub_area() {
+    use resilience_core::extended::DoubleBathtubModel;
+    let mut rng = XorShift64::new(0xA00C);
+    for case in 0..CASES {
+        let alpha = uniform(&mut rng, 0.3, 3.0);
+        let beta = uniform(&mut rng, 0.02, 1.0);
+        let gamma = uniform(&mut rng, 1e-5, 0.02);
+        let depth = uniform(&mut rng, 0.005, 0.1);
+        let onset = uniform(&mut rng, 5.0, 30.0);
+        let width = uniform(&mut rng, 2.0, 15.0);
+        let m = DoubleBathtubModel::new(alpha, beta, gamma, depth, onset, width).unwrap();
+        let analytic = m.area(0.0, 47.0).unwrap();
+        let numeric =
+            resilience_math::quad::adaptive_simpson(|t| m.predict(t), 0.0, 47.0, 1e-10, 44)
+                .unwrap();
+        assert!(
+            (analytic - numeric).abs() < 1e-6 * (1.0 + analytic.abs()),
+            "case {case}: analytic {analytic} vs numeric {numeric}"
+        );
+    }
+}
 
-    /// Fitting noiseless quadratic data recovers parameters for random
-    /// feasible truths (an expensive case-count-limited property).
-    #[test]
-    fn fit_recovers_random_quadratic_truth((alpha, beta, gamma) in quadratic_params()) {
+/// Hjorth distribution invariants across random parameters.
+#[test]
+fn hjorth_distribution_invariants() {
+    use resilience_stats::Hjorth;
+    let mut rng = XorShift64::new(0xA00D);
+    for case in 0..CASES {
+        let delta = uniform(&mut rng, 0.001, 0.5);
+        let theta = uniform(&mut rng, 0.1, 3.0);
+        let beta = uniform(&mut rng, 0.05, 2.0);
+        let x = uniform(&mut rng, 0.1, 30.0);
+        let h = Hjorth::new(delta, theta, beta).unwrap();
+        // Survival = exp(−cumulative hazard).
+        assert!(
+            (h.survival(x) - (-h.cumulative_hazard(x)).exp()).abs() < 1e-10,
+            "case {case}"
+        );
+        // Hazard is the sum of its two competing parts.
+        let want = delta * x + theta / (1.0 + beta * x);
+        assert!((h.hazard(x) - want).abs() < 1e-12, "case {case}");
+        // CDF in [0, 1] and monotone over a step.
+        let c = h.cdf(x);
+        assert!((0.0..=1.0).contains(&c), "case {case}");
+        assert!(h.cdf(x + 1.0) >= c, "case {case}");
+    }
+}
+
+/// Nelder–Mead never returns a point worse than its starting point.
+#[test]
+fn nelder_mead_never_worsens() {
+    use resilience_optim::nelder_mead::{NelderMead, NelderMeadConfig};
+    let mut rng = XorShift64::new(0xA00E);
+    for case in 0..CASES {
+        let x0 = uniform_vec(&mut rng, -5.0, 5.0, 1, 4);
+        let shift = uniform(&mut rng, -3.0, 3.0);
+        let f = move |p: &[f64]| p.iter().map(|x| (x - shift) * (x - shift)).sum::<f64>();
+        let start_value = f(&x0);
+        let report = NelderMead::new(NelderMeadConfig::default())
+            .minimize(&f, &x0)
+            .unwrap();
+        assert!(report.value <= start_value + 1e-12, "case {case}");
+    }
+}
+
+/// Information criteria order models by SSE at fixed complexity.
+#[test]
+fn criteria_monotone_in_sse() {
+    use resilience_core::selection::information_criteria;
+    let mut rng = XorShift64::new(0xA00F);
+    for case in 0..CASES {
+        let sse1 = uniform(&mut rng, 1e-8, 1.0);
+        let factor = uniform(&mut rng, 1.01, 100.0);
+        let a = information_criteria(sse1, 48, 3).unwrap();
+        let b = information_criteria(sse1 * factor, 48, 3).unwrap();
+        assert!(a.aic < b.aic, "case {case}");
+        assert!(a.aicc < b.aicc, "case {case}");
+        assert!(a.bic < b.bic, "case {case}");
+    }
+}
+
+/// Fitting noiseless quadratic data recovers parameters for random
+/// feasible truths (an expensive case-count-limited property).
+#[test]
+fn fit_recovers_random_quadratic_truth() {
+    let mut rng = XorShift64::new(0xA010);
+    let mut tested = 0usize;
+    for case in 0..64 {
         // Scale the curve into a plausible window so every truth is
         // identifiable from 40 monthly samples.
+        let (alpha, beta, gamma) = quadratic_params(&mut rng);
         let m = QuadraticModel::new(alpha, beta, gamma).unwrap();
         let trough = m.trough();
         // Only test truths whose trough is inside the sampled window.
-        prop_assume!(trough > 2.0 && trough < 35.0);
+        if !(trough > 2.0 && trough < 35.0) {
+            continue;
+        }
         let values: Vec<f64> = (0..40).map(|i| m.predict(i as f64)).collect();
-        prop_assume!(values.iter().all(|v| *v > 0.0));
+        if !values.iter().all(|v| *v > 0.0) {
+            continue;
+        }
         let series = PerformanceSeries::monthly("truth", values).unwrap();
         let fit = resilience_core::fit::fit_least_squares(
             &QuadraticFamily,
             &series,
             &resilience_core::fit::FitConfig::default(),
-        ).unwrap();
-        let ssy: f64 = series.values().iter().map(|v| (v - alpha) * (v - alpha)).sum();
-        prop_assert!(fit.sse < 1e-9 * (1.0 + ssy), "sse = {}", fit.sse);
+        )
+        .unwrap();
+        let ssy: f64 = series
+            .values()
+            .iter()
+            .map(|v| (v - alpha) * (v - alpha))
+            .sum();
+        assert!(
+            fit.sse < 1e-9 * (1.0 + ssy),
+            "case {case}: sse = {}, truth ({alpha}, {beta}, {gamma})",
+            fit.sse
+        );
+        tested += 1;
     }
+    assert!(
+        tested >= 10,
+        "only {tested} feasible cases — widen the sampler"
+    );
 }

@@ -106,11 +106,26 @@ fn metric_context_rejects_degenerate_geometry() {
     };
     assert!(base.validated().is_ok());
     for ctx in [
-        MetricContext { t_start: 47.0, ..base },          // empty window
-        MetricContext { t_min: 47.5, ..base },            // min past end
-        MetricContext { t_min: -1.0, ..base },            // min before start
-        MetricContext { weight: 0.0, ..base },            // weight boundary
-        MetricContext { weight: 1.5, ..base },            // weight out of range
+        MetricContext {
+            t_start: 47.0,
+            ..base
+        }, // empty window
+        MetricContext {
+            t_min: 47.5,
+            ..base
+        }, // min past end
+        MetricContext {
+            t_min: -1.0,
+            ..base
+        }, // min before start
+        MetricContext {
+            weight: 0.0,
+            ..base
+        }, // weight boundary
+        MetricContext {
+            weight: 1.5,
+            ..base
+        }, // weight out of range
     ] {
         assert!(ctx.validated().is_err(), "{ctx:?} should be rejected");
     }
@@ -120,18 +135,22 @@ fn metric_context_rejects_degenerate_geometry() {
 #[test]
 fn csv_parser_handles_hostile_input() {
     let cases: &[&str] = &[
-        "",                          // empty
-        "\n\n\n",                    // only blank lines
-        "a,b\nc,d\n",                // all header-ish
-        "0,1\n0,1\n",                // duplicate times
-        "0,1\n1,1e309\n",            // overflow to infinity
-        "0,1\n1",                    // truncated row
-        "0,1,2,3\n",                 // too many fields
-        "🦀,🦀\n",                   // non-numeric unicode
+        "",               // empty
+        "\n\n\n",         // only blank lines
+        "a,b\nc,d\n",     // all header-ish
+        "0,1\n0,1\n",     // duplicate times
+        "0,1\n1,1e309\n", // overflow to infinity
+        "0,1\n1",         // truncated row
+        "0,1,2,3\n",      // too many fields
+        "🦀,🦀\n",        // non-numeric unicode
     ];
     for case in cases {
         let r = read_series(case.as_bytes(), "hostile");
-        assert!(r.is_err(), "case {case:?} should fail, got {:?}", r.map(|s| s.len()));
+        assert!(
+            r.is_err(),
+            "case {case:?} should fail, got {:?}",
+            r.map(|s| s.len())
+        );
     }
 }
 
@@ -171,8 +190,8 @@ fn mixture_api_rejects_malformed_parameters() {
 /// Holdout geometry is validated at the analysis boundary.
 #[test]
 fn evaluate_model_rejects_bad_holdouts() {
-    let series = PerformanceSeries::monthly("s", (0..10).map(|i| 1.0 - 0.01 * i as f64).collect())
-        .unwrap();
+    let series =
+        PerformanceSeries::monthly("s", (0..10).map(|i| 1.0 - 0.01 * i as f64).collect()).unwrap();
     assert!(evaluate_model(&QuadraticFamily, &series, 0, 0.05).is_err());
     assert!(evaluate_model(&QuadraticFamily, &series, 9, 0.05).is_err());
     assert!(evaluate_model(&QuadraticFamily, &series, 100, 0.05).is_err());
