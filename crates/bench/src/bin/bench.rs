@@ -137,12 +137,19 @@ fn bench_bootstrap() -> SpeedupReport {
     }
 }
 
-fn write_report(path: &str, report: &SpeedupReport) {
-    assert!(
-        report.identical,
-        "{}: parallel output differs from serial — determinism contract broken",
-        report.benchmark
-    );
+/// Writes the baseline JSON, or refuses — without touching any existing
+/// file — when the parallel output was not bit-identical to the serial
+/// one. A broken determinism contract must never silently replace a good
+/// baseline with a tainted one.
+fn write_report(path: &str, report: &SpeedupReport) -> bool {
+    if !report.identical {
+        eprintln!(
+            "{}: parallel output differs from serial — determinism contract broken; \
+             refusing to overwrite {path}",
+            report.benchmark
+        );
+        return false;
+    }
     std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!(
         "{:14} cores={} serial={:.1}ms parallel={:.1}ms speedup={:.2}x identical={} -> {path}",
@@ -153,6 +160,7 @@ fn write_report(path: &str, report: &SpeedupReport) {
         report.speedup(),
         report.identical,
     );
+    true
 }
 
 fn main() {
@@ -160,6 +168,10 @@ fn main() {
         "predictive-resilience micro-bench (warmup {WARMUP}, min of {SAMPLES}, {} cores)",
         cores()
     );
-    write_report("BENCH_fitting.json", &bench_fitting());
-    write_report("BENCH_bootstrap.json", &bench_bootstrap());
+    let mut ok = true;
+    ok &= write_report("BENCH_fitting.json", &bench_fitting());
+    ok &= write_report("BENCH_bootstrap.json", &bench_bootstrap());
+    if !ok {
+        std::process::exit(1);
+    }
 }

@@ -9,6 +9,7 @@
 //! * [`band_series`] — fit + confidence band traces (Figs. 3–6).
 
 use crate::fit::{fit_least_squares, FitConfig, FittedModel};
+use crate::guard;
 use crate::metrics::{actual_metric, predicted_metric, relative_error, MetricContext, MetricKind};
 use crate::model::ModelFamily;
 use crate::validate::{gof_report, GofReport};
@@ -82,6 +83,13 @@ pub fn evaluate_model_with(
     let split = series.split_at(series.len() - holdout)?;
     let fit = fit_least_squares(family, &split.train, config)?;
     let gof = gof_report(fit.model.as_ref(), &split, series, alpha)?;
+    // Guard layer (DESIGN.md §8): no evaluation row leaves this driver
+    // with a silent NaN — every table the paper reports is built on
+    // these five numbers.
+    guard::finite_outputs(
+        "evaluate_model",
+        &[gof.sse, gof.pmse, gof.r2_adj, gof.ec, gof.sigma],
+    )?;
     Ok(ModelEvaluation {
         family_name: family.name(),
         n_train: split.train.len(),

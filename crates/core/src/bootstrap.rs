@@ -184,6 +184,13 @@ pub fn bootstrap_band(
                 // observations rather than the mean curve.
                 *p += residuals[rng.next_index(n)];
             }
+            // Guard layer (DESIGN.md §8): a replicate whose refit
+            // produced a non-finite prediction counts as failed — it
+            // must not reach the quantile computation, which would
+            // otherwise reject the entire band over one bad replicate.
+            if preds.iter().any(|p| !p.is_finite()) {
+                return None;
+            }
             Some(preds)
         },
     );

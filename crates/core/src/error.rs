@@ -36,6 +36,16 @@ pub enum CoreError {
     Math(resilience_math::MathError),
     /// A data-layer operation failed.
     Data(resilience_data::DataError),
+    /// A numerical-domain guard rejected a value: NaN/∞ propagation was
+    /// stopped at a pipeline boundary (see [`crate::guard`]).
+    Numerical {
+        /// Routine or model name where the guard fired.
+        what: &'static str,
+        /// What kind of domain violation was detected.
+        violation: crate::guard::Violation,
+        /// Human-readable description of the offending value.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -52,6 +62,16 @@ impl fmt::Display for CoreError {
             CoreError::Stats(e) => write!(f, "statistics error: {e}"),
             CoreError::Math(e) => write!(f, "numerical error: {e}"),
             CoreError::Data(e) => write!(f, "data error: {e}"),
+            CoreError::Numerical {
+                what,
+                violation,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "{what}: numerical domain violation ({violation}): {detail}"
+                )
+            }
         }
     }
 }
@@ -116,6 +136,19 @@ impl CoreError {
             detail: detail.into(),
         }
     }
+
+    /// Convenience constructor for [`CoreError::Numerical`].
+    pub fn guard(
+        what: &'static str,
+        violation: crate::guard::Violation,
+        detail: impl Into<String>,
+    ) -> Self {
+        CoreError::Numerical {
+            what,
+            violation,
+            detail: detail.into(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +166,14 @@ mod tests {
         assert!(CoreError::arg("evaluate", "horizon too large")
             .to_string()
             .contains("horizon"));
+        let g = CoreError::guard(
+            "fit_least_squares",
+            crate::guard::Violation::NonFiniteOutput,
+            "final SSE is NaN",
+        );
+        let msg = g.to_string();
+        assert!(msg.contains("fit_least_squares"), "{msg}");
+        assert!(msg.contains("non-finite output"), "{msg}");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! the family's data-driven guesses in the *internal* (unconstrained)
 //! space, then optionally polishes the winner with Levenberg–Marquardt.
 
+use crate::guard::{self, Violation};
 use crate::model::{ModelFamily, ResilienceModel};
 use crate::CoreError;
 use resilience_data::PerformanceSeries;
@@ -80,6 +81,9 @@ impl std::fmt::Debug for FittedModel {
 ///
 /// * [`CoreError::Fit`] when every start fails (e.g. the family cannot
 ///   represent any curve near the data).
+/// * [`CoreError::Numerical`] when the winning SSE or parameters are
+///   non-finite (guard layer; should not happen since the objective maps
+///   infeasible points to +∞, defensive).
 /// * [`CoreError::InvalidParameters`] when the winning parameters fail to
 ///   rebuild (should not happen; defensive).
 ///
@@ -188,7 +192,19 @@ pub fn fit_least_squares(
         }
     }
 
+    // Guard layer (DESIGN.md §8): the optimizer can only hand back a
+    // finite SSE because the objective maps off-domain points to +∞, but
+    // a regression anywhere in that chain would otherwise leak NaN into
+    // every downstream table. Fail loudly instead.
+    if !best_sse.is_finite() {
+        return Err(CoreError::guard(
+            "fit_least_squares",
+            Violation::NonFiniteOutput,
+            format!("final SSE for {} is {best_sse}", family.name()),
+        ));
+    }
     let params = family.internal_to_params(&best_internal);
+    guard::finite_outputs(family.name(), &params)?;
     let model = family.build(&params)?;
     Ok(FittedModel {
         model,

@@ -61,6 +61,7 @@ pub mod error;
 pub mod extended;
 pub mod fit;
 pub mod forecast;
+pub mod guard;
 pub mod metrics;
 pub mod mixture;
 pub mod model;

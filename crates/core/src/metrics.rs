@@ -17,6 +17,7 @@
 //! span ℓ−1); this implementation is internally consistent — all terms
 //! use the same window — which EXPERIMENTS.md documents.
 
+use crate::guard;
 use crate::model::ResilienceModel;
 use crate::CoreError;
 use resilience_data::{PerformanceSeries, TrainTestSplit};
@@ -303,26 +304,36 @@ fn compute(curve: &Curve<'_>, kind: MetricKind, ctx: &MetricContext) -> Result<f
 ///
 /// # Errors
 ///
-/// Propagates geometry/integration failures.
+/// Propagates geometry/integration failures; returns
+/// [`CoreError::Numerical`] when the metric value is non-finite (guard
+/// layer, DESIGN.md §8).
 pub fn actual_metric(
     series: &PerformanceSeries,
     kind: MetricKind,
     ctx: &MetricContext,
 ) -> Result<f64, CoreError> {
-    compute(&Curve::Observed(series), kind, ctx)
+    guard::finite_output(
+        "actual_metric",
+        compute(&Curve::Observed(series), kind, ctx)?,
+    )
 }
 
 /// Metric value from a fitted model (“Predicted” columns).
 ///
 /// # Errors
 ///
-/// Propagates geometry/integration failures.
+/// Propagates geometry/integration failures; returns
+/// [`CoreError::Numerical`] when the metric value is non-finite (guard
+/// layer, DESIGN.md §8).
 pub fn predicted_metric(
     model: &dyn ResilienceModel,
     kind: MetricKind,
     ctx: &MetricContext,
 ) -> Result<f64, CoreError> {
-    compute(&Curve::Model(model), kind, ctx)
+    guard::finite_output(
+        "predicted_metric",
+        compute(&Curve::Model(model), kind, ctx)?,
+    )
 }
 
 /// Point-based resilience metrics — an extension beyond the paper's
@@ -389,9 +400,14 @@ pub fn point_metrics(
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InvalidArgument`] when `actual == 0` (the paper's
-/// δ is undefined there).
+/// * [`CoreError::Numerical`] when either input is NaN/∞ — previously a
+///   NaN `actual` flowed straight through to a NaN δ (guard layer,
+///   DESIGN.md §8).
+/// * [`CoreError::InvalidArgument`] when `actual == 0` (the paper's δ is
+///   undefined there).
 pub fn relative_error(actual: f64, predicted: f64) -> Result<f64, CoreError> {
+    guard::finite_input("relative_error", actual)?;
+    guard::finite_input("relative_error", predicted)?;
     if actual == 0.0 {
         return Err(CoreError::arg(
             "relative_error",
@@ -580,6 +596,15 @@ mod tests {
         assert!((relative_error(2.0, 1.9).unwrap() - 0.05).abs() < 1e-12);
         assert!((relative_error(-1.0, -1.1).unwrap() - 0.1).abs() < 1e-12);
         assert!(relative_error(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn relative_error_rejects_non_finite_inputs() {
+        // Regression: a NaN actual used to flow through to a silent NaN δ.
+        assert!(relative_error(f64::NAN, 1.0).is_err());
+        assert!(relative_error(1.0, f64::NAN).is_err());
+        assert!(relative_error(f64::INFINITY, 1.0).is_err());
+        assert!(relative_error(1.0, f64::NEG_INFINITY).is_err());
     }
 
     #[test]

@@ -567,6 +567,40 @@ mod tests {
     }
 
     #[test]
+    fn mixture_finite_and_continuous_across_t_one_for_all_trends() {
+        // Regression for the log-trend t ≤ 1 clamp: the mixture P(t)
+        // must stay finite everywhere and continuous across t = 1 for
+        // every trend form (the clamp kinks the derivative, never the
+        // value).
+        for trend in Trend::ALL {
+            let m = MixtureModel::new(
+                ComponentKind::Weibull,
+                vec![2.0, 15.0],
+                ComponentKind::Exponential,
+                vec![0.08],
+                trend,
+                0.30,
+            )
+            .unwrap();
+            // Dense sweep over [0, 47] including fractional times.
+            for i in 0..=470 {
+                let t = i as f64 * 0.1;
+                let v = m.predict(t);
+                assert!(v.is_finite(), "{trend} at t = {t}: {v}");
+            }
+            // Continuity at t = 1: values an ε apart must be close.
+            let eps = 1e-7;
+            let below = m.predict(1.0 - eps);
+            let at = m.predict(1.0);
+            let above = m.predict(1.0 + eps);
+            assert!(
+                (at - below).abs() < 1e-5 && (above - at).abs() < 1e-5,
+                "{trend}: P jumps across t = 1 ({below} / {at} / {above})"
+            );
+        }
+    }
+
+    #[test]
     fn exponential_trend_is_one_at_origin() {
         // With the exponential trend, P(0) = 1 + F₂(0) = 1 (F₂(0) = 0).
         let m = MixtureModel::new(

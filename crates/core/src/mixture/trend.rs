@@ -14,6 +14,18 @@ pub enum Trend {
     Exponential,
     /// `a₂(t) = β·ln t` (0 for `t ≤ 1`) — the slowly compounding growth
     /// the paper uses for its recession experiments.
+    ///
+    /// # The `t ≤ 1` convention
+    ///
+    /// `ln t` is singular at `t → 0⁺` and negative on `(0, 1)`; a raw
+    /// `β·ln t` would send the recovery term to −∞ at the hazard onset
+    /// and make it *subtract* performance before the first month. The
+    /// convention here clamps `a₂` to exactly 0 on `t ≤ 1`. The clamped
+    /// form is **continuous at `t = 1`** — both branches evaluate to 0
+    /// there (`β·ln 1 = 0`), so the mixture curve `P(t)` has no jump;
+    /// only the derivative `a₂′` is discontinuous (0 vs `β/t`), which
+    /// the least-squares fitter sees as a flat region, not a cliff. See
+    /// DESIGN.md §8.
     Logarithmic,
 }
 
@@ -28,9 +40,10 @@ impl Trend {
 
     /// Evaluates `a₂(t; β)`.
     ///
-    /// The logarithmic trend is defined as 0 for `t ≤ 1` (limit
-    /// convention; see DESIGN.md §6) so the mixture stays finite at the
-    /// hazard onset.
+    /// The logarithmic trend is defined as 0 for `t ≤ 1` (clamp
+    /// convention; see [`Trend::Logarithmic`] and DESIGN.md §8) so the
+    /// mixture stays finite at the hazard onset and the value is
+    /// continuous — though not differentiable — at `t = 1`.
     #[must_use]
     pub fn eval(&self, beta: f64, t: f64) -> f64 {
         match self {
@@ -92,6 +105,31 @@ mod tests {
         assert_eq!(Trend::Logarithmic.eval(2.0, 0.0), 0.0);
         assert_eq!(Trend::Logarithmic.eval(2.0, 1.0), 0.0);
         assert!((Trend::Logarithmic.eval(2.0, std::f64::consts::E) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logarithmic_is_continuous_at_one() {
+        // Both branches evaluate to 0 at t = 1; approaching from either
+        // side must not jump.
+        let beta = 2.0;
+        let eps = 1e-9;
+        assert_eq!(Trend::Logarithmic.eval(beta, 1.0), 0.0);
+        assert_eq!(Trend::Logarithmic.eval(beta, 1.0 - eps), 0.0);
+        let above = Trend::Logarithmic.eval(beta, 1.0 + eps);
+        assert!(above.abs() < 1e-8, "jump at t = 1⁺: {above}");
+    }
+
+    #[test]
+    fn all_trends_finite_near_origin() {
+        // The raw β·ln t would be −∞ at t = 0; the clamp keeps every
+        // trend finite over the whole observation range.
+        for trend in Trend::ALL {
+            for i in 0..=100 {
+                let t = i as f64 * 0.02; // 0.0 ..= 2.0, straddling t = 1
+                let v = trend.eval(0.4, t);
+                assert!(v.is_finite(), "{trend} at t = {t}: {v}");
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! averaged over many split points instead of one.
 
 use crate::fit::{fit_least_squares, FitConfig};
+use crate::guard::Violation;
 use crate::model::ModelFamily;
 use crate::validate;
 use crate::CoreError;
@@ -216,8 +217,32 @@ pub fn rank_models(
                 reason: format!("{stage}: {e}"),
             };
             let fit = fit_least_squares(family, series, &inner).map_err(|e| fail("fit", e))?;
+            // Guard layer (DESIGN.md §8): a family whose winning SSE is
+            // non-finite must land in `failures` with a structured
+            // error, never be ranked with NaN (NaN-keyed sorts are
+            // arbitrary and silently poison the table).
+            if !fit.sse.is_finite() {
+                return Err(fail(
+                    "guard",
+                    CoreError::guard(
+                        "rank_models",
+                        Violation::NonFiniteOutput,
+                        format!("final SSE is {}", fit.sse),
+                    ),
+                ));
+            }
             let r2 = validate::r2_adjusted(fit.model.as_ref(), series, family.n_params())
                 .map_err(|e| fail("adjusted R²", e))?;
+            if !r2.is_finite() {
+                return Err(fail(
+                    "guard",
+                    CoreError::guard(
+                        "rank_models",
+                        Violation::NonFiniteOutput,
+                        format!("adjusted R² is {r2}"),
+                    ),
+                ));
+            }
             let criteria = information_criteria(fit.sse, series.len(), family.n_params()).ok();
             Ok(SelectionRow {
                 family_name: family.name(),
@@ -345,6 +370,69 @@ mod tests {
         // With *only* failing families the call errors outright.
         let none: Vec<&dyn ModelFamily> = vec![&Hopeless];
         assert!(rank_models(&none, &series, &FitConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rank_models_reports_nan_objective_family_as_failure() {
+        // A family whose predictions are always NaN: the SSE objective
+        // sees a NaN curve at every start, so the fit must fail and the
+        // family must land in `failures` — never be ranked with a NaN
+        // SSE.
+        struct NanObjective;
+        impl ModelFamily for NanObjective {
+            fn name(&self) -> &'static str {
+                "NaN-objective"
+            }
+            fn n_params(&self) -> usize {
+                2
+            }
+            fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
+                internal.to_vec()
+            }
+            fn internal_to_params_into(&self, internal: &[f64], out: &mut [f64]) {
+                out.copy_from_slice(internal);
+            }
+            fn params_to_internal(&self, params: &[f64]) -> Result<Vec<f64>, CoreError> {
+                Ok(params.to_vec())
+            }
+            fn predict_params_into(&self, _params: &[f64], _ts: &[f64], out: &mut [f64]) -> bool {
+                out.fill(f64::NAN);
+                true
+            }
+            fn build(
+                &self,
+                _params: &[f64],
+            ) -> Result<Box<dyn crate::model::ResilienceModel>, CoreError> {
+                struct NanModel;
+                impl crate::model::ResilienceModel for NanModel {
+                    fn name(&self) -> &'static str {
+                        "NaN-objective"
+                    }
+                    fn params(&self) -> Vec<f64> {
+                        vec![f64::NAN, f64::NAN]
+                    }
+                    fn predict(&self, _t: f64) -> f64 {
+                        f64::NAN
+                    }
+                }
+                Ok(Box::new(NanModel))
+            }
+            fn initial_guesses(&self, _series: &PerformanceSeries) -> Vec<Vec<f64>> {
+                vec![vec![0.5, 0.5], vec![1.0, 1.0]]
+            }
+        }
+        let series = Recession::R1990_93.payroll_index();
+        let families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily, &NanObjective];
+        let ranking = rank_models(&families, &series, &FitConfig::default()).unwrap();
+        assert_eq!(ranking.rows.len(), 1);
+        assert_eq!(ranking.rows[0].family_name, "Quadratic");
+        assert!(ranking.rows[0].sse.is_finite());
+        assert_eq!(ranking.failures.len(), 1);
+        assert_eq!(ranking.failures[0].family_name, "NaN-objective");
+        assert!(
+            !ranking.failures[0].reason.is_empty(),
+            "failure must carry a reason"
+        );
     }
 
     #[test]

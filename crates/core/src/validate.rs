@@ -5,6 +5,7 @@
 //! the residual variance (Eq. 12), confidence intervals (Eq. 13), and
 //! empirical coverage.
 
+use crate::guard;
 use crate::model::ResilienceModel;
 use crate::CoreError;
 use resilience_data::{PerformanceSeries, TrainTestSplit};
@@ -25,12 +26,43 @@ pub fn sse(model: &dyn ResilienceModel, series: &PerformanceSeries) -> f64 {
 /// # Errors
 ///
 /// Returns [`CoreError::InvalidArgument`] for an empty test set (cannot
-/// happen via [`TrainTestSplit`], defensive for direct callers).
+/// happen via [`TrainTestSplit`], defensive for direct callers), and
+/// [`CoreError::Numerical`] when the result is non-finite.
 pub fn pmse(model: &dyn ResilienceModel, test: &PerformanceSeries) -> Result<f64, CoreError> {
-    if test.is_empty() {
+    pmse_at(model, test.times(), test.values())
+}
+
+/// [`pmse`] over explicit time/value slices — the slice-level core that
+/// the series form delegates to. Unlike a [`PerformanceSeries`] (which
+/// guarantees ≥ 2 points at construction), raw slices can be empty or
+/// mismatched, so this entry point checks both.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidArgument`] for an empty test set or slices of
+///   different lengths.
+/// * [`CoreError::Numerical`] when the model's predictions make the
+///   result non-finite (guard layer, DESIGN.md §8).
+pub fn pmse_at(
+    model: &dyn ResilienceModel,
+    times: &[f64],
+    values: &[f64],
+) -> Result<f64, CoreError> {
+    if times.is_empty() {
         return Err(CoreError::arg("pmse", "empty test set"));
     }
-    Ok(sse(model, test) / test.len() as f64)
+    if times.len() != values.len() {
+        return Err(CoreError::arg(
+            "pmse",
+            format!("{} times vs {} values", times.len(), values.len()),
+        ));
+    }
+    let mut acc = 0.0;
+    for (&t, &y) in times.iter().zip(values) {
+        let d = y - model.predict(t);
+        acc += d * d;
+    }
+    guard::finite_output("pmse", acc / times.len() as f64)
 }
 
 /// Adjusted coefficient of determination (paper Eq. 11):
@@ -297,6 +329,41 @@ mod tests {
         assert!(r2_adjusted(&truth(), &s, 3).is_err());
         let flat = PerformanceSeries::monthly("c", vec![1.0; 10]).unwrap();
         assert!(r2_adjusted(&truth(), &flat, 3).is_err());
+    }
+
+    #[test]
+    fn pmse_rejects_empty_test_set() {
+        let e = pmse_at(&truth(), &[], &[]).unwrap_err();
+        assert!(e.to_string().contains("empty test set"), "{e}");
+        // Mismatched slice lengths are rejected too.
+        assert!(pmse_at(&truth(), &[0.0, 1.0], &[1.0]).is_err());
+        // The slice form agrees with the series form on valid input.
+        let s = noisy_series(48, 0.002);
+        let split = s.split_at(43).unwrap();
+        let via_series = pmse(&truth(), &split.test).unwrap();
+        let via_slices = pmse_at(&truth(), split.test.times(), split.test.values()).unwrap();
+        assert!((via_series - via_slices).abs() < 1e-18);
+    }
+
+    #[test]
+    fn r2_adjusted_rejects_constant_series_with_zero_ssy() {
+        // SSY = 0: the r² denominator vanishes; must be a typed error,
+        // not a NaN or ±∞ ratio. (0.5 keeps the mean exactly
+        // representable so the centered sum is exactly zero.)
+        let flat = PerformanceSeries::monthly("flat", vec![0.5; 12]).unwrap();
+        let e = r2_adjusted(&truth(), &flat, 3).unwrap_err();
+        assert!(e.to_string().contains("SSY"), "{e}");
+    }
+
+    #[test]
+    fn r2_adjusted_rejects_too_few_observations() {
+        // n ≤ m + 1: the (n−1)/(n−m−1) correction divides by ≤ 0.
+        let s = exact_series(4);
+        let e = r2_adjusted(&truth(), &s, 3).unwrap_err();
+        assert!(e.to_string().contains("n > m + 1"), "{e}");
+        // Boundary: n = m + 2 is the smallest legal size.
+        let s5 = exact_series(5);
+        assert!(r2_adjusted(&truth(), &s5, 3).is_ok());
     }
 
     #[test]

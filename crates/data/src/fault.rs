@@ -1,0 +1,161 @@
+//! Deterministic fault injection for pipeline robustness testing.
+//!
+//! The ROADMAP north star is serving degraded, adversarial real-world
+//! traffic; this module gives the test suite a single vocabulary of
+//! corruptions to feed through every public entry point. Each
+//! [`Fault`] can render itself as a hostile CSV document
+//! ([`Fault::to_csv`]) and — for the numeric faults — corrupt a clean
+//! `(times, values)` pair in place ([`Fault::inject`]). The top-level
+//! `tests/fault_injection.rs` harness drives both representations
+//! through parsing, series construction, fitting, and evaluation, and
+//! asserts graceful degradation: a structured error or a documented
+//! fallback, never a panic or a silent NaN.
+//!
+//! # Examples
+//!
+//! ```
+//! use resilience_data::csv::read_series;
+//! use resilience_data::fault::Fault;
+//!
+//! // Every injected fault is rejected with a typed error.
+//! for fault in Fault::ALL {
+//!     let doc = fault.to_csv();
+//!     assert!(read_series(doc.as_bytes(), fault.label()).is_err(), "{fault:?}");
+//! }
+//! ```
+
+/// A deliberate input corruption for robustness testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Fault {
+    /// A CSV row whose value field is not a number.
+    CorruptRow,
+    /// A literal `nan` in the value column.
+    NanValue,
+    /// A value overflowing `f64` parsing to infinity.
+    InfValue,
+    /// A time grid that steps backwards mid-series.
+    NonMonotoneTime,
+    /// Two rows sharing the same time stamp.
+    DuplicateTime,
+    /// A record truncated before its value field.
+    TruncatedRow,
+}
+
+impl Fault {
+    /// Every fault, for exhaustive sweeps.
+    pub const ALL: [Fault; 6] = [
+        Fault::CorruptRow,
+        Fault::NanValue,
+        Fault::InfValue,
+        Fault::NonMonotoneTime,
+        Fault::DuplicateTime,
+        Fault::TruncatedRow,
+    ];
+
+    /// Short label for test diagnostics.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::CorruptRow => "corrupt-row",
+            Fault::NanValue => "nan-value",
+            Fault::InfValue => "inf-value",
+            Fault::NonMonotoneTime => "non-monotone-time",
+            Fault::DuplicateTime => "duplicate-time",
+            Fault::TruncatedRow => "truncated-row",
+        }
+    }
+
+    /// Renders a small CSV document carrying this fault amid valid rows.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let bad_row = match self {
+            Fault::CorruptRow => "2,not-a-number",
+            Fault::NanValue => "2,nan",
+            Fault::InfValue => "2,1e309",
+            Fault::NonMonotoneTime => "1,0.97",
+            Fault::DuplicateTime => "1,0.97",
+            Fault::TruncatedRow => "2",
+        };
+        format!("time,value\n0,1.0\n1,0.98\n{bad_row}\n3,0.99\n")
+    }
+
+    /// Whether this fault is representable as in-memory numbers (the
+    /// CSV-shape faults only exist at the parsing layer).
+    #[must_use]
+    pub fn is_numeric(&self) -> bool {
+        !matches!(self, Fault::CorruptRow | Fault::TruncatedRow)
+    }
+
+    /// Corrupts a clean `(times, values)` pair in place. For the
+    /// CSV-shape faults ([`Fault::CorruptRow`], [`Fault::TruncatedRow`])
+    /// the numeric stand-in is a NaN value — the closest in-memory
+    /// analogue of an unparseable field.
+    pub fn inject(&self, times: &mut [f64], values: &mut [f64]) {
+        assert_eq!(times.len(), values.len(), "inject requires equal lengths");
+        assert!(times.len() >= 3, "inject requires at least three points");
+        let mid = times.len() / 2;
+        match self {
+            Fault::CorruptRow | Fault::TruncatedRow | Fault::NanValue => {
+                values[mid] = f64::NAN;
+            }
+            Fault::InfValue => values[mid] = f64::INFINITY,
+            Fault::NonMonotoneTime => times[mid] = times[mid - 1] - 1.0,
+            Fault::DuplicateTime => times[mid] = times[mid - 1],
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::read_series;
+    use crate::PerformanceSeries;
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> = Fault::ALL.iter().map(Fault::label).collect();
+        assert_eq!(labels.len(), Fault::ALL.len());
+    }
+
+    #[test]
+    fn every_csv_fault_is_rejected_by_the_parser() {
+        for fault in Fault::ALL {
+            let doc = fault.to_csv();
+            let r = read_series(doc.as_bytes(), fault.label());
+            assert!(r.is_err(), "{fault}: parser accepted {doc:?}");
+            // The error renders a useful message.
+            assert!(r.unwrap_err().to_string().len() > 10, "{fault}");
+        }
+    }
+
+    #[test]
+    fn every_numeric_fault_is_rejected_at_series_construction() {
+        for fault in Fault::ALL {
+            let mut times: Vec<f64> = (0..6).map(|i| i as f64).collect();
+            let mut values = vec![1.0, 0.98, 0.96, 0.95, 0.97, 0.99];
+            fault.inject(&mut times, &mut values);
+            assert!(
+                PerformanceSeries::new(fault.label(), times, values).is_err(),
+                "{fault}: constructor accepted corrupt data"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_control_passes_both_paths() {
+        // The harness only proves something if the un-faulted versions
+        // of the same inputs are accepted.
+        let doc = "time,value\n0,1.0\n1,0.98\n2,0.96\n3,0.99\n";
+        assert!(read_series(doc.as_bytes(), "clean").is_ok());
+        let times: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let values = vec![1.0, 0.98, 0.96, 0.95, 0.97, 0.99];
+        assert!(PerformanceSeries::new("clean", times, values).is_ok());
+    }
+}

@@ -38,6 +38,7 @@
 
 pub mod csv;
 pub mod error;
+pub mod fault;
 pub mod noise;
 pub mod recessions;
 pub mod series;

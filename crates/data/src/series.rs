@@ -200,14 +200,16 @@ impl PerformanceSeries {
     /// Splits keeping the given *fraction* for training (e.g. `0.9` for
     /// the paper's mixture experiments). The count is rounded to nearest.
     ///
+    /// Out-of-range fractions (including NaN and ±∞, whose `as usize`
+    /// casts saturate to 0 or `usize::MAX`) produce a train length that
+    /// [`PerformanceSeries::split_at`] rejects, so no separate range
+    /// check is needed.
+    ///
     /// # Errors
     ///
     /// Returns [`DataError::BadSplit`] when the fraction leaves fewer than
     /// 2 training points or no test points.
     pub fn split_fraction(&self, train_fraction: f64) -> Result<TrainTestSplit, DataError> {
-        if !(0.0..1.0).contains(&train_fraction) && train_fraction != 0.0 {
-            // fall through to split_at's error with a computed length
-        }
         let train_len = (self.len() as f64 * train_fraction).round() as usize;
         self.split_at(train_len)
     }
@@ -324,6 +326,17 @@ mod tests {
         let split = s.split_fraction(0.9).unwrap();
         assert_eq!(split.train.len(), 18);
         assert_eq!(split.test.len(), 2);
+    }
+
+    #[test]
+    fn split_fraction_rejects_degenerate_fractions() {
+        let s = v_curve(); // 20 points
+        for f in [-0.5, 0.0, 0.01, 1.0, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(
+                s.split_fraction(f).is_err(),
+                "fraction {f} must be rejected"
+            );
+        }
     }
 
     #[test]

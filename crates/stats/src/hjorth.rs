@@ -15,6 +15,22 @@ use crate::{ContinuousDistribution, StatsError};
 /// and bathtub-shaped hazards are all reachable. The hazard is
 /// bathtub-shaped exactly when `0 < δ < θ·β`.
 ///
+/// # The β → 0 limit
+///
+/// The textbook survival form `(1+βt)^{θ/β}` is numerically degenerate
+/// as `β → 0` (`θ/β → ∞` while the base → 1, and `powf` loses every
+/// significant digit long before β underflows). The implementation
+/// therefore evaluates `S(t) = exp(−H(t))` from the cumulative hazard,
+/// computes `(θ/β)·ln(1+βt)` with `ln_1p`, and special-cases the exact
+/// `β = 0` limit
+///
+/// ```text
+/// S(t) = exp(−δt²/2 − θt)        (β = 0)
+/// ```
+///
+/// — the linear-plus-constant hazard `h(t) = δt + θ`. `β = 0` is
+/// accordingly a *legal* parameterization; see DESIGN.md §8.
+///
 /// # Examples
 ///
 /// ```
@@ -34,13 +50,14 @@ pub struct Hjorth {
 
 impl Hjorth {
     /// Creates a Hjorth distribution with linear-risk slope `delta ≥ 0`,
-    /// initial decreasing-risk level `theta ≥ 0`, and decay `beta > 0`.
+    /// initial decreasing-risk level `theta ≥ 0`, and decay `beta ≥ 0`
+    /// (`beta = 0` is the exact limit `S(t) = exp(−δt²/2 − θt)`).
     ///
     /// # Errors
     ///
     /// Returns [`StatsError::InvalidParameter`] when a parameter is
-    /// negative or non-finite, when `beta ≤ 0`, or when
-    /// `delta + theta == 0` (identically zero hazard).
+    /// negative or non-finite, or when `delta + theta == 0`
+    /// (identically zero hazard).
     pub fn new(delta: f64, theta: f64, beta: f64) -> Result<Self, StatsError> {
         if !(delta >= 0.0) || !delta.is_finite() {
             return Err(StatsError::InvalidParameter {
@@ -58,12 +75,12 @@ impl Hjorth {
                 constraint: "theta >= 0 and finite",
             });
         }
-        if !(beta > 0.0) || !beta.is_finite() {
+        if !(beta >= 0.0) || !beta.is_finite() {
             return Err(StatsError::InvalidParameter {
                 what: "Hjorth",
                 param: "beta",
                 value: beta,
-                constraint: "beta > 0 and finite",
+                constraint: "beta >= 0 and finite",
             });
         }
         if delta + theta == 0.0 {
@@ -131,11 +148,16 @@ impl ContinuousDistribution for Hjorth {
         }
     }
 
+    /// Evaluated as `exp(−H(x))` rather than the textbook
+    /// `exp(−δx²/2)/(1+βx)^{θ/β}`: the `powf` form is NaN-adjacent as
+    /// `β → 0` (exponent `θ/β → ∞` against a base → 1), while the
+    /// cumulative-hazard form degrades continuously into the exact
+    /// `β = 0` limit `exp(−δx²/2 − θx)`.
     fn survival(&self, x: f64) -> f64 {
         if x <= 0.0 {
             return 1.0;
         }
-        (-0.5 * self.delta * x * x).exp() / (1.0 + self.beta * x).powf(self.theta / self.beta)
+        (-self.cumulative_hazard(x)).exp()
     }
 
     fn hazard(&self, x: f64) -> f64 {
@@ -148,9 +170,17 @@ impl ContinuousDistribution for Hjorth {
 
     fn cumulative_hazard(&self, x: f64) -> f64 {
         if x <= 0.0 {
-            0.0
+            return 0.0;
+        }
+        let quadratic = 0.5 * self.delta * x * x;
+        if self.beta == 0.0 {
+            // Limit of (θ/β)·ln(1+βx) as β → 0: the decreasing risk
+            // becomes the constant hazard θ.
+            quadratic + self.theta * x
         } else {
-            0.5 * self.delta * x * x + (self.theta / self.beta) * (1.0 + self.beta * x).ln()
+            // ln_1p keeps full precision for small βx, where ln(1+βx)
+            // would cancel catastrophically against the 1.
+            quadratic + (self.theta / self.beta) * (self.beta * x).ln_1p()
         }
     }
 
@@ -178,9 +208,49 @@ mod tests {
     fn rejects_bad_parameters() {
         assert!(Hjorth::new(-0.1, 1.0, 1.0).is_err());
         assert!(Hjorth::new(0.1, -1.0, 1.0).is_err());
-        assert!(Hjorth::new(0.1, 1.0, 0.0).is_err());
+        assert!(Hjorth::new(0.1, 1.0, -1.0).is_err());
         assert!(Hjorth::new(0.0, 0.0, 1.0).is_err());
         assert!(Hjorth::new(f64::NAN, 1.0, 1.0).is_err());
+        assert!(Hjorth::new(0.1, 1.0, f64::INFINITY).is_err());
+        // β = 0 is the legal limit form.
+        assert!(Hjorth::new(0.1, 1.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn beta_zero_limit_is_closed_form() {
+        // β = 0: S(t) = exp(−δt²/2 − θt), h(t) = δt + θ.
+        let h = Hjorth::new(0.02, 0.7, 0.0).unwrap();
+        for x in [0.1_f64, 1.0, 5.0, 20.0] {
+            let want = (-0.5 * 0.02 * x * x - 0.7 * x).exp();
+            assert!((h.survival(x) - want).abs() < 1e-15, "x = {x}");
+            assert!((h.hazard(x) - (0.02 * x + 0.7)).abs() < 1e-15, "x = {x}");
+        }
+        // The density still integrates to 1.
+        let total =
+            resilience_math::quad::adaptive_simpson(|x| h.pdf(x), 0.0, 200.0, 1e-10, 45).unwrap();
+        assert!((total - 1.0).abs() < 1e-6, "integral = {total}");
+    }
+
+    #[test]
+    fn survival_continuous_as_beta_approaches_zero() {
+        // Regression for the (1+βx)^{θ/β} form: at β = 1e−12 the powf
+        // evaluation is pure noise, while the ln_1p form must agree with
+        // the β = 0 limit to near machine precision.
+        let tiny = Hjorth::new(0.02, 0.7, 1e-12).unwrap();
+        let limit = Hjorth::new(0.02, 0.7, 0.0).unwrap();
+        for &x in &[0.1, 1.0, 5.0, 20.0, 50.0] {
+            let s_tiny = tiny.survival(x);
+            let s_limit = limit.survival(x);
+            assert!(s_tiny.is_finite(), "x = {x}");
+            assert!(
+                (s_tiny - s_limit).abs() < 1e-9,
+                "x = {x}: {s_tiny} vs {s_limit}"
+            );
+            assert!(
+                (tiny.cumulative_hazard(x) - limit.cumulative_hazard(x)).abs() < 1e-9,
+                "x = {x}"
+            );
+        }
     }
 
     #[test]

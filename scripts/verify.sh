@@ -13,6 +13,9 @@ cargo build --release --workspace
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> cargo test -q --test fault_injection --test golden_oracle"
+cargo test -q --test fault_injection --test golden_oracle
+
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 

@@ -1,0 +1,213 @@
+//! Fault-injection harness: every deliberately corrupted input —
+//! hostile CSV rows, NaN/Inf values, non-monotone times, empty held-out
+//! suffixes, NaN-returning objectives — must flow through the full
+//! pipeline as a structured error or a documented fallback. Zero
+//! panics, zero silent NaN/Inf in any public API return.
+//!
+//! The fault vocabulary lives in `resilience_data::fault`; this harness
+//! drives it through parsing, series construction, fitting, selection,
+//! evaluation, and the bootstrap.
+
+use resilience_core::analysis::{evaluate_model, evaluate_models};
+use resilience_core::bathtub::{CompetingRisksFamily, QuadraticFamily};
+use resilience_core::fit::{fit_least_squares, FitConfig};
+use resilience_core::model::{ModelFamily, ResilienceModel};
+use resilience_core::selection::rank_models;
+use resilience_core::validate::pmse_at;
+use resilience_core::CoreError;
+use resilience_data::csv::read_series;
+use resilience_data::fault::Fault;
+use resilience_data::recessions::Recession;
+use resilience_data::PerformanceSeries;
+
+/// A family whose curve is NaN everywhere: the worst-case objective.
+struct NanObjectiveFamily;
+
+impl ModelFamily for NanObjectiveFamily {
+    fn name(&self) -> &'static str {
+        "NaN-objective"
+    }
+    fn n_params(&self) -> usize {
+        2
+    }
+    fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
+        internal.to_vec()
+    }
+    fn params_to_internal(&self, params: &[f64]) -> Result<Vec<f64>, CoreError> {
+        Ok(params.to_vec())
+    }
+    fn predict_params_into(&self, _params: &[f64], _ts: &[f64], out: &mut [f64]) -> bool {
+        out.fill(f64::NAN);
+        true
+    }
+    fn build(&self, _params: &[f64]) -> Result<Box<dyn ResilienceModel>, CoreError> {
+        struct NanModel;
+        impl ResilienceModel for NanModel {
+            fn name(&self) -> &'static str {
+                "NaN-objective"
+            }
+            fn params(&self) -> Vec<f64> {
+                vec![f64::NAN, f64::NAN]
+            }
+            fn predict(&self, _t: f64) -> f64 {
+                f64::NAN
+            }
+        }
+        Ok(Box::new(NanModel))
+    }
+    fn initial_guesses(&self, _series: &PerformanceSeries) -> Vec<Vec<f64>> {
+        vec![vec![0.5, 0.5], vec![1.0, 2.0]]
+    }
+}
+
+/// A family whose predictions overflow to ±∞: Inf instead of NaN.
+struct ExplosiveFamily;
+
+impl ModelFamily for ExplosiveFamily {
+    fn name(&self) -> &'static str {
+        "Explosive"
+    }
+    fn n_params(&self) -> usize {
+        1
+    }
+    fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
+        internal.to_vec()
+    }
+    fn params_to_internal(&self, params: &[f64]) -> Result<Vec<f64>, CoreError> {
+        Ok(params.to_vec())
+    }
+    fn predict_params_into(&self, _params: &[f64], _ts: &[f64], out: &mut [f64]) -> bool {
+        out.fill(f64::INFINITY);
+        true
+    }
+    fn build(&self, _params: &[f64]) -> Result<Box<dyn ResilienceModel>, CoreError> {
+        Err(CoreError::params("Explosive", "never buildable"))
+    }
+    fn initial_guesses(&self, _series: &PerformanceSeries) -> Vec<Vec<f64>> {
+        vec![vec![1.0]]
+    }
+}
+
+/// Corrupt CSV documents: the parser rejects each with a typed error,
+/// never a panic and never a series carrying NaN.
+#[test]
+fn corrupt_csv_yields_structured_errors() {
+    for fault in Fault::ALL {
+        let doc = fault.to_csv();
+        let e = read_series(doc.as_bytes(), fault.label())
+            .expect_err(&format!("{fault}: parser accepted corrupt CSV"));
+        assert!(e.to_string().len() > 10, "{fault}: unhelpful error {e}");
+    }
+}
+
+/// NaN/Inf values and broken time grids are rejected at the series
+/// boundary, so no downstream layer ever sees them.
+#[test]
+fn numeric_faults_rejected_at_series_boundary() {
+    for fault in Fault::ALL {
+        let mut times: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let mut values = vec![1.0, 0.98, 0.96, 0.94, 0.95, 0.97, 0.99, 1.0];
+        fault.inject(&mut times, &mut values);
+        let e = PerformanceSeries::new(fault.label(), times, values)
+            .expect_err(&format!("{fault}: constructor accepted corrupt data"));
+        assert!(e.to_string().len() > 10, "{fault}");
+    }
+}
+
+/// Empty held-out suffixes: every entry point that consumes a split or
+/// horizon rejects the degenerate geometry with a typed error.
+#[test]
+fn empty_holdout_suffix_is_rejected_everywhere() {
+    let series = Recession::R1990_93.payroll_index();
+    // A split keeping every point leaves an empty test suffix.
+    assert!(series.split_at(series.len()).is_err());
+    assert!(series.split_fraction(1.0).is_err());
+    // Zero-holdout evaluation.
+    assert!(evaluate_model(&QuadraticFamily, &series, 0, 0.05).is_err());
+    // Slice-level PMSE over an empty test set.
+    let fit = fit_least_squares(&QuadraticFamily, &series, &FitConfig::default()).unwrap();
+    let e = pmse_at(fit.model.as_ref(), &[], &[]).unwrap_err();
+    assert!(e.to_string().contains("empty test set"), "{e}");
+}
+
+/// A NaN-returning objective: fitting fails with a structured error (the
+/// objective maps NaN curves to +∞, so every start is rejected), and the
+/// family lands in `Ranking::failures` rather than poisoning the table.
+#[test]
+fn nan_objective_degrades_to_structured_errors() {
+    let series = Recession::R1990_93.payroll_index();
+    for family in [&NanObjectiveFamily as &dyn ModelFamily, &ExplosiveFamily] {
+        let e = fit_least_squares(family, &series, &FitConfig::default())
+            .expect_err("a non-finite objective must not produce a fit");
+        assert!(e.to_string().len() > 10, "{}", family.name());
+    }
+    let families: Vec<&dyn ModelFamily> =
+        vec![&QuadraticFamily, &NanObjectiveFamily, &ExplosiveFamily];
+    let ranking = rank_models(&families, &series, &FitConfig::default()).unwrap();
+    assert_eq!(ranking.rows.len(), 1);
+    assert_eq!(ranking.rows[0].family_name, "Quadratic");
+    assert_eq!(ranking.failures.len(), 2);
+    for failure in &ranking.failures {
+        assert!(!failure.reason.is_empty(), "{}", failure.family_name);
+    }
+    // Every ranked number is finite — the NaN families contributed none.
+    for row in &ranking.rows {
+        assert!(row.sse.is_finite());
+        assert!(row.r2_adj.is_finite());
+    }
+}
+
+/// End-to-end: the CSV → series → fit → evaluate pipeline either
+/// succeeds with all-finite outputs or fails with a typed error, for
+/// clean and mildly pathological (but parseable) inputs alike.
+#[test]
+fn pipeline_outputs_are_finite_or_typed_errors() {
+    let docs: &[&str] = &[
+        // Clean U-shaped curve.
+        "time,value\n0,1.0\n1,0.99\n2,0.97\n3,0.95\n4,0.94\n5,0.95\n6,0.97\n7,0.99\n8,1.0\n9,1.01\n10,1.02\n11,1.02\n",
+        // Constant series: fit may fail (SSY = 0 kills adjusted R²), but
+        // only through a typed error.
+        "time,value\n0,1\n1,1\n2,1\n3,1\n4,1\n5,1\n6,1\n7,1\n8,1\n9,1\n",
+        // Monotone decline with no recovery.
+        "time,value\n0,1.0\n1,0.98\n2,0.96\n3,0.94\n4,0.92\n5,0.90\n6,0.88\n7,0.86\n8,0.84\n9,0.82\n",
+    ];
+    for doc in docs {
+        let series = read_series(doc.as_bytes(), "pipeline").expect("parseable document");
+        let families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily, &CompetingRisksFamily];
+        for outcome in evaluate_models(&families, &series, 3, 0.05) {
+            match outcome {
+                Ok(eval) => {
+                    assert!(eval.fit.sse.is_finite());
+                    assert!(eval.fit.params.iter().all(|p| p.is_finite()));
+                    for v in [
+                        eval.gof.sse,
+                        eval.gof.pmse,
+                        eval.gof.r2_adj,
+                        eval.gof.ec,
+                        eval.gof.sigma,
+                    ] {
+                        assert!(v.is_finite(), "silent non-finite GoF value");
+                    }
+                }
+                Err(e) => {
+                    assert!(e.to_string().len() > 10, "unhelpful error: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// Faulted series can never be smuggled into the fitting layer: the only
+/// constructor-free path is the slice API, and the guard layer catches a
+/// NaN escaping there.
+#[test]
+fn guard_layer_catches_nan_at_the_metric_boundary() {
+    use resilience_core::metrics::relative_error;
+    assert!(relative_error(f64::NAN, 1.0).is_err());
+    assert!(relative_error(1.0, f64::INFINITY).is_err());
+    // And guarded prediction at the model boundary.
+    let series = Recession::R1990_93.payroll_index();
+    let fit = fit_least_squares(&QuadraticFamily, &series, &FitConfig::default()).unwrap();
+    assert!(resilience_core::guard::guarded_predict(fit.model.as_ref(), f64::NAN).is_err());
+    assert!(resilience_core::guard::guarded_predict(fit.model.as_ref(), 5.0).is_ok());
+}

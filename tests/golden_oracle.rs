@@ -1,0 +1,177 @@
+//! Golden-oracle fixtures: closed-form curves whose goodness-of-fit
+//! values and Eq. 14–21 resilience metrics are derivable by hand, so the
+//! pipeline is checked against *known numbers* rather than against
+//! itself.
+//!
+//! The oracle curve is the line `P(t) = t` over the monthly grid
+//! `t = 0, 1, …, 10` with the metric window `[t_start, t_end] = [4, 10]`,
+//! nominal `P(4) = 4`, minimum at `t_min = 2`, full interval starting at
+//! `t_full_start = 0`, and Eq. 21 weight `α = 1/2`. Every expected value
+//! below is a one-line integral of `t`:
+//!
+//! * Eq. 14 preserved         `∫₄¹⁰ t dt`                        = 42
+//! * Eq. 16 lost              `4·6 − 42`                         = −18
+//! * Eq. 15 norm. preserved   `42 / (4·6)`                       = 1.75
+//! * Eq. 17 norm. lost        `(24 − 42) / 24`                   = −0.75
+//! * Eq. 18 from minimum      `∫₂¹⁰ t dt − P(2)·8 = 48 − 16`     = 32
+//! * Eq. 19 avg. preserved    `42 / 6`                           = 7
+//! * Eq. 20 avg. lost         `−18 / 6`                          = −3
+//! * Eq. 21 weighted          `½·(∫₀² t dt)/2 + ½·(∫₂¹⁰ t dt)/8` = 3.5
+//!
+//! Both the observed path (trapezoid integration of the sampled line —
+//! exact for piecewise-linear data) and the model path (the default
+//! adaptive-Simpson `area`, exact for polynomials) must hit these
+//! numbers.
+
+use resilience_core::metrics::{actual_metric, predicted_metric, MetricContext, MetricKind};
+use resilience_core::model::ResilienceModel;
+use resilience_core::validate::{pmse, r2_adjusted, sse};
+use resilience_data::PerformanceSeries;
+
+/// The oracle model `P(t) = t`.
+struct Line;
+
+impl ResilienceModel for Line {
+    fn name(&self) -> &'static str {
+        "Line"
+    }
+    fn params(&self) -> Vec<f64> {
+        vec![0.0, 1.0]
+    }
+    fn predict(&self, t: f64) -> f64 {
+        t
+    }
+}
+
+/// A constant model `P(t) = c` for the adjusted-R² fixture.
+struct Flat(f64);
+
+impl ResilienceModel for Flat {
+    fn name(&self) -> &'static str {
+        "Flat"
+    }
+    fn params(&self) -> Vec<f64> {
+        vec![self.0]
+    }
+    fn predict(&self, _t: f64) -> f64 {
+        self.0
+    }
+}
+
+/// `P(t) = t` sampled at `t = 0, 1, …, 10`.
+fn line_series() -> PerformanceSeries {
+    PerformanceSeries::monthly("line", (0..11).map(|i| i as f64).collect()).unwrap()
+}
+
+fn oracle_ctx() -> MetricContext {
+    MetricContext {
+        t_start: 4.0,
+        t_end: 10.0,
+        nominal: 4.0,
+        t_min: 2.0,
+        t_full_start: 0.0,
+        weight: 0.5,
+    }
+    .validated()
+    .unwrap()
+}
+
+/// Expected value of each Eq. 14–21 metric on the oracle line.
+fn expected(kind: MetricKind) -> f64 {
+    match kind {
+        MetricKind::PerformancePreserved => 42.0,
+        MetricKind::PerformanceLost => -18.0,
+        MetricKind::NormalizedAveragePreserved => 1.75,
+        MetricKind::NormalizedAverageLost => -0.75,
+        MetricKind::PreservedFromMinimum => 32.0,
+        MetricKind::AveragePreserved => 7.0,
+        MetricKind::AverageLost => -3.0,
+        MetricKind::WeightedBeforeAfterMinimum => 3.5,
+    }
+}
+
+#[test]
+fn actual_metrics_match_hand_derived_values() {
+    // Trapezoid integration is exact for the piecewise-linear sampling
+    // of a line, so the tolerance is pure floating-point roundoff.
+    let series = line_series();
+    let ctx = oracle_ctx();
+    for kind in MetricKind::ALL {
+        let got = actual_metric(&series, kind, &ctx).unwrap();
+        let want = expected(kind);
+        assert!(
+            (got - want).abs() < 1e-9,
+            "{kind}: actual {got} vs oracle {want}"
+        );
+    }
+}
+
+#[test]
+fn predicted_metrics_match_hand_derived_values() {
+    // The default `area` quadrature (adaptive Simpson) is exact for
+    // polynomials of degree ≤ 3, so the line integrates exactly too.
+    let ctx = oracle_ctx();
+    for kind in MetricKind::ALL {
+        let got = predicted_metric(&Line, kind, &ctx).unwrap();
+        let want = expected(kind);
+        assert!(
+            (got - want).abs() < 1e-7,
+            "{kind}: predicted {got} vs oracle {want}"
+        );
+    }
+}
+
+#[test]
+fn actual_and_predicted_paths_agree_on_the_oracle() {
+    // The two computation paths (series trapezoid vs model quadrature)
+    // share only the metric formulas; on the oracle they must agree.
+    let series = line_series();
+    let ctx = oracle_ctx();
+    for kind in MetricKind::ALL {
+        let a = actual_metric(&series, kind, &ctx).unwrap();
+        let p = predicted_metric(&Line, kind, &ctx).unwrap();
+        assert!((a - p).abs() < 1e-7, "{kind}: {a} vs {p}");
+    }
+}
+
+#[test]
+fn sse_golden_value() {
+    // Observations `y = t + 1` against the model `P(t) = t`: eleven
+    // residuals of exactly 1, so SSE = 11 (Eq. 9).
+    let series =
+        PerformanceSeries::monthly("offset", (0..11).map(|i| i as f64 + 1.0).collect()).unwrap();
+    let got = sse(&Line, &series);
+    assert!((got - 11.0).abs() < 1e-12, "sse = {got}");
+}
+
+#[test]
+fn pmse_golden_value() {
+    // Same offset data split after 8 training points: the test suffix
+    // holds 3 residuals of exactly 1, so PMSE = 3·1²/3 = 1 (Eq. 10).
+    let series =
+        PerformanceSeries::monthly("offset", (0..11).map(|i| i as f64 + 1.0).collect()).unwrap();
+    let split = series.split_at(8).unwrap();
+    assert_eq!(split.test.len(), 3);
+    let got = pmse(&Line, &split.test).unwrap();
+    assert!((got - 1.0).abs() < 1e-12, "pmse = {got}");
+}
+
+#[test]
+fn r2_adjusted_golden_value() {
+    // Values 1..=6 (mean 3.5, SSY = 17.5) against the constant model
+    // P(t) = 3.5 with m = 1: SSE = SSY, so Eq. 11 gives
+    // r²_adj = 1 − 1·(n−1)/(n−m−1) = 1 − 5/4 = −0.25, exactly.
+    let series = PerformanceSeries::monthly("ramp", (1..=6).map(f64::from).collect()).unwrap();
+    let got = r2_adjusted(&Flat(3.5), &series, 1).unwrap();
+    assert!((got - (-0.25)).abs() < 1e-12, "r2_adj = {got}");
+}
+
+#[test]
+fn model_area_default_is_exact_for_the_oracle_line() {
+    // The `ResilienceModel::area` default (adaptive Simpson) underpins
+    // every predicted metric; pin its exactness on the oracle directly.
+    let a = Line.area(4.0, 10.0).unwrap();
+    assert!((a - 42.0).abs() < 1e-9, "area = {a}");
+    let b = Line.area(0.0, 2.0).unwrap();
+    assert!((b - 2.0).abs() < 1e-9, "area = {b}");
+}
