@@ -13,7 +13,7 @@
 //! bit-identical to the serial ones (they must always be — see
 //! DESIGN.md §Performance & determinism).
 
-use resilience_bench::harness::{bench, Measurement, SpeedupReport};
+use resilience_bench::harness::{bench_with_budget, Measurement, SpeedupReport};
 use resilience_core::bathtub::{CompetingRisksFamily, QuadraticFamily};
 use resilience_core::bootstrap::{bootstrap_band, BootstrapBand, BootstrapConfig};
 use resilience_core::fit::FitConfig;
@@ -25,6 +25,11 @@ use resilience_optim::Parallelism;
 
 const WARMUP: usize = 1;
 const SAMPLES: usize = 5;
+/// Wall-clock cap per benchmarked configuration. Generous — a healthy
+/// run never hits it — but it bounds the damage of a pathological
+/// regression: a 100× slowdown costs one budget per configuration, not
+/// 100× the whole sweep (execution-deadline discipline, DESIGN.md §9).
+const BUDGET: std::time::Duration = std::time::Duration::from_secs(120);
 
 fn cores() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -73,7 +78,7 @@ fn bench_fitting() -> SpeedupReport {
 
     let time = |name: &str, p: Parallelism| -> Measurement {
         let cfg = config(p);
-        bench(name, WARMUP, SAMPLES, || {
+        bench_with_budget(name, WARMUP, SAMPLES, BUDGET, || {
             rank_models(&families, &series, &cfg).expect("rank_models")
         })
     };
@@ -116,7 +121,7 @@ fn bench_bootstrap() -> SpeedupReport {
 
     let time = |name: &str, p: Parallelism| -> Measurement {
         let cfg = config(p);
-        bench(name, WARMUP, SAMPLES, || {
+        bench_with_budget(name, WARMUP, SAMPLES, BUDGET, || {
             bootstrap_band(&QuadraticFamily, &series, &fit_config, &cfg).expect("bootstrap_band")
         })
     };

@@ -101,6 +101,46 @@ pub fn bench<T, F: FnMut() -> T>(
     }
 }
 
+/// [`bench`], but sampling stops once `budget` of timed wall-clock has
+/// been spent — the bench-harness analogue of the library's execution
+/// deadlines (DESIGN.md §9), so one slow configuration cannot stall a
+/// whole bench sweep.
+///
+/// The first timed sample always runs (minimum progress), so the
+/// returned [`Measurement`] is never empty; `samples` stays the upper
+/// bound. Warmup iterations are untimed and do not count against the
+/// budget.
+///
+/// # Panics
+///
+/// Panics when `samples == 0`.
+pub fn bench_with_budget<T, F: FnMut() -> T>(
+    name: &str,
+    warmup: usize,
+    samples: usize,
+    budget: std::time::Duration,
+    mut f: F,
+) -> Measurement {
+    assert!(samples > 0, "bench requires at least one sample");
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples_ns = Vec::with_capacity(samples);
+    let sweep_start = Instant::now();
+    for _ in 0..samples {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples_ns.push(start.elapsed().as_nanos());
+        if sweep_start.elapsed() >= budget {
+            break;
+        }
+    }
+    Measurement {
+        name: name.to_string(),
+        samples_ns,
+    }
+}
+
 /// A serial-vs-parallel comparison for one pipeline stage, serialized to
 /// a `BENCH_*.json` file by the `bench` binary.
 #[derive(Debug, Clone)]
@@ -188,6 +228,24 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn bench_rejects_zero_samples() {
         bench("empty", 0, 0, || ());
+    }
+
+    #[test]
+    fn budgeted_bench_always_keeps_one_sample() {
+        // A zero budget stops after the mandatory first sample.
+        let mut calls = 0usize;
+        let m = bench_with_budget("tight", 1, 50, std::time::Duration::ZERO, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(m.samples_ns.len(), 1);
+        assert_eq!(calls, 2, "1 warmup + 1 timed");
+    }
+
+    #[test]
+    fn budgeted_bench_honors_the_sample_cap_under_a_loose_budget() {
+        let m = bench_with_budget("loose", 0, 5, std::time::Duration::from_secs(60), || 1 + 1);
+        assert_eq!(m.samples_ns.len(), 5);
     }
 
     #[test]

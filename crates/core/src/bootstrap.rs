@@ -14,8 +14,8 @@ use crate::model::ModelFamily;
 use crate::CoreError;
 use resilience_data::noise::XorShift64;
 use resilience_data::PerformanceSeries;
-use resilience_optim::parallel::run_indexed;
-use resilience_optim::Parallelism;
+use resilience_optim::parallel::run_indexed_catch;
+use resilience_optim::{Control, Parallelism};
 use resilience_stats::describe::quantile;
 
 /// A pointwise bootstrap *prediction* band: each limit reflects both
@@ -53,8 +53,15 @@ impl BootstrapBand {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidArgument`] when lengths differ.
+    /// Returns [`CoreError::InvalidArgument`] when the band is empty or
+    /// the lengths differ.
     pub fn coverage(&self, series: &PerformanceSeries) -> Result<f64, CoreError> {
+        if self.times.is_empty() {
+            return Err(CoreError::arg(
+                "BootstrapBand::coverage",
+                "band is empty: no evaluation times",
+            ));
+        }
         if series.len() != self.times.len() {
             return Err(CoreError::arg(
                 "BootstrapBand::coverage",
@@ -115,6 +122,11 @@ impl Default for BootstrapConfig {
 /// Computes a residual-bootstrap band for `family` fit to `series`,
 /// evaluated at every observation time.
 ///
+/// This is [`bootstrap_band_checkpointed`] with an unbounded control: it
+/// always runs to completion in one call. A replicate whose refit panics
+/// counts as a failed replicate (isolated at the job boundary), like one
+/// whose refit errors.
+///
 /// # Errors
 ///
 /// * [`CoreError::InvalidArgument`] for a bad configuration or when too
@@ -126,6 +138,81 @@ pub fn bootstrap_band(
     base_config: &FitConfig,
     config: &BootstrapConfig,
 ) -> Result<BootstrapBand, CoreError> {
+    let mut checkpoint = None;
+    bootstrap_band_checkpointed(
+        family,
+        series,
+        base_config,
+        config,
+        &mut checkpoint,
+        &Control::unbounded(),
+    )?
+    // An unbounded control can never pause the run, so the engine always
+    // returns a finished band here; defensive rather than `unwrap`.
+    .ok_or_else(|| CoreError::arg("bootstrap_band", "unbounded run returned no band"))
+}
+
+/// Resumable state of an interrupted [`bootstrap_band_checkpointed`] run:
+/// the base fit's curve and residuals plus every replicate prediction
+/// accumulated so far.
+///
+/// Opaque by design — callers only thread it back into the next call.
+/// Because each replicate is a pure function of `(seed, replicate
+/// index)`, a run resumed from a checkpoint is **bit-identical** to an
+/// uninterrupted one.
+#[derive(Debug, Clone)]
+pub struct BootstrapCheckpoint {
+    next_rep: usize,
+    failed: usize,
+    times: Vec<f64>,
+    fitted: Vec<f64>,
+    residuals: Vec<f64>,
+    seed_params: Vec<f64>,
+    per_time: Vec<Vec<f64>>,
+}
+
+impl BootstrapCheckpoint {
+    /// Number of replicates already processed (successful or failed).
+    #[must_use]
+    pub fn replicates_done(&self) -> usize {
+        self.next_rep
+    }
+}
+
+/// [`bootstrap_band`] that can pause at a deadline and resume later.
+///
+/// On the first call pass `&mut None`: the base fit runs (always to
+/// completion — it is the minimum unit of progress) and replicates are
+/// processed in chunks. After each chunk the `control` is polled; if it
+/// signals a stop, the accumulated state is saved into `checkpoint` and
+/// the call returns `Ok(None)`. Calling again with the same arguments and
+/// the saved checkpoint resumes exactly where the run left off. Every
+/// call completes at least one chunk, so a caller looping on an expired
+/// deadline still terminates.
+///
+/// The finished band is bit-identical to an uninterrupted
+/// [`bootstrap_band`] run regardless of how many times the run was
+/// paused, because each replicate's draws come from its own
+/// counter-derived stream ([`XorShift64::stream`]`(seed, rep)`). On
+/// completion the checkpoint is cleared back to `None`.
+///
+/// A replicate whose refit panics is isolated at the job boundary and
+/// counted as failed, exactly like a replicate whose refit errors.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidArgument`] for a bad configuration, a checkpoint
+///   inconsistent with `series`/`config`, or (on the final chunk) too few
+///   successful replicates.
+/// * Propagates the base fit's errors.
+pub fn bootstrap_band_checkpointed(
+    family: &dyn ModelFamily,
+    series: &PerformanceSeries,
+    base_config: &FitConfig,
+    config: &BootstrapConfig,
+    checkpoint: &mut Option<BootstrapCheckpoint>,
+    control: &Control,
+) -> Result<Option<BootstrapBand>, CoreError> {
     if config.replicates < 20 {
         return Err(CoreError::arg(
             "bootstrap_band",
@@ -138,15 +225,41 @@ pub fn bootstrap_band(
             format!("alpha must be in (0, 1), got {}", config.alpha),
         ));
     }
-    let base = fit_least_squares(family, series, base_config)?;
-    let times = series.times().to_vec();
-    let fitted = base.model.predict_many(&times);
-    let residuals: Vec<f64> = series
-        .values()
-        .iter()
-        .zip(&fitted)
-        .map(|(y, f)| y - f)
-        .collect();
+    let n = series.len();
+    if checkpoint.is_none() {
+        let base = fit_least_squares(family, series, base_config)?;
+        let times = series.times().to_vec();
+        let fitted = base.model.predict_many(&times);
+        let residuals: Vec<f64> = series
+            .values()
+            .iter()
+            .zip(&fitted)
+            .map(|(y, f)| y - f)
+            .collect();
+        *checkpoint = Some(BootstrapCheckpoint {
+            next_rep: 0,
+            failed: 0,
+            times,
+            fitted,
+            residuals,
+            seed_params: base.params,
+            per_time: vec![Vec::new(); n],
+        });
+    }
+    let cp = checkpoint.as_mut().expect("checkpoint initialized above");
+    if cp.per_time.len() != n || cp.next_rep > config.replicates {
+        return Err(CoreError::arg(
+            "bootstrap_band",
+            format!(
+                "checkpoint does not match this run: {} band points for {} observations, \
+                 {} of {} replicates done",
+                cp.per_time.len(),
+                n,
+                cp.next_rep,
+                config.replicates
+            ),
+        ));
+    }
 
     // Replicate refits always start at the base optimum, and run
     // serially — the fan-out happens across replicates, not inside them.
@@ -158,56 +271,76 @@ pub fn bootstrap_band(
     // returns only the base parameters.
     let wrapped = SeededFamily {
         inner: family,
-        seed_params: base.params.clone(),
+        seed_params: cp.seed_params.clone(),
     };
 
-    let n = series.len();
-    // Each replicate owns a counter-derived RNG stream, so its draws are
-    // a pure function of (seed, replicate index): replicates can run on
-    // any thread in any order and still produce the same band.
-    let replicate_preds = run_indexed(
-        config.parallelism,
-        config.replicates,
-        |rep| -> Option<Vec<f64>> {
-            let mut rng = XorShift64::stream(config.seed, rep as u64);
-            let synth_values: Vec<f64> = (0..n)
-                .map(|i| fitted[i] + residuals[rng.next_index(n)])
-                .collect();
-            let synth = PerformanceSeries::new(series.name(), times.clone(), synth_values).ok()?;
-            let fit = fit_least_squares(&wrapped, &synth, &refit_config).ok()?;
-            let mut preds = vec![0.0; n];
-            fit.model.predict_into(&times, &mut preds);
-            for p in &mut preds {
-                // Prediction band: parameter uncertainty (the refit) plus
-                // observation noise (one more residual draw) — the bootstrap
-                // analogue of the paper's Eq. 13 band, which also targets
-                // observations rather than the mean curve.
-                *p += residuals[rng.next_index(n)];
-            }
-            // Guard layer (DESIGN.md §8): a replicate whose refit
-            // produced a non-finite prediction counts as failed — it
-            // must not reach the quantile computation, which would
-            // otherwise reject the entire band over one bad replicate.
-            if preds.iter().any(|p| !p.is_finite()) {
-                return None;
-            }
-            Some(preds)
-        },
-    );
-
-    let mut per_time: Vec<Vec<f64>> = vec![Vec::with_capacity(config.replicates); n];
-    let mut failed = 0usize;
-    for preds in replicate_preds {
-        match preds {
-            Some(preds) => {
-                for (slot, p) in per_time.iter_mut().zip(preds) {
-                    slot.push(p);
+    while cp.next_rep < config.replicates {
+        let remaining = config.replicates - cp.next_rep;
+        // Unbounded runs take everything in one chunk (no reason to pay
+        // per-chunk pool setup); bounded runs use chunks large enough to
+        // keep every worker busy but small enough that the deadline check
+        // between chunks is responsive.
+        let chunk = if control.is_unbounded() {
+            remaining
+        } else {
+            let threads = config.parallelism.threads_for(remaining);
+            remaining.min((threads * 8).max(32))
+        };
+        let start = cp.next_rep;
+        let (times, fitted, residuals) = (&cp.times, &cp.fitted, &cp.residuals);
+        // Each replicate owns a counter-derived RNG stream, so its draws
+        // are a pure function of (seed, replicate index): replicates can
+        // run on any thread, in any order, across any pause/resume split,
+        // and still produce the same band.
+        let replicate_preds =
+            run_indexed_catch(config.parallelism, chunk, |j| -> Option<Vec<f64>> {
+                let rep = start + j;
+                let mut rng = XorShift64::stream(config.seed, rep as u64);
+                let synth_values: Vec<f64> = (0..n)
+                    .map(|i| fitted[i] + residuals[rng.next_index(n)])
+                    .collect();
+                let synth =
+                    PerformanceSeries::new(series.name(), times.clone(), synth_values).ok()?;
+                let fit = fit_least_squares(&wrapped, &synth, &refit_config).ok()?;
+                let mut preds = vec![0.0; n];
+                fit.model.predict_into(times, &mut preds);
+                for p in &mut preds {
+                    // Prediction band: parameter uncertainty (the refit) plus
+                    // observation noise (one more residual draw) — the bootstrap
+                    // analogue of the paper's Eq. 13 band, which also targets
+                    // observations rather than the mean curve.
+                    *p += residuals[rng.next_index(n)];
                 }
+                // Guard layer (DESIGN.md §8): a replicate whose refit
+                // produced a non-finite prediction counts as failed — it
+                // must not reach the quantile computation, which would
+                // otherwise reject the entire band over one bad replicate.
+                if preds.iter().any(|p| !p.is_finite()) {
+                    return None;
+                }
+                Some(preds)
+            });
+        for outcome in replicate_preds {
+            match outcome {
+                Ok(Some(preds)) => {
+                    for (slot, p) in cp.per_time.iter_mut().zip(preds) {
+                        slot.push(p);
+                    }
+                }
+                // Refit failure and replicate panic degrade identically:
+                // one failed replicate, never a lost band.
+                Ok(None) | Err(_) => cp.failed += 1,
             }
-            None => failed += 1,
+        }
+        cp.next_rep += chunk;
+        // The stop check runs *after* the chunk: every call makes at
+        // least one chunk of progress even under an expired deadline.
+        if cp.next_rep < config.replicates && control.stop_cause().is_some() {
+            return Ok(None);
         }
     }
-    let ok = config.replicates - failed;
+
+    let ok = config.replicates - cp.failed;
     if ok < 20 || ok * 2 < config.replicates {
         return Err(CoreError::arg(
             "bootstrap_band",
@@ -219,18 +352,19 @@ pub fn bootstrap_band(
     }
     let mut lower = Vec::with_capacity(n);
     let mut upper = Vec::with_capacity(n);
-    for values in &per_time {
+    for values in &cp.per_time {
         lower.push(quantile(values, config.alpha / 2.0)?);
         upper.push(quantile(values, 1.0 - config.alpha / 2.0)?);
     }
-    Ok(BootstrapBand {
-        times,
-        center: fitted,
+    let finished = checkpoint.take().expect("checkpoint present");
+    Ok(Some(BootstrapBand {
+        times: finished.times,
+        center: finished.fitted,
         lower,
         upper,
         replicates: ok,
-        failed,
-    })
+        failed: finished.failed,
+    }))
 }
 
 /// A family adapter that replaces the data-driven starting points with a
@@ -382,5 +516,107 @@ mod tests {
         .unwrap();
         let short = Recession::R2020_21.payroll_index();
         assert!(band.coverage(&short).is_err());
+    }
+
+    #[test]
+    fn coverage_rejects_an_empty_band() {
+        let empty = BootstrapBand {
+            times: vec![],
+            center: vec![],
+            lower: vec![],
+            upper: vec![],
+            replicates: 0,
+            failed: 0,
+        };
+        let series = Recession::R1990_93.payroll_index();
+        let err = empty.coverage(&series).unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn checkpointed_resume_is_bit_identical_to_uninterrupted() {
+        use std::time::Duration;
+        let series = Recession::R1990_93.payroll_index();
+        // Fixed(2) workers → 32-replicate chunks, so 64 replicates take
+        // exactly two chunked calls under an always-expired deadline.
+        let cfg = BootstrapConfig {
+            replicates: 64,
+            parallelism: Parallelism::Fixed(2),
+            ..BootstrapConfig::default()
+        };
+        let uninterrupted =
+            bootstrap_band(&QuadraticFamily, &series, &FitConfig::default(), &cfg).unwrap();
+
+        let expired = Control::with_deadline(Duration::ZERO);
+        let mut checkpoint = None;
+        // First call: base fit + one chunk, then pauses.
+        let first = bootstrap_band_checkpointed(
+            &QuadraticFamily,
+            &series,
+            &FitConfig::default(),
+            &cfg,
+            &mut checkpoint,
+            &expired,
+        )
+        .unwrap();
+        assert!(first.is_none(), "expired deadline must pause the run");
+        let cp = checkpoint.as_ref().expect("pause must leave a checkpoint");
+        assert_eq!(cp.replicates_done(), 32);
+
+        // Resume until done; minimum-progress guarantees termination.
+        let mut resumed = None;
+        for _ in 0..10 {
+            if let Some(band) = bootstrap_band_checkpointed(
+                &QuadraticFamily,
+                &series,
+                &FitConfig::default(),
+                &cfg,
+                &mut checkpoint,
+                &expired,
+            )
+            .unwrap()
+            {
+                resumed = Some(band);
+                break;
+            }
+        }
+        let resumed = resumed.expect("run must finish within 10 chunked calls");
+        assert!(checkpoint.is_none(), "completion must clear the checkpoint");
+        assert_eq!(resumed, uninterrupted);
+    }
+
+    #[test]
+    fn checkpoint_from_a_different_series_is_rejected() {
+        use std::time::Duration;
+        let series = Recession::R1990_93.payroll_index();
+        let cfg = BootstrapConfig {
+            replicates: 64,
+            parallelism: Parallelism::Fixed(2),
+            ..BootstrapConfig::default()
+        };
+        let mut checkpoint = None;
+        let paused = bootstrap_band_checkpointed(
+            &QuadraticFamily,
+            &series,
+            &FitConfig::default(),
+            &cfg,
+            &mut checkpoint,
+            &Control::with_deadline(Duration::ZERO),
+        )
+        .unwrap();
+        assert!(paused.is_none());
+        // Resuming against a series of a different length must error, not
+        // silently mix two runs.
+        let other = Recession::R2020_21.payroll_index();
+        assert_ne!(other.len(), series.len());
+        assert!(bootstrap_band_checkpointed(
+            &QuadraticFamily,
+            &other,
+            &FitConfig::default(),
+            &cfg,
+            &mut checkpoint,
+            &Control::unbounded(),
+        )
+        .is_err());
     }
 }

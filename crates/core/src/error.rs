@@ -46,6 +46,18 @@ pub enum CoreError {
         /// Human-readable description of the offending value.
         detail: String,
     },
+    /// An operation exceeded its execution deadline and was stopped at a
+    /// cooperative cancellation point (see [`crate::runtime`]).
+    TimedOut {
+        /// Operation name (e.g. `"fit_least_squares"`).
+        what: &'static str,
+    },
+    /// An operation was cancelled via a
+    /// [`CancelToken`](resilience_optim::CancelToken).
+    Cancelled {
+        /// Operation name.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -72,6 +84,8 @@ impl fmt::Display for CoreError {
                     "{what}: numerical domain violation ({violation}): {detail}"
                 )
             }
+            CoreError::TimedOut { what } => write!(f, "{what}: deadline exceeded"),
+            CoreError::Cancelled { what } => write!(f, "{what}: cancelled"),
         }
     }
 }
@@ -149,6 +163,29 @@ impl CoreError {
             detail: detail.into(),
         }
     }
+
+    /// Convenience constructor for [`CoreError::TimedOut`].
+    pub fn timed_out(what: &'static str) -> Self {
+        CoreError::TimedOut { what }
+    }
+
+    /// Convenience constructor for [`CoreError::Cancelled`].
+    pub fn cancelled(what: &'static str) -> Self {
+        CoreError::Cancelled { what }
+    }
+
+    /// `true` when this error is a cooperative stop (deadline or
+    /// cancellation) rather than a genuine failure — either directly
+    /// ([`CoreError::TimedOut`] / [`CoreError::Cancelled`]) or wrapping a
+    /// stopped optimizer run.
+    #[must_use]
+    pub fn is_stop(&self) -> bool {
+        match self {
+            CoreError::TimedOut { .. } | CoreError::Cancelled { .. } => true,
+            CoreError::Fit(e) => e.is_stop(),
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -189,5 +226,20 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CoreError>();
+    }
+
+    #[test]
+    fn stop_errors_display_and_classify() {
+        let t = CoreError::timed_out("fit_least_squares");
+        assert_eq!(t.to_string(), "fit_least_squares: deadline exceeded");
+        assert!(t.is_stop());
+        let c = CoreError::cancelled("rank_models");
+        assert_eq!(c.to_string(), "rank_models: cancelled");
+        assert!(c.is_stop());
+        // A wrapped stopped optimizer run is a stop too; plain errors are not.
+        let wrapped = CoreError::Fit(resilience_optim::OptimError::TimedOut { evaluations: 3 });
+        assert!(wrapped.is_stop());
+        assert!(!CoreError::arg("x", "y").is_stop());
+        assert!(!CoreError::from(resilience_optim::OptimError::config("c", "d")).is_stop());
     }
 }

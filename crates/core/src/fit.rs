@@ -12,10 +12,11 @@ use crate::CoreError;
 use resilience_data::PerformanceSeries;
 use resilience_math::sum::sum_squared_diff;
 use resilience_optim::levenberg_marquardt::{LevenbergMarquardt, LmConfig};
-use resilience_optim::multi_start::multi_start_nelder_mead_with;
+use resilience_optim::multi_start::multi_start_nelder_mead_with_control;
 use resilience_optim::nelder_mead::NelderMeadConfig;
 use resilience_optim::problem::ClosureLeastSquares;
-use resilience_optim::Parallelism;
+use resilience_optim::report::TerminationReason;
+use resilience_optim::{Control, OptimError, Parallelism};
 use std::cell::RefCell;
 
 /// Configuration for [`fit_least_squares`].
@@ -62,6 +63,11 @@ pub struct FittedModel {
     pub sse: f64,
     /// Number of objective evaluations consumed across all starts.
     pub evaluations: usize,
+    /// Whether the winning multi-start run terminated by convergence
+    /// (rather than hitting its iteration budget). A non-converged fit is
+    /// still usable — it is the best point found — but it is what
+    /// [`crate::runtime::RetryPolicy`] retries with jittered starts.
+    pub converged: bool,
 }
 
 impl std::fmt::Debug for FittedModel {
@@ -71,6 +77,7 @@ impl std::fmt::Debug for FittedModel {
             .field("params", &self.params)
             .field("sse", &self.sse)
             .field("evaluations", &self.evaluations)
+            .field("converged", &self.converged)
             .finish()
     }
 }
@@ -110,6 +117,31 @@ pub fn fit_least_squares(
     family: &dyn ModelFamily,
     series: &PerformanceSeries,
     config: &FitConfig,
+) -> Result<FittedModel, CoreError> {
+    fit_least_squares_with(family, series, config, &Control::unbounded())
+}
+
+/// [`fit_least_squares`] under an execution [`Control`] (deadline and/or
+/// cancellation token).
+///
+/// Every solver in the multi-start phase polls the control between
+/// iterations, so a fit whose objective loops forever at the iteration
+/// level — or simply takes too long — returns [`CoreError::TimedOut`] /
+/// [`CoreError::Cancelled`] instead of hanging the caller. A stop during
+/// the optional Levenberg–Marquardt polish is *not* an error: the
+/// multi-start winner is already a valid fit, so the polish is skipped
+/// and that winner is returned.
+///
+/// # Errors
+///
+/// Everything [`fit_least_squares`] returns, plus [`CoreError::TimedOut`]
+/// and [`CoreError::Cancelled`] when the control stops the multi-start
+/// phase.
+pub fn fit_least_squares_with(
+    family: &dyn ModelFamily,
+    series: &PerformanceSeries,
+    config: &FitConfig,
+    control: &Control,
 ) -> Result<FittedModel, CoreError> {
     let observed = series.values();
     let times = series.times();
@@ -151,12 +183,19 @@ pub fn fit_least_squares(
         ));
     }
 
-    let best = multi_start_nelder_mead_with(
+    let best = multi_start_nelder_mead_with_control(
         &make_objective,
         &starts,
         &config.nelder_mead,
         config.parallelism,
-    )?;
+        control,
+    )
+    .map_err(|e| match e {
+        OptimError::TimedOut { .. } => CoreError::timed_out("fit_least_squares"),
+        OptimError::Cancelled { .. } => CoreError::cancelled("fit_least_squares"),
+        other => CoreError::Fit(other),
+    })?;
+    let converged = best.termination == TerminationReason::Converged;
     let mut best_internal = best.params;
     let mut best_sse = best.value;
     let mut evaluations = best.evaluations;
@@ -181,9 +220,14 @@ pub fn fit_least_squares(
                 }
             },
         );
-        if let Ok(report) =
-            LevenbergMarquardt::new(config.lm.clone()).minimize(&problem, &best_internal)
-        {
+        // A failed or stopped polish is not a fit failure: the multi-start
+        // winner above is already a complete answer, so `Err` here (LM
+        // divergence, deadline, cancellation) just skips the refinement.
+        if let Ok(report) = LevenbergMarquardt::new(config.lm.clone()).minimize_with_control(
+            &problem,
+            &best_internal,
+            control,
+        ) {
             evaluations += report.evaluations;
             if report.value < best_sse {
                 best_sse = report.value;
@@ -211,6 +255,7 @@ pub fn fit_least_squares(
         params,
         sse: best_sse,
         evaluations,
+        converged,
     })
 }
 
@@ -344,5 +389,54 @@ mod tests {
         let fit = fit_least_squares(&QuadraticFamily, &s, &FitConfig::default()).unwrap();
         let dbg = format!("{fit:?}");
         assert!(dbg.contains("Quadratic"));
+        assert!(dbg.contains("converged"));
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_timeout() {
+        let s = quadratic_series(0.002);
+        let err = fit_least_squares_with(
+            &QuadraticFamily,
+            &s,
+            &FitConfig::default(),
+            &Control::with_deadline(std::time::Duration::ZERO),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CoreError::TimedOut { what } if what == "fit_least_squares"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn cancellation_is_a_typed_cancel() {
+        let token = resilience_optim::CancelToken::new();
+        token.cancel();
+        let s = quadratic_series(0.002);
+        let err = fit_least_squares_with(
+            &QuadraticFamily,
+            &s,
+            &FitConfig::default(),
+            &Control::with_token(&token),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Cancelled { .. }), "{err}");
+    }
+
+    #[test]
+    fn unbounded_control_is_bit_identical_to_plain_fit() {
+        let s = quadratic_series(0.002);
+        let plain = fit_least_squares(&QuadraticFamily, &s, &FitConfig::default()).unwrap();
+        let controlled = fit_least_squares_with(
+            &QuadraticFamily,
+            &s,
+            &FitConfig::default(),
+            &Control::unbounded(),
+        )
+        .unwrap();
+        assert_eq!(plain.params, controlled.params);
+        assert_eq!(plain.sse, controlled.sse);
+        assert_eq!(plain.evaluations, controlled.evaluations);
+        assert!(plain.converged);
     }
 }

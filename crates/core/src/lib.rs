@@ -31,6 +31,9 @@
 //!    (Eq. 14–21) in both *actual* (observed curve) and *predicted*
 //!    (fitted model) form, with relative errors (Eq. 22).
 //! 4. [`analysis`] — one-call drivers that reproduce the paper's tables.
+//! 5. [`runtime`] — supervised execution: deadlines and cancellation,
+//!    retry-with-backoff for non-converged fits, panic isolation, and
+//!    degraded-but-usable rankings when individual families fail.
 //!
 //! # Quickstart
 //!
@@ -66,6 +69,7 @@ pub mod metrics;
 pub mod mixture;
 pub mod model;
 pub mod report;
+pub mod runtime;
 pub mod selection;
 pub mod validate;
 

@@ -1,0 +1,505 @@
+//! Supervised execution: deadlines, retry-with-backoff, panic isolation,
+//! and graceful degradation (DESIGN.md §9).
+//!
+//! The fitting pipeline is deterministic but not immune to pathological
+//! inputs: a family whose SSE surface traps the simplex can burn its full
+//! iteration budget, a buggy family implementation can panic, and a
+//! multi-series sweep can blow through a caller's latency budget. This
+//! module layers *policies* over the raw fitting entry points:
+//!
+//! * [`fit_with_retry`] — re-runs a non-converged fit from jittered
+//!   starting points with deterministically growing jitter (the
+//!   parameter-space analogue of exponential backoff).
+//! * [`rank_models_supervised`] — [`crate::selection::rank_models`] under
+//!   an [`ExecPolicy`]: per-family time budgets, optional retry, and
+//!   per-family panic isolation. Failures degrade the
+//!   [`Ranking`](crate::selection::Ranking) (`degraded: true`, typed
+//!   [`FailureKind`](crate::selection::FailureKind) reasons) instead of
+//!   poisoning it.
+//!
+//! Everything here preserves the workspace's determinism contract: retry
+//! jitter comes from counter-derived RNG streams (never wall-clock), so a
+//! retried fit is a pure function of the data, the config, and the
+//! policy. Deadlines are the only nondeterministic input, and they only
+//! select *which* typed outcome you get (a result, or a
+//! `TimedOut`/`Cancelled` failure row) — never the numeric content of a
+//! successful result.
+
+use crate::fit::{fit_least_squares_with, FitConfig, FittedModel};
+use crate::model::{ModelFamily, ResilienceModel};
+use crate::selection::{score_family, sort_rows, FailureKind, FamilyFailure, Ranking};
+use crate::CoreError;
+use resilience_data::PerformanceSeries;
+use resilience_optim::parallel::run_indexed_catch;
+use resilience_optim::{Parallelism, StopCause};
+use resilience_stats::XorShift64;
+use std::time::Duration;
+
+pub use resilience_optim::{CancelToken, Control};
+
+/// Deterministic retry for non-converged fits.
+///
+/// Attempt 1 uses the family's own starting points. Each later attempt
+/// perturbs every starting point with zero-mean jitter whose amplitude
+/// grows geometrically — exponential backoff in parameter space — so
+/// retries explore progressively wider basins. The jitter for attempt
+/// `k` is drawn from the counter-derived stream
+/// `XorShift64::stream(base_seed, k)`, so the whole retry schedule is a
+/// pure function of this policy: no wall-clock, no global RNG state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (≥ 1; 1 disables retry).
+    pub max_attempts: usize,
+    /// Seed for the jitter streams.
+    pub base_seed: u64,
+    /// Relative jitter amplitude on the first retry (attempt 2).
+    pub initial_jitter: f64,
+    /// Geometric growth factor of the amplitude per further attempt.
+    pub growth: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_seed: 0x5EED,
+            initial_jitter: 0.05,
+            growth: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Jitter amplitude for 1-based `attempt` (attempt 1 is unjittered).
+    fn amplitude(&self, attempt: usize) -> f64 {
+        debug_assert!(attempt >= 2);
+        self.initial_jitter * self.growth.powi(attempt as i32 - 2)
+    }
+}
+
+/// Execution policy for a supervised multi-family run.
+///
+/// The default is fully permissive — no budget, no retry — so
+/// [`rank_models_supervised`] under `ExecPolicy::default()` and an
+/// unbounded [`Control`] behaves exactly like the plain
+/// [`rank_models`](crate::selection::rank_models) (which delegates here).
+#[derive(Debug, Clone, Default)]
+pub struct ExecPolicy {
+    /// Wall-clock budget for each family's fit. The clock starts when the
+    /// family's job starts (not when the ranking call starts), and is
+    /// capped by the caller's overall [`Control`] deadline, never
+    /// extending it. `None` means no per-family limit.
+    pub family_budget: Option<Duration>,
+    /// Retry schedule for non-converged fits. `None` means single-shot.
+    pub retry: Option<RetryPolicy>,
+}
+
+/// Outcome of [`fit_with_retry`]: the winning fit plus how many attempts
+/// it took.
+#[derive(Debug)]
+pub struct SupervisedFit {
+    /// The best fit found across all attempts (lowest SSE; the first
+    /// converged attempt wins outright and stops the schedule).
+    pub fit: FittedModel,
+    /// Number of attempts actually made (1 when the first fit converged).
+    pub attempts: usize,
+}
+
+/// A family adapter that perturbs the inner family's starting points
+/// with deterministic zero-mean jitter; everything else forwards.
+struct JitteredFamily<'a> {
+    inner: &'a dyn ModelFamily,
+    seed: u64,
+    attempt: u64,
+    amplitude: f64,
+}
+
+impl ModelFamily for JitteredFamily<'_> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn n_params(&self) -> usize {
+        self.inner.n_params()
+    }
+
+    fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
+        self.inner.internal_to_params(internal)
+    }
+
+    fn params_to_internal(&self, params: &[f64]) -> Result<Vec<f64>, CoreError> {
+        self.inner.params_to_internal(params)
+    }
+
+    fn build(&self, params: &[f64]) -> Result<Box<dyn ResilienceModel>, CoreError> {
+        self.inner.build(params)
+    }
+
+    fn initial_guesses(&self, series: &PerformanceSeries) -> Vec<Vec<f64>> {
+        // A fresh stream per (seed, attempt) keeps every call — and every
+        // retry schedule — a pure function of the policy. Jitter is
+        // relative (`1 + |g|`) so parameters spanning orders of magnitude
+        // are all perturbed proportionally; infeasible perturbed guesses
+        // are dropped later by `params_to_internal`, exactly like
+        // infeasible data-driven guesses.
+        let mut rng = XorShift64::stream(self.seed, self.attempt);
+        self.inner
+            .initial_guesses(series)
+            .into_iter()
+            .map(|mut guess| {
+                for g in &mut guess {
+                    *g += self.amplitude * (2.0 * rng.next_f64() - 1.0) * (1.0 + g.abs());
+                }
+                guess
+            })
+            .collect()
+    }
+
+    // Forward the allocation-free hot-path hooks so retried fits keep the
+    // wrapped family's specialized implementations.
+    fn internal_to_params_into(&self, internal: &[f64], out: &mut [f64]) {
+        self.inner.internal_to_params_into(internal, out);
+    }
+
+    fn predict_params_into(&self, params: &[f64], ts: &[f64], out: &mut [f64]) -> bool {
+        self.inner.predict_params_into(params, ts, out)
+    }
+}
+
+/// Fits `family` to `series`, retrying from jittered starting points when
+/// the fit fails or does not converge.
+///
+/// The schedule keeps the best successful fit by SSE across attempts and
+/// stops early at the first converged one. Deadline/cancellation stops
+/// ([`CoreError::is_stop`]) abort the schedule immediately and propagate
+/// — a stop is a property of the whole run, not of one attempt.
+///
+/// # Errors
+///
+/// * [`CoreError::TimedOut`] / [`CoreError::Cancelled`] when `control`
+///   stops an attempt.
+/// * The last attempt's error when every attempt fails.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_core::bathtub::QuadraticFamily;
+/// use resilience_core::fit::FitConfig;
+/// use resilience_core::runtime::{fit_with_retry, Control, RetryPolicy};
+/// use resilience_data::PerformanceSeries;
+///
+/// let values: Vec<f64> = (0..40)
+///     .map(|i| {
+///         let t = i as f64;
+///         1.0 - 0.012 * t + 0.0004 * t * t
+///     })
+///     .collect();
+/// let series = PerformanceSeries::monthly("demo", values)?;
+/// let sup = fit_with_retry(
+///     &QuadraticFamily,
+///     &series,
+///     &FitConfig::default(),
+///     &RetryPolicy::default(),
+///     &Control::unbounded(),
+/// )?;
+/// assert_eq!(sup.attempts, 1); // clean data converges first try
+/// assert!(sup.fit.converged);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn fit_with_retry(
+    family: &dyn ModelFamily,
+    series: &PerformanceSeries,
+    config: &FitConfig,
+    policy: &RetryPolicy,
+    control: &Control,
+) -> Result<SupervisedFit, CoreError> {
+    if policy.max_attempts == 0 {
+        return Err(CoreError::arg(
+            "fit_with_retry",
+            "max_attempts must be >= 1",
+        ));
+    }
+    let mut best: Option<FittedModel> = None;
+    let mut last_err: Option<CoreError> = None;
+    let mut attempts = 0usize;
+    for attempt in 1..=policy.max_attempts {
+        attempts = attempt;
+        let outcome = if attempt == 1 {
+            fit_least_squares_with(family, series, config, control)
+        } else {
+            let jittered = JitteredFamily {
+                inner: family,
+                seed: policy.base_seed,
+                attempt: attempt as u64,
+                amplitude: policy.amplitude(attempt),
+            };
+            fit_least_squares_with(&jittered, series, config, control)
+        };
+        match outcome {
+            Ok(fit) => {
+                let done = fit.converged;
+                let better = best.as_ref().is_none_or(|b| fit.sse < b.sse);
+                if better {
+                    best = Some(fit);
+                }
+                if done {
+                    break;
+                }
+            }
+            Err(e) if e.is_stop() => return Err(e),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    match best {
+        Some(fit) => Ok(SupervisedFit { fit, attempts }),
+        // All attempts errored; `last_err` is necessarily set.
+        None => Err(last_err
+            .unwrap_or_else(|| CoreError::arg("fit_with_retry", "no attempt produced a fit"))),
+    }
+}
+
+/// [`rank_models`](crate::selection::rank_models) under an [`ExecPolicy`]
+/// and an execution [`Control`].
+///
+/// Each family fits in its own supervised job:
+///
+/// * a panic inside the family is caught at the job boundary and becomes
+///   a [`FailureKind::Panicked`] failure row;
+/// * `policy.family_budget` narrows the caller's control to a per-family
+///   deadline, so one runaway family costs at most its budget and
+///   surfaces as [`FailureKind::TimedOut`];
+/// * `policy.retry` re-runs non-converged fits from jittered starts.
+///
+/// Failures never abort the ranking: surviving families are ranked as
+/// usual and the result carries `degraded: true` plus one typed failure
+/// row per lost family (graceful degradation, DESIGN.md §9).
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidArgument`] when *no* family fits.
+/// * [`CoreError::TimedOut`] / [`CoreError::Cancelled`] when the
+///   *caller's* control stopped the run and nothing survived.
+pub fn rank_models_supervised(
+    families: &[&dyn ModelFamily],
+    series: &PerformanceSeries,
+    config: &FitConfig,
+    policy: &ExecPolicy,
+    control: &Control,
+) -> Result<Ranking, CoreError> {
+    // Parallelize across families; the inner multi-start goes serial so
+    // the fan-out happens at exactly one level.
+    let mut inner = config.clone();
+    inner.parallelism = Parallelism::Serial;
+    let outcomes = run_indexed_catch(
+        config.parallelism,
+        families.len(),
+        |i| -> Result<crate::selection::SelectionRow, FamilyFailure> {
+            let family = families[i];
+            // The per-family clock starts here, on the worker, so queueing
+            // behind other families does not consume a family's budget.
+            let family_control = match policy.family_budget {
+                Some(budget) => control.narrowed(budget),
+                None => control.clone(),
+            };
+            let fit_outcome = match &policy.retry {
+                Some(retry) => {
+                    fit_with_retry(family, series, &inner, retry, &family_control).map(|s| s.fit)
+                }
+                None => fit_least_squares_with(family, series, &inner, &family_control),
+            };
+            let fit = fit_outcome.map_err(|e| {
+                let kind = match e {
+                    CoreError::TimedOut { .. } => FailureKind::TimedOut,
+                    CoreError::Cancelled { .. } => FailureKind::Cancelled,
+                    _ => FailureKind::Error,
+                };
+                FamilyFailure {
+                    family_name: family.name(),
+                    reason: format!("fit: {e}"),
+                    kind,
+                }
+            })?;
+            score_family(family, series, &fit)
+        },
+    );
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(Ok(row)) => rows.push(row),
+            Ok(Err(failure)) => failures.push(failure),
+            Err(panic) => failures.push(FamilyFailure {
+                family_name: families[i].name(),
+                reason: format!("fit: {}", panic.message),
+                kind: FailureKind::Panicked,
+            }),
+        }
+    }
+    if rows.is_empty() {
+        // Distinguish "the caller stopped us" from "nothing could fit":
+        // a stopped run with no survivors propagates the stop.
+        return Err(match control.stop_cause() {
+            Some(StopCause::DeadlineExceeded) => CoreError::timed_out("rank_models"),
+            Some(StopCause::Cancelled) => CoreError::cancelled("rank_models"),
+            None => CoreError::arg("rank_models", "no family produced a fit"),
+        });
+    }
+    sort_rows(&mut rows);
+    let degraded = !failures.is_empty();
+    Ok(Ranking {
+        rows,
+        failures,
+        degraded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bathtub::{QuadraticFamily, QuarticFamily};
+
+    fn quadratic_series() -> PerformanceSeries {
+        let mut wiggle = 0.41_f64;
+        let values: Vec<f64> = (0..48)
+            .map(|i| {
+                let t = i as f64;
+                wiggle = (wiggle * 137.0).fract();
+                1.0 - 0.012 * t + 0.0004 * t * t + 0.002 * (wiggle - 0.5)
+            })
+            .collect();
+        PerformanceSeries::monthly("quad", values).unwrap()
+    }
+
+    #[test]
+    fn retry_is_a_no_op_for_converging_fits() {
+        let s = quadratic_series();
+        let sup = fit_with_retry(
+            &QuadraticFamily,
+            &s,
+            &FitConfig::default(),
+            &RetryPolicy::default(),
+            &Control::unbounded(),
+        )
+        .unwrap();
+        assert_eq!(sup.attempts, 1);
+        assert!(sup.fit.converged);
+        // ... and bit-identical to the plain fit.
+        let plain =
+            crate::fit::fit_least_squares(&QuadraticFamily, &s, &FitConfig::default()).unwrap();
+        assert_eq!(sup.fit.params, plain.params);
+        assert_eq!(sup.fit.sse, plain.sse);
+    }
+
+    #[test]
+    fn retry_recovers_from_a_starved_iteration_budget() {
+        // A tiny iteration budget leaves the first attempt non-converged;
+        // the schedule must keep trying (from jittered starts) and return
+        // the best SSE seen, with attempts > 1.
+        let s = quadratic_series();
+        let mut config = FitConfig::default();
+        config.nelder_mead.max_iterations = 3;
+        config.lm_polish = false;
+        let sup = fit_with_retry(
+            &QuadraticFamily,
+            &s,
+            &config,
+            &RetryPolicy::default(),
+            &Control::unbounded(),
+        )
+        .unwrap();
+        assert_eq!(sup.attempts, RetryPolicy::default().max_attempts);
+        assert!(!sup.fit.converged);
+        // Best-by-SSE: never worse than the single-shot fit.
+        let single = crate::fit::fit_least_squares(&QuadraticFamily, &s, &config).unwrap();
+        assert!(sup.fit.sse <= single.sse);
+    }
+
+    #[test]
+    fn retry_schedule_is_deterministic() {
+        let s = quadratic_series();
+        let mut config = FitConfig::default();
+        config.nelder_mead.max_iterations = 3;
+        config.lm_polish = false;
+        let run = || {
+            fit_with_retry(
+                &QuadraticFamily,
+                &s,
+                &config,
+                &RetryPolicy::default(),
+                &Control::unbounded(),
+            )
+            .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.attempts, b.attempts);
+        assert_eq!(a.fit.params, b.fit.params);
+        assert_eq!(a.fit.sse, b.fit.sse);
+    }
+
+    #[test]
+    fn retry_rejects_zero_attempts_and_propagates_stops() {
+        let s = quadratic_series();
+        let zero = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert!(fit_with_retry(
+            &QuadraticFamily,
+            &s,
+            &FitConfig::default(),
+            &zero,
+            &Control::unbounded()
+        )
+        .is_err());
+        // An expired deadline aborts the schedule instead of retrying
+        // through it.
+        let err = fit_with_retry(
+            &QuadraticFamily,
+            &s,
+            &FitConfig::default(),
+            &RetryPolicy::default(),
+            &Control::with_deadline(Duration::ZERO),
+        )
+        .unwrap_err();
+        assert!(err.is_stop(), "{err}");
+    }
+
+    #[test]
+    fn supervised_ranking_with_default_policy_matches_rank_models() {
+        let s = quadratic_series();
+        let families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily, &QuarticFamily];
+        let plain = crate::selection::rank_models(&families, &s, &FitConfig::default()).unwrap();
+        let supervised = rank_models_supervised(
+            &families,
+            &s,
+            &FitConfig::default(),
+            &ExecPolicy::default(),
+            &Control::unbounded(),
+        )
+        .unwrap();
+        assert_eq!(plain.rows.len(), supervised.rows.len());
+        for (a, b) in plain.rows.iter().zip(&supervised.rows) {
+            assert_eq!(a.family_name, b.family_name);
+            assert_eq!(a.sse, b.sse);
+        }
+        assert!(!supervised.degraded);
+    }
+
+    #[test]
+    fn whole_run_stop_with_no_survivors_propagates_the_stop() {
+        let s = quadratic_series();
+        let families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily, &QuarticFamily];
+        let err = rank_models_supervised(
+            &families,
+            &s,
+            &FitConfig::default(),
+            &ExecPolicy::default(),
+            &Control::with_deadline(Duration::ZERO),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CoreError::TimedOut { what } if what == "rank_models"),
+            "{err}"
+        );
+    }
+}

@@ -16,8 +16,6 @@ use crate::model::ModelFamily;
 use crate::validate;
 use crate::CoreError;
 use resilience_data::PerformanceSeries;
-use resilience_optim::parallel::run_indexed;
-use resilience_optim::Parallelism;
 
 /// Information criteria for a least-squares fit under the Gaussian
 /// likelihood: `AIC = n·ln(SSE/n) + 2k`, the small-sample `AICc`, and
@@ -165,6 +163,34 @@ pub struct SelectionRow {
     pub criteria: Option<InformationCriteria>,
 }
 
+/// Machine-readable classification of why a family was excluded from a
+/// ranking. Callers branching on degradation (dashboards, alerting)
+/// should match on this rather than parse [`FamilyFailure::reason`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Fitting or scoring returned a genuine error.
+    Error,
+    /// The family exceeded its time budget (see
+    /// [`crate::runtime::ExecPolicy::family_budget`]).
+    TimedOut,
+    /// The run was cancelled via a
+    /// [`CancelToken`](resilience_optim::CancelToken).
+    Cancelled,
+    /// The family's fit panicked; the panic was isolated to this family.
+    Panicked,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Error => write!(f, "error"),
+            FailureKind::TimedOut => write!(f, "timed out"),
+            FailureKind::Cancelled => write!(f, "cancelled"),
+            FailureKind::Panicked => write!(f, "panicked"),
+        }
+    }
+}
+
 /// A family that could not be ranked, and why.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FamilyFailure {
@@ -172,6 +198,8 @@ pub struct FamilyFailure {
     pub family_name: &'static str,
     /// Human-readable reason the family was excluded from the ranking.
     pub reason: String,
+    /// Machine-readable failure classification.
+    pub kind: FailureKind,
 }
 
 /// The full outcome of [`rank_models`]: ranked rows plus an explicit
@@ -184,6 +212,73 @@ pub struct Ranking {
     pub rows: Vec<SelectionRow>,
     /// Families that failed to fit or score, in input order.
     pub failures: Vec<FamilyFailure>,
+    /// `true` when at least one family failed — the ranking is usable but
+    /// incomplete (graceful degradation; see `DESIGN.md` §9). Always
+    /// equals `!failures.is_empty()`; carried explicitly so report layers
+    /// can surface the flag without re-deriving it.
+    pub degraded: bool,
+}
+
+/// Scores one successfully fitted family into a [`SelectionRow`]: the
+/// non-finite-SSE guard, adjusted R², and information criteria.
+///
+/// Shared by [`rank_models`] and
+/// [`crate::runtime::rank_models_supervised`], which own the fan-out and
+/// failure handling around it.
+pub(crate) fn score_family(
+    family: &dyn ModelFamily,
+    series: &PerformanceSeries,
+    fit: &crate::fit::FittedModel,
+) -> Result<SelectionRow, FamilyFailure> {
+    let fail = |stage: &str, e: CoreError| FamilyFailure {
+        family_name: family.name(),
+        reason: format!("{stage}: {e}"),
+        kind: FailureKind::Error,
+    };
+    // Guard layer (DESIGN.md §8): a family whose winning SSE is
+    // non-finite must land in `failures` with a structured error, never
+    // be ranked with NaN (NaN-keyed sorts are arbitrary and silently
+    // poison the table).
+    if !fit.sse.is_finite() {
+        return Err(fail(
+            "guard",
+            CoreError::guard(
+                "rank_models",
+                Violation::NonFiniteOutput,
+                format!("final SSE is {}", fit.sse),
+            ),
+        ));
+    }
+    let r2 = validate::r2_adjusted(fit.model.as_ref(), series, family.n_params())
+        .map_err(|e| fail("adjusted R²", e))?;
+    if !r2.is_finite() {
+        return Err(fail(
+            "guard",
+            CoreError::guard(
+                "rank_models",
+                Violation::NonFiniteOutput,
+                format!("adjusted R² is {r2}"),
+            ),
+        ));
+    }
+    let criteria = information_criteria(fit.sse, series.len(), family.n_params()).ok();
+    Ok(SelectionRow {
+        family_name: family.name(),
+        n_params: family.n_params(),
+        sse: fit.sse,
+        r2_adj: r2,
+        criteria,
+    })
+}
+
+/// Sorts ranked rows by AICc (ascending; zero-SSE fits, whose criteria
+/// are `None`, sort first).
+pub(crate) fn sort_rows(rows: &mut [SelectionRow]) {
+    rows.sort_by(|a, b| {
+        let ka = a.criteria.map(|c| c.aicc).unwrap_or(f64::NEG_INFINITY);
+        let kb = b.criteria.map(|c| c.aicc).unwrap_or(f64::NEG_INFINITY);
+        ka.total_cmp(&kb)
+    });
 }
 
 /// Fits each family to the full series and ranks them by AICc (ascending;
@@ -192,8 +287,12 @@ pub struct Ranking {
 /// Families fit in parallel according to `config.parallelism` (the
 /// per-family multi-start runs serially so the two levels do not
 /// oversubscribe); results are identical for every thread count. Families
-/// that fail are reported in [`Ranking::failures`] with the underlying
-/// error, not silently omitted.
+/// that fail — including by panicking, which is isolated per family —
+/// are reported in [`Ranking::failures`] with the underlying error, not
+/// silently omitted.
+///
+/// This is [`crate::runtime::rank_models_supervised`] with no time
+/// budget, no retry policy, and an unbounded control.
 ///
 /// # Errors
 ///
@@ -203,73 +302,13 @@ pub fn rank_models(
     series: &PerformanceSeries,
     config: &FitConfig,
 ) -> Result<Ranking, CoreError> {
-    // Parallelize across families; the inner multi-start goes serial so
-    // the fan-out happens at exactly one level.
-    let mut inner = config.clone();
-    inner.parallelism = Parallelism::Serial;
-    let outcomes = run_indexed(
-        config.parallelism,
-        families.len(),
-        |i| -> Result<SelectionRow, FamilyFailure> {
-            let family = families[i];
-            let fail = |stage: &str, e: CoreError| FamilyFailure {
-                family_name: family.name(),
-                reason: format!("{stage}: {e}"),
-            };
-            let fit = fit_least_squares(family, series, &inner).map_err(|e| fail("fit", e))?;
-            // Guard layer (DESIGN.md §8): a family whose winning SSE is
-            // non-finite must land in `failures` with a structured
-            // error, never be ranked with NaN (NaN-keyed sorts are
-            // arbitrary and silently poison the table).
-            if !fit.sse.is_finite() {
-                return Err(fail(
-                    "guard",
-                    CoreError::guard(
-                        "rank_models",
-                        Violation::NonFiniteOutput,
-                        format!("final SSE is {}", fit.sse),
-                    ),
-                ));
-            }
-            let r2 = validate::r2_adjusted(fit.model.as_ref(), series, family.n_params())
-                .map_err(|e| fail("adjusted R²", e))?;
-            if !r2.is_finite() {
-                return Err(fail(
-                    "guard",
-                    CoreError::guard(
-                        "rank_models",
-                        Violation::NonFiniteOutput,
-                        format!("adjusted R² is {r2}"),
-                    ),
-                ));
-            }
-            let criteria = information_criteria(fit.sse, series.len(), family.n_params()).ok();
-            Ok(SelectionRow {
-                family_name: family.name(),
-                n_params: family.n_params(),
-                sse: fit.sse,
-                r2_adj: r2,
-                criteria,
-            })
-        },
-    );
-    let mut rows = Vec::new();
-    let mut failures = Vec::new();
-    for outcome in outcomes {
-        match outcome {
-            Ok(row) => rows.push(row),
-            Err(failure) => failures.push(failure),
-        }
-    }
-    if rows.is_empty() {
-        return Err(CoreError::arg("rank_models", "no family produced a fit"));
-    }
-    rows.sort_by(|a, b| {
-        let ka = a.criteria.map(|c| c.aicc).unwrap_or(f64::NEG_INFINITY);
-        let kb = b.criteria.map(|c| c.aicc).unwrap_or(f64::NEG_INFINITY);
-        ka.total_cmp(&kb)
-    });
-    Ok(Ranking { rows, failures })
+    crate::runtime::rank_models_supervised(
+        families,
+        series,
+        config,
+        &crate::runtime::ExecPolicy::default(),
+        &resilience_optim::Control::unbounded(),
+    )
 }
 
 #[cfg(test)]
@@ -321,6 +360,7 @@ mod tests {
         let ranking = rank_models(&families, &series, &FitConfig::default()).unwrap();
         assert_eq!(ranking.rows.len(), 2);
         assert!(ranking.failures.is_empty());
+        assert!(!ranking.degraded);
         assert_eq!(
             ranking.rows[0].family_name, "Quadratic",
             "parsimony should win on quadratic truth: {:?}",
@@ -362,6 +402,8 @@ mod tests {
         assert_eq!(ranking.rows.len(), 1);
         assert_eq!(ranking.failures.len(), 1);
         assert_eq!(ranking.failures[0].family_name, "Hopeless");
+        assert_eq!(ranking.failures[0].kind, FailureKind::Error);
+        assert!(ranking.degraded);
         assert!(
             ranking.failures[0].reason.starts_with("fit: "),
             "reason should name the failing stage: {}",

@@ -5,6 +5,7 @@
 //! `resilience-bench` comparing global optimizers on the mixture SSE
 //! surface; differential evolution is usually the better default.
 
+use crate::control::Control;
 use crate::report::{OptimReport, TerminationReason};
 use crate::OptimError;
 use resilience_stats::rng::RandomSource;
@@ -67,6 +68,28 @@ where
     F: Fn(&[f64]) -> f64,
     R: RandomSource + ?Sized,
 {
+    simulated_annealing_with_control(f, x0, config, rng, &Control::unbounded())
+}
+
+/// [`simulated_annealing`] under an execution [`Control`].
+///
+/// Each proposal step is a cooperative cancellation point.
+///
+/// # Errors
+///
+/// Everything [`simulated_annealing`] returns, plus
+/// [`OptimError::TimedOut`] / [`OptimError::Cancelled`] on a stop.
+pub fn simulated_annealing_with_control<F, R>(
+    f: &F,
+    x0: &[f64],
+    config: &SaConfig,
+    rng: &mut R,
+    control: &Control,
+) -> Result<OptimReport, OptimError>
+where
+    F: Fn(&[f64]) -> f64,
+    R: RandomSource + ?Sized,
+{
     if x0.is_empty() {
         return Err(OptimError::config(
             "simulated_annealing",
@@ -109,6 +132,9 @@ where
 
     let mut proposal = vec![0.0; current.len()];
     for _ in 0..config.steps {
+        if let Some(cause) = control.stop_cause() {
+            return Err(cause.into_error(evaluations));
+        }
         for (j, p) in proposal.iter_mut().enumerate() {
             *p = current[j] + config.step_scale * (1.0 + current[j].abs()) * rng.next_gaussian();
         }
@@ -220,6 +246,23 @@ mod tests {
         let r = simulated_annealing(&f, &[0.5], &SaConfig::default(), &mut rng()).unwrap();
         assert!(r.params[0] >= 0.0);
         assert!((r.params[0] - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        use crate::control::Control;
+        use std::time::Duration;
+        let f = |p: &[f64]| (p[0] - 2.0).powi(2);
+        assert!(matches!(
+            simulated_annealing_with_control(
+                &f,
+                &[0.0],
+                &SaConfig::default(),
+                &mut rng(),
+                &Control::with_deadline(Duration::ZERO)
+            ),
+            Err(OptimError::TimedOut { .. })
+        ));
     }
 
     #[test]

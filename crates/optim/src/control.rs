@@ -1,0 +1,274 @@
+//! Cooperative cancellation and deadlines for the iteration loops.
+//!
+//! Every solver in this crate exposes a `*_with_control` entry point that
+//! threads an [`Control`] through its iteration loop. The loop polls
+//! [`Control::stop_cause`] at well-defined cancellation points — once per
+//! simplex iteration, LM outer/inner step, DE generation, annealing step,
+//! and multi-start start — and returns a typed
+//! [`OptimError::TimedOut`]/[`OptimError::Cancelled`] instead of running
+//! to its full budget. The check is allocation-free (one atomic load plus
+//! one `Instant::now()` read), so the zero-allocation hot path of the
+//! fitting pipeline is preserved.
+//!
+//! Cancellation is **cooperative**: a single objective evaluation that
+//! never returns cannot be interrupted. The guarantee is that the solver
+//! stops within one iteration (a bounded number of objective evaluations)
+//! of the deadline or cancel signal.
+
+use crate::OptimError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared flag for cooperative cancellation.
+///
+/// Cloning the token shares the flag: cancelling any clone cancels them
+/// all. Typical use: the caller keeps one clone and hands another to a
+/// long-running fit via [`Control::with_token`].
+///
+/// # Examples
+///
+/// ```
+/// use resilience_optim::control::CancelToken;
+/// let token = CancelToken::new();
+/// let shared = token.clone();
+/// assert!(!shared.is_cancelled());
+/// token.cancel();
+/// assert!(shared.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Signals cancellation to every clone of this token.
+    ///
+    /// Idempotent; there is no way to un-cancel.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Why a supervised run was stopped before completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// A [`CancelToken`] fired.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+impl StopCause {
+    /// The matching typed error, carrying the evaluations consumed so far.
+    #[must_use]
+    pub fn into_error(self, evaluations: usize) -> OptimError {
+        match self {
+            StopCause::Cancelled => OptimError::Cancelled { evaluations },
+            StopCause::DeadlineExceeded => OptimError::TimedOut { evaluations },
+        }
+    }
+}
+
+impl std::fmt::Display for StopCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopCause::Cancelled => write!(f, "cancelled"),
+            StopCause::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+/// Execution control for one solver call: an optional cancel token plus
+/// an optional wall-clock deadline.
+///
+/// The default ([`Control::unbounded`]) never stops anything, so legacy
+/// entry points delegate to the `*_with_control` variants at zero cost.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_optim::control::{CancelToken, Control};
+/// use std::time::Duration;
+///
+/// let token = CancelToken::new();
+/// let control = Control::with_deadline(Duration::from_millis(50)).token(&token);
+/// assert!(control.stop_cause().is_none());
+/// token.cancel();
+/// assert!(control.stop_cause().is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Control {
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+}
+
+impl Control {
+    /// A control that never stops the run.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Control::default()
+    }
+
+    /// A control whose deadline is `budget` from now.
+    ///
+    /// A budget so large that the deadline overflows `Instant` is treated
+    /// as unbounded.
+    #[must_use]
+    pub fn with_deadline(budget: Duration) -> Self {
+        Control::unbounded().deadline_in(budget)
+    }
+
+    /// A control driven by `token`.
+    #[must_use]
+    pub fn with_token(token: &CancelToken) -> Self {
+        Control::unbounded().token(token)
+    }
+
+    /// Sets the deadline to `budget` from now (builder style).
+    #[must_use]
+    pub fn deadline_in(mut self, budget: Duration) -> Self {
+        self.deadline = Instant::now().checked_add(budget);
+        self
+    }
+
+    /// Attaches a cancel token (builder style).
+    #[must_use]
+    pub fn token(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
+        self
+    }
+
+    /// A copy of this control whose deadline is the *earlier* of the
+    /// existing one and `budget` from now. The cancel token (if any) is
+    /// shared. This is how a supervisor gives each sub-task its own time
+    /// budget without ever extending the caller's overall deadline.
+    #[must_use]
+    pub fn narrowed(&self, budget: Duration) -> Control {
+        let new = Instant::now().checked_add(budget);
+        Control {
+            cancel: self.cancel.clone(),
+            deadline: match (self.deadline, new) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+        }
+    }
+
+    /// Whether this control can never stop a run.
+    #[must_use]
+    pub fn is_unbounded(&self) -> bool {
+        self.cancel.is_none() && self.deadline.is_none()
+    }
+
+    /// Polls the stop condition: cancellation first, then the deadline.
+    ///
+    /// Allocation-free: one atomic load and one monotonic clock read.
+    #[must_use]
+    pub fn stop_cause(&self) -> Option<StopCause> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(StopCause::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopCause::DeadlineExceeded);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_stops() {
+        let c = Control::unbounded();
+        assert!(c.is_unbounded());
+        assert!(c.stop_cause().is_none());
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let control = Control::with_token(&token);
+        assert!(!control.is_unbounded());
+        assert!(control.stop_cause().is_none());
+        token.cancel();
+        assert_eq!(control.stop_cause(), Some(StopCause::Cancelled));
+        // Idempotent.
+        token.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_stops() {
+        let control = Control::with_deadline(Duration::ZERO);
+        assert_eq!(control.stop_cause(), Some(StopCause::DeadlineExceeded));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_stop() {
+        let control = Control::with_deadline(Duration::from_secs(3600));
+        assert!(control.stop_cause().is_none());
+    }
+
+    #[test]
+    fn cancellation_takes_precedence_over_deadline() {
+        let token = CancelToken::new();
+        token.cancel();
+        let control = Control::with_deadline(Duration::ZERO).token(&token);
+        assert_eq!(control.stop_cause(), Some(StopCause::Cancelled));
+    }
+
+    #[test]
+    fn huge_budget_saturates_to_unbounded_deadline() {
+        let control = Control::with_deadline(Duration::MAX);
+        // The deadline overflowed and was dropped; only the (absent)
+        // token can stop this run.
+        assert!(control.stop_cause().is_none());
+    }
+
+    #[test]
+    fn narrowed_takes_the_earlier_deadline_and_keeps_the_token() {
+        // Narrowing an unbounded control installs the budget.
+        let c = Control::unbounded().narrowed(Duration::ZERO);
+        assert_eq!(c.stop_cause(), Some(StopCause::DeadlineExceeded));
+        // Narrowing cannot extend an already-expired deadline.
+        let c = Control::with_deadline(Duration::ZERO).narrowed(Duration::from_secs(3600));
+        assert_eq!(c.stop_cause(), Some(StopCause::DeadlineExceeded));
+        // The token is shared, not copied by value.
+        let token = CancelToken::new();
+        let c = Control::with_token(&token).narrowed(Duration::from_secs(3600));
+        assert!(c.stop_cause().is_none());
+        token.cancel();
+        assert_eq!(c.stop_cause(), Some(StopCause::Cancelled));
+    }
+
+    #[test]
+    fn stop_cause_maps_to_typed_errors() {
+        assert!(matches!(
+            StopCause::DeadlineExceeded.into_error(7),
+            OptimError::TimedOut { evaluations: 7 }
+        ));
+        assert!(matches!(
+            StopCause::Cancelled.into_error(3),
+            OptimError::Cancelled { evaluations: 3 }
+        ));
+    }
+}

@@ -4,9 +4,11 @@
 //! starts, and in the ablation benches comparing global vs multi-start
 //! local optimization on the resilience SSE surfaces.
 
+use crate::control::Control;
 use crate::report::{OptimReport, TerminationReason};
 use crate::OptimError;
 use resilience_stats::rng::RandomSource;
+use std::cell::Cell;
 
 /// Configuration for [`differential_evolution`].
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +78,29 @@ where
     F: Fn(&[f64]) -> f64,
     R: RandomSource + ?Sized,
 {
+    differential_evolution_with_control(f, bounds, config, rng, &Control::unbounded())
+}
+
+/// [`differential_evolution`] under an execution [`Control`].
+///
+/// Each generation (and each member of the initial population) is a
+/// cooperative cancellation point.
+///
+/// # Errors
+///
+/// Everything [`differential_evolution`] returns, plus
+/// [`OptimError::TimedOut`] / [`OptimError::Cancelled`] on a stop.
+pub fn differential_evolution_with_control<F, R>(
+    f: &F,
+    bounds: &[(f64, f64)],
+    config: &DeConfig,
+    rng: &mut R,
+    control: &Control,
+) -> Result<OptimReport, OptimError>
+where
+    F: Fn(&[f64]) -> f64,
+    R: RandomSource + ?Sized,
+{
     if bounds.is_empty() {
         return Err(OptimError::config(
             "differential_evolution",
@@ -121,9 +146,11 @@ where
     };
 
     let clamp = |x: f64, i: usize| x.clamp(bounds[i].0, bounds[i].1);
-    let mut evaluations = 0usize;
-    let mut eval = |x: &[f64]| -> f64 {
-        evaluations += 1;
+    // Behind a Cell (not `mut`) so the cancellation points below can read
+    // the count while `eval` is live.
+    let evaluations = Cell::new(0usize);
+    let eval = |x: &[f64]| -> f64 {
+        evaluations.set(evaluations.get() + 1);
         let v = f(x);
         if v.is_finite() {
             v
@@ -141,7 +168,13 @@ where
                 .collect()
         })
         .collect();
-    let mut fitness: Vec<f64> = population.iter().map(|p| eval(p)).collect();
+    let mut fitness = Vec::with_capacity(pop_size);
+    for p in &population {
+        if let Some(cause) = control.stop_cause() {
+            return Err(cause.into_error(evaluations.get()));
+        }
+        fitness.push(eval(p));
+    }
     if fitness.iter().all(|v| v.is_infinite()) {
         return Err(OptimError::AllStartsFailed { attempts: pop_size });
     }
@@ -150,6 +183,9 @@ where
     let mut termination = TerminationReason::MaxIterations;
     let mut trial = vec![0.0; dims];
     for _gen in 0..config.max_generations {
+        if let Some(cause) = control.stop_cause() {
+            return Err(cause.into_error(evaluations.get()));
+        }
         generations += 1;
         for i in 0..pop_size {
             // Pick three distinct indices != i.
@@ -211,7 +247,7 @@ where
         params: population[best_idx].clone(),
         value: best_val,
         iterations: generations,
-        evaluations,
+        evaluations: evaluations.get(),
         termination,
     })
 }
@@ -294,6 +330,23 @@ mod tests {
         assert!(matches!(
             differential_evolution(&f, &[(0.0, 1.0)], &DeConfig::default(), &mut rng()),
             Err(OptimError::AllStartsFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        use crate::control::Control;
+        use std::time::Duration;
+        let f = |p: &[f64]| (p[0] - 0.3).powi(2);
+        assert!(matches!(
+            differential_evolution_with_control(
+                &f,
+                &[(0.0, 1.0)],
+                &DeConfig::default(),
+                &mut rng(),
+                &Control::with_deadline(Duration::ZERO)
+            ),
+            Err(OptimError::TimedOut { .. })
         ));
     }
 

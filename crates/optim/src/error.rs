@@ -37,6 +37,18 @@ pub enum OptimError {
         /// Number of starts attempted.
         attempts: usize,
     },
+    /// A wall-clock deadline passed at a cooperative cancellation point
+    /// (see [`crate::control`]) before the run finished.
+    TimedOut {
+        /// Objective evaluations consumed before the stop.
+        evaluations: usize,
+    },
+    /// A [`crate::control::CancelToken`] fired at a cooperative
+    /// cancellation point before the run finished.
+    Cancelled {
+        /// Objective evaluations consumed before the stop.
+        evaluations: usize,
+    },
     /// An underlying numerical routine failed (e.g. singular normal
     /// equations in Levenberg–Marquardt).
     Numerical(MathError),
@@ -61,6 +73,13 @@ impl fmt::Display for OptimError {
             ),
             OptimError::AllStartsFailed { attempts } => {
                 write!(f, "all {attempts} multi-start attempts failed")
+            }
+            OptimError::TimedOut { evaluations } => write!(
+                f,
+                "deadline exceeded after {evaluations} objective evaluations"
+            ),
+            OptimError::Cancelled { evaluations } => {
+                write!(f, "cancelled after {evaluations} objective evaluations")
             }
             OptimError::Numerical(e) => write!(f, "numerical error: {e}"),
         }
@@ -90,6 +109,16 @@ impl OptimError {
             detail: detail.into(),
         }
     }
+
+    /// Whether this error came from a cooperative stop (deadline or
+    /// cancellation) rather than a genuine optimization failure.
+    #[must_use]
+    pub fn is_stop(&self) -> bool {
+        matches!(
+            self,
+            OptimError::TimedOut { .. } | OptimError::Cancelled { .. }
+        )
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +136,20 @@ mod tests {
         assert!(OptimError::AllStartsFailed { attempts: 5 }
             .to_string()
             .contains('5'));
+        assert!(OptimError::TimedOut { evaluations: 12 }
+            .to_string()
+            .contains("deadline"));
+        assert!(OptimError::Cancelled { evaluations: 12 }
+            .to_string()
+            .contains("cancelled"));
+    }
+
+    #[test]
+    fn stop_errors_are_classified() {
+        assert!(OptimError::TimedOut { evaluations: 1 }.is_stop());
+        assert!(OptimError::Cancelled { evaluations: 1 }.is_stop());
+        assert!(!OptimError::AllStartsFailed { attempts: 1 }.is_stop());
+        assert!(!OptimError::config("x", "y").is_stop());
     }
 
     #[test]

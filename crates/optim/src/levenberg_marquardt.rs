@@ -6,6 +6,7 @@
 //! adaptation, and a forward-difference Jacobian from
 //! [`crate::problem::forward_jacobian`].
 
+use crate::control::Control;
 use crate::problem::{forward_jacobian, LeastSquares};
 use crate::report::{OptimReport, TerminationReason};
 use crate::OptimError;
@@ -119,6 +120,24 @@ impl LevenbergMarquardt {
         problem: &P,
         x0: &[f64],
     ) -> Result<OptimReport, OptimError> {
+        self.minimize_with_control(problem, x0, &Control::unbounded())
+    }
+
+    /// [`LevenbergMarquardt::minimize`] under an execution [`Control`].
+    ///
+    /// Each outer iteration and each damped inner step is a cooperative
+    /// cancellation point.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`LevenbergMarquardt::minimize`] returns, plus
+    /// [`OptimError::TimedOut`] / [`OptimError::Cancelled`] on a stop.
+    pub fn minimize_with_control<P: LeastSquares + ?Sized>(
+        &self,
+        problem: &P,
+        x0: &[f64],
+        control: &Control,
+    ) -> Result<OptimReport, OptimError> {
         self.config.validate()?;
         if x0.len() != problem.n_params() {
             return Err(OptimError::config(
@@ -151,6 +170,9 @@ impl LevenbergMarquardt {
         let mut termination = TerminationReason::MaxIterations;
 
         while iterations < self.config.max_iterations {
+            if let Some(cause) = control.stop_cause() {
+                return Err(cause.into_error(evaluations));
+            }
             iterations += 1;
             let jac = forward_jacobian(problem, &x)?;
             evaluations += n;
@@ -164,6 +186,9 @@ impl LevenbergMarquardt {
             // Inner loop: increase λ until a step decreases the SSE.
             let mut stepped = false;
             while lambda <= self.config.max_lambda {
+                if let Some(cause) = control.stop_cause() {
+                    return Err(cause.into_error(evaluations));
+                }
                 // (JᵀJ + λ diag(JᵀJ)) δ = Jᵀr
                 let mut damped = jtj.clone();
                 for i in 0..n {
@@ -342,6 +367,36 @@ mod tests {
             .unwrap();
         assert_eq!(r.termination, TerminationReason::Stalled);
         assert!((r.value - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        use crate::control::Control;
+        use std::time::Duration;
+        let p = exp_decay_problem(2.0, 0.3, 30);
+        let control = Control::with_deadline(Duration::ZERO);
+        assert!(matches!(
+            LevenbergMarquardt::new(LmConfig::default()).minimize_with_control(
+                &p,
+                &[1.0, 0.1],
+                &control
+            ),
+            Err(OptimError::TimedOut { .. })
+        ));
+    }
+
+    #[test]
+    fn unbounded_control_matches_plain_minimize() {
+        use crate::control::Control;
+        let p = exp_decay_problem(2.0, 0.3, 30);
+        let lm = LevenbergMarquardt::new(LmConfig::default());
+        let a = lm.minimize(&p, &[1.0, 0.1]).unwrap();
+        let b = lm
+            .minimize_with_control(&p, &[1.0, 0.1], &Control::unbounded())
+            .unwrap();
+        assert_eq!(a.params, b.params);
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.evaluations, b.evaluations);
     }
 
     #[test]

@@ -20,7 +20,13 @@
 //!   nonconvex fits reproducible without hand-tuned initial guesses.
 //! * [`parallel`] — a `std`-only scoped thread pool ([`Parallelism`],
 //!   [`parallel::run_indexed`]) whose index-ordered results make parallel
-//!   runs bit-identical to serial ones.
+//!   runs bit-identical to serial ones, plus a panic-isolating variant
+//!   ([`parallel::run_indexed_catch`]) for supervised fan-out.
+//! * [`control`] — cooperative execution control ([`Control`],
+//!   [`CancelToken`]): per-call deadlines and cancellation tokens that
+//!   every iterative solver polls between iterations, turning runaway
+//!   fits into typed [`OptimError::TimedOut`] / [`OptimError::Cancelled`]
+//!   errors instead of hangs.
 //! * [`differential_evolution`] / [`annealing`] — global optimizers used
 //!   as slow-but-sure fallbacks and in ablation benches.
 //!
@@ -61,6 +67,7 @@
 
 pub mod annealing;
 pub mod bounds;
+pub mod control;
 pub mod differential_evolution;
 pub mod error;
 pub mod levenberg_marquardt;
@@ -72,6 +79,7 @@ pub mod report;
 pub mod scalar;
 
 pub use bounds::{ParamSpace, Transform};
+pub use control::{CancelToken, Control, StopCause};
 pub use error::OptimError;
-pub use parallel::Parallelism;
+pub use parallel::{JobPanic, Parallelism};
 pub use report::{OptimReport, TerminationReason};

@@ -6,6 +6,7 @@
 //! make fitting deterministic and robust by running the local optimizer
 //! from a small grid or set of starts and keeping the best result.
 
+use crate::control::Control;
 use crate::nelder_mead::{NelderMead, NelderMeadConfig};
 use crate::parallel::{run_indexed, Parallelism};
 use crate::report::OptimReport;
@@ -204,6 +205,41 @@ where
     F: Fn(&[f64]) -> f64,
     G: Fn() -> F + Sync,
 {
+    multi_start_nelder_mead_with_control(
+        make_objective,
+        starts,
+        config,
+        parallelism,
+        &Control::unbounded(),
+    )
+}
+
+/// [`multi_start_nelder_mead_with`] under an execution [`Control`].
+///
+/// The control is shared by every start: once the deadline passes or the
+/// token fires, in-flight starts stop at their next iteration and pending
+/// starts return immediately. A stopped run is reported as a typed error
+/// — never as a silently partial "best of the starts that finished" — so
+/// a timed-out fit is always distinguishable from a converged one.
+///
+/// # Errors
+///
+/// * [`OptimError::InvalidConfig`] when `starts` is empty.
+/// * [`OptimError::TimedOut`] / [`OptimError::Cancelled`] when the
+///   control stopped the run.
+/// * [`OptimError::AllStartsFailed`] when no start produced a finite
+///   optimum.
+pub fn multi_start_nelder_mead_with_control<F, G>(
+    make_objective: &G,
+    starts: &[Vec<f64>],
+    config: &NelderMeadConfig,
+    parallelism: Parallelism,
+    control: &Control,
+) -> Result<OptimReport, OptimError>
+where
+    F: Fn(&[f64]) -> f64,
+    G: Fn() -> F + Sync,
+{
     if starts.is_empty() {
         return Err(OptimError::config(
             "multi_start_nelder_mead",
@@ -213,7 +249,7 @@ where
     let optimizer = NelderMead::new(config.clone());
     let results = run_indexed(parallelism, starts.len(), |i| {
         let f = make_objective();
-        optimizer.minimize(&f, &starts[i])
+        optimizer.minimize_with_control(&f, &starts[i], control)
     });
     let mut best: Option<OptimReport> = None;
     let mut failures = 0usize;
@@ -228,6 +264,9 @@ where
                     best = Some(report);
                 }
             }
+            // A stop is a property of the whole multi-start run, not of
+            // one unlucky start: propagate it.
+            Err(e) if e.is_stop() => return Err(e),
             Err(_) => failures += 1,
         }
     }
@@ -379,6 +418,27 @@ mod tests {
             ),
             Err(OptimError::AllStartsFailed { attempts: 3 })
         ));
+    }
+
+    #[test]
+    fn stopped_multi_start_reports_timeout_not_all_starts_failed() {
+        use crate::control::Control;
+        use std::time::Duration;
+        let make = || |p: &[f64]| (p[0] - 1.0).powi(2);
+        let starts = vec![vec![0.0], vec![5.0], vec![-3.0]];
+        let control = Control::with_deadline(Duration::ZERO);
+        for p in [Parallelism::Serial, Parallelism::Fixed(2)] {
+            assert!(matches!(
+                multi_start_nelder_mead_with_control(
+                    &make,
+                    &starts,
+                    &NelderMeadConfig::default(),
+                    p,
+                    &control
+                ),
+                Err(OptimError::TimedOut { .. })
+            ));
+        }
     }
 
     #[test]

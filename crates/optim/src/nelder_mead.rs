@@ -6,8 +6,10 @@
 //! are treated as `+∞`, so the simplex simply contracts away from invalid
 //! regions.
 
+use crate::control::Control;
 use crate::report::{OptimReport, TerminationReason};
 use crate::OptimError;
+use std::cell::Cell;
 
 /// Configuration for [`NelderMead`].
 #[derive(Debug, Clone, PartialEq)]
@@ -123,14 +125,36 @@ impl NelderMead {
         f: &F,
         x0: &[f64],
     ) -> Result<OptimReport, OptimError> {
+        self.minimize_with_control(f, x0, &Control::unbounded())
+    }
+
+    /// [`NelderMead::minimize`] under an execution [`Control`].
+    ///
+    /// The iteration loop (and each vertex of the initial simplex) is a
+    /// cooperative cancellation point: when the control's deadline passes
+    /// or its token fires, the run stops within one iteration and returns
+    /// a typed error instead of its best-so-far point.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`NelderMead::minimize`] returns, plus
+    /// [`OptimError::TimedOut`] / [`OptimError::Cancelled`] on a stop.
+    pub fn minimize_with_control<F: Fn(&[f64]) -> f64>(
+        &self,
+        f: &F,
+        x0: &[f64],
+        control: &Control,
+    ) -> Result<OptimReport, OptimError> {
         self.config.validate()?;
         if x0.is_empty() {
             return Err(OptimError::config("NelderMead", "empty starting point"));
         }
         let n = x0.len();
-        let mut evaluations = 0usize;
-        let mut eval = |x: &[f64]| -> f64 {
-            evaluations += 1;
+        // Behind a Cell (not `mut`) so the cancellation points below can
+        // read the count while `eval` is live.
+        let evaluations = Cell::new(0usize);
+        let eval = |x: &[f64]| -> f64 {
+            evaluations.set(evaluations.get() + 1);
             let v = f(x);
             if v.is_finite() {
                 v
@@ -146,6 +170,9 @@ impl NelderMead {
         let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
         simplex.push((x0.to_vec(), f0));
         for i in 0..n {
+            if let Some(cause) = control.stop_cause() {
+                return Err(cause.into_error(evaluations.get()));
+            }
             let mut v = x0.to_vec();
             let step = self.config.initial_step * (1.0 + x0[i].abs());
             v[i] += step;
@@ -160,11 +187,15 @@ impl NelderMead {
         let cfg = &self.config;
         let mut iterations = 0usize;
         // Work buffers reused across iterations — the simplex update loop
-        // below performs no heap allocation.
+        // below performs no heap allocation (the stop poll is one atomic
+        // load plus one clock read).
         let mut centroid = vec![0.0; n];
         let mut reflected = vec![0.0; n];
         let mut extra = vec![0.0; n];
         let termination = loop {
+            if let Some(cause) = control.stop_cause() {
+                return Err(cause.into_error(evaluations.get()));
+            }
             if iterations >= cfg.max_iterations {
                 break TerminationReason::MaxIterations;
             }
@@ -255,7 +286,7 @@ impl NelderMead {
             params,
             value,
             iterations,
-            evaluations,
+            evaluations: evaluations.get(),
             termination,
         })
     }
@@ -376,6 +407,60 @@ mod tests {
             .unwrap();
         assert!(r.converged());
         assert_eq!(r.value, 5.0);
+    }
+
+    #[test]
+    fn expired_deadline_times_out_instead_of_iterating() {
+        use crate::control::Control;
+        use std::time::Duration;
+        // A slow objective (~50 µs/eval) with a huge budget: an already
+        // expired deadline must cut the run off almost immediately.
+        let f = |p: &[f64]| {
+            let mut acc = p[0];
+            for k in 0..2_000 {
+                acc = (acc + f64::from(k)).sin();
+            }
+            (p[0] - 1.0).powi(2) + acc.abs() * 1e-12
+        };
+        let nm = NelderMead::new(NelderMeadConfig {
+            max_iterations: 10_000_000,
+            ..NelderMeadConfig::default()
+        });
+        let control = Control::with_deadline(Duration::ZERO);
+        assert!(matches!(
+            nm.minimize_with_control(&f, &[100.0], &control),
+            Err(OptimError::TimedOut { .. })
+        ));
+    }
+
+    #[test]
+    fn cancel_token_stops_the_run() {
+        use crate::control::{CancelToken, Control};
+        let token = CancelToken::new();
+        token.cancel();
+        let control = Control::with_token(&token);
+        assert!(matches!(
+            NelderMead::new(NelderMeadConfig::default()).minimize_with_control(
+                &sphere,
+                &[3.0, -4.0],
+                &control
+            ),
+            Err(OptimError::Cancelled { .. })
+        ));
+    }
+
+    #[test]
+    fn unbounded_control_is_bit_identical_to_plain_minimize() {
+        use crate::control::Control;
+        let plain = NelderMead::new(NelderMeadConfig::default())
+            .minimize(&sphere, &[3.0, -4.0, 5.0])
+            .unwrap();
+        let controlled = NelderMead::new(NelderMeadConfig::default())
+            .minimize_with_control(&sphere, &[3.0, -4.0, 5.0], &Control::unbounded())
+            .unwrap();
+        assert_eq!(plain.params, controlled.params);
+        assert_eq!(plain.value, controlled.value);
+        assert_eq!(plain.evaluations, controlled.evaluations);
     }
 
     #[test]

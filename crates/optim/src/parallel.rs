@@ -11,7 +11,9 @@
 //! The pool is `std`-only (`std::thread::scope`), keeping the workspace
 //! hermetic: no rayon, no crates.io.
 
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -27,13 +29,37 @@ pub enum Parallelism {
     /// to 1 when it is unavailable).
     #[default]
     Auto,
-    /// Use exactly `n` worker threads (`Fixed(0)` is treated as `Fixed(1)`).
+    /// Use exactly `n` worker threads. `Fixed(0)` is a degenerate request
+    /// ("zero workers") and normalizes to [`Parallelism::Serial`]; see
+    /// [`Parallelism::normalized`].
     Fixed(usize),
     /// Run on the calling thread without spawning.
     Serial,
 }
 
 impl Parallelism {
+    /// Canonicalizes degenerate values: `Fixed(0)` — a request for zero
+    /// worker threads — becomes `Serial` (run on the calling thread);
+    /// everything else is returned unchanged. Every consumer in the
+    /// workspace goes through this, so `Fixed(0)` can never reach a
+    /// thread-count computation as a raw zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use resilience_optim::Parallelism;
+    /// assert_eq!(Parallelism::Fixed(0).normalized(), Parallelism::Serial);
+    /// assert_eq!(Parallelism::Fixed(3).normalized(), Parallelism::Fixed(3));
+    /// assert_eq!(Parallelism::Auto.normalized(), Parallelism::Auto);
+    /// ```
+    #[must_use]
+    pub fn normalized(self) -> Parallelism {
+        match self {
+            Parallelism::Fixed(0) => Parallelism::Serial,
+            other => other,
+        }
+    }
+
     /// Number of worker threads to use for `jobs` independent jobs.
     ///
     /// Never exceeds `jobs` and never returns 0.
@@ -49,9 +75,9 @@ impl Parallelism {
     /// ```
     #[must_use]
     pub fn threads_for(&self, jobs: usize) -> usize {
-        let cap = match self {
+        let cap = match self.normalized() {
             Parallelism::Serial => 1,
-            Parallelism::Fixed(n) => (*n).max(1),
+            Parallelism::Fixed(n) => n,
             Parallelism::Auto => std::thread::available_parallelism()
                 .map(NonZeroUsize::get)
                 .unwrap_or(1),
@@ -68,7 +94,8 @@ impl Parallelism {
 /// depend on the thread count or scheduling. With one thread (or one
 /// job) everything runs on the calling thread.
 ///
-/// Panics in `job` propagate to the caller once the scope joins.
+/// Panics in `job` propagate to the caller once the scope joins. Use
+/// [`run_indexed_catch`] to isolate panics per job instead.
 pub fn run_indexed<T, F>(parallelism: Parallelism, jobs: usize, job: F) -> Vec<T>
 where
     T: Send,
@@ -103,6 +130,62 @@ where
                 .expect("worker pool ran every job")
         })
         .collect()
+}
+
+/// A job that panicked inside [`run_indexed_catch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the job that panicked.
+    pub index: usize,
+    /// The panic payload, if it was a string (the common case for
+    /// `panic!`/`assert!`); otherwise a fixed placeholder.
+    pub message: String,
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Like [`run_indexed`], but a panic in one job is confined to that job.
+///
+/// Each job runs under [`std::panic::catch_unwind`]; a panicking job
+/// yields `Err(JobPanic)` in its slot while every other job still runs
+/// and returns its result. Output stays in index order, so the
+/// serial/parallel bit-identity guarantee of [`run_indexed`] carries
+/// over — including which jobs fail.
+///
+/// The closure is wrapped in [`AssertUnwindSafe`]: jobs here are pure
+/// functions of their index over shared *read-only* state, so there is no
+/// partially-mutated state to observe after a panic.
+pub fn run_indexed_catch<T, F>(
+    parallelism: Parallelism,
+    jobs: usize,
+    job: F,
+) -> Vec<Result<T, JobPanic>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed(parallelism, jobs, |i| {
+        catch_unwind(AssertUnwindSafe(|| job(i))).map_err(|payload| JobPanic {
+            index: i,
+            message: panic_message(payload),
+        })
+    })
 }
 
 #[cfg(test)]
@@ -173,5 +256,72 @@ mod tests {
         let data: Vec<u64> = (0..50).map(|i| i * 3).collect();
         let out = run_indexed(Parallelism::Fixed(4), data.len(), |i| data[i] + 1);
         assert_eq!(out[49], 49 * 3 + 1);
+    }
+
+    #[test]
+    fn fixed_zero_normalizes_to_serial() {
+        assert_eq!(Parallelism::Fixed(0).normalized(), Parallelism::Serial);
+        assert_eq!(Parallelism::Fixed(1).normalized(), Parallelism::Fixed(1));
+        assert_eq!(Parallelism::Serial.normalized(), Parallelism::Serial);
+        assert_eq!(Parallelism::Auto.normalized(), Parallelism::Auto);
+        // And the normalized form drives scheduling: zero workers means
+        // "run on the calling thread", not a panic or a zero thread count.
+        assert_eq!(Parallelism::Fixed(0).threads_for(10), 1);
+        let out = run_indexed(Parallelism::Fixed(0), 5, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    fn silence_panics<T>(f: impl FnOnce() -> T) -> T {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    #[test]
+    fn catch_isolates_panicking_jobs() {
+        for p in [Parallelism::Serial, Parallelism::Fixed(3)] {
+            let out = silence_panics(|| {
+                run_indexed_catch(p, 6, |i| {
+                    if i == 2 {
+                        panic!("boom at {i}");
+                    }
+                    i * 10
+                })
+            });
+            assert_eq!(out.len(), 6);
+            for (i, r) in out.iter().enumerate() {
+                if i == 2 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.index, 2);
+                    assert_eq!(e.message, "boom at 2");
+                    assert_eq!(e.to_string(), "job 2 panicked: boom at 2");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn catch_reports_non_string_payloads() {
+        let out = silence_panics(|| {
+            run_indexed_catch(Parallelism::Serial, 1, |_| -> usize {
+                std::panic::panic_any(42_i32)
+            })
+        });
+        assert_eq!(
+            out[0].as_ref().unwrap_err().message,
+            "non-string panic payload"
+        );
+    }
+
+    #[test]
+    fn catch_matches_run_indexed_when_nothing_panics() {
+        let plain = run_indexed(Parallelism::Fixed(2), 20, |i| i * i);
+        let caught = run_indexed_catch(Parallelism::Fixed(2), 20, |i| i * i);
+        let caught: Vec<usize> = caught.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(plain, caught);
     }
 }

@@ -1,20 +1,34 @@
 #!/usr/bin/env sh
 # Full offline verification: build, tests, formatting, lints.
 # Run from the repository root. Fails fast on the first broken step.
+#
+# Test invocations run under a hard wall-clock timeout (the same
+# execution-deadline discipline the library applies to itself, DESIGN.md
+# §9): a hanging test kills the verification run with a clear signal
+# instead of stalling CI until the job-level timeout reaps it.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+# Hard wall-clock caps (seconds): generous for the full suite, tight for
+# the smoke suite. `timeout -k` follows the TERM with a KILL in case a
+# test ignores the first signal.
+TEST_TIMEOUT=1200
+SMOKE_TIMEOUT=300
+
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
-echo "==> cargo test -q --workspace"
-cargo test -q --workspace
+echo "==> cargo test -q --workspace (hard cap ${TEST_TIMEOUT}s)"
+timeout -k 30 "$TEST_TIMEOUT" cargo test -q --workspace
 
-echo "==> cargo test -q --test fault_injection --test golden_oracle"
-cargo test -q --test fault_injection --test golden_oracle
+echo "==> cargo test -q --test fault_injection --test golden_oracle (hard cap ${TEST_TIMEOUT}s)"
+timeout -k 30 "$TEST_TIMEOUT" cargo test -q --test fault_injection --test golden_oracle
+
+echo "==> cargo test -q --test runtime_resilience (smoke, hard cap ${SMOKE_TIMEOUT}s)"
+timeout -k 30 "$SMOKE_TIMEOUT" cargo test -q --test runtime_resilience
 
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check

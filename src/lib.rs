@@ -50,6 +50,11 @@ pub mod prelude {
     };
     pub use resilience_core::mixture::{ComponentKind, MixtureFamily, MixtureModel, Trend};
     pub use resilience_core::model::{ModelFamily, ResilienceModel};
+    pub use resilience_core::runtime::{
+        fit_with_retry, rank_models_supervised, CancelToken, Control, ExecPolicy, RetryPolicy,
+        SupervisedFit,
+    };
+    pub use resilience_core::selection::{rank_models, FailureKind, FamilyFailure, Ranking};
     pub use resilience_core::validate::{gof_report, GofReport};
     pub use resilience_core::CoreError;
     pub use resilience_data::recessions::Recession;
@@ -68,6 +73,22 @@ mod tests {
         assert_eq!(fit.model.name(), "Quadratic");
         let pm = point_metrics(fit.model.as_ref(), 0.0, 47.0).unwrap();
         assert!(pm.robustness > 0.9 && pm.robustness < 1.0);
+    }
+
+    #[test]
+    fn prelude_exposes_supervised_runtime() {
+        let series = Recession::R2001_05.payroll_index();
+        let families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily];
+        let ranking = rank_models_supervised(
+            &families,
+            &series,
+            &FitConfig::default(),
+            &ExecPolicy::default(),
+            &Control::unbounded(),
+        )
+        .unwrap();
+        assert!(!ranking.degraded);
+        assert_eq!(ranking.rows[0].family_name, "Quadratic");
     }
 
     #[test]
