@@ -15,13 +15,18 @@
 
 use resilience_bench::harness::{bench_with_budget, Measurement, SpeedupReport};
 use resilience_core::bathtub::{CompetingRisksFamily, QuadraticFamily};
-use resilience_core::bootstrap::{bootstrap_band, BootstrapBand, BootstrapConfig};
+use resilience_core::bootstrap::{
+    bootstrap_band, bootstrap_band_with, BootstrapBand, BootstrapConfig,
+};
 use resilience_core::fit::FitConfig;
 use resilience_core::mixture::MixtureFamily;
 use resilience_core::model::ModelFamily;
+use resilience_core::runtime::{rank_models_supervised, Control, ExecPolicy};
 use resilience_core::selection::{rank_models, Ranking};
 use resilience_data::recessions::Recession;
+use resilience_obs::{Event, RecordingObserver, RunReport};
 use resilience_optim::Parallelism;
+use std::sync::Arc;
 
 const WARMUP: usize = 1;
 const SAMPLES: usize = 5;
@@ -43,6 +48,17 @@ fn paper_families(mixtures: &[MixtureFamily]) -> Vec<&dyn ModelFamily> {
         families.push(fam);
     }
     families
+}
+
+/// Aggregates an observed run's event buffer into named counter totals
+/// for the `BENCH_*.json` baseline. The timed passes stay unobserved;
+/// this comes from one extra correctness pass.
+fn run_counters(events: Vec<Event>) -> Vec<(String, u64)> {
+    RunReport::from_events(events)
+        .counters
+        .iter()
+        .map(|(id, v)| (id.as_str().to_string(), *v))
+        .collect()
 }
 
 fn rankings_identical(a: &Ranking, b: &Ranking) -> bool {
@@ -76,6 +92,20 @@ fn bench_fitting() -> SpeedupReport {
         rank_models(&families, &series, &config(Parallelism::Auto)).expect("parallel rank_models");
     let identical = rankings_identical(&serial_out, &parallel_out);
 
+    // One observed pass for the work counters (objective evals, solver
+    // iteration mix); supervised ranking under the default policy is
+    // numerically identical to plain rank_models.
+    let rec = Arc::new(RecordingObserver::new());
+    rank_models_supervised(
+        &families,
+        &series,
+        &config(Parallelism::Serial),
+        &ExecPolicy::default(),
+        &Control::unbounded().observe(rec.clone()),
+    )
+    .expect("observed rank_models");
+    let counters = run_counters(rec.take());
+
     let time = |name: &str, p: Parallelism| -> Measurement {
         let cfg = config(p);
         bench_with_budget(name, WARMUP, SAMPLES, BUDGET, || {
@@ -88,6 +118,7 @@ fn bench_fitting() -> SpeedupReport {
         serial: time("serial", Parallelism::Serial),
         parallel: time("parallel_auto", Parallelism::Auto),
         identical,
+        counters,
         context: vec![
             ("series".into(), "1990-93 payroll index".into()),
             ("families".into(), families.len().to_string()),
@@ -119,6 +150,19 @@ fn bench_bootstrap() -> SpeedupReport {
     .expect("parallel bootstrap_band");
     let identical = bands_identical(&serial_out, &parallel_out);
 
+    // One observed pass for the work counters (replicate ok/failed, base
+    // fit evals).
+    let rec = Arc::new(RecordingObserver::new());
+    bootstrap_band_with(
+        &QuadraticFamily,
+        &series,
+        &fit_config,
+        &config(Parallelism::Serial),
+        &Control::unbounded().observe(rec.clone()),
+    )
+    .expect("observed bootstrap_band");
+    let counters = run_counters(rec.take());
+
     let time = |name: &str, p: Parallelism| -> Measurement {
         let cfg = config(p);
         bench_with_budget(name, WARMUP, SAMPLES, BUDGET, || {
@@ -131,6 +175,7 @@ fn bench_bootstrap() -> SpeedupReport {
         serial: time("serial", Parallelism::Serial),
         parallel: time("parallel_auto", Parallelism::Auto),
         identical,
+        counters,
         context: vec![
             ("series".into(), "1990-93 payroll index".into()),
             ("family".into(), "Quadratic".into()),

@@ -1,0 +1,73 @@
+//! Run-report inspector: replays a JSONL telemetry log into the
+//! per-family [`RunReport`] summary.
+//!
+//! ```sh
+//! cargo run --release -p resilience-bench --bin fitlog -- run.jsonl
+//! cargo run --release -p resilience-bench --bin fitlog -- run.jsonl --json
+//! ```
+//!
+//! Reads a log produced by [`resilience_obs::JsonlObserver`] (one event
+//! per line), aggregates it, and prints the human-readable table — or,
+//! with `--json`, the machine-readable report document. A log is a
+//! complete, replayable record of a run's control flow, so this works on
+//! logs from any machine and any session; nothing here re-runs a fit.
+//!
+//! Exit status: 0 on success, 1 for usage errors, unreadable files, or a
+//! malformed log (the offending line number is reported).
+
+use resilience_obs::{parse_log, RunReport};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: fitlog <run.jsonl> [--json]");
+    eprintln!();
+    eprintln!("Aggregates a resilience-obs JSONL event log into a run report:");
+    eprintln!("per-family fit/convergence/failure totals, global counters,");
+    eprintln!("and evaluation histograms. --json emits the machine-readable");
+    eprintln!("document instead of the table.");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "-h" | "--help" => return usage(),
+            _ if arg.starts_with('-') => {
+                eprintln!("fitlog: unknown flag {arg}");
+                return usage();
+            }
+            _ if path.is_some() => {
+                eprintln!("fitlog: more than one log path given");
+                return usage();
+            }
+            _ => path = Some(arg),
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("fitlog: read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match parse_log(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("fitlog: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = RunReport::from_events(events);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_table());
+    }
+    ExitCode::SUCCESS
+}

@@ -157,6 +157,13 @@ pub struct SpeedupReport {
     /// Whether the parallel run produced bit-identical results to the
     /// serial run (checked by the caller on the actual outputs).
     pub identical: bool,
+    /// Deterministic work counters for the benchmarked operation
+    /// (objective evaluations, solver iterations, …), recorded once from
+    /// an observed correctness pass — never from the timed passes, which
+    /// run unobserved. Wall-clock drifts with the machine; these do not,
+    /// so a perf regression can be split into "more work" vs "slower
+    /// work" by diffing baselines.
+    pub counters: Vec<(String, u64)>,
     /// Free-form context keys (series name, replicate count, …).
     pub context: Vec<(String, String)>,
 }
@@ -171,19 +178,25 @@ impl SpeedupReport {
     /// Full JSON document for this comparison.
     #[must_use]
     pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {}", json_escape(k), v))
+            .collect();
         let context: Vec<String> = self
             .context
             .iter()
             .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
             .collect();
         format!(
-            "{{\n  \"benchmark\": \"{}\",\n  \"cores\": {},\n  \"identical\": {},\n  \"speedup\": {:.3},\n  \"serial\": {},\n  \"parallel\": {},\n  \"context\": {{{}}}\n}}\n",
+            "{{\n  \"benchmark\": \"{}\",\n  \"cores\": {},\n  \"identical\": {},\n  \"speedup\": {:.3},\n  \"serial\": {},\n  \"parallel\": {},\n  \"counters\": {{{}}},\n  \"context\": {{{}}}\n}}\n",
             json_escape(&self.benchmark),
             self.cores,
             self.identical,
             self.speedup(),
             self.serial.to_json(),
             self.parallel.to_json(),
+            counters.join(", "),
             context.join(", ")
         )
     }
@@ -273,6 +286,7 @@ mod tests {
                 samples_ns: vec![100],
             },
             identical: true,
+            counters: vec![("objective_evals".into(), 1234)],
             context: vec![("series".into(), "1990-93".into())],
         };
         assert!((report.speedup() - 4.0).abs() < 1e-12);
@@ -283,6 +297,7 @@ mod tests {
             "\"identical\": true",
             "\"speedup\": 4.000",
             "\"min_ns\": 400",
+            "\"objective_evals\": 1234",
             "\"series\": \"1990-93\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");

@@ -9,11 +9,12 @@
 //! where the fit constrains the curve weakly (extrapolation beyond the
 //! training window) — exactly the region the predictive metrics use.
 
-use crate::fit::{fit_least_squares, FitConfig};
+use crate::fit::{fit_least_squares, fit_least_squares_with, FitConfig};
 use crate::model::ModelFamily;
 use crate::CoreError;
 use resilience_data::noise::XorShift64;
 use resilience_data::PerformanceSeries;
+use resilience_obs::{CounterId, Event};
 use resilience_optim::parallel::run_indexed_catch;
 use resilience_optim::{Control, Parallelism};
 use resilience_stats::describe::quantile;
@@ -138,6 +139,29 @@ pub fn bootstrap_band(
     base_config: &FitConfig,
     config: &BootstrapConfig,
 ) -> Result<BootstrapBand, CoreError> {
+    bootstrap_band_with(family, series, base_config, config, &Control::unbounded())
+}
+
+/// [`bootstrap_band`] under a [`Control`]'s telemetry sink.
+///
+/// Only the control's observer is used: the run always completes in one
+/// call (deadline and cancellation are stripped — use
+/// [`bootstrap_band_checkpointed`] for pausable runs). The sink receives
+/// the base fit's solver trace, a [`Event::BootstrapChunkDone`] progress
+/// event after each replicate chunk, and ok/failed replicate counters.
+/// Replicate refits themselves run unobserved — hundreds of near-identical
+/// solver traces would drown the log without adding information.
+///
+/// # Errors
+///
+/// Same as [`bootstrap_band`].
+pub fn bootstrap_band_with(
+    family: &dyn ModelFamily,
+    series: &PerformanceSeries,
+    base_config: &FitConfig,
+    config: &BootstrapConfig,
+    control: &Control,
+) -> Result<BootstrapBand, CoreError> {
     let mut checkpoint = None;
     bootstrap_band_checkpointed(
         family,
@@ -145,7 +169,7 @@ pub fn bootstrap_band(
         base_config,
         config,
         &mut checkpoint,
-        &Control::unbounded(),
+        &control.observer_only(),
     )?
     // An unbounded control can never pause the run, so the engine always
     // returns a finished band here; defensive rather than `unwrap`.
@@ -227,7 +251,9 @@ pub fn bootstrap_band_checkpointed(
     }
     let n = series.len();
     if checkpoint.is_none() {
-        let base = fit_least_squares(family, series, base_config)?;
+        // The base fit is observed (its solver trace anchors the log) but
+        // never deadline-stopped: it is the minimum unit of progress.
+        let base = fit_least_squares_with(family, series, base_config, &control.observer_only())?;
         let times = series.times().to_vec();
         let fitted = base.model.predict_many(&times);
         let residuals: Vec<f64> = series
@@ -320,6 +346,7 @@ pub fn bootstrap_band_checkpointed(
                 }
                 Some(preds)
             });
+        let failed_before = cp.failed;
         for outcome in replicate_preds {
             match outcome {
                 Ok(Some(preds)) => {
@@ -333,6 +360,17 @@ pub fn bootstrap_band_checkpointed(
             }
         }
         cp.next_rep += chunk;
+        let chunk_failed = cp.failed - failed_before;
+        control.count(
+            CounterId::BootstrapReplicatesOk,
+            (chunk - chunk_failed) as u64,
+        );
+        control.count(CounterId::BootstrapReplicatesFailed, chunk_failed as u64);
+        control.emit(Event::BootstrapChunkDone {
+            done: cp.next_rep as u32,
+            total: config.replicates as u32,
+            failed: cp.failed as u32,
+        });
         // The stop check runs *after* the chunk: every call makes at
         // least one chunk of progress even under an expired deadline.
         if cp.next_rep < config.replicates && control.stop_cause().is_some() {
@@ -583,6 +621,75 @@ mod tests {
         let resumed = resumed.expect("run must finish within 10 chunked calls");
         assert!(checkpoint.is_none(), "completion must clear the checkpoint");
         assert_eq!(resumed, uninterrupted);
+    }
+
+    #[test]
+    fn telemetry_reports_chunk_progress_and_replicate_counters() {
+        use resilience_obs::{CounterId, Event, RecordingObserver};
+        use std::sync::Arc;
+        let series = Recession::R1990_93.payroll_index();
+        let rec = Arc::new(RecordingObserver::new());
+        let control = Control::unbounded().observe(rec.clone());
+        let band = bootstrap_band_with(
+            &QuadraticFamily,
+            &series,
+            &FitConfig::default(),
+            &quick_config(),
+            &control,
+        )
+        .unwrap();
+        let events = rec.take();
+        // The base fit's span anchors the log.
+        assert!(events.iter().any(|e| matches!(e, Event::FitStarted { .. })));
+        // An unbounded run takes all replicates in one chunk.
+        let chunks: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::BootstrapChunkDone {
+                    done,
+                    total,
+                    failed,
+                } => Some((*done, *total, *failed)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chunks, vec![(60, 60, band.failed as u32)]);
+        // Ok + failed counters account for every replicate.
+        let total_counted: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter {
+                    id: CounterId::BootstrapReplicatesOk | CounterId::BootstrapReplicatesFailed,
+                    delta,
+                } => Some(*delta),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total_counted, 60);
+    }
+
+    #[test]
+    fn observed_band_is_identical_to_unobserved() {
+        use resilience_obs::RecordingObserver;
+        use std::sync::Arc;
+        let series = Recession::R1990_93.payroll_index();
+        let plain = bootstrap_band(
+            &QuadraticFamily,
+            &series,
+            &FitConfig::default(),
+            &quick_config(),
+        )
+        .unwrap();
+        let control = Control::unbounded().observe(Arc::new(RecordingObserver::new()));
+        let traced = bootstrap_band_with(
+            &QuadraticFamily,
+            &series,
+            &FitConfig::default(),
+            &quick_config(),
+            &control,
+        )
+        .unwrap();
+        assert_eq!(traced, plain);
     }
 
     #[test]

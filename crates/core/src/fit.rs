@@ -11,6 +11,7 @@ use crate::model::{ModelFamily, ResilienceModel};
 use crate::CoreError;
 use resilience_data::PerformanceSeries;
 use resilience_math::sum::sum_squared_diff;
+use resilience_obs::{Event, HistogramId};
 use resilience_optim::levenberg_marquardt::{LevenbergMarquardt, LmConfig};
 use resilience_optim::multi_start::multi_start_nelder_mead_with_control;
 use resilience_optim::nelder_mead::NelderMeadConfig;
@@ -183,6 +184,14 @@ pub fn fit_least_squares_with(
         ));
     }
 
+    let traced = control.observed();
+    if traced {
+        control.emit(Event::FitStarted {
+            family: family.name(),
+            starts: starts.len() as u32,
+        });
+    }
+
     let best = multi_start_nelder_mead_with_control(
         &make_objective,
         &starts,
@@ -250,6 +259,20 @@ pub fn fit_least_squares_with(
     let params = family.internal_to_params(&best_internal);
     guard::finite_outputs(family.name(), &params)?;
     let model = family.build(&params)?;
+    if traced {
+        // The fit span closes here; `evaluations` is the winning start
+        // plus polish (counter events above carry the per-start totals).
+        control.emit(Event::FitFinished {
+            family: family.name(),
+            sse: best_sse,
+            evaluations: evaluations as u64,
+            converged,
+        });
+        control.emit(Event::Hist {
+            id: HistogramId::EvalsPerFit,
+            value: evaluations as u64,
+        });
+    }
     Ok(FittedModel {
         model,
         params,

@@ -30,9 +30,11 @@ use crate::model::{ModelFamily, ResilienceModel};
 use crate::selection::{score_family, sort_rows, FailureKind, FamilyFailure, Ranking};
 use crate::CoreError;
 use resilience_data::PerformanceSeries;
+use resilience_obs::{replay, CounterId, Event, FailureCode, HistogramId, RecordingObserver};
 use resilience_optim::parallel::run_indexed_catch;
 use resilience_optim::{Parallelism, StopCause};
 use resilience_stats::XorShift64;
+use std::sync::Arc;
 use std::time::Duration;
 
 pub use resilience_optim::{CancelToken, Control};
@@ -227,6 +229,11 @@ pub fn fit_with_retry(
         let outcome = if attempt == 1 {
             fit_least_squares_with(family, series, config, control)
         } else {
+            control.emit(Event::RetryScheduled {
+                family: family.name(),
+                attempt: attempt as u32,
+            });
+            control.count(CounterId::Retries, 1);
             let jittered = JitteredFamily {
                 inner: family,
                 seed: policy.base_seed,
@@ -251,7 +258,13 @@ pub fn fit_with_retry(
         }
     }
     match best {
-        Some(fit) => Ok(SupervisedFit { fit, attempts }),
+        Some(fit) => {
+            control.emit(Event::Hist {
+                id: HistogramId::AttemptsPerFit,
+                value: attempts as u64,
+            });
+            Ok(SupervisedFit { fit, attempts })
+        }
         // All attempts errored; `last_err` is necessarily set.
         None => Err(last_err
             .unwrap_or_else(|| CoreError::arg("fit_with_retry", "no attempt produced a fit"))),
@@ -290,6 +303,15 @@ pub fn rank_models_supervised(
     // the fan-out happens at exactly one level.
     let mut inner = config.clone();
     inner.parallelism = Parallelism::Serial;
+    // Per-family event buffers, replayed into the caller's sink in input
+    // order below so the merged log is independent of worker scheduling.
+    // Created outside the jobs: a panicking family keeps the events it
+    // buffered before dying.
+    let recorders: Option<Vec<Arc<RecordingObserver>>> = control.observed().then(|| {
+        (0..families.len())
+            .map(|_| Arc::new(RecordingObserver::new()))
+            .collect()
+    });
     let outcomes = run_indexed_catch(
         config.parallelism,
         families.len(),
@@ -300,6 +322,10 @@ pub fn rank_models_supervised(
             let family_control = match policy.family_budget {
                 Some(budget) => control.narrowed(budget),
                 None => control.clone(),
+            };
+            let family_control = match &recorders {
+                Some(recs) => family_control.observe(recs[i].clone()),
+                None => family_control,
             };
             let fit_outcome = match &policy.retry {
                 Some(retry) => {
@@ -325,14 +351,33 @@ pub fn rank_models_supervised(
     let mut rows = Vec::new();
     let mut failures = Vec::new();
     for (i, outcome) in outcomes.into_iter().enumerate() {
+        if let (Some(recs), Some(sink)) = (&recorders, control.observer()) {
+            replay(&recs[i].take(), sink.as_ref());
+        }
         match outcome {
             Ok(Ok(row)) => rows.push(row),
-            Ok(Err(failure)) => failures.push(failure),
-            Err(panic) => failures.push(FamilyFailure {
-                family_name: families[i].name(),
-                reason: format!("fit: {}", panic.message),
-                kind: FailureKind::Panicked,
-            }),
+            Ok(Err(failure)) => {
+                control.emit(Event::FitFailed {
+                    family: failure.family_name,
+                    kind: failure.kind.code(),
+                });
+                failures.push(failure);
+            }
+            Err(panic) => {
+                control.emit(Event::WorkerPanic {
+                    scope: families[i].name(),
+                    index: i as u32,
+                });
+                control.emit(Event::FitFailed {
+                    family: families[i].name(),
+                    kind: FailureCode::Panicked,
+                });
+                failures.push(FamilyFailure {
+                    family_name: families[i].name(),
+                    reason: format!("fit: {}", panic.message),
+                    kind: FailureKind::Panicked,
+                });
+            }
         }
     }
     if rows.is_empty() {
@@ -483,6 +528,83 @@ mod tests {
             assert_eq!(a.sse, b.sse);
         }
         assert!(!supervised.degraded);
+    }
+
+    #[test]
+    fn supervised_ranking_event_log_is_invariant_to_thread_count() {
+        use resilience_obs::RecordingObserver;
+        use std::sync::Arc;
+        let s = quadratic_series();
+        let families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily, &QuarticFamily];
+        let trace = |p: Parallelism| {
+            let rec = Arc::new(RecordingObserver::new());
+            let config = FitConfig {
+                parallelism: p,
+                ..FitConfig::default()
+            };
+            rank_models_supervised(
+                &families,
+                &s,
+                &config,
+                &ExecPolicy::default(),
+                &Control::unbounded().observe(rec.clone()),
+            )
+            .unwrap();
+            rec.take()
+        };
+        let serial = trace(Parallelism::Serial);
+        assert!(!serial.is_empty());
+        for p in [Parallelism::Fixed(2), Parallelism::Fixed(4)] {
+            assert_eq!(trace(p), serial, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn retry_telemetry_reports_schedule_and_attempts() {
+        use resilience_obs::{CounterId, Event, HistogramId, RecordingObserver};
+        use std::sync::Arc;
+        let s = quadratic_series();
+        let mut config = FitConfig::default();
+        config.nelder_mead.max_iterations = 3;
+        config.lm_polish = false;
+        let rec = Arc::new(RecordingObserver::new());
+        let control = Control::unbounded().observe(rec.clone());
+        let sup = fit_with_retry(
+            &QuadraticFamily,
+            &s,
+            &config,
+            &RetryPolicy::default(),
+            &control,
+        )
+        .unwrap();
+        assert_eq!(sup.attempts, 3);
+        let events = rec.take();
+        let retries: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::RetryScheduled { attempt, .. } => Some(*attempt),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(retries, vec![2, 3]);
+        let retry_count: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter {
+                    id: CounterId::Retries,
+                    delta,
+                } => Some(*delta),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(retry_count, 2);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Hist {
+                id: HistogramId::AttemptsPerFit,
+                value: 3,
+            }
+        )));
     }
 
     #[test]

@@ -180,6 +180,19 @@ pub enum FailureKind {
     Panicked,
 }
 
+impl FailureKind {
+    /// The telemetry classification for this failure
+    /// ([`resilience_obs::Event::FitFailed`]).
+    pub fn code(self) -> resilience_obs::FailureCode {
+        match self {
+            FailureKind::Error => resilience_obs::FailureCode::Error,
+            FailureKind::TimedOut => resilience_obs::FailureCode::TimedOut,
+            FailureKind::Cancelled => resilience_obs::FailureCode::Cancelled,
+            FailureKind::Panicked => resilience_obs::FailureCode::Panicked,
+        }
+    }
+}
+
 impl std::fmt::Display for FailureKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

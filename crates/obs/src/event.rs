@@ -1,0 +1,656 @@
+//! The telemetry event vocabulary.
+//!
+//! Every observable fact in the fitting pipeline is one [`Event`] value.
+//! Events are `Copy`, carry only stack data (`&'static str` names, integer
+//! logical clocks, `f64` objective values), and **never** contain wall-clock
+//! timestamps — determinism across serial and parallel runs depends on it.
+//! Position in the log, iteration indices, and evaluation counters are the
+//! only notions of time.
+
+use std::fmt::Write as _;
+
+/// Which solver emitted a solver-scoped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// Nelder–Mead downhill simplex.
+    NelderMead,
+    /// Levenberg–Marquardt damped least squares.
+    LevenbergMarquardt,
+    /// Differential evolution.
+    DifferentialEvolution,
+    /// Simulated annealing.
+    Annealing,
+    /// Multi-start driver wrapping Nelder–Mead.
+    MultiStart,
+}
+
+impl SolverKind {
+    /// Stable short tag used in the JSONL encoding.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            SolverKind::NelderMead => "nm",
+            SolverKind::LevenbergMarquardt => "lm",
+            SolverKind::DifferentialEvolution => "de",
+            SolverKind::Annealing => "sa",
+            SolverKind::MultiStart => "ms",
+        }
+    }
+
+    /// Inverse of [`SolverKind::as_str`].
+    pub fn parse(s: &str) -> Option<SolverKind> {
+        Some(match s {
+            "nm" => SolverKind::NelderMead,
+            "lm" => SolverKind::LevenbergMarquardt,
+            "de" => SolverKind::DifferentialEvolution,
+            "sa" => SolverKind::Annealing,
+            "ms" => SolverKind::MultiStart,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a solver or fit stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopKind {
+    /// The deadline in the governing `Control` passed.
+    Deadline,
+    /// The cancellation token in the governing `Control` fired.
+    Cancelled,
+}
+
+impl StopKind {
+    /// Stable event tag; doubles as the JSONL `"ev"` value for stop events.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            StopKind::Deadline => "deadline_exceeded",
+            StopKind::Cancelled => "cancelled",
+        }
+    }
+
+    /// Inverse of [`StopKind::as_str`].
+    pub fn parse(s: &str) -> Option<StopKind> {
+        Some(match s {
+            "deadline_exceeded" => StopKind::Deadline,
+            "cancelled" => StopKind::Cancelled,
+            _ => return None,
+        })
+    }
+}
+
+/// Terminal classification of a failed family fit (mirrors the runtime's
+/// `FailureKind` without depending on the core crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureCode {
+    /// Deterministic fit error (bad inputs, no usable starts, ...).
+    Error,
+    /// The family exhausted its wall-clock budget.
+    TimedOut,
+    /// The run was cancelled while this family was fitting.
+    Cancelled,
+    /// The family's objective panicked.
+    Panicked,
+}
+
+impl FailureCode {
+    /// Stable string tag used in the JSONL encoding.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            FailureCode::Error => "error",
+            FailureCode::TimedOut => "timed_out",
+            FailureCode::Cancelled => "cancelled",
+            FailureCode::Panicked => "panicked",
+        }
+    }
+
+    /// Inverse of [`FailureCode::as_str`].
+    pub fn parse(s: &str) -> Option<FailureCode> {
+        Some(match s {
+            "error" => FailureCode::Error,
+            "timed_out" => FailureCode::TimedOut,
+            "cancelled" => FailureCode::Cancelled,
+            "panicked" => FailureCode::Panicked,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a solver terminated normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExitReason {
+    /// The convergence tolerance was met.
+    Converged,
+    /// The iteration budget ran out first.
+    MaxIterations,
+    /// Progress stalled before the tolerance was met.
+    Stalled,
+}
+
+impl ExitReason {
+    /// Stable string tag used in the JSONL encoding.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ExitReason::Converged => "converged",
+            ExitReason::MaxIterations => "max_iterations",
+            ExitReason::Stalled => "stalled",
+        }
+    }
+
+    /// Inverse of [`ExitReason::as_str`].
+    pub fn parse(s: &str) -> Option<ExitReason> {
+        Some(match s {
+            "converged" => ExitReason::Converged,
+            "max_iterations" => ExitReason::MaxIterations,
+            "stalled" => ExitReason::Stalled,
+            _ => return None,
+        })
+    }
+}
+
+/// Identifier of a monotonic counter.
+///
+/// Counters are batched inside solvers as plain integer locals and flushed
+/// as [`Event::Counter`] deltas at solver termination, so the hot path never
+/// pays for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CounterId {
+    /// Objective-function evaluations.
+    ObjectiveEvals,
+    /// Nelder–Mead reflection steps accepted.
+    NmReflections,
+    /// Nelder–Mead expansion steps accepted.
+    NmExpansions,
+    /// Nelder–Mead contraction steps accepted.
+    NmContractions,
+    /// Nelder–Mead full-simplex shrinks.
+    NmShrinks,
+    /// Levenberg–Marquardt damping increases (rejected / failed steps).
+    LmDampingUp,
+    /// Levenberg–Marquardt damping decreases (accepted steps).
+    LmDampingDown,
+    /// Simulated-annealing accepted moves.
+    SaAccepted,
+    /// Retry attempts scheduled by the runtime.
+    Retries,
+    /// Family fits lost to a deadline.
+    Timeouts,
+    /// Family fits lost to cancellation.
+    Cancellations,
+    /// Bootstrap replicates that refit successfully.
+    BootstrapReplicatesOk,
+    /// Bootstrap replicates that failed to refit.
+    BootstrapReplicatesFailed,
+}
+
+impl CounterId {
+    /// Every counter, in canonical (report) order.
+    pub const ALL: [CounterId; 13] = [
+        CounterId::ObjectiveEvals,
+        CounterId::NmReflections,
+        CounterId::NmExpansions,
+        CounterId::NmContractions,
+        CounterId::NmShrinks,
+        CounterId::LmDampingUp,
+        CounterId::LmDampingDown,
+        CounterId::SaAccepted,
+        CounterId::Retries,
+        CounterId::Timeouts,
+        CounterId::Cancellations,
+        CounterId::BootstrapReplicatesOk,
+        CounterId::BootstrapReplicatesFailed,
+    ];
+
+    /// Stable string tag used in the JSONL encoding.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            CounterId::ObjectiveEvals => "objective_evals",
+            CounterId::NmReflections => "nm_reflections",
+            CounterId::NmExpansions => "nm_expansions",
+            CounterId::NmContractions => "nm_contractions",
+            CounterId::NmShrinks => "nm_shrinks",
+            CounterId::LmDampingUp => "lm_damping_up",
+            CounterId::LmDampingDown => "lm_damping_down",
+            CounterId::SaAccepted => "sa_accepted",
+            CounterId::Retries => "retries",
+            CounterId::Timeouts => "timeouts",
+            CounterId::Cancellations => "cancellations",
+            CounterId::BootstrapReplicatesOk => "bootstrap_replicates_ok",
+            CounterId::BootstrapReplicatesFailed => "bootstrap_replicates_failed",
+        }
+    }
+
+    /// Inverse of [`CounterId::as_str`].
+    pub fn parse(s: &str) -> Option<CounterId> {
+        CounterId::ALL.into_iter().find(|id| id.as_str() == s)
+    }
+}
+
+/// Identifier of a histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HistogramId {
+    /// Objective evaluations consumed by a single multi-start start.
+    EvalsPerStart,
+    /// Iterations consumed by a single multi-start start.
+    IterationsPerStart,
+    /// Objective evaluations consumed by one whole family fit.
+    EvalsPerFit,
+    /// Attempts (1 + retries) a family fit needed.
+    AttemptsPerFit,
+}
+
+impl HistogramId {
+    /// Every histogram, in canonical (report) order.
+    pub const ALL: [HistogramId; 4] = [
+        HistogramId::EvalsPerStart,
+        HistogramId::IterationsPerStart,
+        HistogramId::EvalsPerFit,
+        HistogramId::AttemptsPerFit,
+    ];
+
+    /// Stable string tag used in the JSONL encoding.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            HistogramId::EvalsPerStart => "evals_per_start",
+            HistogramId::IterationsPerStart => "iterations_per_start",
+            HistogramId::EvalsPerFit => "evals_per_fit",
+            HistogramId::AttemptsPerFit => "attempts_per_fit",
+        }
+    }
+
+    /// Inverse of [`HistogramId::as_str`].
+    pub fn parse(s: &str) -> Option<HistogramId> {
+        HistogramId::ALL.into_iter().find(|id| id.as_str() == s)
+    }
+}
+
+/// One telemetry event.
+///
+/// All time-like fields are logical clocks: iteration indices, evaluation
+/// counts, start indices. Two runs of the same seed emit the same events in
+/// the same order regardless of thread count (the pipeline buffers per-job
+/// events and replays them in index order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A family fit began; `starts` is the number of multi-start seeds.
+    FitStarted {
+        /// Family name (interned).
+        family: &'static str,
+        /// Number of initial guesses in the multi-start pool.
+        starts: u32,
+    },
+    /// A family fit finished with a usable model.
+    FitFinished {
+        /// Family name (interned).
+        family: &'static str,
+        /// Final sum of squared errors.
+        sse: f64,
+        /// Objective evaluations charged to the winning start plus polish.
+        evaluations: u64,
+        /// Whether the winning solve met its convergence tolerance.
+        converged: bool,
+    },
+    /// A family fit terminated without a usable model.
+    FitFailed {
+        /// Family name (interned).
+        family: &'static str,
+        /// Failure classification.
+        kind: FailureCode,
+    },
+    /// One multi-start seed began (emitted inside the start's own span).
+    StartBegan {
+        /// Index of the start in the seed pool.
+        index: u32,
+    },
+    /// One solver iteration completed.
+    Iteration {
+        /// Emitting solver.
+        solver: SolverKind,
+        /// Iteration index (logical clock, 1-based).
+        iteration: u64,
+        /// Cumulative objective evaluations at the end of the iteration.
+        evaluations: u64,
+        /// Best objective value seen so far.
+        best: f64,
+    },
+    /// A solver terminated normally.
+    Converged {
+        /// Emitting solver.
+        solver: SolverKind,
+        /// Total iterations performed.
+        iterations: u64,
+        /// Total objective evaluations performed.
+        evaluations: u64,
+        /// Final objective value.
+        value: f64,
+        /// Why the solver stopped.
+        reason: ExitReason,
+    },
+    /// The runtime scheduled a retry of a failed fit.
+    RetryScheduled {
+        /// Family name (interned).
+        family: &'static str,
+        /// Attempt number about to run (2 = first retry).
+        attempt: u32,
+    },
+    /// A solver or pipeline stage hit its deadline or a cancellation.
+    Stop {
+        /// Where the stop was observed (e.g. `"nelder_mead"`, `"fit"`).
+        scope: &'static str,
+        /// Deadline or cancellation.
+        kind: StopKind,
+        /// Objective evaluations consumed up to the stop — this is how
+        /// per-family wall-budget consumption is recorded without putting
+        /// wall-clock values into the log.
+        evaluations: u64,
+    },
+    /// A worker thread panicked and was isolated.
+    WorkerPanic {
+        /// Supervising scope (e.g. the family name in a ranking run).
+        scope: &'static str,
+        /// Job index within the scope.
+        index: u32,
+    },
+    /// A bootstrap chunk finished.
+    BootstrapChunkDone {
+        /// Replicates completed so far (logical clock).
+        done: u32,
+        /// Total replicates requested.
+        total: u32,
+        /// Replicates so far that failed to refit.
+        failed: u32,
+    },
+    /// Monotonic counter increment (flushed in batches by emitters).
+    Counter {
+        /// Which counter.
+        id: CounterId,
+        /// Increment (≥ 1; zero-delta counters are not emitted).
+        delta: u64,
+    },
+    /// One histogram observation.
+    Hist {
+        /// Which histogram.
+        id: HistogramId,
+        /// Observed value.
+        value: u64,
+    },
+}
+
+/// Writes `x` into `out` so that parsing recovers the exact bits.
+///
+/// Finite values use Rust's shortest round-trip `Display`; non-finite values
+/// are encoded as the JSON strings `"inf"`, `"-inf"`, `"nan"`.
+pub(crate) fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // `{:?}` keeps a trailing `.0` on integral values, so the token is
+        // unambiguously a float on the way back in.
+        let _ = write!(out, "{x:?}");
+    } else if x.is_nan() {
+        out.push_str("\"nan\"");
+    } else if x > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+/// Writes a JSON string literal. Family names are plain identifiers in
+/// practice, but escape defensively anyway.
+pub(crate) fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Event {
+    /// The event's `"ev"` tag in the JSONL encoding.
+    pub const fn tag(&self) -> &'static str {
+        match self {
+            Event::FitStarted { .. } => "fit_started",
+            Event::FitFinished { .. } => "fit_finished",
+            Event::FitFailed { .. } => "fit_failed",
+            Event::StartBegan { .. } => "start",
+            Event::Iteration { .. } => "iteration",
+            Event::Converged { .. } => "converged",
+            Event::RetryScheduled { .. } => "retry_scheduled",
+            Event::Stop { kind, .. } => kind.as_str(),
+            Event::WorkerPanic { .. } => "worker_panic",
+            Event::BootstrapChunkDone { .. } => "bootstrap_chunk_done",
+            Event::Counter { .. } => "counter",
+            Event::Hist { .. } => "hist",
+        }
+    }
+
+    /// Appends the single-line JSON encoding of this event to `out`
+    /// (no trailing newline).
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"ev\":\"");
+        out.push_str(self.tag());
+        out.push('"');
+        match *self {
+            Event::FitStarted { family, starts } => {
+                out.push_str(",\"family\":");
+                write_json_str(out, family);
+                let _ = write!(out, ",\"starts\":{starts}");
+            }
+            Event::FitFinished {
+                family,
+                sse,
+                evaluations,
+                converged,
+            } => {
+                out.push_str(",\"family\":");
+                write_json_str(out, family);
+                out.push_str(",\"sse\":");
+                write_f64(out, sse);
+                let _ = write!(out, ",\"evals\":{evaluations},\"converged\":{converged}");
+            }
+            Event::FitFailed { family, kind } => {
+                out.push_str(",\"family\":");
+                write_json_str(out, family);
+                let _ = write!(out, ",\"kind\":\"{}\"", kind.as_str());
+            }
+            Event::StartBegan { index } => {
+                let _ = write!(out, ",\"index\":{index}");
+            }
+            Event::Iteration {
+                solver,
+                iteration,
+                evaluations,
+                best,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"solver\":\"{}\",\"iter\":{iteration},\"evals\":{evaluations},\"best\":",
+                    solver.as_str()
+                );
+                write_f64(out, best);
+            }
+            Event::Converged {
+                solver,
+                iterations,
+                evaluations,
+                value,
+                reason,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"solver\":\"{}\",\"iters\":{iterations},\"evals\":{evaluations},\"value\":",
+                    solver.as_str()
+                );
+                write_f64(out, value);
+                let _ = write!(out, ",\"reason\":\"{}\"", reason.as_str());
+            }
+            Event::RetryScheduled { family, attempt } => {
+                out.push_str(",\"family\":");
+                write_json_str(out, family);
+                let _ = write!(out, ",\"attempt\":{attempt}");
+            }
+            Event::Stop {
+                scope,
+                kind: _,
+                evaluations,
+            } => {
+                out.push_str(",\"scope\":");
+                write_json_str(out, scope);
+                let _ = write!(out, ",\"evals\":{evaluations}");
+            }
+            Event::WorkerPanic { scope, index } => {
+                out.push_str(",\"scope\":");
+                write_json_str(out, scope);
+                let _ = write!(out, ",\"index\":{index}");
+            }
+            Event::BootstrapChunkDone {
+                done,
+                total,
+                failed,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"done\":{done},\"total\":{total},\"failed\":{failed}"
+                );
+            }
+            Event::Counter { id, delta } => {
+                let _ = write!(out, ",\"id\":\"{}\",\"n\":{delta}", id.as_str());
+            }
+            Event::Hist { id, value } => {
+                let _ = write!(out, ",\"id\":\"{}\",\"value\":{value}", id.as_str());
+            }
+        }
+        out.push('}');
+    }
+
+    /// Convenience: the JSON encoding as an owned string.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        self.write_json(&mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_stable() {
+        assert_eq!(
+            Event::FitStarted {
+                family: "Quadratic",
+                starts: 3
+            }
+            .tag(),
+            "fit_started"
+        );
+        assert_eq!(
+            Event::Stop {
+                scope: "nelder_mead",
+                kind: StopKind::Deadline,
+                evaluations: 10
+            }
+            .tag(),
+            "deadline_exceeded"
+        );
+        assert_eq!(
+            Event::Stop {
+                scope: "fit",
+                kind: StopKind::Cancelled,
+                evaluations: 0
+            }
+            .tag(),
+            "cancelled"
+        );
+    }
+
+    #[test]
+    fn ids_round_trip_through_strings() {
+        for id in CounterId::ALL {
+            assert_eq!(CounterId::parse(id.as_str()), Some(id));
+        }
+        for id in HistogramId::ALL {
+            assert_eq!(HistogramId::parse(id.as_str()), Some(id));
+        }
+        for k in [
+            SolverKind::NelderMead,
+            SolverKind::LevenbergMarquardt,
+            SolverKind::DifferentialEvolution,
+            SolverKind::Annealing,
+            SolverKind::MultiStart,
+        ] {
+            assert_eq!(SolverKind::parse(k.as_str()), Some(k));
+        }
+        for r in [
+            ExitReason::Converged,
+            ExitReason::MaxIterations,
+            ExitReason::Stalled,
+        ] {
+            assert_eq!(ExitReason::parse(r.as_str()), Some(r));
+        }
+        for f in [
+            FailureCode::Error,
+            FailureCode::TimedOut,
+            FailureCode::Cancelled,
+            FailureCode::Panicked,
+        ] {
+            assert_eq!(FailureCode::parse(f.as_str()), Some(f));
+        }
+        for k in [StopKind::Deadline, StopKind::Cancelled] {
+            assert_eq!(StopKind::parse(k.as_str()), Some(k));
+        }
+    }
+
+    #[test]
+    fn json_encoding_is_flat_and_escaped() {
+        let e = Event::FitFinished {
+            family: "Comp\"Risks",
+            sse: 1.5,
+            evaluations: 42,
+            converged: true,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"ev\":\"fit_finished\",\"family\":\"Comp\\\"Risks\",\"sse\":1.5,\
+             \"evals\":42,\"converged\":true}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_strings() {
+        let e = Event::Iteration {
+            solver: SolverKind::NelderMead,
+            iteration: 1,
+            evaluations: 2,
+            best: f64::INFINITY,
+        };
+        assert!(e.to_json().contains("\"best\":\"inf\""));
+        let e = Event::Iteration {
+            solver: SolverKind::NelderMead,
+            iteration: 1,
+            evaluations: 2,
+            best: f64::NAN,
+        };
+        assert!(e.to_json().contains("\"best\":\"nan\""));
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        let e = Event::Converged {
+            solver: SolverKind::Annealing,
+            iterations: 5,
+            evaluations: 6,
+            value: 2.0,
+            reason: ExitReason::MaxIterations,
+        };
+        assert!(e.to_json().contains("\"value\":2.0"));
+    }
+}

@@ -1,0 +1,80 @@
+//! JSONL sink: one event per line, flat JSON objects, append-only.
+//!
+//! The writer is generic over `W: Write + Send` so tests can capture into a
+//! `Vec<u8>` while production code wraps a `BufWriter<File>`. Encoding is
+//! deterministic — key order is fixed by [`Event::write_json`] and floats use
+//! the shortest round-trip representation — so two runs that emit the same
+//! events produce byte-identical files.
+
+use crate::event::Event;
+use crate::observer::Observer;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// An [`Observer`] that encodes each event as one JSON line into `W`.
+pub struct JsonlObserver<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlObserver<W> {
+    /// Wraps `writer`; every recorded event becomes one line.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self.writer.into_inner().expect("jsonl observer poisoned");
+        let _ = w.flush();
+        w
+    }
+}
+
+impl JsonlObserver<std::io::BufWriter<std::fs::File>> {
+    /// Creates (truncating) `path` and returns a buffered file sink.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(std::io::BufWriter::new(file)))
+    }
+}
+
+impl<W: Write + Send> Observer for JsonlObserver<W> {
+    fn record(&self, event: &Event) {
+        let mut line = String::with_capacity(96);
+        event.write_json(&mut line);
+        line.push('\n');
+        let mut w = self.writer.lock().expect("jsonl observer poisoned");
+        // Telemetry must never abort the computation it observes; a full
+        // disk degrades to a truncated log.
+        let _ = w.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl observer poisoned").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CounterId, Event};
+
+    #[test]
+    fn writes_one_line_per_event() {
+        let sink = JsonlObserver::new(Vec::new());
+        sink.record(&Event::StartBegan { index: 0 });
+        sink.record(&Event::Counter {
+            id: CounterId::ObjectiveEvals,
+            delta: 12,
+        });
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(
+            text,
+            "{\"ev\":\"start\",\"index\":0}\n\
+             {\"ev\":\"counter\",\"id\":\"objective_evals\",\"n\":12}\n"
+        );
+    }
+}

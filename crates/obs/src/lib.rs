@@ -1,0 +1,64 @@
+//! Deterministic telemetry for the `predictive-resilience` workspace.
+//!
+//! The fitting pipeline (parallel multi-start solvers, supervised ranking,
+//! bootstrap bands) emits span-style [`Event`]s — `fit_started`,
+//! `iteration`, `converged`, `retry_scheduled`, `deadline_exceeded`,
+//! `worker_panic`, `bootstrap_chunk_done` — plus monotonic counters and
+//! histograms, into any sink implementing [`Observer`].
+//!
+//! Two properties are load-bearing and covered by tests:
+//!
+//! 1. **Determinism.** Events carry logical clocks only (iteration indices,
+//!    evaluation counts, start/replicate indices) — never wall-clock
+//!    values. Parallel pipeline stages buffer events per job
+//!    ([`RecordingObserver`]) and replay them in index order, so serial and
+//!    parallel runs of the same seed produce byte-identical JSONL logs.
+//! 2. **Zero cost when off.** The default sink is [`NullObserver`], whose
+//!    `enabled() == false` makes instrumented code skip event construction
+//!    entirely; counters are batched as plain integer locals inside solvers
+//!    and flushed once at termination, so the objective-evaluation hot path
+//!    allocates nothing either way (asserted by the workspace's
+//!    counting-allocator tests).
+//!
+//! Modules:
+//!
+//! * [`event`] — the event vocabulary and its flat JSON encoding.
+//! * [`observer`] — the [`Observer`] trait, [`NullObserver`],
+//!   [`RecordingObserver`], [`TeeObserver`].
+//! * [`jsonl`] — the JSONL file sink ([`JsonlObserver`]).
+//! * [`parse`] — JSONL → [`Event`] parsing ([`parse_log`]) with string
+//!   interning.
+//! * [`report`] — [`RunReport`] aggregation: per-family totals as a table
+//!   and machine-readable JSON, with `Option`-typed (`NaN`-free) rates.
+//!
+//! # Example
+//!
+//! ```
+//! use resilience_obs::{Event, Observer, RecordingObserver, RunReport};
+//!
+//! let rec = RecordingObserver::new();
+//! rec.record(&Event::FitStarted { family: "Quadratic", starts: 3 });
+//! rec.record(&Event::FitFinished {
+//!     family: "Quadratic",
+//!     sse: 0.5,
+//!     evaluations: 120,
+//!     converged: true,
+//! });
+//! let report = RunReport::from_events(rec.take());
+//! assert_eq!(report.families[0].convergence_rate(), Some(1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod event;
+pub mod jsonl;
+pub mod observer;
+pub mod parse;
+pub mod report;
+
+pub use event::{CounterId, Event, ExitReason, FailureCode, HistogramId, SolverKind, StopKind};
+pub use jsonl::JsonlObserver;
+pub use observer::{replay, NullObserver, Observer, RecordingObserver, TeeObserver};
+pub use parse::{intern, parse_line, parse_log, ParseError};
+pub use report::{BootstrapProgress, FamilyStats, Histogram, RunReport};

@@ -1,0 +1,639 @@
+//! Aggregating an event stream into a human- and machine-readable run report.
+//!
+//! [`RunReport::from_events`] folds a log (from a [`RecordingObserver`] or a
+//! parsed JSONL file) into per-family totals, global counters, and
+//! histograms. Attribution is span-based: a `fit_started` event opens a
+//! family span, `fit_finished`/`fit_failed` closes it, and solver-scoped
+//! events in between are charged to that family.
+//!
+//! All rate-style derived quantities are typed as `Option<f64>` and return
+//! `None` instead of dividing by zero, so reports are `NaN`-free by
+//! construction.
+//!
+//! [`RecordingObserver`]: crate::observer::RecordingObserver
+
+use crate::event::{
+    write_f64, write_json_str, CounterId, Event, FailureCode, HistogramId, StopKind,
+};
+use std::fmt::Write as _;
+
+/// Power-of-two bucketed histogram over `u64` observations.
+///
+/// Bucket `i` holds values whose bit length is `i` (bucket 0 holds the value
+/// 0, bucket 1 holds 1, bucket 2 holds 2–3, ... bucket 16 holds everything
+/// ≥ 32768). Exact count/sum/min/max are kept alongside, which is what the
+/// report actually renders; buckets exist for shape inspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (meaningless when `count == 0`).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Power-of-two buckets by bit length, saturating at the last bucket.
+    pub buckets: [u64; 17],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 17],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let bits = (64 - value.leading_zeros()) as usize;
+        self.buckets[bits.min(self.buckets.len() - 1)] += 1;
+    }
+
+    /// Mean observation, or `None` when nothing was observed.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+/// Aggregated telemetry for one model family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyStats {
+    /// Family name.
+    pub name: &'static str,
+    /// `fit_started` spans opened.
+    pub fits_started: u64,
+    /// `fit_finished` spans (a usable model came back).
+    pub fits_completed: u64,
+    /// Completed fits whose winning solve met its tolerance.
+    pub converged_fits: u64,
+    /// Solver iterations charged to this family.
+    pub iterations: u64,
+    /// Objective evaluations charged to this family (counter deltas plus
+    /// work recorded by stop events).
+    pub evaluations: u64,
+    /// Retry attempts scheduled for this family.
+    pub retries: u64,
+    /// Fits lost to a deadline.
+    pub failed_timeout: u64,
+    /// Fits lost to cancellation.
+    pub failed_cancelled: u64,
+    /// Fits lost to a deterministic error.
+    pub failed_error: u64,
+    /// Worker panics attributed to this family.
+    pub panics: u64,
+    /// Best (lowest) SSE across completed fits.
+    pub best_sse: Option<f64>,
+}
+
+impl FamilyStats {
+    fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            fits_started: 0,
+            fits_completed: 0,
+            converged_fits: 0,
+            iterations: 0,
+            evaluations: 0,
+            retries: 0,
+            failed_timeout: 0,
+            failed_cancelled: 0,
+            failed_error: 0,
+            panics: 0,
+            best_sse: None,
+        }
+    }
+
+    /// Fraction of completed fits that converged; `None` when the family
+    /// never completed a fit (never `NaN`).
+    pub fn convergence_rate(&self) -> Option<f64> {
+        if self.fits_completed == 0 {
+            None
+        } else {
+            Some(self.converged_fits as f64 / self.fits_completed as f64)
+        }
+    }
+
+    /// Mean objective evaluations per started fit; `None` when no fit
+    /// started (never `NaN`).
+    pub fn mean_evals_per_fit(&self) -> Option<f64> {
+        if self.fits_started == 0 {
+            None
+        } else {
+            Some(self.evaluations as f64 / self.fits_started as f64)
+        }
+    }
+
+    /// Total failed fits across all failure kinds.
+    pub fn failures(&self) -> u64 {
+        self.failed_timeout + self.failed_cancelled + self.failed_error + self.panics
+    }
+}
+
+/// Latest bootstrap progress seen in the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BootstrapProgress {
+    /// Replicates completed.
+    pub done: u32,
+    /// Replicates requested.
+    pub total: u32,
+    /// Replicates that failed to refit.
+    pub failed: u32,
+}
+
+/// Aggregation of one event log.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Per-family totals, in first-seen order.
+    pub families: Vec<FamilyStats>,
+    /// Global counter totals, in [`CounterId::ALL`] order, zero entries
+    /// omitted.
+    pub counters: Vec<(CounterId, u64)>,
+    /// Histograms with at least one observation, in [`HistogramId::ALL`]
+    /// order.
+    pub histograms: Vec<(HistogramId, Histogram)>,
+    /// Last `bootstrap_chunk_done` event, if any.
+    pub bootstrap: Option<BootstrapProgress>,
+    /// Total events consumed.
+    pub events: u64,
+}
+
+impl RunReport {
+    /// Folds an event stream into a report.
+    pub fn from_events<I>(events: I) -> RunReport
+    where
+        I: IntoIterator<Item = Event>,
+    {
+        let mut families: Vec<FamilyStats> = Vec::new();
+        let mut counters = [0u64; CounterId::ALL.len()];
+        let mut histograms: Vec<Histogram> = vec![Histogram::default(); HistogramId::ALL.len()];
+        let mut bootstrap = None;
+        let mut total_events = 0u64;
+        // Index into `families` of the currently open fit span.
+        let mut current: Option<usize> = None;
+
+        fn family_index(families: &mut Vec<FamilyStats>, name: &'static str) -> usize {
+            match families.iter().position(|f| f.name == name) {
+                Some(i) => i,
+                None => {
+                    families.push(FamilyStats::new(name));
+                    families.len() - 1
+                }
+            }
+        }
+        fn counter_slot(id: CounterId) -> usize {
+            CounterId::ALL
+                .iter()
+                .position(|c| *c == id)
+                .expect("id is in ALL")
+        }
+        fn hist_slot(id: HistogramId) -> usize {
+            HistogramId::ALL
+                .iter()
+                .position(|h| *h == id)
+                .expect("id is in ALL")
+        }
+
+        for event in events {
+            total_events += 1;
+            match event {
+                Event::FitStarted { family, .. } => {
+                    let i = family_index(&mut families, family);
+                    families[i].fits_started += 1;
+                    current = Some(i);
+                }
+                Event::FitFinished {
+                    family,
+                    sse,
+                    converged,
+                    ..
+                } => {
+                    let i = family_index(&mut families, family);
+                    let f = &mut families[i];
+                    f.fits_completed += 1;
+                    if converged {
+                        f.converged_fits += 1;
+                    }
+                    if sse.is_finite() && f.best_sse.is_none_or(|b| sse < b) {
+                        f.best_sse = Some(sse);
+                    }
+                    current = None;
+                }
+                Event::FitFailed { family, kind } => {
+                    let i = family_index(&mut families, family);
+                    let f = &mut families[i];
+                    match kind {
+                        FailureCode::TimedOut => f.failed_timeout += 1,
+                        FailureCode::Cancelled => f.failed_cancelled += 1,
+                        FailureCode::Error => f.failed_error += 1,
+                        FailureCode::Panicked => f.panics += 1,
+                    }
+                    if current == Some(i) {
+                        current = None;
+                    }
+                }
+                Event::StartBegan { .. } => {}
+                Event::Iteration { .. } => {}
+                Event::Converged { iterations, .. } => {
+                    if let Some(i) = current {
+                        families[i].iterations += iterations;
+                    }
+                }
+                Event::RetryScheduled { family, .. } => {
+                    let i = family_index(&mut families, family);
+                    families[i].retries += 1;
+                }
+                Event::Stop {
+                    kind, evaluations, ..
+                } => {
+                    // A stopped solver never flushed its eval counter; the
+                    // stop event carries the work done so far.
+                    if let Some(i) = current {
+                        families[i].evaluations += evaluations;
+                    }
+                    counters[counter_slot(CounterId::ObjectiveEvals)] += evaluations;
+                    let id = match kind {
+                        StopKind::Deadline => CounterId::Timeouts,
+                        StopKind::Cancelled => CounterId::Cancellations,
+                    };
+                    counters[counter_slot(id)] += 1;
+                }
+                Event::WorkerPanic { scope, .. } => {
+                    // In ranking runs the supervising scope is the family.
+                    let i = family_index(&mut families, scope);
+                    if current == Some(i) {
+                        current = None;
+                    }
+                }
+                Event::BootstrapChunkDone {
+                    done,
+                    total,
+                    failed,
+                } => {
+                    bootstrap = Some(BootstrapProgress {
+                        done,
+                        total,
+                        failed,
+                    });
+                }
+                Event::Counter { id, delta } => {
+                    counters[counter_slot(id)] += delta;
+                    if id == CounterId::ObjectiveEvals {
+                        if let Some(i) = current {
+                            families[i].evaluations += delta;
+                        }
+                    }
+                }
+                Event::Hist { id, value } => {
+                    histograms[hist_slot(id)].observe(value);
+                }
+            }
+        }
+
+        RunReport {
+            families,
+            counters: CounterId::ALL
+                .into_iter()
+                .enumerate()
+                .filter(|(slot, _)| counters[*slot] > 0)
+                .map(|(slot, id)| (id, counters[slot]))
+                .collect(),
+            histograms: HistogramId::ALL
+                .into_iter()
+                .enumerate()
+                .filter(|(slot, _)| histograms[*slot].count > 0)
+                .map(|(slot, id)| (id, histograms[slot].clone()))
+                .collect(),
+            bootstrap,
+            events: total_events,
+        }
+    }
+
+    /// Total value of one counter (0 when absent).
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters
+            .iter()
+            .find(|(c, _)| *c == id)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Histogram by id, if it saw any observations.
+    pub fn histogram(&self, id: HistogramId) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(h, _)| *h == id)
+            .map(|(_, h)| h)
+    }
+
+    /// Renders the per-family table plus counter/histogram footers as plain
+    /// monospace text.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>5} {:>5} {:>9} {:>9} {:>11} {:>7} {:>5} {:>6} {:>6} {:>12}",
+            "family",
+            "fits",
+            "done",
+            "conv",
+            "iters",
+            "evals",
+            "retries",
+            "t/o",
+            "cancel",
+            "panic",
+            "best_sse"
+        );
+        for f in &self.families {
+            let conv = match f.convergence_rate() {
+                Some(r) => format!("{:.0}%", r * 100.0),
+                None => "-".into(),
+            };
+            let best = match f.best_sse {
+                Some(s) => format!("{s:.4e}"),
+                None => "-".into(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<16} {:>5} {:>5} {:>9} {:>9} {:>11} {:>7} {:>5} {:>6} {:>6} {:>12}",
+                f.name,
+                f.fits_started,
+                f.fits_completed,
+                conv,
+                f.iterations,
+                f.evaluations,
+                f.retries,
+                f.failed_timeout,
+                f.failed_cancelled,
+                f.panics,
+                best
+            );
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            for (id, v) in &self.counters {
+                let _ = writeln!(out, "  {:<28} {v}", id.as_str());
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "\nhistograms:");
+            for (id, h) in &self.histograms {
+                let mean = h.mean().expect("rendered histograms are non-empty");
+                let _ = writeln!(
+                    out,
+                    "  {:<28} n={} min={} mean={mean:.1} max={}",
+                    id.as_str(),
+                    h.count,
+                    h.min,
+                    h.max
+                );
+            }
+        }
+        if let Some(b) = self.bootstrap {
+            let _ = writeln!(
+                out,
+                "\nbootstrap: {}/{} replicates ({} failed)",
+                b.done, b.total, b.failed
+            );
+        }
+        out
+    }
+
+    /// Machine-readable JSON rendering of the report. Rates that would
+    /// divide by zero serialize as `null`, never `NaN`.
+    pub fn to_json(&self) -> String {
+        fn opt_f64(out: &mut String, x: Option<f64>) {
+            match x {
+                Some(v) => write_f64(out, v),
+                None => out.push_str("null"),
+            }
+        }
+
+        let mut out = String::from("{\"families\":[");
+        for (i, f) in self.families.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_json_str(&mut out, f.name);
+            let _ = write!(
+                out,
+                ",\"fits_started\":{},\"fits_completed\":{},\"converged_fits\":{},\
+                 \"iterations\":{},\"evaluations\":{},\"retries\":{},\
+                 \"failed_timeout\":{},\"failed_cancelled\":{},\"failed_error\":{},\
+                 \"panics\":{}",
+                f.fits_started,
+                f.fits_completed,
+                f.converged_fits,
+                f.iterations,
+                f.evaluations,
+                f.retries,
+                f.failed_timeout,
+                f.failed_cancelled,
+                f.failed_error,
+                f.panics
+            );
+            out.push_str(",\"convergence_rate\":");
+            opt_f64(&mut out, f.convergence_rate());
+            out.push_str(",\"mean_evals_per_fit\":");
+            opt_f64(&mut out, f.mean_evals_per_fit());
+            out.push_str(",\"best_sse\":");
+            opt_f64(&mut out, f.best_sse);
+            out.push('}');
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (id, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", id.as_str());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (id, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":",
+                id.as_str(),
+                h.count,
+                h.sum,
+                h.min,
+                h.max
+            );
+            opt_f64(&mut out, h.mean());
+            out.push('}');
+        }
+        out.push_str("},\"bootstrap\":");
+        match self.bootstrap {
+            Some(b) => {
+                let _ = write!(
+                    out,
+                    "{{\"done\":{},\"total\":{},\"failed\":{}}}",
+                    b.done, b.total, b.failed
+                );
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(out, ",\"events\":{}", self.events);
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ExitReason, SolverKind};
+    use crate::parse::intern;
+
+    fn sample_events() -> Vec<Event> {
+        let q = intern("Quadratic");
+        let g = intern("Glacial");
+        vec![
+            Event::FitStarted {
+                family: q,
+                starts: 2,
+            },
+            Event::StartBegan { index: 0 },
+            Event::Iteration {
+                solver: SolverKind::NelderMead,
+                iteration: 1,
+                evaluations: 5,
+                best: 3.0,
+            },
+            Event::Converged {
+                solver: SolverKind::NelderMead,
+                iterations: 10,
+                evaluations: 30,
+                value: 1.0,
+                reason: ExitReason::Converged,
+            },
+            Event::Counter {
+                id: CounterId::ObjectiveEvals,
+                delta: 30,
+            },
+            Event::Hist {
+                id: HistogramId::EvalsPerStart,
+                value: 30,
+            },
+            Event::FitFinished {
+                family: q,
+                sse: 1.0,
+                evaluations: 30,
+                converged: true,
+            },
+            Event::FitStarted {
+                family: g,
+                starts: 1,
+            },
+            Event::Stop {
+                scope: intern("nelder_mead"),
+                kind: StopKind::Deadline,
+                evaluations: 4,
+            },
+            Event::FitFailed {
+                family: g,
+                kind: FailureCode::TimedOut,
+            },
+            Event::RetryScheduled {
+                family: g,
+                attempt: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn aggregates_per_family_spans() {
+        let report = RunReport::from_events(sample_events());
+        assert_eq!(report.families.len(), 2);
+
+        let q = &report.families[0];
+        assert_eq!(q.name, "Quadratic");
+        assert_eq!(q.fits_started, 1);
+        assert_eq!(q.fits_completed, 1);
+        assert_eq!(q.converged_fits, 1);
+        assert_eq!(q.iterations, 10);
+        assert_eq!(q.evaluations, 30);
+        assert_eq!(q.convergence_rate(), Some(1.0));
+        assert_eq!(q.best_sse, Some(1.0));
+
+        let g = &report.families[1];
+        assert_eq!(g.fits_started, 1);
+        assert_eq!(g.fits_completed, 0);
+        assert_eq!(g.failed_timeout, 1);
+        assert_eq!(g.retries, 1);
+        // The stop event's evaluations are charged to the open span.
+        assert_eq!(g.evaluations, 4);
+        // Satellite: zero completed fits yields None, not NaN.
+        assert_eq!(g.convergence_rate(), None);
+
+        assert_eq!(report.counter(CounterId::ObjectiveEvals), 34);
+        assert_eq!(report.counter(CounterId::Timeouts), 1);
+        let h = report.histogram(HistogramId::EvalsPerStart).unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (1, 30, 30, 30));
+        assert_eq!(h.mean(), Some(30.0));
+    }
+
+    #[test]
+    fn json_is_nan_free_for_empty_families() {
+        let report = RunReport::from_events(vec![Event::FitFailed {
+            family: intern("Buggy"),
+            kind: FailureCode::Panicked,
+        }]);
+        let json = report.to_json();
+        assert!(!json.contains("NaN") && !json.contains("nan"), "{json}");
+        assert!(json.contains("\"convergence_rate\":null"), "{json}");
+        assert!(json.contains("\"panics\":1"), "{json}");
+    }
+
+    #[test]
+    fn table_renders_dashes_for_missing_rates() {
+        let report = RunReport::from_events(vec![Event::FitFailed {
+            family: intern("Buggy"),
+            kind: FailureCode::Error,
+        }]);
+        let table = report.render_table();
+        assert!(table.contains("Buggy"), "{table}");
+        assert!(table.contains(" - "), "{table}");
+        assert!(!table.contains("NaN"), "{table}");
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 1 << 20] {
+            h.observe(v);
+        }
+        assert_eq!(h.buckets[0], 1); // value 0
+        assert_eq!(h.buckets[1], 1); // value 1
+        assert_eq!(h.buckets[2], 2); // values 2, 3
+        assert_eq!(h.buckets[16], 1); // saturating tail
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1 << 20);
+    }
+
+    #[test]
+    fn empty_report_is_well_formed() {
+        let report = RunReport::from_events(Vec::new());
+        assert!(report.families.is_empty());
+        assert_eq!(report.events, 0);
+        assert!(report.to_json().starts_with('{'));
+        assert!(!report.render_table().is_empty());
+    }
+}

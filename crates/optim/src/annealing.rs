@@ -8,6 +8,7 @@
 use crate::control::Control;
 use crate::report::{OptimReport, TerminationReason};
 use crate::OptimError;
+use resilience_obs::{CounterId, Event, SolverKind};
 use resilience_stats::rng::RandomSource;
 
 /// Configuration for [`simulated_annealing`].
@@ -130,11 +131,12 @@ where
     let mut best_val = current_val;
     let mut temp = config.initial_temp;
 
+    // Accepted-move tally, flushed as one counter event at termination (the
+    // per-step loop is far too hot for per-event emission).
+    let mut accepted = 0u64;
     let mut proposal = vec![0.0; current.len()];
     for _ in 0..config.steps {
-        if let Some(cause) = control.stop_cause() {
-            return Err(cause.into_error(evaluations));
-        }
+        control.check_stop("simulated_annealing", evaluations)?;
         for (j, p) in proposal.iter_mut().enumerate() {
             *p = current[j] + config.step_scale * (1.0 + current[j].abs()) * rng.next_gaussian();
         }
@@ -146,6 +148,7 @@ where
                 u < ((current_val - val) / temp).exp()
             };
             if accept {
+                accepted += 1;
                 current.copy_from_slice(&proposal);
                 current_val = val;
                 if val < best_val {
@@ -157,6 +160,17 @@ where
         temp *= config.cooling;
     }
 
+    if control.observed() {
+        control.emit(Event::Converged {
+            solver: SolverKind::Annealing,
+            iterations: config.steps as u64,
+            evaluations: evaluations as u64,
+            value: best_val,
+            reason: TerminationReason::MaxIterations.exit_reason(),
+        });
+        control.count(CounterId::ObjectiveEvals, evaluations as u64);
+        control.count(CounterId::SaAccepted, accepted);
+    }
     Ok(OptimReport {
         params: best,
         value: best_val,
@@ -263,6 +277,42 @@ mod tests {
             ),
             Err(OptimError::TimedOut { .. })
         ));
+    }
+
+    #[test]
+    fn telemetry_flushes_acceptance_and_eval_counters() {
+        use resilience_obs::{CounterId, Event, RecordingObserver, SolverKind};
+        use std::sync::Arc;
+        let f = |p: &[f64]| (p[0] - 0.5).powi(2);
+        let rec = Arc::new(RecordingObserver::new());
+        let control = Control::unbounded().observe(rec.clone());
+        let report = simulated_annealing_with_control(
+            &f,
+            &[0.0],
+            &SaConfig::default(),
+            &mut rng(),
+            &control,
+        )
+        .unwrap();
+        let events = rec.take();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Converged {
+                solver: SolverKind::Annealing,
+                ..
+            }
+        )));
+        let accepted: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter {
+                    id: CounterId::SaAccepted,
+                    delta,
+                } => Some(*delta),
+                _ => None,
+            })
+            .sum();
+        assert!(accepted >= 1 && accepted <= report.iterations as u64);
     }
 
     #[test]

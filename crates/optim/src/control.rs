@@ -16,6 +16,7 @@
 //! of the deadline or cancel signal.
 
 use crate::OptimError;
+use resilience_obs::{CounterId, Event, Observer, StopKind};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -80,6 +81,15 @@ impl StopCause {
             StopCause::DeadlineExceeded => OptimError::TimedOut { evaluations },
         }
     }
+
+    /// The matching telemetry stop kind.
+    #[must_use]
+    pub fn stop_kind(self) -> StopKind {
+        match self {
+            StopCause::Cancelled => StopKind::Cancelled,
+            StopCause::DeadlineExceeded => StopKind::Deadline,
+        }
+    }
 }
 
 impl std::fmt::Display for StopCause {
@@ -109,10 +119,24 @@ impl std::fmt::Display for StopCause {
 /// token.cancel();
 /// assert!(control.stop_cause().is_some());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct Control {
     cancel: Option<CancelToken>,
     deadline: Option<Instant>,
+    /// Telemetry sink. `None` means unobserved — [`Control::observe`]
+    /// stores `None` for disabled sinks (e.g. `NullObserver`), so the
+    /// observed-with-a-null-sink path is byte-for-byte the unobserved one.
+    observer: Option<Arc<dyn Observer>>,
+}
+
+impl std::fmt::Debug for Control {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Control")
+            .field("cancel", &self.cancel)
+            .field("deadline", &self.deadline)
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl Control {
@@ -164,6 +188,7 @@ impl Control {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
             },
+            observer: self.observer.clone(),
         }
     }
 
@@ -189,6 +214,91 @@ impl Control {
             }
         }
         None
+    }
+
+    /// Attaches a telemetry sink (builder style).
+    ///
+    /// A disabled sink (one whose [`Observer::enabled`] returns `false`,
+    /// i.e. `NullObserver`) is stored as *no* sink, so instrumented code
+    /// sees [`Control::observed`] `== false` and skips event construction
+    /// and per-job buffering entirely — the null-observed hot path is the
+    /// unobserved hot path.
+    #[must_use]
+    pub fn observe(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.observer = observer.enabled().then_some(observer);
+        self
+    }
+
+    /// A copy of this control with its sink replaced by `observer` (same
+    /// token and deadline). This is how parallel stages give each job its
+    /// own recording buffer for index-ordered replay.
+    #[must_use]
+    pub fn with_observer(&self, observer: Arc<dyn Observer>) -> Control {
+        self.clone().observe(observer)
+    }
+
+    /// A copy of this control that keeps only the sink: no token, no
+    /// deadline. Used by pipeline stages that must run to completion (e.g.
+    /// the bootstrap base fit) but should still be traced.
+    #[must_use]
+    pub fn observer_only(&self) -> Control {
+        Control {
+            cancel: None,
+            deadline: None,
+            observer: self.observer.clone(),
+        }
+    }
+
+    /// Whether an enabled telemetry sink is attached.
+    ///
+    /// Instrumented code checks this once per span and skips telemetry
+    /// work when `false`.
+    #[must_use]
+    pub fn observed(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// The attached sink, if any.
+    #[must_use]
+    pub fn observer(&self) -> Option<&Arc<dyn Observer>> {
+        self.observer.as_ref()
+    }
+
+    /// Records `event` into the attached sink (no-op when unobserved).
+    pub fn emit(&self, event: Event) {
+        if let Some(observer) = &self.observer {
+            observer.record(&event);
+        }
+    }
+
+    /// Records a counter increment, skipping zero deltas (no-op when
+    /// unobserved). Solvers batch counts in plain integer locals and flush
+    /// them here at termination.
+    pub fn count(&self, id: CounterId, delta: u64) {
+        if delta > 0 {
+            self.emit(Event::Counter { id, delta });
+        }
+    }
+
+    /// Polls the stop condition and, on a stop, emits a telemetry stop
+    /// event (tagged `deadline_exceeded` / `cancelled`, carrying the
+    /// evaluations consumed so far as its logical clock) before returning
+    /// the typed error.
+    ///
+    /// This is the solvers' cancellation point: allocation-free on the
+    /// continue path.
+    pub fn check_stop(&self, scope: &'static str, evaluations: usize) -> Result<(), OptimError> {
+        match self.stop_cause() {
+            None => Ok(()),
+            Some(cause) => {
+                self.emit(Event::Stop {
+                    scope,
+                    kind: cause.stop_kind(),
+                    evaluations: evaluations as u64,
+                });
+                Err(cause.into_error(evaluations))
+            }
+        }
     }
 }
 
@@ -258,6 +368,76 @@ mod tests {
         assert!(c.stop_cause().is_none());
         token.cancel();
         assert_eq!(c.stop_cause(), Some(StopCause::Cancelled));
+    }
+
+    #[test]
+    fn null_observer_is_stored_as_unobserved() {
+        use resilience_obs::{NullObserver, RecordingObserver};
+        let c = Control::unbounded().observe(Arc::new(NullObserver));
+        assert!(!c.observed());
+        let c = Control::unbounded().observe(Arc::new(RecordingObserver::new()));
+        assert!(c.observed());
+    }
+
+    #[test]
+    fn check_stop_emits_a_stop_event_with_the_logical_clock() {
+        use resilience_obs::{Event, RecordingObserver, StopKind};
+        let rec = Arc::new(RecordingObserver::new());
+        let token = CancelToken::new();
+        token.cancel();
+        let c = Control::with_token(&token).observe(rec.clone());
+        assert!(matches!(
+            c.check_stop("unit_test", 42),
+            Err(OptimError::Cancelled { evaluations: 42 })
+        ));
+        assert_eq!(
+            rec.take(),
+            vec![Event::Stop {
+                scope: "unit_test",
+                kind: StopKind::Cancelled,
+                evaluations: 42
+            }]
+        );
+        // The continue path emits nothing.
+        let c = Control::unbounded().observe(rec.clone());
+        assert!(c.check_stop("unit_test", 1).is_ok());
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn count_skips_zero_deltas() {
+        use resilience_obs::{CounterId, RecordingObserver};
+        let rec = Arc::new(RecordingObserver::new());
+        let c = Control::unbounded().observe(rec.clone());
+        c.count(CounterId::ObjectiveEvals, 0);
+        assert!(rec.is_empty());
+        c.count(CounterId::ObjectiveEvals, 5);
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn observer_only_strips_token_and_deadline_but_keeps_the_sink() {
+        use resilience_obs::RecordingObserver;
+        let token = CancelToken::new();
+        token.cancel();
+        let c = Control::with_deadline(Duration::ZERO)
+            .token(&token)
+            .observe(Arc::new(RecordingObserver::new()));
+        let inner = c.observer_only();
+        assert!(inner.stop_cause().is_none());
+        assert!(inner.observed());
+    }
+
+    #[test]
+    fn narrowed_and_with_observer_carry_the_sink() {
+        use resilience_obs::RecordingObserver;
+        let rec = Arc::new(RecordingObserver::new());
+        let c = Control::unbounded().observe(rec.clone());
+        assert!(c.narrowed(Duration::from_secs(1)).observed());
+        let swapped = c.with_observer(Arc::new(RecordingObserver::new()));
+        swapped.emit(resilience_obs::Event::StartBegan { index: 0 });
+        // The original sink did not receive the swapped control's event.
+        assert!(rec.is_empty());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 use crate::control::Control;
 use crate::report::{OptimReport, TerminationReason};
 use crate::OptimError;
+use resilience_obs::{CounterId, Event, SolverKind};
 use resilience_stats::rng::RandomSource;
 use std::cell::Cell;
 
@@ -170,22 +171,19 @@ where
         .collect();
     let mut fitness = Vec::with_capacity(pop_size);
     for p in &population {
-        if let Some(cause) = control.stop_cause() {
-            return Err(cause.into_error(evaluations.get()));
-        }
+        control.check_stop("differential_evolution", evaluations.get())?;
         fitness.push(eval(p));
     }
     if fitness.iter().all(|v| v.is_infinite()) {
         return Err(OptimError::AllStartsFailed { attempts: pop_size });
     }
 
+    let observed = control.observed();
     let mut generations = 0usize;
     let mut termination = TerminationReason::MaxIterations;
     let mut trial = vec![0.0; dims];
     for _gen in 0..config.max_generations {
-        if let Some(cause) = control.stop_cause() {
-            return Err(cause.into_error(evaluations.get()));
-        }
+        control.check_stop("differential_evolution", evaluations.get())?;
         generations += 1;
         for i in 0..pop_size {
             // Pick three distinct indices != i.
@@ -225,6 +223,14 @@ where
             }
         }
         let best = fitness.iter().cloned().fold(f64::INFINITY, f64::min);
+        if observed {
+            control.emit(Event::Iteration {
+                solver: SolverKind::DifferentialEvolution,
+                iteration: generations as u64,
+                evaluations: evaluations.get() as u64,
+                best,
+            });
+        }
         let worst_finite = fitness
             .iter()
             .cloned()
@@ -243,6 +249,16 @@ where
         .enumerate()
         .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
         .expect("population is non-empty");
+    if observed {
+        control.emit(Event::Converged {
+            solver: SolverKind::DifferentialEvolution,
+            iterations: generations as u64,
+            evaluations: evaluations.get() as u64,
+            value: best_val,
+            reason: termination.exit_reason(),
+        });
+        control.count(CounterId::ObjectiveEvals, evaluations.get() as u64);
+    }
     Ok(OptimReport {
         params: population[best_idx].clone(),
         value: best_val,
@@ -348,6 +364,44 @@ mod tests {
             ),
             Err(OptimError::TimedOut { .. })
         ));
+    }
+
+    #[test]
+    fn telemetry_traces_generations() {
+        use resilience_obs::{Event, RecordingObserver, SolverKind};
+        use std::sync::Arc;
+        let f = |p: &[f64]| (p[0] - 0.3).powi(2);
+        let rec = Arc::new(RecordingObserver::new());
+        let control = Control::unbounded().observe(rec.clone());
+        let report = differential_evolution_with_control(
+            &f,
+            &[(0.0, 1.0)],
+            &DeConfig::default(),
+            &mut rng(),
+            &control,
+        )
+        .unwrap();
+        let events = rec.take();
+        let generations = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Iteration {
+                        solver: SolverKind::DifferentialEvolution,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(generations, report.iterations);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Converged {
+                solver: SolverKind::DifferentialEvolution,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::problem::{forward_jacobian, LeastSquares};
 use crate::report::{OptimReport, TerminationReason};
 use crate::OptimError;
 use resilience_math::linalg::norm2;
+use resilience_obs::{CounterId, Event, SolverKind};
 
 /// Configuration for [`LevenbergMarquardt`].
 #[derive(Debug, Clone, PartialEq)]
@@ -168,11 +169,13 @@ impl LevenbergMarquardt {
         let mut lambda = self.config.initial_lambda;
         let mut iterations = 0usize;
         let mut termination = TerminationReason::MaxIterations;
+        let observed = control.observed();
+        // Damping-adaptation tallies, flushed as counter events only at
+        // termination so the solve/step loop stays allocation-free.
+        let (mut damping_up, mut damping_down) = (0u64, 0u64);
 
         while iterations < self.config.max_iterations {
-            if let Some(cause) = control.stop_cause() {
-                return Err(cause.into_error(evaluations));
-            }
+            control.check_stop("levenberg_marquardt", evaluations)?;
             iterations += 1;
             let jac = forward_jacobian(problem, &x)?;
             evaluations += n;
@@ -186,9 +189,7 @@ impl LevenbergMarquardt {
             // Inner loop: increase λ until a step decreases the SSE.
             let mut stepped = false;
             while lambda <= self.config.max_lambda {
-                if let Some(cause) = control.stop_cause() {
-                    return Err(cause.into_error(evaluations));
-                }
+                control.check_stop("levenberg_marquardt", evaluations)?;
                 // (JᵀJ + λ diag(JᵀJ)) δ = Jᵀr
                 let mut damped = jtj.clone();
                 for i in 0..n {
@@ -200,6 +201,7 @@ impl LevenbergMarquardt {
                     Ok(d) => d,
                     Err(_) => {
                         lambda *= self.config.lambda_factor;
+                        damping_up += 1;
                         continue;
                     }
                 };
@@ -220,6 +222,7 @@ impl LevenbergMarquardt {
                     residuals = cand_res;
                     sse = cand_sse;
                     lambda = (lambda / self.config.lambda_factor).max(1e-12);
+                    damping_down += 1;
                     stepped = true;
                     if improvement <= self.config.f_tol * (1.0 + sse)
                         || step_norm <= self.config.x_tol * (1.0 + norm2(&x))
@@ -229,6 +232,15 @@ impl LevenbergMarquardt {
                     break;
                 }
                 lambda *= self.config.lambda_factor;
+                damping_up += 1;
+            }
+            if observed {
+                control.emit(Event::Iteration {
+                    solver: SolverKind::LevenbergMarquardt,
+                    iteration: iterations as u64,
+                    evaluations: evaluations as u64,
+                    best: sse,
+                });
             }
             if !stepped {
                 // Damping maxed out without any acceptable step: the
@@ -241,6 +253,18 @@ impl LevenbergMarquardt {
             }
         }
 
+        if observed {
+            control.emit(Event::Converged {
+                solver: SolverKind::LevenbergMarquardt,
+                iterations: iterations as u64,
+                evaluations: evaluations as u64,
+                value: sse,
+                reason: termination.exit_reason(),
+            });
+            control.count(CounterId::ObjectiveEvals, evaluations as u64);
+            control.count(CounterId::LmDampingUp, damping_up);
+            control.count(CounterId::LmDampingDown, damping_down);
+        }
         Ok(OptimReport {
             params: x,
             value: sse,
@@ -397,6 +421,49 @@ mod tests {
         assert_eq!(a.params, b.params);
         assert_eq!(a.value, b.value);
         assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn telemetry_counts_damping_adjustments() {
+        use resilience_obs::{CounterId, Event, RecordingObserver, SolverKind};
+        use std::sync::Arc;
+        let p = exp_decay_problem(2.0, 0.3, 30);
+        let rec = Arc::new(RecordingObserver::new());
+        let control = Control::unbounded().observe(rec.clone());
+        let report = LevenbergMarquardt::new(LmConfig::default())
+            .minimize_with_control(&p, &[1.0, 0.1], &control)
+            .unwrap();
+        let events = rec.take();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Converged {
+                solver: SolverKind::LevenbergMarquardt,
+                ..
+            }
+        )));
+        // Every accepted outer step relaxes the damping exactly once.
+        let down: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter {
+                    id: CounterId::LmDampingDown,
+                    delta,
+                } => Some(*delta),
+                _ => None,
+            })
+            .sum();
+        assert!(down >= 1 && down <= report.iterations as u64);
+        let evals: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter {
+                    id: CounterId::ObjectiveEvals,
+                    delta,
+                } => Some(*delta),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(evals, report.evaluations as u64);
     }
 
     #[test]

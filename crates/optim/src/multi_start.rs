@@ -11,6 +11,8 @@ use crate::nelder_mead::{NelderMead, NelderMeadConfig};
 use crate::parallel::{run_indexed, Parallelism};
 use crate::report::OptimReport;
 use crate::OptimError;
+use resilience_obs::{replay, Event, HistogramId, RecordingObserver};
+use std::sync::Arc;
 
 /// Generates a full-factorial grid of starting points.
 ///
@@ -247,13 +249,48 @@ where
         ));
     }
     let optimizer = NelderMead::new(config.clone());
+    let observed = control.observed();
+    // When observed, each start records into its own private buffer; the
+    // buffers are replayed into the parent sink in start order below, so
+    // the event log is byte-identical for every thread count.
     let results = run_indexed(parallelism, starts.len(), |i| {
         let f = make_objective();
-        optimizer.minimize_with_control(&f, &starts[i], control)
+        if observed {
+            let rec = Arc::new(RecordingObserver::new());
+            let sub = control.with_observer(rec.clone());
+            sub.emit(Event::StartBegan { index: i as u32 });
+            let result = optimizer.minimize_with_control(&f, &starts[i], &sub);
+            if let Ok(report) = &result {
+                sub.emit(Event::Hist {
+                    id: HistogramId::EvalsPerStart,
+                    value: report.evaluations as u64,
+                });
+                sub.emit(Event::Hist {
+                    id: HistogramId::IterationsPerStart,
+                    value: report.iterations as u64,
+                });
+            }
+            (result, Some(rec.take()))
+        } else {
+            (
+                optimizer.minimize_with_control(&f, &starts[i], control),
+                None,
+            )
+        }
     });
+    // Replay every buffer before the reduction: a stopped run propagates a
+    // typed error below, and its trace (including the stop event) must
+    // reach the sink first.
+    if let Some(sink) = control.observer() {
+        for (_, buffer) in &results {
+            if let Some(events) = buffer {
+                replay(events, sink.as_ref());
+            }
+        }
+    }
     let mut best: Option<OptimReport> = None;
     let mut failures = 0usize;
-    for result in results {
+    for (result, _) in results {
         match result {
             Ok(report) => {
                 let better = match &best {
@@ -439,6 +476,71 @@ mod tests {
                 Err(OptimError::TimedOut { .. })
             ));
         }
+    }
+
+    #[test]
+    fn event_logs_are_identical_across_thread_counts() {
+        use crate::control::Control;
+        let make = || {
+            |p: &[f64]| {
+                let x = p[0];
+                ((x - 3.0) * (x + 2.0)).powi(2) + 0.1 * (x - 3.0).powi(2)
+            }
+        };
+        let starts: Vec<Vec<f64>> = (0..6).map(|i| vec![f64::from(i) - 3.0]).collect();
+        let cfg = NelderMeadConfig::default();
+        let trace = |parallelism: Parallelism| {
+            let rec = Arc::new(RecordingObserver::new());
+            let control = Control::unbounded().observe(rec.clone());
+            multi_start_nelder_mead_with_control(&make, &starts, &cfg, parallelism, &control)
+                .unwrap();
+            rec.take()
+        };
+        let serial = trace(Parallelism::Serial);
+        assert!(serial
+            .iter()
+            .any(|e| matches!(e, Event::StartBegan { index: 5 })));
+        assert!(serial.iter().any(|e| matches!(
+            e,
+            Event::Hist {
+                id: HistogramId::EvalsPerStart,
+                ..
+            }
+        )));
+        for p in [
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            assert_eq!(trace(p), serial, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn stopped_run_still_replays_its_stop_events() {
+        use crate::control::Control;
+        use resilience_obs::StopKind;
+        use std::time::Duration;
+        let make = || |p: &[f64]| (p[0] - 1.0).powi(2);
+        let starts = vec![vec![0.0], vec![5.0]];
+        let rec = Arc::new(RecordingObserver::new());
+        let control = Control::with_deadline(Duration::ZERO).observe(rec.clone());
+        let result = multi_start_nelder_mead_with_control(
+            &make,
+            &starts,
+            &NelderMeadConfig::default(),
+            Parallelism::Fixed(2),
+            &control,
+        );
+        assert!(matches!(result, Err(OptimError::TimedOut { .. })));
+        let events = rec.take();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Stop {
+                kind: StopKind::Deadline,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::control::Control;
 use crate::report::{OptimReport, TerminationReason};
 use crate::OptimError;
+use resilience_obs::{CounterId, Event, SolverKind};
 use std::cell::Cell;
 
 /// Configuration for [`NelderMead`].
@@ -170,9 +171,7 @@ impl NelderMead {
         let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
         simplex.push((x0.to_vec(), f0));
         for i in 0..n {
-            if let Some(cause) = control.stop_cause() {
-                return Err(cause.into_error(evaluations.get()));
-            }
+            control.check_stop("nelder_mead", evaluations.get())?;
             let mut v = x0.to_vec();
             let step = self.config.initial_step * (1.0 + x0[i].abs());
             v[i] += step;
@@ -185,7 +184,13 @@ impl NelderMead {
         sort(&mut simplex);
 
         let cfg = &self.config;
+        let observed = control.observed();
         let mut iterations = 0usize;
+        // Step-type tallies, batched as plain integer locals and flushed as
+        // counter events only at termination — the iteration loop stays
+        // allocation-free whether or not a sink is attached.
+        let (mut reflections, mut expansions, mut contractions, mut shrinks) =
+            (0u64, 0u64, 0u64, 0u64);
         // Work buffers reused across iterations — the simplex update loop
         // below performs no heap allocation (the stop poll is one atomic
         // load plus one clock read).
@@ -193,9 +198,7 @@ impl NelderMead {
         let mut reflected = vec![0.0; n];
         let mut extra = vec![0.0; n];
         let termination = loop {
-            if let Some(cause) = control.stop_cause() {
-                return Err(cause.into_error(evaluations.get()));
-            }
+            control.check_stop("nelder_mead", evaluations.get())?;
             if iterations >= cfg.max_iterations {
                 break TerminationReason::MaxIterations;
             }
@@ -242,13 +245,16 @@ impl NelderMead {
                 }
                 let fe = eval(&extra);
                 if fe < fr {
+                    expansions += 1;
                     simplex[n].0.copy_from_slice(&extra);
                     simplex[n].1 = fe;
                 } else {
+                    reflections += 1;
                     simplex[n].0.copy_from_slice(&reflected);
                     simplex[n].1 = fr;
                 }
             } else if fr < simplex[n - 1].1 {
+                reflections += 1;
                 simplex[n].0.copy_from_slice(&reflected);
                 simplex[n].1 = fr;
             } else {
@@ -264,9 +270,11 @@ impl NelderMead {
                 }
                 let fc = eval(&extra);
                 if fc < simplex[n].1.min(fr) {
+                    contractions += 1;
                     simplex[n].0.copy_from_slice(&extra);
                     simplex[n].1 = fc;
                 } else {
+                    shrinks += 1;
                     // Shrink toward the best vertex (in place; each
                     // coordinate update only reads its own old value).
                     let (best, rest) = simplex.split_first_mut().expect("simplex non-empty");
@@ -279,9 +287,31 @@ impl NelderMead {
                 }
             }
             sort(&mut simplex);
+            if observed {
+                control.emit(Event::Iteration {
+                    solver: SolverKind::NelderMead,
+                    iteration: iterations as u64,
+                    evaluations: evaluations.get() as u64,
+                    best: simplex[0].1,
+                });
+            }
         };
 
         let (params, value) = simplex.swap_remove(0);
+        if observed {
+            control.emit(Event::Converged {
+                solver: SolverKind::NelderMead,
+                iterations: iterations as u64,
+                evaluations: evaluations.get() as u64,
+                value,
+                reason: termination.exit_reason(),
+            });
+            control.count(CounterId::ObjectiveEvals, evaluations.get() as u64);
+            control.count(CounterId::NmReflections, reflections);
+            control.count(CounterId::NmExpansions, expansions);
+            control.count(CounterId::NmContractions, contractions);
+            control.count(CounterId::NmShrinks, shrinks);
+        }
         Ok(OptimReport {
             params,
             value,
@@ -461,6 +491,94 @@ mod tests {
         assert_eq!(plain.params, controlled.params);
         assert_eq!(plain.value, controlled.value);
         assert_eq!(plain.evaluations, controlled.evaluations);
+    }
+
+    #[test]
+    fn telemetry_traces_iterations_and_flushes_counters() {
+        use resilience_obs::{CounterId, Event, RecordingObserver, SolverKind};
+        use std::sync::Arc;
+        let rec = Arc::new(RecordingObserver::new());
+        let control = Control::unbounded().observe(rec.clone());
+        let report = NelderMead::new(NelderMeadConfig::default())
+            .minimize_with_control(&sphere, &[3.0, -4.0], &control)
+            .unwrap();
+        let events = rec.take();
+
+        // The final pass that only *detects* convergence increments the
+        // iteration count but performs no simplex step, so it emits no
+        // Iteration event.
+        let iterations = events
+            .iter()
+            .filter(|e| matches!(e, Event::Iteration { .. }))
+            .count();
+        assert!(
+            iterations == report.iterations || iterations + 1 == report.iterations,
+            "{iterations} events vs {} iterations",
+            report.iterations
+        );
+        // Exactly one terminal event, carrying the report's totals.
+        let terminal: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Converged {
+                    solver,
+                    iterations,
+                    evaluations,
+                    ..
+                } => Some((*solver, *iterations, *evaluations)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            terminal,
+            vec![(
+                SolverKind::NelderMead,
+                report.iterations as u64,
+                report.evaluations as u64
+            )]
+        );
+        // The flushed eval counter matches the report.
+        let evals: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter {
+                    id: CounterId::ObjectiveEvals,
+                    delta,
+                } => Some(*delta),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(evals, report.evaluations as u64);
+        // Step-type counters account for every stepped iteration.
+        let steps: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter {
+                    id:
+                        CounterId::NmReflections
+                        | CounterId::NmExpansions
+                        | CounterId::NmContractions
+                        | CounterId::NmShrinks,
+                    delta,
+                } => Some(*delta),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(steps, iterations as u64);
+    }
+
+    #[test]
+    fn telemetry_is_identical_to_untraced_run() {
+        use resilience_obs::RecordingObserver;
+        use std::sync::Arc;
+        let plain = NelderMead::new(NelderMeadConfig::default())
+            .minimize(&sphere, &[3.0, -4.0])
+            .unwrap();
+        let control = Control::unbounded().observe(Arc::new(RecordingObserver::new()));
+        let traced = NelderMead::new(NelderMeadConfig::default())
+            .minimize_with_control(&sphere, &[3.0, -4.0], &control)
+            .unwrap();
+        assert_eq!(plain, traced);
     }
 
     #[test]

@@ -13,6 +13,18 @@ pub enum TerminationReason {
     Stalled,
 }
 
+impl TerminationReason {
+    /// The matching telemetry exit reason.
+    #[must_use]
+    pub fn exit_reason(self) -> resilience_obs::ExitReason {
+        match self {
+            TerminationReason::Converged => resilience_obs::ExitReason::Converged,
+            TerminationReason::MaxIterations => resilience_obs::ExitReason::MaxIterations,
+            TerminationReason::Stalled => resilience_obs::ExitReason::Stalled,
+        }
+    }
+}
+
 impl std::fmt::Display for TerminationReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -30,6 +30,24 @@ timeout -k 30 "$TEST_TIMEOUT" cargo test -q --test fault_injection --test golden
 echo "==> cargo test -q --test runtime_resilience (smoke, hard cap ${SMOKE_TIMEOUT}s)"
 timeout -k 30 "$SMOKE_TIMEOUT" cargo test -q --test runtime_resilience
 
+echo "==> telemetry smoke: traced example -> JSONL log -> fitlog replay (hard cap ${SMOKE_TIMEOUT}s)"
+FITLOG_SMOKE="$(mktemp -t fitlog_smoke.XXXXXX.jsonl)"
+trap 'rm -f "$FITLOG_SMOKE"' EXIT
+FITLOG_PATH="$FITLOG_SMOKE" timeout -k 30 "$SMOKE_TIMEOUT" \
+    cargo run -q --release --example traced_ranking > /dev/null
+test -s "$FITLOG_SMOKE" || {
+    echo "telemetry smoke: example wrote no event log" >&2
+    exit 1
+}
+# The log must parse and replay into a report (fitlog exits non-zero on a
+# malformed line), and the report must cover the example's family pool.
+timeout -k 30 "$SMOKE_TIMEOUT" \
+    cargo run -q --release -p resilience-bench --bin fitlog -- "$FITLOG_SMOKE" \
+    | grep -q "Quadratic" || {
+    echo "telemetry smoke: fitlog replay missing expected family row" >&2
+    exit 1
+}
+
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 

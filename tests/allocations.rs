@@ -13,11 +13,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use resilience_core::bathtub::{CompetingRisksFamily, QuadraticFamily, QuarticFamily};
 use resilience_core::extended::{CrashRecoveryFamily, DoubleBathtubFamily};
-use resilience_core::fit::{fit_least_squares, FitConfig};
+use resilience_core::fit::{fit_least_squares, fit_least_squares_with, FitConfig};
 use resilience_core::mixture::MixtureFamily;
 use resilience_core::model::ModelFamily;
 use resilience_data::recessions::Recession;
-use resilience_optim::Parallelism;
+use resilience_obs::NullObserver;
+use resilience_optim::{Control, Parallelism};
+use std::sync::Arc;
 
 struct CountingAllocator;
 
@@ -206,5 +208,43 @@ fn nelder_mead_iterations_do_not_allocate() {
         short, long,
         "10x the Nelder-Mead iterations changed the allocation count \
          ({short} vs {long}) - the iteration loop allocates"
+    );
+}
+
+/// Attaching the default telemetry sink must not cost the hot path
+/// anything: `Control::observe` drops disabled sinks at attach time, so a
+/// `NullObserver`-observed fit takes the same code path — and the exact
+/// same allocation count — as an unobserved one (DESIGN.md §10).
+#[test]
+fn null_observer_keeps_the_fit_allocation_footprint() {
+    let series = Recession::R1990_93.payroll_index();
+    // Wei-Exp mixture: slow to converge, so the run hits the iteration
+    // cap and the per-iteration path dominates.
+    let family = &MixtureFamily::paper_combinations()[1];
+    let mut config = FitConfig {
+        lm_polish: false,
+        parallelism: Parallelism::Serial,
+        max_starts: 1,
+        ..FitConfig::default()
+    };
+    config.nelder_mead.max_iterations = 200;
+
+    let count_fit = |control: &Control| -> u64 {
+        min_delta(5, || {
+            let fit = fit_least_squares_with(family, &series, &config, control).unwrap();
+            assert!(fit.sse.is_finite());
+        })
+    };
+
+    let unobserved = Control::unbounded();
+    let null_observed = Control::unbounded().observe(Arc::new(NullObserver));
+    // Warm-up to populate any lazily initialized state.
+    count_fit(&unobserved);
+    let plain = count_fit(&unobserved);
+    let nulled = count_fit(&null_observed);
+    assert_eq!(
+        plain, nulled,
+        "a NullObserver-observed fit allocated differently ({nulled}) \
+         from an unobserved one ({plain})"
     );
 }
