@@ -13,18 +13,18 @@
 //! bit-identical to the serial ones (they must always be — see
 //! DESIGN.md §Performance & determinism).
 
-use resilience_bench::harness::{bench_with_budget, Measurement, SpeedupReport};
+use resilience_bench::harness::{bench_with_budget, FamilyTiming, Measurement, SpeedupReport};
 use resilience_core::bathtub::{CompetingRisksFamily, QuadraticFamily};
 use resilience_core::bootstrap::{
     bootstrap_band, bootstrap_band_with, BootstrapBand, BootstrapConfig,
 };
-use resilience_core::fit::FitConfig;
+use resilience_core::fit::{fit_least_squares, FitConfig};
 use resilience_core::mixture::MixtureFamily;
 use resilience_core::model::ModelFamily;
 use resilience_core::runtime::{rank_models_supervised, Control, ExecPolicy};
 use resilience_core::selection::{rank_models, Ranking};
 use resilience_data::recessions::Recession;
-use resilience_obs::{Event, RecordingObserver, RunReport};
+use resilience_obs::{Event, HistogramId, RecordingObserver, RunReport};
 use resilience_optim::Parallelism;
 use std::sync::Arc;
 
@@ -53,11 +53,27 @@ fn paper_families(mixtures: &[MixtureFamily]) -> Vec<&dyn ModelFamily> {
 /// Aggregates an observed run's event buffer into named counter totals
 /// for the `BENCH_*.json` baseline. The timed passes stay unobserved;
 /// this comes from one extra correctness pass.
-fn run_counters(events: Vec<Event>) -> Vec<(String, u64)> {
-    RunReport::from_events(events)
+fn run_counters(report: &RunReport) -> Vec<(String, u64)> {
+    report
         .counters
         .iter()
         .map(|(id, v)| (id.as_str().to_string(), *v))
+        .collect()
+}
+
+/// Raw `evals_per_fit` observations in fit order, straight from the
+/// event stream (the [`RunReport`] histogram buckets them; the baseline
+/// keeps the exact values so regressions diff per fit).
+fn evals_per_fit(events: &[Event]) -> Vec<u64> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Hist {
+                id: HistogramId::EvalsPerFit,
+                value,
+            } => Some(*value),
+            _ => None,
+        })
         .collect()
 }
 
@@ -104,7 +120,30 @@ fn bench_fitting() -> SpeedupReport {
         &Control::unbounded().observe(rec.clone()),
     )
     .expect("observed rank_models");
-    let counters = run_counters(rec.take());
+    let events = rec.take();
+    let fit_evals = evals_per_fit(&events);
+    let observed = RunReport::from_events(events);
+    let counters = run_counters(&observed);
+
+    // Per-family timing attribution: each family fitted alone, serial.
+    let per_family: Vec<FamilyTiming> = families
+        .iter()
+        .map(|fam| {
+            let cfg = config(Parallelism::Serial);
+            let m = bench_with_budget(fam.name(), WARMUP, SAMPLES, BUDGET, || {
+                fit_least_squares(*fam, &series, &cfg).expect("family fit")
+            });
+            FamilyTiming {
+                name: fam.name().to_string(),
+                evaluations: observed
+                    .families
+                    .iter()
+                    .find(|f| f.name == fam.name())
+                    .map_or(0, |f| f.evaluations),
+                median_ns: m.median_ns(),
+            }
+        })
+        .collect();
 
     let time = |name: &str, p: Parallelism| -> Measurement {
         let cfg = config(p);
@@ -119,6 +158,8 @@ fn bench_fitting() -> SpeedupReport {
         parallel: time("parallel_auto", Parallelism::Auto),
         identical,
         counters,
+        evals_per_fit: fit_evals,
+        per_family,
         context: vec![
             ("series".into(), "1990-93 payroll index".into()),
             ("families".into(), families.len().to_string()),
@@ -161,7 +202,9 @@ fn bench_bootstrap() -> SpeedupReport {
         &Control::unbounded().observe(rec.clone()),
     )
     .expect("observed bootstrap_band");
-    let counters = run_counters(rec.take());
+    let events = rec.take();
+    let fit_evals = evals_per_fit(&events);
+    let counters = run_counters(&RunReport::from_events(events));
 
     let time = |name: &str, p: Parallelism| -> Measurement {
         let cfg = config(p);
@@ -176,6 +219,8 @@ fn bench_bootstrap() -> SpeedupReport {
         parallel: time("parallel_auto", Parallelism::Auto),
         identical,
         counters,
+        evals_per_fit: fit_evals,
+        per_family: Vec::new(),
         context: vec![
             ("series".into(), "1990-93 payroll index".into()),
             ("family".into(), "Quadratic".into()),
@@ -213,7 +258,67 @@ fn write_report(path: &str, report: &SpeedupReport) -> bool {
     true
 }
 
+/// CI ceiling for the median evals-per-fit of one `rank_models` pass
+/// over the six paper families on 1990-93 (scripts/verify.sh `--smoke`).
+/// The §11 speed layer (basin-finding Nelder–Mead + analytic-Jacobian
+/// polish) lands the median near 635; the ceiling leaves headroom for
+/// tolerance tweaks while still catching a regression to the pre-§11
+/// exhaustive-simplex profile (median well above 2000).
+const SMOKE_EVALS_PER_FIT_CEILING: u64 = 1200;
+
+/// Fast determinism + work-profile guard for `scripts/verify.sh`: one
+/// serial-vs-`Fixed(2)` `rank_models` comparison must be bit-identical,
+/// and the median evals-per-fit must stay under
+/// [`SMOKE_EVALS_PER_FIT_CEILING`]. No baseline files are touched.
+fn smoke() -> bool {
+    let series = Recession::R1990_93.payroll_index();
+    let mixtures = MixtureFamily::paper_combinations();
+    let families = paper_families(&mixtures);
+    let config = |p: Parallelism| FitConfig {
+        parallelism: p,
+        ..FitConfig::default()
+    };
+
+    let serial =
+        rank_models(&families, &series, &config(Parallelism::Serial)).expect("serial rank_models");
+    let fixed2 = rank_models(&families, &series, &config(Parallelism::Fixed(2)))
+        .expect("fixed(2) rank_models");
+    let identical = rankings_identical(&serial, &fixed2);
+
+    let rec = Arc::new(RecordingObserver::new());
+    rank_models_supervised(
+        &families,
+        &series,
+        &config(Parallelism::Serial),
+        &ExecPolicy::default(),
+        &Control::unbounded().observe(rec.clone()),
+    )
+    .expect("observed rank_models");
+    let mut evals = evals_per_fit(&rec.take());
+    evals.sort_unstable();
+    let median = evals.get(evals.len() / 2).copied().unwrap_or(0);
+
+    println!(
+        "smoke: identical={identical} evals_per_fit={evals:?} median={median} (ceiling {SMOKE_EVALS_PER_FIT_CEILING})"
+    );
+    if !identical {
+        eprintln!("smoke: serial vs Fixed(2) rank_models outputs differ — determinism broken");
+    }
+    if median > SMOKE_EVALS_PER_FIT_CEILING {
+        eprintln!(
+            "smoke: median evals-per-fit {median} exceeds ceiling {SMOKE_EVALS_PER_FIT_CEILING}"
+        );
+    }
+    identical && median <= SMOKE_EVALS_PER_FIT_CEILING
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        if !smoke() {
+            std::process::exit(1);
+        }
+        return;
+    }
     println!(
         "predictive-resilience micro-bench (warmup {WARMUP}, min of {SAMPLES}, {} cores)",
         cores()

@@ -141,6 +141,34 @@ pub fn bench_with_budget<T, F: FnMut() -> T>(
     }
 }
 
+/// Per-family work/time attribution inside one benchmarked operation
+/// (DESIGN.md §11): wall-clock drifts with the machine, so baselines are
+/// diffed family-by-family to tell "one family got slower" from "the
+/// machine got slower".
+#[derive(Debug, Clone)]
+pub struct FamilyTiming {
+    /// Family name as reported by the fit events.
+    pub name: String,
+    /// Objective evaluations charged to this family in the observed
+    /// correctness pass (deterministic).
+    pub evaluations: u64,
+    /// Median wall-clock of fitting this family alone, serial.
+    pub median_ns: u128,
+}
+
+impl FamilyTiming {
+    /// JSON object for this family's row.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\": \"{}\", \"evaluations\": {}, \"median_ns\": {}}}",
+            json_escape(&self.name),
+            self.evaluations,
+            self.median_ns
+        )
+    }
+}
+
 /// A serial-vs-parallel comparison for one pipeline stage, serialized to
 /// a `BENCH_*.json` file by the `bench` binary.
 #[derive(Debug, Clone)]
@@ -164,6 +192,14 @@ pub struct SpeedupReport {
     /// so a perf regression can be split into "more work" vs "slower
     /// work" by diffing baselines.
     pub counters: Vec<(String, u64)>,
+    /// Raw `evals_per_fit` histogram observations from the observed
+    /// correctness pass, in fit order — the per-fit work profile the
+    /// warm-start/analytic-Jacobian layer (DESIGN.md §11) is meant to
+    /// shrink. Deterministic, so regressions diff exactly.
+    pub evals_per_fit: Vec<u64>,
+    /// Per-family work and timing attribution; empty when the benchmark
+    /// runs a single family already named in `context`.
+    pub per_family: Vec<FamilyTiming>,
     /// Free-form context keys (series name, replicate count, …).
     pub context: Vec<(String, String)>,
 }
@@ -188,8 +224,10 @@ impl SpeedupReport {
             .iter()
             .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
             .collect();
+        let evals: Vec<String> = self.evals_per_fit.iter().map(u64::to_string).collect();
+        let per_family: Vec<String> = self.per_family.iter().map(FamilyTiming::to_json).collect();
         format!(
-            "{{\n  \"benchmark\": \"{}\",\n  \"cores\": {},\n  \"identical\": {},\n  \"speedup\": {:.3},\n  \"serial\": {},\n  \"parallel\": {},\n  \"counters\": {{{}}},\n  \"context\": {{{}}}\n}}\n",
+            "{{\n  \"benchmark\": \"{}\",\n  \"cores\": {},\n  \"identical\": {},\n  \"speedup\": {:.3},\n  \"serial\": {},\n  \"parallel\": {},\n  \"counters\": {{{}}},\n  \"evals_per_fit\": [{}],\n  \"per_family\": [{}],\n  \"context\": {{{}}}\n}}\n",
             json_escape(&self.benchmark),
             self.cores,
             self.identical,
@@ -197,6 +235,8 @@ impl SpeedupReport {
             self.serial.to_json(),
             self.parallel.to_json(),
             counters.join(", "),
+            evals.join(", "),
+            per_family.join(", "),
             context.join(", ")
         )
     }
@@ -287,6 +327,12 @@ mod tests {
             },
             identical: true,
             counters: vec![("objective_evals".into(), 1234)],
+            evals_per_fit: vec![400, 350],
+            per_family: vec![FamilyTiming {
+                name: "Quadratic".into(),
+                evaluations: 400,
+                median_ns: 99,
+            }],
             context: vec![("series".into(), "1990-93".into())],
         };
         assert!((report.speedup() - 4.0).abs() < 1e-12);
@@ -298,6 +344,8 @@ mod tests {
             "\"speedup\": 4.000",
             "\"min_ns\": 400",
             "\"objective_evals\": 1234",
+            "\"evals_per_fit\": [400, 350]",
+            "\"name\": \"Quadratic\", \"evaluations\": 400, \"median_ns\": 99",
             "\"series\": \"1990-93\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");

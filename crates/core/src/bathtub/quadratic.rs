@@ -1,9 +1,11 @@
 //! The quadratic bathtub model (paper Eq. 1–3).
 
-use crate::model::{ModelFamily, ResilienceModel};
+use crate::model::{ModelFamily, ResilienceModel, SSE_BATCH_WIDTH};
 use crate::CoreError;
 use resilience_data::PerformanceSeries;
+use resilience_math::linalg::Matrix;
 use resilience_math::poly::{quadratic_roots, Polynomial};
+use resilience_math::sum::CompensatedSum;
 
 /// Quadratic bathtub resilience curve `P(t) = α + βt + γt²`
 /// (paper Eq. 1).
@@ -254,6 +256,98 @@ impl ModelFamily for QuadraticFamily {
             gamma: params[2],
         };
         model.predict_into(ts, out);
+        true
+    }
+
+    /// Hand-derived partials through the internal map `α = e^{u₀}`,
+    /// `s = σ(u₁)` (clamped), `γ = e^{u₂}`, `β = −2√(αγ)·s`:
+    ///
+    /// * `∂P/∂u₀ = α + (β/2)·t` — both `α` and `√α` scale with `e^{u₀}`,
+    ///   and `∂β/∂u₀ = β/2`.
+    /// * `∂P/∂u₁ = −2√(αγ)·s(1−s)·t` — the logistic derivative, zero
+    ///   where the clamp is active (the map is flat there).
+    /// * `∂P/∂u₂ = (β/2)·t + γt²` — mirror of `u₀` plus the quadratic
+    ///   term.
+    fn predict_jacobian_into(
+        &self,
+        internal: &[f64],
+        params: &[f64],
+        ts: &[f64],
+        out: &mut Matrix,
+    ) -> bool {
+        if internal.len() != 3
+            || params.len() != 3
+            || !QuadraticModel::feasible(params[0], params[1], params[2])
+        {
+            return false;
+        }
+        let (alpha, beta, gamma) = (params[0], params[1], params[2]);
+        let s = (1.0 / (1.0 + (-internal[1]).exp())).clamp(1e-9, 1.0 - 1e-9);
+        let ds = if s > 1e-9 && s < 1.0 - 1e-9 {
+            s * (1.0 - s)
+        } else {
+            0.0
+        };
+        let slope_u1 = -2.0 * (alpha * gamma).sqrt() * ds;
+        let half_beta = 0.5 * beta;
+        for (i, &t) in ts.iter().enumerate() {
+            out[(i, 0)] = alpha + half_beta * t;
+            out[(i, 1)] = slope_u1 * t;
+            out[(i, 2)] = half_beta * t + gamma * t * t;
+        }
+        true
+    }
+
+    fn sse_batch_into(&self, internals: &[f64], ts: &[f64], ys: &[f64], out: &mut [f64]) -> bool {
+        const W: usize = SSE_BATCH_WIDTH;
+        assert_eq!(
+            internals.len(),
+            3 * out.len(),
+            "QuadraticFamily::sse_batch_into: internals.len() must be 3 * out.len()"
+        );
+        assert_eq!(ts.len(), ys.len(), "sse_batch_into: ts/ys length mismatch");
+        for (chunk_idx, chunk) in out.chunks_mut(W).enumerate() {
+            let base = chunk_idx * W;
+            let k = chunk.len();
+            // SoA lanes: one stack array per parameter so the t-loop below
+            // reads contiguous lanes the autovectorizer can keep in registers.
+            let mut alphas = [0.0; W];
+            let mut betas = [0.0; W];
+            let mut gammas = [0.0; W];
+            let mut live = [false; W];
+            for i in 0..k {
+                let u = &internals[(base + i) * 3..(base + i) * 3 + 3];
+                // Identical arithmetic to `internal_to_params_into`.
+                let alpha = u[0].exp();
+                let s = (1.0 / (1.0 + (-u[1]).exp())).clamp(1e-9, 1.0 - 1e-9);
+                let gamma = u[2].exp();
+                let beta = -2.0 * (alpha * gamma).sqrt() * s;
+                alphas[i] = alpha;
+                betas[i] = beta;
+                gammas[i] = gamma;
+                live[i] = QuadraticModel::feasible(alpha, beta, gamma);
+            }
+            let mut sums = [CompensatedSum::new(); W];
+            let mut finite = [true; W];
+            for (&t, &y) in ts.iter().zip(ys) {
+                for i in 0..k {
+                    // Same association as the scalar `predict_into`.
+                    let pred = alphas[i] + betas[i] * t + gammas[i] * t * t;
+                    if !pred.is_finite() {
+                        finite[i] = false;
+                    }
+                    let d = y - pred;
+                    sums[i].add(d * d);
+                }
+            }
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = if live[i] && finite[i] {
+                    sums[i].value()
+                } else {
+                    f64::INFINITY
+                };
+            }
+        }
         true
     }
 

@@ -438,13 +438,32 @@ impl ModelFamily for SeededFamily<'_> {
     }
 
     // Forward the allocation-free hot-path hooks so replicate refits keep
-    // the wrapped family's specialized implementations.
+    // the wrapped family's specialized implementations — including the
+    // analytic Jacobian and the batched SSE kernel.
     fn internal_to_params_into(&self, internal: &[f64], out: &mut [f64]) {
         self.inner.internal_to_params_into(internal, out);
     }
 
     fn predict_params_into(&self, params: &[f64], ts: &[f64], out: &mut [f64]) -> bool {
         self.inner.predict_params_into(params, ts, out)
+    }
+
+    fn predict_jacobian_into(
+        &self,
+        internal: &[f64],
+        params: &[f64],
+        ts: &[f64],
+        out: &mut resilience_math::linalg::Matrix,
+    ) -> bool {
+        self.inner.predict_jacobian_into(internal, params, ts, out)
+    }
+
+    fn sse_batch_into(&self, internals: &[f64], ts: &[f64], ys: &[f64], out: &mut [f64]) -> bool {
+        self.inner.sse_batch_into(internals, ts, ys, out)
+    }
+
+    fn nm_iteration_scale(&self) -> usize {
+        self.inner.nm_iteration_scale()
     }
 }
 

@@ -275,6 +275,13 @@ impl ModelFamily for CrashRecoveryFamily {
         5
     }
 
+    /// The crash discontinuity makes the pre/post-crash segments trade
+    /// off through the shared `p_inf`, so give this five-parameter
+    /// landscape the same doubled walk as the other extended shape.
+    fn nm_iteration_scale(&self) -> usize {
+        2
+    }
+
     fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
         assert_eq!(
             internal.len(),

@@ -185,6 +185,15 @@ impl ModelFamily for DoubleBathtubFamily {
         6
     }
 
+    /// Two dips resolve sequentially: the simplex settles the first
+    /// episode before the second's depth/onset/width move, so the walk
+    /// runs roughly twice as long as a single-episode fit (the 1981-83
+    /// double-dip recession needs ~1000 iterations where the paper
+    /// families finish near 150).
+    fn nm_iteration_scale(&self) -> usize {
+        2
+    }
+
     fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
         assert_eq!(
             internal.len(),

@@ -10,15 +10,49 @@ use crate::guard::{self, Violation};
 use crate::model::{ModelFamily, ResilienceModel};
 use crate::CoreError;
 use resilience_data::PerformanceSeries;
+use resilience_math::linalg::Matrix;
 use resilience_math::sum::sum_squared_diff;
 use resilience_obs::{Event, HistogramId};
 use resilience_optim::levenberg_marquardt::{LevenbergMarquardt, LmConfig};
 use resilience_optim::multi_start::multi_start_nelder_mead_with_control;
-use resilience_optim::nelder_mead::NelderMeadConfig;
-use resilience_optim::problem::ClosureLeastSquares;
-use resilience_optim::report::TerminationReason;
-use resilience_optim::{Control, OptimError, Parallelism};
+use resilience_optim::nelder_mead::{NelderMead, NelderMeadConfig};
+use resilience_optim::problem::LeastSquares;
+use resilience_optim::report::{OptimReport, TerminationReason};
+use resilience_optim::{Control, Objective, OptimError, Parallelism};
 use std::cell::RefCell;
+
+/// Default evaluation budget under which a converged warm-start probe
+/// short-circuits the cold multi-start phase (see [`WarmStart`]).
+pub const DEFAULT_WARM_EVAL_BUDGET: usize = 600;
+
+/// Warm-start seeding for [`fit_least_squares`].
+///
+/// When present in [`FitConfig::warm_start`], the fit first runs a single
+/// Nelder–Mead probe seeded from `params` (typically a previous point-fit
+/// optimum — bootstrap replicates and runtime retries resample *around*
+/// the same basin, so the old optimum is almost always in it). A probe
+/// that converges within `max_evaluations` objective evaluations
+/// short-circuits the cold multi-start entirely; otherwise the cold phase
+/// runs as usual and the better of the two results wins, with the warm
+/// result keeping ties (it is conceptually start 0).
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// External (feasible) parameters to seed from.
+    pub params: Vec<f64>,
+    /// Evaluation budget for the short-circuit test.
+    pub max_evaluations: usize,
+}
+
+impl WarmStart {
+    /// Warm start from `params` with [`DEFAULT_WARM_EVAL_BUDGET`].
+    #[must_use]
+    pub fn new(params: Vec<f64>) -> Self {
+        WarmStart {
+            params,
+            max_evaluations: DEFAULT_WARM_EVAL_BUDGET,
+        }
+    }
+}
 
 /// Configuration for [`fit_least_squares`].
 #[derive(Debug, Clone)]
@@ -35,21 +69,36 @@ pub struct FitConfig {
     /// Thread fan-out for the multi-start phase. Every setting produces
     /// bit-identical results; see `DESIGN.md` §Performance & determinism.
     pub parallelism: Parallelism,
+    /// Optional warm start (previous optimum); see [`WarmStart`].
+    pub warm_start: Option<WarmStart>,
 }
 
 impl Default for FitConfig {
     fn default() -> Self {
         FitConfig {
+            // Basin-finding tolerances: Nelder–Mead only needs to land in
+            // the right basin, because the Levenberg–Marquardt polish
+            // (analytic Jacobians, DESIGN.md §11) drives the winner to
+            // machine-precision optimality far faster than simplex
+            // contraction would. Tightening these back to {1e-13, 1e-9}
+            // reproduces the pre-§11 fits but costs ~2.5x the wall clock
+            // for SSE changes below 1e-10.
+            // The iteration cap only binds for the 5–6 parameter extended
+            // families (the paper's 3-parameter families converge by
+            // tolerance near ~150 iterations); those families scale it
+            // via [`ModelFamily::nm_iteration_scale`] — 600×2 covers the
+            // ~1000 iterations a double-episode fit needs to settle.
             nelder_mead: NelderMeadConfig {
-                max_iterations: 4000,
-                f_tol: 1e-13,
-                x_tol: 1e-9,
+                max_iterations: 600,
+                f_tol: 1e-7,
+                x_tol: 1e-5,
                 ..NelderMeadConfig::default()
             },
             lm_polish: true,
             lm: LmConfig::default(),
             max_starts: 24,
             parallelism: Parallelism::Auto,
+            warm_start: None,
         }
     }
 }
@@ -64,10 +113,13 @@ pub struct FittedModel {
     pub sse: f64,
     /// Number of objective evaluations consumed across all starts.
     pub evaluations: usize,
-    /// Whether the winning multi-start run terminated by convergence
-    /// (rather than hitting its iteration budget). A non-converged fit is
-    /// still usable — it is the best point found — but it is what
-    /// [`crate::runtime::RetryPolicy`] retries with jittered starts.
+    /// Whether the winning Nelder–Mead run *or* the Levenberg–Marquardt
+    /// polish terminated by convergence (rather than hitting an iteration
+    /// budget). The default Nelder–Mead tolerances are basin-finding
+    /// loose, so the polish converging is the usual certificate. A
+    /// non-converged fit is still usable — it is the best point found —
+    /// but it is what [`crate::runtime::RetryPolicy`] retries with
+    /// jittered starts.
     pub converged: bool,
 }
 
@@ -80,6 +132,118 @@ impl std::fmt::Debug for FittedModel {
             .field("evaluations", &self.evaluations)
             .field("converged", &self.converged)
             .finish()
+    }
+}
+
+/// The SSE objective over a family's internal space, with reusable
+/// scratch so one evaluation allocates nothing. Implements the optimizer
+/// [`Objective`] trait: scalar evaluation for the simplex updates, and a
+/// batched evaluation that routes whole simplexes / DE populations through
+/// the family's single-pass [`ModelFamily::sse_batch_into`] kernel when it
+/// has one (bit-identical to the scalar path by that method's contract).
+struct SseObjective<'a> {
+    family: &'a dyn ModelFamily,
+    times: &'a [f64],
+    observed: &'a [f64],
+    scratch: RefCell<(Vec<f64>, Vec<f64>)>,
+}
+
+impl<'a> SseObjective<'a> {
+    fn new(family: &'a dyn ModelFamily, times: &'a [f64], observed: &'a [f64]) -> Self {
+        SseObjective {
+            family,
+            times,
+            observed,
+            scratch: RefCell::new((vec![0.0; family.n_params()], vec![0.0; times.len()])),
+        }
+    }
+}
+
+impl Objective for SseObjective<'_> {
+    fn eval(&self, internal: &[f64]) -> f64 {
+        let mut guard = self.scratch.borrow_mut();
+        let (params, predicted) = &mut *guard;
+        self.family.internal_to_params_into(internal, params);
+        if !self
+            .family
+            .predict_params_into(params, self.times, predicted)
+        {
+            return f64::INFINITY;
+        }
+        if predicted.iter().any(|v| !v.is_finite()) {
+            return f64::INFINITY;
+        }
+        sum_squared_diff(self.observed, predicted)
+    }
+
+    fn eval_batch(&self, points: &[f64], n_dims: usize, out: &mut [f64]) {
+        assert_eq!(
+            points.len(),
+            n_dims * out.len(),
+            "eval_batch requires points.len() == n_dims * out.len()"
+        );
+        debug_assert_eq!(n_dims, self.family.n_params());
+        if !self
+            .family
+            .sse_batch_into(points, self.times, self.observed, out)
+        {
+            for (o, x) in out.iter_mut().zip(points.chunks_exact(n_dims)) {
+                *o = self.eval(x);
+            }
+        }
+    }
+}
+
+/// The least-squares residual problem `r_i = y_i − P(t_i; θ(u))` over the
+/// internal space, for the Levenberg–Marquardt polish. Forwards the
+/// family's analytic Jacobian (negated, per the residual sign) when it
+/// has one.
+struct FamilyResiduals<'a> {
+    family: &'a dyn ModelFamily,
+    times: &'a [f64],
+    observed: &'a [f64],
+    params_scratch: RefCell<Vec<f64>>,
+}
+
+impl LeastSquares for FamilyResiduals<'_> {
+    fn n_params(&self) -> usize {
+        self.family.n_params()
+    }
+
+    fn n_residuals(&self) -> usize {
+        self.observed.len()
+    }
+
+    fn residuals(&self, internal: &[f64], out: &mut [f64]) {
+        // Predictions are written straight into the residual buffer, then
+        // flipped in place, so LM's residual sweeps allocate nothing.
+        let params = &mut *self.params_scratch.borrow_mut();
+        self.family.internal_to_params_into(internal, params);
+        if self.family.predict_params_into(params, self.times, out) {
+            for (r, &y) in out.iter_mut().zip(self.observed) {
+                *r = y - *r;
+            }
+        } else {
+            out.fill(f64::NAN);
+        }
+    }
+
+    fn jacobian_into(&self, internal: &[f64], out: &mut Matrix) -> Option<()> {
+        let params = &mut *self.params_scratch.borrow_mut();
+        self.family.internal_to_params_into(internal, params);
+        if !self
+            .family
+            .predict_jacobian_into(internal, params, self.times, out)
+        {
+            return None;
+        }
+        // The family writes ∂P/∂u; residuals are y − P, so J = −∂P/∂u.
+        for i in 0..out.rows() {
+            for j in 0..out.cols() {
+                out[(i, j)] = -out[(i, j)];
+            }
+        }
+        Some(())
     }
 }
 
@@ -149,86 +313,136 @@ pub fn fit_least_squares_with(
     let n_params = family.n_params();
 
     // SSE objective over the internal space; infeasible parameters map to
-    // +∞ so the simplex contracts away from them. Each objective instance
-    // owns scratch buffers for the external parameters and predictions
-    // (behind a `RefCell`, since the optimizer only sees `Fn`), so the
-    // inner loop performs zero heap allocations per evaluation. The
-    // factory hands every worker thread of the multi-start phase its own
-    // instance.
-    let make_objective = || {
-        let scratch = RefCell::new((vec![0.0; n_params], vec![0.0; times.len()]));
-        move |internal: &[f64]| -> f64 {
-            let mut guard = scratch.borrow_mut();
-            let (params, predicted) = &mut *guard;
-            family.internal_to_params_into(internal, params);
-            if !family.predict_params_into(params, times, predicted) {
-                return f64::INFINITY;
-            }
-            if predicted.iter().any(|v| !v.is_finite()) {
-                return f64::INFINITY;
-            }
-            sum_squared_diff(observed, predicted)
-        }
+    // +∞ so the simplex contracts away from them. Each instance owns
+    // scratch buffers (zero heap allocations per evaluation); the factory
+    // hands every worker thread of the multi-start phase its own instance.
+    let make_objective = || SseObjective::new(family, times, observed);
+
+    // Families whose landscapes need longer simplex walks scale the
+    // configured iteration cap (see [`ModelFamily::nm_iteration_scale`]);
+    // for the paper families the factor is 1 and this is `config`'s cap
+    // unchanged. Applies to the warm probe and the cold phase alike.
+    let nm_config = NelderMeadConfig {
+        max_iterations: config
+            .nelder_mead
+            .max_iterations
+            .saturating_mul(family.nm_iteration_scale()),
+        ..config.nelder_mead.clone()
     };
 
-    // Collect internal starting points from the family's guesses.
-    let starts: Vec<Vec<f64>> = family
-        .initial_guesses(series)
-        .into_iter()
-        .filter_map(|g| family.params_to_internal(&g).ok())
-        .take(config.max_starts)
-        .collect();
-    if starts.is_empty() {
-        return Err(CoreError::Fit(
-            resilience_optim::OptimError::AllStartsFailed { attempts: 0 },
-        ));
-    }
-
     let traced = control.observed();
-    if traced {
-        control.emit(Event::FitStarted {
-            family: family.name(),
-            starts: starts.len() as u32,
-        });
-    }
-
-    let best = multi_start_nelder_mead_with_control(
-        &make_objective,
-        &starts,
-        &config.nelder_mead,
-        config.parallelism,
-        control,
-    )
-    .map_err(|e| match e {
+    let map_stop = |e: OptimError| match e {
         OptimError::TimedOut { .. } => CoreError::timed_out("fit_least_squares"),
         OptimError::Cancelled { .. } => CoreError::cancelled("fit_least_squares"),
         other => CoreError::Fit(other),
-    })?;
-    let converged = best.termination == TerminationReason::Converged;
+    };
+
+    // Warm-start probe: one serial Nelder–Mead run seeded from the
+    // provided optimum. Seeded this close, it usually converges in a
+    // fraction of the cold phase's budget and short-circuits it entirely
+    // (see [`WarmStart`]). A probe that fails to convert or start is not
+    // an error — the cold phase below covers for it — but a deadline or
+    // cancellation stop propagates like any other.
+    let mut warm_report: Option<OptimReport> = None;
+    let mut fit_started_emitted = false;
+    let mut short_circuit = false;
+    if let Some(warm) = &config.warm_start {
+        if let Ok(internal) = family.params_to_internal(&warm.params) {
+            if traced {
+                control.emit(Event::FitStarted {
+                    family: family.name(),
+                    starts: 1,
+                });
+                fit_started_emitted = true;
+            }
+            let objective = make_objective();
+            match NelderMead::new(nm_config.clone())
+                .minimize_with_control(&objective, &internal, control)
+            {
+                Ok(report) => {
+                    short_circuit = report.termination == TerminationReason::Converged
+                        && report.evaluations <= warm.max_evaluations;
+                    warm_report = Some(report);
+                }
+                Err(e) if e.is_stop() => return Err(map_stop(e)),
+                Err(_) => {}
+            }
+        }
+    }
+
+    let cold = if short_circuit {
+        None
+    } else {
+        // Collect internal starting points from the family's guesses.
+        let starts: Vec<Vec<f64>> = family
+            .initial_guesses(series)
+            .into_iter()
+            .filter_map(|g| family.params_to_internal(&g).ok())
+            .take(config.max_starts)
+            .collect();
+        if starts.is_empty() && warm_report.is_none() {
+            return Err(CoreError::Fit(
+                resilience_optim::OptimError::AllStartsFailed { attempts: 0 },
+            ));
+        }
+        if traced && !fit_started_emitted {
+            control.emit(Event::FitStarted {
+                family: family.name(),
+                starts: starts.len() as u32,
+            });
+        }
+        if starts.is_empty() {
+            None
+        } else {
+            match multi_start_nelder_mead_with_control(
+                &make_objective,
+                &starts,
+                &nm_config,
+                config.parallelism,
+                control,
+            ) {
+                Ok(report) => Some(report),
+                Err(e) if e.is_stop() => return Err(map_stop(e)),
+                // Every cold start failed: fatal only without a warm fit.
+                Err(e) => match warm_report {
+                    Some(_) => None,
+                    None => return Err(map_stop(e)),
+                },
+            }
+        }
+    };
+
+    // Reduce: the warm result is conceptually start 0, so it wins ties
+    // (same strict `<` rule as the multi-start driver).
+    let best = match (warm_report, cold) {
+        (Some(w), Some(c)) => {
+            if c.value < w.value {
+                c
+            } else {
+                w
+            }
+        }
+        (Some(w), None) => w,
+        (None, Some(c)) => c,
+        (None, None) => unreachable!("guarded by the empty-starts check above"),
+    };
+    let nm_converged = best.termination == TerminationReason::Converged;
+    let mut lm_converged = false;
     let mut best_internal = best.params;
     let mut best_sse = best.value;
     let mut evaluations = best.evaluations;
 
     if config.lm_polish {
-        // Same scratch trick for the residual closure: predictions are
-        // written straight into the residual buffer, then flipped in
-        // place, so LM's finite-difference sweeps allocate nothing.
-        let lm_params = RefCell::new(vec![0.0; n_params]);
-        let problem = ClosureLeastSquares::new(
-            best_internal.len(),
-            observed.len(),
-            |internal: &[f64], out: &mut [f64]| {
-                let params = &mut *lm_params.borrow_mut();
-                family.internal_to_params_into(internal, params);
-                if family.predict_params_into(params, times, out) {
-                    for (r, &y) in out.iter_mut().zip(observed) {
-                        *r = y - *r;
-                    }
-                } else {
-                    out.fill(f64::NAN);
-                }
-            },
-        );
+        // The residual problem carries the family's analytic Jacobian when
+        // it has one (all six paper families; DESIGN.md §11), so LM skips
+        // its finite-difference sweeps; reusable scratch keeps the polish
+        // allocation-free per iteration either way.
+        let problem = FamilyResiduals {
+            family,
+            times,
+            observed,
+            params_scratch: RefCell::new(vec![0.0; n_params]),
+        };
         // A failed or stopped polish is not a fit failure: the multi-start
         // winner above is already a complete answer, so `Err` here (LM
         // divergence, deadline, cancellation) just skips the refinement.
@@ -238,12 +452,14 @@ pub fn fit_least_squares_with(
             control,
         ) {
             evaluations += report.evaluations;
+            lm_converged = report.termination == TerminationReason::Converged;
             if report.value < best_sse {
                 best_sse = report.value;
                 best_internal = report.params;
             }
         }
     }
+    let converged = nm_converged || lm_converged;
 
     // Guard layer (DESIGN.md §8): the optimizer can only hand back a
     // finite SSE because the objective maps off-domain points to +∞, but

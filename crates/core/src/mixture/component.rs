@@ -94,6 +94,15 @@ impl ComponentKind {
         })
     }
 
+    /// Whether [`BuiltComponent::cdf_gradient`] has a closed form for
+    /// this kind (the paper's Exponential and Weibull components; the
+    /// Gamma and LogNormal extensions go through incomplete-function
+    /// series and fall back to finite differences).
+    #[must_use]
+    pub fn has_cdf_gradient(&self) -> bool {
+        matches!(self, ComponentKind::Exponential | ComponentKind::Weibull)
+    }
+
     /// Whether parameter `i` must be positive (`true` for every parameter
     /// except LogNormal's location μ).
     #[must_use]
@@ -155,6 +164,46 @@ impl BuiltComponent {
             BuiltComponent::Weibull(d) => d.survival(t),
             BuiltComponent::Gamma(d) => d.survival(t),
             BuiltComponent::LogNormal(d) => d.survival(t),
+        }
+    }
+
+    /// Partials of the CDF with respect to the component's *external*
+    /// parameters, written into `out[..n_params]`; returns `false` for
+    /// kinds without a closed form (see
+    /// [`ComponentKind::has_cdf_gradient`]).
+    ///
+    /// Closed forms:
+    ///
+    /// * Exponential(λ): `F = 1 − e^{−λt}` on `t ≥ 0`, so
+    ///   `∂F/∂λ = t·e^{−λt}` (0 for `t < 0`).
+    /// * Weibull(k, λ): `F = 1 − e^{−z}` with `z = (t/λ)^k` on `t > 0`,
+    ///   so `∂F/∂k = e^{−z}·z·ln(t/λ)` and `∂F/∂λ = −e^{−z}·k·z/λ`
+    ///   (both 0 for `t ≤ 0`, guarding the `0·(−∞)` NaN at `t = 0`).
+    pub fn cdf_gradient(&self, t: f64, out: &mut [f64]) -> bool {
+        match self {
+            BuiltComponent::Exponential(d) => {
+                out[0] = if t >= 0.0 {
+                    t * (-d.rate() * t).exp()
+                } else {
+                    0.0
+                };
+                true
+            }
+            BuiltComponent::Weibull(d) => {
+                if t > 0.0 {
+                    let (k, lambda) = (d.shape(), d.scale());
+                    let r = t / lambda;
+                    let z = r.powf(k);
+                    let damp = (-z).exp();
+                    out[0] = damp * z * r.ln();
+                    out[1] = -damp * k * z / lambda;
+                } else {
+                    out[0] = 0.0;
+                    out[1] = 0.0;
+                }
+                true
+            }
+            BuiltComponent::Gamma(_) | BuiltComponent::LogNormal(_) => false,
         }
     }
 }

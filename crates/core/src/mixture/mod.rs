@@ -19,9 +19,10 @@ mod trend;
 pub use component::{BuiltComponent, ComponentKind};
 pub use trend::Trend;
 
-use crate::model::{ModelFamily, ResilienceModel};
+use crate::model::{sse_batch_kernel, ModelFamily, ResilienceModel};
 use crate::CoreError;
 use resilience_data::PerformanceSeries;
+use resilience_math::linalg::Matrix;
 
 /// A fitted mixture resilience model (paper Eq. 7 with `a₁ = 1`).
 ///
@@ -307,6 +308,92 @@ impl ModelFamily for MixtureFamily {
         for (o, &t) in out.iter_mut().zip(ts) {
             *o = f1.survival(t) + self.trend.eval(beta, t) * f2.cdf(t);
         }
+        true
+    }
+
+    /// Hand-derived partials of `P(t) = (1 − F₁(t)) + a₂(β, t)·F₂(t)`,
+    /// chain-ruled through the all-log internal map (`∂θ/∂u = θ`; every
+    /// Exp/Wei parameter and β is positive):
+    ///
+    /// * degradation params: `∂P/∂u_j = −θ_j·∂F₁/∂θ_j`
+    /// * recovery params: `∂P/∂u_j = a₂(β, t)·θ_j·∂F₂/∂θ_j`
+    /// * trend coefficient: `∂P/∂u_β = β·(∂a₂/∂β)·F₂(t)`
+    ///
+    /// Only the paper's Exp/Wei pairings have closed-form component
+    /// gradients; Gamma/LogNormal mixtures return `false` and the LM
+    /// polish falls back to finite differences.
+    fn predict_jacobian_into(
+        &self,
+        internal: &[f64],
+        params: &[f64],
+        ts: &[f64],
+        out: &mut Matrix,
+    ) -> bool {
+        let n = self.n_params();
+        if internal.len() != n
+            || params.len() != n
+            || !self.f1.has_cdf_gradient()
+            || !self.f2.has_cdf_gradient()
+        {
+            return false;
+        }
+        let (p1, p2, beta) = self.split_params(params);
+        if !(beta > 0.0) || !beta.is_finite() {
+            return false;
+        }
+        let (Some(f1), Some(f2)) = (self.f1.try_build(p1), self.f2.try_build(p2)) else {
+            return false;
+        };
+        let (n1, n2) = (self.f1.n_params(), self.f2.n_params());
+        let mut g = [0.0_f64; 2]; // component gradient scratch (≤ 2 params)
+        for (i, &t) in ts.iter().enumerate() {
+            let trend = self.trend.eval(beta, t);
+            f1.cdf_gradient(t, &mut g[..n1]);
+            for (j, &gj) in g[..n1].iter().enumerate() {
+                out[(i, j)] = -p1[j] * gj;
+            }
+            f2.cdf_gradient(t, &mut g[..n2]);
+            for (j, &gj) in g[..n2].iter().enumerate() {
+                out[(i, n1 + j)] = trend * p2[j] * gj;
+            }
+            out[(i, n1 + n2)] = beta * self.trend.beta_gradient(beta, t) * f2.cdf(t);
+        }
+        true
+    }
+
+    fn sse_batch_into(&self, internals: &[f64], ts: &[f64], ys: &[f64], out: &mut [f64]) -> bool {
+        let n = self.n_params();
+        let (n1, n2) = (self.f1.n_params(), self.f2.n_params());
+        sse_batch_kernel(
+            n,
+            internals,
+            ts,
+            ys,
+            out,
+            |u| {
+                // Identical arithmetic to `internal_to_params_into` +
+                // the feasibility checks of `predict_params_into`.
+                let mut p = [0.0_f64; 8];
+                for (i, (o, &v)) in p[..n].iter_mut().zip(u).enumerate() {
+                    *o = if self.param_positive_at(i) {
+                        v.exp()
+                    } else {
+                        v
+                    };
+                }
+                let beta = p[n1 + n2];
+                if !(beta > 0.0) || !beta.is_finite() {
+                    return None;
+                }
+                let f1 = self.f1.try_build(&p[..n1])?;
+                let f2 = self.f2.try_build(&p[n1..n1 + n2])?;
+                Some((f1, f2, beta))
+            },
+            |&(f1, f2, beta), t| {
+                // Same expression as the scalar `predict_params_into`.
+                f1.survival(t) + self.trend.eval(beta, t) * f2.cdf(t)
+            },
+        );
         true
     }
 

@@ -60,6 +60,27 @@ impl Trend {
         }
     }
 
+    /// Partial derivative `∂a₂/∂β` at `(β, t)` — used by the analytic
+    /// mixture Jacobian.
+    ///
+    /// The logarithmic trend's clamp makes `a₂` identically 0 on
+    /// `t ≤ 1`, so its β-derivative is 0 there and `ln t` beyond.
+    #[must_use]
+    pub fn beta_gradient(&self, beta: f64, t: f64) -> f64 {
+        match self {
+            Trend::Constant => 1.0,
+            Trend::Linear => t,
+            Trend::Exponential => t * (beta * t).exp(),
+            Trend::Logarithmic => {
+                if t <= 1.0 {
+                    0.0
+                } else {
+                    t.ln()
+                }
+            }
+        }
+    }
+
     /// Short label for reports.
     #[must_use]
     pub fn label(&self) -> &'static str {

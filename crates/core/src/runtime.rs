@@ -25,7 +25,7 @@
 //! `TimedOut`/`Cancelled` failure row) — never the numeric content of a
 //! successful result.
 
-use crate::fit::{fit_least_squares_with, FitConfig, FittedModel};
+use crate::fit::{fit_least_squares_with, FitConfig, FittedModel, WarmStart};
 use crate::model::{ModelFamily, ResilienceModel};
 use crate::selection::{score_family, sort_rows, FailureKind, FamilyFailure, Ranking};
 use crate::CoreError;
@@ -107,13 +107,23 @@ pub struct SupervisedFit {
     pub attempts: usize,
 }
 
-/// A family adapter that perturbs the inner family's starting points
-/// with deterministic zero-mean jitter; everything else forwards.
+/// Number of jittered starting points generated around a best-so-far
+/// optimum on warm retries (attempts ≥ 2 that already have a fit). Far
+/// fewer than the cold grids (up to 24 starts): the center is already in
+/// the right basin, the jitter only has to escape a simplex stall.
+const WARM_RETRY_STARTS: usize = 8;
+
+/// A family adapter that perturbs starting points with deterministic
+/// zero-mean jitter; everything else forwards. With a `center` (the best
+/// fit so far), guesses are jittered copies of that optimum instead of
+/// the family's cold grid — resampling the basin we already found rather
+/// than re-exploring from scratch.
 struct JitteredFamily<'a> {
     inner: &'a dyn ModelFamily,
     seed: u64,
     attempt: u64,
     amplitude: f64,
+    center: Option<Vec<f64>>,
 }
 
 impl ModelFamily for JitteredFamily<'_> {
@@ -145,26 +155,59 @@ impl ModelFamily for JitteredFamily<'_> {
         // are dropped later by `params_to_internal`, exactly like
         // infeasible data-driven guesses.
         let mut rng = XorShift64::stream(self.seed, self.attempt);
-        self.inner
-            .initial_guesses(series)
-            .into_iter()
-            .map(|mut guess| {
-                for g in &mut guess {
-                    *g += self.amplitude * (2.0 * rng.next_f64() - 1.0) * (1.0 + g.abs());
-                }
-                guess
-            })
-            .collect()
+        let mut jitter = |guess: &mut Vec<f64>| {
+            for g in guess.iter_mut() {
+                *g += self.amplitude * (2.0 * rng.next_f64() - 1.0) * (1.0 + g.abs());
+            }
+        };
+        match &self.center {
+            Some(center) => (0..WARM_RETRY_STARTS)
+                .map(|_| {
+                    let mut guess = center.clone();
+                    jitter(&mut guess);
+                    guess
+                })
+                .collect(),
+            None => self
+                .inner
+                .initial_guesses(series)
+                .into_iter()
+                .map(|mut guess| {
+                    jitter(&mut guess);
+                    guess
+                })
+                .collect(),
+        }
     }
 
     // Forward the allocation-free hot-path hooks so retried fits keep the
-    // wrapped family's specialized implementations.
+    // wrapped family's specialized implementations — including the
+    // analytic Jacobian and the batched SSE kernel, without which a
+    // retried fit would silently fall back to the slow paths.
     fn internal_to_params_into(&self, internal: &[f64], out: &mut [f64]) {
         self.inner.internal_to_params_into(internal, out);
     }
 
     fn predict_params_into(&self, params: &[f64], ts: &[f64], out: &mut [f64]) -> bool {
         self.inner.predict_params_into(params, ts, out)
+    }
+
+    fn predict_jacobian_into(
+        &self,
+        internal: &[f64],
+        params: &[f64],
+        ts: &[f64],
+        out: &mut resilience_math::linalg::Matrix,
+    ) -> bool {
+        self.inner.predict_jacobian_into(internal, params, ts, out)
+    }
+
+    fn sse_batch_into(&self, internals: &[f64], ts: &[f64], ys: &[f64], out: &mut [f64]) -> bool {
+        self.inner.sse_batch_into(internals, ts, ys, out)
+    }
+
+    fn nm_iteration_scale(&self) -> usize {
+        self.inner.nm_iteration_scale()
     }
 }
 
@@ -234,13 +277,23 @@ pub fn fit_with_retry(
                 attempt: attempt as u32,
             });
             control.count(CounterId::Retries, 1);
+            // With a best-so-far fit, retries warm-start from its optimum
+            // (the probe usually short-circuits the whole cold phase) and
+            // jitter *around* it; without one, the cold grid is all there
+            // is. Either way the schedule stays a pure function of the
+            // policy — the warm center is itself deterministic.
+            let mut retry_config = config.clone();
+            if let Some(fit) = &best {
+                retry_config.warm_start = Some(WarmStart::new(fit.params.clone()));
+            }
             let jittered = JitteredFamily {
                 inner: family,
                 seed: policy.base_seed,
                 attempt: attempt as u64,
                 amplitude: policy.amplitude(attempt),
+                center: best.as_ref().map(|fit| fit.params.clone()),
             };
-            fit_least_squares_with(&jittered, series, config, control)
+            fit_least_squares_with(&jittered, series, &retry_config, control)
         };
         match outcome {
             Ok(fit) => {

@@ -5,6 +5,7 @@
 //! local optimization on the resilience SSE surfaces.
 
 use crate::control::Control;
+use crate::objective::Objective;
 use crate::report::{OptimReport, TerminationReason};
 use crate::OptimError;
 use resilience_obs::{CounterId, Event, SolverKind};
@@ -76,7 +77,7 @@ pub fn differential_evolution<F, R>(
     rng: &mut R,
 ) -> Result<OptimReport, OptimError>
 where
-    F: Fn(&[f64]) -> f64,
+    F: Objective,
     R: RandomSource + ?Sized,
 {
     differential_evolution_with_control(f, bounds, config, rng, &Control::unbounded())
@@ -99,7 +100,7 @@ pub fn differential_evolution_with_control<F, R>(
     control: &Control,
 ) -> Result<OptimReport, OptimError>
 where
-    F: Fn(&[f64]) -> f64,
+    F: Objective,
     R: RandomSource + ?Sized,
 {
     if bounds.is_empty() {
@@ -152,7 +153,7 @@ where
     let evaluations = Cell::new(0usize);
     let eval = |x: &[f64]| -> f64 {
         evaluations.set(evaluations.get() + 1);
-        let v = f(x);
+        let v = f.eval(x);
         if v.is_finite() {
             v
         } else {
@@ -160,7 +161,8 @@ where
         }
     };
 
-    // Initial population uniform over the box.
+    // Initial population uniform over the box, evaluated in one batch so
+    // objectives with a vectorized batch path are amortized.
     let mut population: Vec<Vec<f64>> = (0..pop_size)
         .map(|_| {
             bounds
@@ -169,10 +171,18 @@ where
                 .collect()
         })
         .collect();
-    let mut fitness = Vec::with_capacity(pop_size);
-    for p in &population {
-        control.check_stop("differential_evolution", evaluations.get())?;
-        fitness.push(eval(p));
+    control.check_stop("differential_evolution", evaluations.get())?;
+    let mut packed = vec![0.0; pop_size * dims];
+    for (chunk, p) in packed.chunks_exact_mut(dims).zip(&population) {
+        chunk.copy_from_slice(p);
+    }
+    let mut fitness = vec![0.0; pop_size];
+    evaluations.set(evaluations.get() + pop_size);
+    f.eval_batch(&packed, dims, &mut fitness);
+    for v in &mut fitness {
+        if !v.is_finite() {
+            *v = f64::INFINITY;
+        }
     }
     if fitness.iter().all(|v| v.is_infinite()) {
         return Err(OptimError::AllStartsFailed { attempts: pop_size });

@@ -10,7 +10,7 @@ use crate::control::Control;
 use crate::problem::{forward_jacobian, LeastSquares};
 use crate::report::{OptimReport, TerminationReason};
 use crate::OptimError;
-use resilience_math::linalg::norm2;
+use resilience_math::linalg::{norm2, Matrix};
 use resilience_obs::{CounterId, Event, SolverKind};
 
 /// Configuration for [`LevenbergMarquardt`].
@@ -173,12 +173,26 @@ impl LevenbergMarquardt {
         // Damping-adaptation tallies, flushed as counter events only at
         // termination so the solve/step loop stays allocation-free.
         let (mut damping_up, mut damping_down) = (0u64, 0u64);
+        // Reused across iterations by the analytic-Jacobian path; the
+        // finite-difference fallback replaces it wholesale.
+        let mut analytic_jac = Matrix::zeros(m, n);
 
         while iterations < self.config.max_iterations {
             control.check_stop("levenberg_marquardt", evaluations)?;
             iterations += 1;
-            let jac = forward_jacobian(problem, &x)?;
-            evaluations += n;
+            // Analytic Jacobian when the problem provides one (free in
+            // objective evaluations); otherwise forward differences at a
+            // cost of n residual evaluations.
+            let jac = if problem.jacobian_into(&x, &mut analytic_jac).is_some() {
+                if !analytic_jac.is_finite() {
+                    return Err(OptimError::BadStartingPoint { value: f64::NAN });
+                }
+                &analytic_jac
+            } else {
+                analytic_jac = forward_jacobian(problem, &x)?;
+                evaluations += n;
+                &analytic_jac
+            };
             let jtj = jac.gram();
             // The Newton direction for ½‖r‖² is −(JᵀJ)⁻¹Jᵀr; fold the sign
             // into the right-hand side.

@@ -73,6 +73,7 @@ pub mod error;
 pub mod levenberg_marquardt;
 pub mod multi_start;
 pub mod nelder_mead;
+pub mod objective;
 pub mod parallel;
 pub mod problem;
 pub mod report;
@@ -81,5 +82,6 @@ pub mod scalar;
 pub use bounds::{ParamSpace, Transform};
 pub use control::{CancelToken, Control, StopCause};
 pub use error::OptimError;
+pub use objective::Objective;
 pub use parallel::{JobPanic, Parallelism};
 pub use report::{OptimReport, TerminationReason};

@@ -8,6 +8,7 @@
 
 use crate::control::Control;
 use crate::nelder_mead::{NelderMead, NelderMeadConfig};
+use crate::objective::Objective;
 use crate::parallel::{run_indexed, Parallelism};
 use crate::report::OptimReport;
 use crate::OptimError;
@@ -129,7 +130,7 @@ pub fn linspace(lo: f64, hi: f64, n: usize) -> Result<Vec<f64>, OptimError> {
 /// assert!((best.params[0] - 3.0).abs() < 1e-4);
 /// # Ok::<(), resilience_optim::OptimError>(())
 /// ```
-pub fn multi_start_nelder_mead<F: Fn(&[f64]) -> f64>(
+pub fn multi_start_nelder_mead<F: Objective>(
     f: &F,
     starts: &[Vec<f64>],
     config: &NelderMeadConfig,
@@ -204,7 +205,7 @@ pub fn multi_start_nelder_mead_with<F, G>(
     parallelism: Parallelism,
 ) -> Result<OptimReport, OptimError>
 where
-    F: Fn(&[f64]) -> f64,
+    F: Objective,
     G: Fn() -> F + Sync,
 {
     multi_start_nelder_mead_with_control(
@@ -239,7 +240,7 @@ pub fn multi_start_nelder_mead_with_control<F, G>(
     control: &Control,
 ) -> Result<OptimReport, OptimError>
 where
-    F: Fn(&[f64]) -> f64,
+    F: Objective,
     G: Fn() -> F + Sync,
 {
     if starts.is_empty() {

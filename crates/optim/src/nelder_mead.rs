@@ -7,6 +7,7 @@
 //! regions.
 
 use crate::control::Control;
+use crate::objective::Objective;
 use crate::report::{OptimReport, TerminationReason};
 use crate::OptimError;
 use resilience_obs::{CounterId, Event, SolverKind};
@@ -115,17 +116,16 @@ impl NelderMead {
     ///
     /// Non-finite objective values are treated as `+∞` (the simplex moves
     /// away from them); only a non-finite value at `x0` itself is an
-    /// error.
+    /// error. Multi-point evaluation sites (the initial simplex and the
+    /// shrink step) go through [`Objective::eval_batch`], so objectives
+    /// with a vectorized batch path are amortized automatically; plain
+    /// closures work unchanged.
     ///
     /// # Errors
     ///
     /// * [`OptimError::InvalidConfig`] for bad configuration or empty `x0`.
     /// * [`OptimError::BadStartingPoint`] when `f(x0)` is non-finite.
-    pub fn minimize<F: Fn(&[f64]) -> f64>(
-        &self,
-        f: &F,
-        x0: &[f64],
-    ) -> Result<OptimReport, OptimError> {
+    pub fn minimize<F: Objective>(&self, f: &F, x0: &[f64]) -> Result<OptimReport, OptimError> {
         self.minimize_with_control(f, x0, &Control::unbounded())
     }
 
@@ -140,7 +140,7 @@ impl NelderMead {
     ///
     /// Everything [`NelderMead::minimize`] returns, plus
     /// [`OptimError::TimedOut`] / [`OptimError::Cancelled`] on a stop.
-    pub fn minimize_with_control<F: Fn(&[f64]) -> f64>(
+    pub fn minimize_with_control<F: Objective>(
         &self,
         f: &F,
         x0: &[f64],
@@ -156,27 +156,45 @@ impl NelderMead {
         let evaluations = Cell::new(0usize);
         let eval = |x: &[f64]| -> f64 {
             evaluations.set(evaluations.get() + 1);
-            let v = f(x);
+            let v = f.eval(x);
             if v.is_finite() {
                 v
             } else {
                 f64::INFINITY
             }
         };
+        // Batched counterpart: one call evaluates `out.len()` packed
+        // points, with the same non-finite → +∞ mapping per point.
+        let eval_batch = |points: &[f64], out: &mut [f64]| {
+            evaluations.set(evaluations.get() + out.len());
+            f.eval_batch(points, n, out);
+            for v in out.iter_mut() {
+                if !v.is_finite() {
+                    *v = f64::INFINITY;
+                }
+            }
+        };
         let f0 = eval(x0);
         if !f0.is_finite() {
             return Err(OptimError::BadStartingPoint { value: f0 });
         }
-        // Build the initial simplex: x0 plus a step along each axis.
+        // Scratch for the batched evaluation sites (initial simplex and
+        // shrink), allocated once: n packed points plus their values.
+        let mut batch_points = vec![0.0; n * n];
+        let mut batch_values = vec![0.0; n];
+        // Build the initial simplex: x0 plus a step along each axis, all n
+        // off-origin vertices evaluated in one batch.
+        control.check_stop("nelder_mead", evaluations.get())?;
+        for i in 0..n {
+            let vertex = &mut batch_points[i * n..(i + 1) * n];
+            vertex.copy_from_slice(x0);
+            vertex[i] += self.config.initial_step * (1.0 + x0[i].abs());
+        }
+        eval_batch(&batch_points, &mut batch_values);
         let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
         simplex.push((x0.to_vec(), f0));
         for i in 0..n {
-            control.check_stop("nelder_mead", evaluations.get())?;
-            let mut v = x0.to_vec();
-            let step = self.config.initial_step * (1.0 + x0[i].abs());
-            v[i] += step;
-            let fv = eval(&v);
-            simplex.push((v, fv));
+            simplex.push((batch_points[i * n..(i + 1) * n].to_vec(), batch_values[i]));
         }
         let sort = |s: &mut Vec<(Vec<f64>, f64)>| {
             s.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN: mapped to +inf"));
@@ -276,13 +294,18 @@ impl NelderMead {
                 } else {
                     shrinks += 1;
                     // Shrink toward the best vertex (in place; each
-                    // coordinate update only reads its own old value).
+                    // coordinate update only reads its own old value),
+                    // then evaluate all n moved vertices in one batch.
                     let (best, rest) = simplex.split_first_mut().expect("simplex non-empty");
-                    for entry in rest {
+                    for (i, entry) in rest.iter_mut().enumerate() {
                         for (x, b) in entry.0.iter_mut().zip(&best.0) {
                             *x = b + cfg.sigma * (*x - b);
                         }
-                        entry.1 = eval(&entry.0);
+                        batch_points[i * n..(i + 1) * n].copy_from_slice(&entry.0);
+                    }
+                    eval_batch(&batch_points, &mut batch_values);
+                    for (entry, &fv) in rest.iter_mut().zip(&batch_values) {
+                        entry.1 = fv;
                     }
                 }
             }

@@ -27,6 +27,19 @@ pub trait LeastSquares {
         self.residuals(params, &mut r);
         r.iter().map(|v| v * v).sum()
     }
+
+    /// Analytic Jacobian opt-in: writes `J[i][j] = ∂r_i/∂θ_j` into `out`
+    /// and returns `Some(())`, or returns `None` when no closed form is
+    /// available (the optimizers then fall back to [`forward_jacobian`]).
+    ///
+    /// `out` is an `n_residuals × n_params` matrix owned by the caller and
+    /// reused across iterations; implementations must fill every entry.
+    /// Entries may be non-finite to signal an invalid region — callers
+    /// treat that exactly like a non-finite finite-difference probe.
+    fn jacobian_into(&self, params: &[f64], out: &mut Matrix) -> Option<()> {
+        let _ = (params, out);
+        None
+    }
 }
 
 /// A [`LeastSquares`] problem defined by closures, for quick construction

@@ -48,6 +48,13 @@ timeout -k 30 "$SMOKE_TIMEOUT" \
     exit 1
 }
 
+echo "==> bench smoke: serial vs Fixed(2) identical + evals-per-fit ceiling (hard cap ${SMOKE_TIMEOUT}s)"
+# One fast rank_models pass (DESIGN.md §11): fails when the parallel
+# output is not bit-identical to the serial one, or when the median
+# evals-per-fit regresses above the ceiling recorded in the bench binary.
+timeout -k 30 "$SMOKE_TIMEOUT" \
+    cargo run -q --release -p resilience-bench --bin bench -- --smoke
+
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use resilience_core::bathtub::{CompetingRisksFamily, QuadraticFamily, QuarticFamily};
 use resilience_core::extended::{CrashRecoveryFamily, DoubleBathtubFamily};
-use resilience_core::fit::{fit_least_squares, fit_least_squares_with, FitConfig};
+use resilience_core::fit::{fit_least_squares, fit_least_squares_with, FitConfig, WarmStart};
 use resilience_core::mixture::MixtureFamily;
 use resilience_core::model::ModelFamily;
 use resilience_data::recessions::Recession;
@@ -208,6 +208,93 @@ fn nelder_mead_iterations_do_not_allocate() {
         short, long,
         "10x the Nelder-Mead iterations changed the allocation count \
          ({short} vs {long}) - the iteration loop allocates"
+    );
+}
+
+/// The batched SSE kernels (DESIGN.md §11) allocate nothing in steady
+/// state: every per-point lane lives in fixed-width stack arrays, so a
+/// whole-batch evaluation costs exactly zero heap operations once the
+/// caller's buffers exist. Thirteen points per batch crosses the
+/// width-8 chunk boundary, exercising the ragged tail.
+#[test]
+fn batched_sse_kernel_is_allocation_free() {
+    let series = Recession::R1990_93.payroll_index();
+    let times = series.times();
+    let observed = series.values();
+    let mixtures = MixtureFamily::paper_combinations();
+
+    let mut families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily, &CompetingRisksFamily];
+    for fam in &mixtures {
+        families.push(fam);
+    }
+    for family in families {
+        // Setup (allowed to allocate): a feasible internal point tiled
+        // into a batch, plus the output buffer.
+        let guess = family.initial_guesses(&series).remove(0);
+        let internal = family
+            .params_to_internal(&guess)
+            .expect("first guess is feasible");
+        let batch: Vec<f64> = (0..13).flat_map(|_| internal.iter().copied()).collect();
+        let mut out = vec![0.0; 13];
+        assert!(
+            family.sse_batch_into(&batch, times, observed, &mut out),
+            "{}: batched kernel missing",
+            family.name()
+        );
+        assert!(out.iter().all(|v| v.is_finite()));
+
+        let delta = min_delta(3, || {
+            for _ in 0..100 {
+                assert!(family.sse_batch_into(&batch, times, observed, &mut out));
+            }
+        });
+        assert_eq!(
+            delta,
+            0,
+            "{}: batched SSE allocated {delta} times over 100 batches",
+            family.name(),
+        );
+    }
+}
+
+/// The warm-start probe (DESIGN.md §11) allocates only at setup: a
+/// warm-started fit capped at 10× the iterations allocates exactly as
+/// much as one capped at 1×. `max_evaluations: 0` disables the
+/// short-circuit so both runs always execute the full warm-probe +
+/// cold-multi-start path.
+#[test]
+fn warm_start_fit_path_does_not_allocate_per_iteration() {
+    let series = Recession::R1990_93.payroll_index();
+    // Wei-Exp mixture: slow to converge, so both runs hit their caps.
+    let family = &MixtureFamily::paper_combinations()[1];
+    let seed = family.initial_guesses(&series).remove(0);
+
+    let count_fit = |max_iterations: usize| -> u64 {
+        let mut config = FitConfig {
+            lm_polish: false,
+            parallelism: Parallelism::Serial,
+            max_starts: 1,
+            warm_start: Some(WarmStart {
+                params: seed.clone(),
+                max_evaluations: 0,
+            }),
+            ..FitConfig::default()
+        };
+        config.nelder_mead.max_iterations = max_iterations;
+        min_delta(5, || {
+            let fit = fit_least_squares(family, &series, &config).unwrap();
+            assert!(fit.sse.is_finite());
+        })
+    };
+
+    // Warm-up to populate any lazily initialized state.
+    count_fit(50);
+    let short = count_fit(50);
+    let long = count_fit(500);
+    assert_eq!(
+        short, long,
+        "10x the iterations changed the warm-started fit's allocation \
+         count ({short} vs {long}) - the warm path allocates per iteration"
     );
 }
 
