@@ -6,15 +6,22 @@
 //! ```
 //!
 //! Writes `BENCH_fitting.json` (`rank_models` over the six paper
-//! families) and `BENCH_bootstrap.json` (`bootstrap_band`, 200
-//! replicates) to the working directory. Each file records the machine's
-//! core count, min/median/mean wall-clock per configuration, the
-//! serial-over-parallel speedup, and whether the parallel outputs were
-//! bit-identical to the serial ones (they must always be — see
-//! DESIGN.md §Performance & determinism).
+//! families), `BENCH_bootstrap.json` (`bootstrap_band`, 200 replicates),
+//! and `BENCH_scenarios.json` (the scenario × noise × length ranking
+//! sweep) to the working directory. Each file records the machine's
+//! core count, timing or fit-quality data per configuration, and whether
+//! the parallel outputs were bit-identical to the serial ones (they must
+//! always be — see DESIGN.md §Performance & determinism).
+//!
+//! Flags: `--smoke` (fast determinism + work-profile guard),
+//! `--scenario-smoke` (canonical scenario set generates and ranks
+//! deterministically), `--scenarios` (write only the scenario sweep
+//! baseline).
 
-use resilience_bench::harness::{bench_with_budget, FamilyTiming, Measurement, SpeedupReport};
-use resilience_core::bathtub::{CompetingRisksFamily, QuadraticFamily};
+use resilience_bench::harness::{
+    bench_with_budget, FamilyTiming, Measurement, ScenarioCell, ScenarioSweepReport, SpeedupReport,
+};
+use resilience_core::bathtub::{CompetingRisksFamily, QuadraticFamily, QuarticFamily};
 use resilience_core::bootstrap::{
     bootstrap_band, bootstrap_band_with, BootstrapBand, BootstrapConfig,
 };
@@ -24,6 +31,7 @@ use resilience_core::model::ModelFamily;
 use resilience_core::runtime::{rank_models_supervised, Control, ExecPolicy};
 use resilience_core::selection::{rank_models, Ranking};
 use resilience_data::recessions::Recession;
+use resilience_data::scenario::{catalog, Drift, EventProcess, Noise, ScenarioSpec, ShapeKind};
 use resilience_obs::{Event, HistogramId, RecordingObserver, RunReport};
 use resilience_optim::Parallelism;
 use std::sync::Arc;
@@ -258,6 +266,180 @@ fn write_report(path: &str, report: &SpeedupReport) -> bool {
     true
 }
 
+/// The scenario × noise × length grid behind `BENCH_scenarios.json`:
+/// four scenario stories (a V shape, a W shape, a step outage, and a
+/// stochastic Poisson outage process) at two noise settings and two grid
+/// lengths.
+fn scenario_grid() -> Vec<(String, String, ScenarioSpec)> {
+    let noises = [
+        ("clean", Noise::None),
+        (
+            "gaussian-1e-3",
+            Noise::Gaussian {
+                sd: 0.001,
+                seed: 42,
+            },
+        ),
+    ];
+    let lengths = [48usize, 96];
+    let mut grid = Vec::new();
+    for n in lengths {
+        for (noise_label, noise) in noises {
+            let poisson = ScenarioSpec {
+                n,
+                shocks: Vec::new(),
+                events: Some(EventProcess {
+                    outage_rate: 0.08,
+                    mean_restore: 5.0,
+                    mean_depth: 0.05,
+                    max_depth: 0.2,
+                    seed: 42,
+                    max_events: EventProcess::DEFAULT_MAX_EVENTS,
+                }),
+                drift: Drift::None,
+                noise,
+                floor: Some(0.0),
+            };
+            let cells: [(String, ScenarioSpec); 4] = [
+                ("shape-V".into(), ShapeKind::V.scenario(n, 42)),
+                ("shape-W".into(), ShapeKind::W.scenario(n, 42)),
+                ("step-outage".into(), {
+                    let mut s = catalog::step_outage(42);
+                    s.n = n;
+                    s
+                }),
+                ("poisson-outages".into(), poisson),
+            ];
+            for (name, mut spec) in cells {
+                spec.noise = noise;
+                grid.push((name, noise_label.to_string(), spec));
+            }
+        }
+    }
+    grid
+}
+
+/// Scenario-sweep baseline: every grid cell is generated, ranked under
+/// `rank_models_supervised` serially and with `Fixed(2)` consumers, the
+/// two rankings are required to be bit-identical, and the winner's fit
+/// quality is recorded.
+fn bench_scenarios() -> ScenarioSweepReport {
+    let families: Vec<&dyn ModelFamily> =
+        vec![&QuadraticFamily, &CompetingRisksFamily, &QuarticFamily];
+    let config = |p: Parallelism| FitConfig {
+        parallelism: p,
+        ..FitConfig::default()
+    };
+    let rank = |series: &resilience_data::PerformanceSeries, p: Parallelism| -> Ranking {
+        rank_models_supervised(
+            &families,
+            series,
+            &config(p),
+            &ExecPolicy::default(),
+            &Control::unbounded(),
+        )
+        .expect("scenario rank_models_supervised")
+    };
+
+    let mut identical = true;
+    let mut cells = Vec::new();
+    for (name, noise_label, spec) in scenario_grid() {
+        let series = spec
+            .generate(format!("{name}/{noise_label}/n{}", spec.n))
+            .expect("scenario grid specs are valid");
+        let serial = rank(&series, Parallelism::Serial);
+        let fixed2 = rank(&series, Parallelism::Fixed(2));
+        if !rankings_identical(&serial, &fixed2) {
+            eprintln!(
+                "scenario sweep: {name}/{noise_label}/n{} rankings differ",
+                spec.n
+            );
+            identical = false;
+        }
+        let top = &serial.rows[0];
+        cells.push(ScenarioCell {
+            scenario: name,
+            noise: noise_label,
+            n: spec.n,
+            winner: top.family_name.to_string(),
+            r2_adj: top.r2_adj,
+            sse: top.sse,
+        });
+    }
+    ScenarioSweepReport {
+        cores: cores(),
+        identical,
+        cells,
+    }
+}
+
+/// Writes the scenario-sweep baseline, refusing — like [`write_report`]
+/// — when any cell broke the determinism contract.
+fn write_scenario_report(path: &str, report: &ScenarioSweepReport) -> bool {
+    if !report.identical {
+        eprintln!(
+            "scenario_sweep: serial vs Fixed(2) rankings differ — determinism contract broken; \
+             refusing to overwrite {path}"
+        );
+        return false;
+    }
+    std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!(
+        "scenario_sweep cells={} identical={} -> {path}",
+        report.cells.len(),
+        report.identical
+    );
+    true
+}
+
+/// Fast scenario-engine guard for `scripts/verify.sh`: the canonical
+/// scenario set must generate deterministically (two generations are
+/// bit-identical) and rank deterministically (serial vs `Fixed(2)`
+/// supervised rankings bit-identical) for every scenario.
+fn scenario_smoke() -> bool {
+    let families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily, &CompetingRisksFamily];
+    let config = |p: Parallelism| FitConfig {
+        parallelism: p,
+        ..FitConfig::default()
+    };
+    let mut ok = true;
+    for (name, spec) in catalog::canonical_set(42) {
+        let series = spec.generate(name.clone()).expect("canonical scenario");
+        let again = spec.generate(name.clone()).expect("canonical scenario");
+        let same_bits = series
+            .values()
+            .iter()
+            .zip(again.values())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !same_bits {
+            eprintln!("scenario smoke: {name} regenerated with different bits");
+            ok = false;
+        }
+        let serial = rank_models_supervised(
+            &families,
+            &series,
+            &config(Parallelism::Serial),
+            &ExecPolicy::default(),
+            &Control::unbounded(),
+        )
+        .expect("serial scenario ranking");
+        let fixed2 = rank_models_supervised(
+            &families,
+            &series,
+            &config(Parallelism::Fixed(2)),
+            &ExecPolicy::default(),
+            &Control::unbounded(),
+        )
+        .expect("fixed(2) scenario ranking");
+        if !rankings_identical(&serial, &fixed2) {
+            eprintln!("scenario smoke: {name} serial vs Fixed(2) rankings differ");
+            ok = false;
+        }
+    }
+    println!("scenario smoke: canonical set deterministic={ok}");
+    ok
+}
+
 /// CI ceiling for the median evals-per-fit of one `rank_models` pass
 /// over the six paper families on 1990-93 (scripts/verify.sh `--smoke`).
 /// The §11 speed layer (basin-finding Nelder–Mead + analytic-Jacobian
@@ -319,6 +501,18 @@ fn main() {
         }
         return;
     }
+    if std::env::args().any(|a| a == "--scenario-smoke") {
+        if !scenario_smoke() {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if std::env::args().any(|a| a == "--scenarios") {
+        if !write_scenario_report("BENCH_scenarios.json", &bench_scenarios()) {
+            std::process::exit(1);
+        }
+        return;
+    }
     println!(
         "predictive-resilience micro-bench (warmup {WARMUP}, min of {SAMPLES}, {} cores)",
         cores()
@@ -326,6 +520,7 @@ fn main() {
     let mut ok = true;
     ok &= write_report("BENCH_fitting.json", &bench_fitting());
     ok &= write_report("BENCH_bootstrap.json", &bench_bootstrap());
+    ok &= write_scenario_report("BENCH_scenarios.json", &bench_scenarios());
     if !ok {
         std::process::exit(1);
     }

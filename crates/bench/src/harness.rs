@@ -242,6 +242,73 @@ impl SpeedupReport {
     }
 }
 
+/// One cell of the scenario × noise × length sweep: the winning family
+/// and its fit quality for a single generated scenario series.
+#[derive(Debug, Clone)]
+pub struct ScenarioCell {
+    /// Scenario name from the catalog (e.g. `shape-V`, `step-outage`).
+    pub scenario: String,
+    /// Noise configuration label (e.g. `clean`, `gaussian-1e-3`).
+    pub noise: String,
+    /// Grid length of the generated series.
+    pub n: usize,
+    /// Family ranked first by `rank_models_supervised`.
+    pub winner: String,
+    /// Winner's adjusted R².
+    pub r2_adj: f64,
+    /// Winner's sum of squared errors.
+    pub sse: f64,
+}
+
+impl ScenarioCell {
+    /// JSON object for this cell.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"scenario\": \"{}\", \"noise\": \"{}\", \"n\": {}, \"winner\": \"{}\", \"r2_adj\": {:.12}, \"sse\": {:.12e}}}",
+            json_escape(&self.scenario),
+            json_escape(&self.noise),
+            self.n,
+            json_escape(&self.winner),
+            self.r2_adj,
+            self.sse
+        )
+    }
+}
+
+/// Baseline for the scenario sweep (`BENCH_scenarios.json`): the full
+/// shape × noise × length grid fed through `rank_models_supervised`,
+/// plus the determinism verdict of re-ranking every cell under a
+/// different consumer count.
+#[derive(Debug, Clone)]
+pub struct ScenarioSweepReport {
+    /// `std::thread::available_parallelism()` on the measuring machine.
+    pub cores: usize,
+    /// Whether every cell's ranking was bit-identical between the serial
+    /// and fixed-parallel passes.
+    pub identical: bool,
+    /// One row per (scenario, noise, length) grid point.
+    pub cells: Vec<ScenarioCell>,
+}
+
+impl ScenarioSweepReport {
+    /// Full JSON document for the sweep baseline.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(|c| format!("    {}", c.to_json()))
+            .collect();
+        format!(
+            "{{\n  \"benchmark\": \"scenario_sweep\",\n  \"cores\": {},\n  \"identical\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+            self.cores,
+            self.identical,
+            cells.join(",\n")
+        )
+    }
+}
+
 /// Escapes a string for embedding in a JSON string literal.
 #[must_use]
 pub fn json_escape(s: &str) -> String {
@@ -351,6 +418,45 @@ mod tests {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
         // Balanced braces/brackets — a cheap structural sanity check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn scenario_sweep_json_is_structurally_sound() {
+        let report = ScenarioSweepReport {
+            cores: 8,
+            identical: true,
+            cells: vec![
+                ScenarioCell {
+                    scenario: "shape-V".into(),
+                    noise: "clean".into(),
+                    n: 48,
+                    winner: "Quadratic".into(),
+                    r2_adj: 0.987654321,
+                    sse: 1.5e-4,
+                },
+                ScenarioCell {
+                    scenario: "step-outage".into(),
+                    noise: "gaussian-1e-3".into(),
+                    n: 96,
+                    winner: "Competing Risks".into(),
+                    r2_adj: 0.9,
+                    sse: 2.0e-3,
+                },
+            ],
+        };
+        let json = report.to_json();
+        for needle in [
+            "\"benchmark\": \"scenario_sweep\"",
+            "\"cores\": 8",
+            "\"identical\": true",
+            "\"scenario\": \"shape-V\"",
+            "\"noise\": \"gaussian-1e-3\"",
+            "\"winner\": \"Competing Risks\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

@@ -16,7 +16,7 @@ use resilience_core::model::ModelFamily;
 use resilience_core::report::{fmt_metric, fmt_percent, Table};
 use resilience_core::CoreError;
 use resilience_data::recessions::Recession;
-use resilience_data::shapes::ShapeKind;
+use resilience_data::scenario::ShapeKind;
 use resilience_data::PerformanceSeries;
 
 /// Confidence level used throughout the paper (95 % intervals).
@@ -392,7 +392,7 @@ pub fn shape_sweep() -> Result<String, CoreError> {
         .to_vec(),
     );
     for kind in ShapeKind::ALL {
-        let series = kind.canonical(48, 42).generate(kind.to_string())?;
+        let series = kind.scenario(48, 42).generate(kind.to_string())?;
         let mut row = vec![kind.to_string()];
         for fam in [
             &QuadraticFamily as &dyn ModelFamily,

@@ -104,6 +104,18 @@ impl Fault {
             Fault::DuplicateTime => times[mid] = times[mid - 1],
         }
     }
+
+    /// Returns a corrupted copy of any clean series' `(times, values)`
+    /// pair — the bridge between the scenario engine and the fault
+    /// matrix: any [`crate::scenario::ScenarioSpec`]-generated series can
+    /// be fed through the corruption vocabulary without hand-unpacking.
+    #[must_use]
+    pub fn corrupt_series(&self, series: &crate::PerformanceSeries) -> (Vec<f64>, Vec<f64>) {
+        let mut times = series.times().to_vec();
+        let mut values = series.values().to_vec();
+        self.inject(&mut times, &mut values);
+        (times, values)
+    }
 }
 
 impl std::fmt::Display for Fault {
@@ -144,6 +156,19 @@ mod tests {
             assert!(
                 PerformanceSeries::new(fault.label(), times, values).is_err(),
                 "{fault}: constructor accepted corrupt data"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_series_breaks_scenario_output() {
+        let spec = crate::scenario::catalog::step_outage(7);
+        let clean = spec.generate("step").unwrap();
+        for fault in Fault::ALL {
+            let (times, values) = fault.corrupt_series(&clean);
+            assert!(
+                PerformanceSeries::new(fault.label(), times, values).is_err(),
+                "{fault}: constructor accepted corrupted scenario series"
             );
         }
     }

@@ -1,6 +1,7 @@
 //! Data substrate for the `predictive-resilience` workspace: performance
-//! time series, the seven U.S. recession curves, synthetic resilience
-//! shape generators, and minimal CSV I/O.
+//! time series, a composable scenario engine (shock grammar, recovery
+//! trends, stochastic outage processes), the seven U.S. recession curves
+//! expressed as scenario specs, and minimal CSV I/O.
 //!
 //! # Data provenance
 //!
@@ -41,8 +42,8 @@ pub mod error;
 pub mod fault;
 pub mod noise;
 pub mod recessions;
+pub mod scenario;
 pub mod series;
-pub mod shapes;
 pub mod transform;
 
 pub use error::DataError;

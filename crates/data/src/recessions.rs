@@ -1,4 +1,5 @@
-//! The seven U.S. recession payroll curves of the paper's Fig. 2.
+//! The seven U.S. recession payroll curves of the paper's Fig. 2,
+//! expressed as declarative [`ScenarioSpec`]s over the scenario grammar.
 //!
 //! # Provenance and substitution
 //!
@@ -7,7 +8,7 @@
 //! Statistics program: 1974-76, 1980, 1981-83, 1990-93, 2001-05, 2007-09
 //! (48 monthly observations each) and 2020-21 (24 observations). The paper
 //! ships no machine-readable table, so this module generates
-//! **deterministic synthetic equivalents** from parametric shape
+//! **deterministic synthetic equivalents** from parametric scenario
 //! specifications tuned to the published figure: trough depth and month,
 //! recovery speed and profile, terminal level, and the economist's letter
 //! classification. Every qualitative property the evaluation depends on is
@@ -23,11 +24,13 @@
 //! | 2007-09   | U     | ~25, ~0.937          | ~0.96     |
 //! | 2020-21   | L/K   | ~2, ~0.853           | ~0.96     |
 //!
-//! Users who obtain the real BLS series can load it with
-//! [`crate::csv::read_series`] and pass it through the identical pipeline.
+//! The specs are pinned bit-identical to the pre-grammar generator by
+//! `tests/scenarios.rs`. Users who obtain the real BLS series can load it
+//! with [`crate::csv::read_series`] and pass it through the identical
+//! pipeline.
 
+use crate::scenario::{Drift, Noise, Recovery, ScenarioSpec, ShapeKind, Shock};
 use crate::series::PerformanceSeries;
-use crate::shapes::{CurveSpec, Dip, RecoveryProfile, ShapeKind};
 
 /// One of the seven U.S. recessions used in the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,79 +101,89 @@ impl Recession {
         }
     }
 
-    /// The parametric specification behind the synthetic curve.
+    /// The declarative scenario specification behind the synthetic curve.
     #[must_use]
-    pub fn spec(&self) -> CurveSpec {
-        let exp = |rate: f64| RecoveryProfile::Exponential { rate };
-        let smooth = |duration: f64| RecoveryProfile::Smoothstep { duration };
-        let dip = |start: f64, trough: f64, depth: f64, sharpness: f64, rec: RecoveryProfile| Dip {
-            start,
-            trough,
-            depth,
-            sharpness,
-            recovery: rec,
-        };
+    pub fn scenario(&self) -> ScenarioSpec {
+        let exp = |rate: f64| Recovery::Exponential { rate };
+        let smooth = |duration: f64| Recovery::Smoothstep { duration };
+        let pulse =
+            |start: f64, trough: f64, depth: f64, sharpness: f64, rec: Recovery| Shock::Pulse {
+                start,
+                trough,
+                depth,
+                sharpness,
+                recovery: rec,
+            };
+        let spec =
+            |n: usize, shocks: Vec<Shock>, drift_total: f64, sd: f64, seed: u64| ScenarioSpec {
+                n,
+                shocks,
+                events: None,
+                drift: Drift::Linear { total: drift_total },
+                noise: Noise::Gaussian { sd, seed },
+                floor: None,
+            };
         match self {
-            Recession::R1974_76 => CurveSpec {
-                n: 48,
-                dips: vec![dip(0.0, 16.0, 0.048, 1.2, exp(0.18))],
-                drift_total: 0.06,
-                noise_sd: 0.0006,
-                seed: 1974,
-            },
-            Recession::R1980 => CurveSpec {
-                n: 48,
-                dips: vec![
-                    dip(0.0, 6.0, 0.030, 1.1, exp(0.5)),
-                    dip(14.0, 26.0, 0.032, 1.1, exp(0.25)),
+            Recession::R1974_76 => spec(
+                48,
+                vec![pulse(0.0, 16.0, 0.048, 1.2, exp(0.18))],
+                0.06,
+                0.0006,
+                1974,
+            ),
+            Recession::R1980 => spec(
+                48,
+                vec![
+                    pulse(0.0, 6.0, 0.030, 1.1, exp(0.5)),
+                    pulse(14.0, 26.0, 0.032, 1.1, exp(0.25)),
                 ],
-                drift_total: 0.005,
-                noise_sd: 0.0006,
-                seed: 1980,
-            },
-            Recession::R1981_83 => CurveSpec {
-                n: 48,
-                dips: vec![dip(0.0, 17.0, 0.065, 1.3, exp(0.15))],
-                drift_total: 0.095,
-                noise_sd: 0.0006,
-                seed: 1981,
-            },
-            Recession::R1990_93 => CurveSpec {
-                n: 48,
-                dips: vec![dip(0.0, 11.0, 0.021, 1.0, smooth(30.0))],
-                drift_total: 0.036,
-                noise_sd: 0.0005,
-                seed: 1990,
-            },
-            Recession::R2001_05 => CurveSpec {
-                n: 48,
-                dips: vec![dip(0.0, 28.0, 0.028, 1.0, smooth(24.0))],
-                drift_total: 0.012,
-                noise_sd: 0.0005,
-                seed: 2001,
-            },
-            Recession::R2007_09 => CurveSpec {
-                n: 48,
-                dips: vec![dip(0.0, 25.0, 0.078, 1.1, smooth(60.0))],
-                drift_total: 0.01,
-                noise_sd: 0.0006,
-                seed: 2007,
-            },
+                0.005,
+                0.0006,
+                1980,
+            ),
+            Recession::R1981_83 => spec(
+                48,
+                vec![pulse(0.0, 17.0, 0.065, 1.3, exp(0.15))],
+                0.095,
+                0.0006,
+                1981,
+            ),
+            Recession::R1990_93 => spec(
+                48,
+                vec![pulse(0.0, 11.0, 0.021, 1.0, smooth(30.0))],
+                0.036,
+                0.0005,
+                1990,
+            ),
+            Recession::R2001_05 => spec(
+                48,
+                vec![pulse(0.0, 28.0, 0.028, 1.0, smooth(24.0))],
+                0.012,
+                0.0005,
+                2001,
+            ),
+            Recession::R2007_09 => spec(
+                48,
+                vec![pulse(0.0, 25.0, 0.078, 1.1, smooth(60.0))],
+                0.01,
+                0.0006,
+                2007,
+            ),
             // COVID-19: the crash is concentrated in a single month
             // (sharpness 3 keeps month 1 near nominal), followed by a
             // fast partial rebound and a slow, nearly flat grind — the
             // L/K structure that defeats both model families in the
             // paper's Tables I and III.
-            Recession::R2020_21 => CurveSpec {
-                n: 24,
-                dips: vec![
-                    dip(0.0, 2.0, 0.090, 3.0, exp(0.5)),
-                    dip(0.0, 2.0, 0.058, 3.0, exp(0.01)),
+            Recession::R2020_21 => spec(
+                24,
+                vec![
+                    pulse(0.0, 2.0, 0.090, 3.0, exp(0.5)),
+                    pulse(0.0, 2.0, 0.058, 3.0, exp(0.01)),
                 ],
-                drift_total: 0.0,
-                noise_sd: 0.0008,
-                seed: 2020,
-            },
+                0.0,
+                0.0008,
+                2020,
+            ),
         }
     }
 
@@ -186,7 +199,7 @@ impl Recession {
     /// test suite.
     #[must_use]
     pub fn payroll_index(&self) -> PerformanceSeries {
-        self.spec()
+        self.scenario()
             .generate(self.label())
             .expect("embedded recession specs are valid")
     }

@@ -1,0 +1,320 @@
+//! Canonical scenario catalog: the paper's letter shapes plus canned
+//! disruption stories used by smoke tests and fault-injection sweeps.
+
+use crate::scenario::shock::{Recovery, Shock};
+use crate::scenario::{Drift, Noise, ScenarioSpec};
+
+/// The letter taxonomy of recession shapes from the paper's §V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShapeKind {
+    /// Sharp drop, sharp recovery.
+    V,
+    /// Slow drop, slow recovery.
+    U,
+    /// Two successive degradation/recovery episodes.
+    W,
+    /// Sudden crash followed by prolonged under-performance.
+    L,
+    /// Slow recovery that eventually rejoins the pre-hazard growth trend.
+    J,
+    /// Sharp drop with divergent recovery paths; represented here by its
+    /// aggregate: a crash with only partial long-run recovery.
+    K,
+}
+
+impl ShapeKind {
+    /// All shapes, in display order.
+    pub const ALL: [ShapeKind; 6] = [
+        ShapeKind::V,
+        ShapeKind::U,
+        ShapeKind::W,
+        ShapeKind::L,
+        ShapeKind::J,
+        ShapeKind::K,
+    ];
+
+    /// A canonical scenario of this shape over `n` months.
+    ///
+    /// Used by the shape-sweep ablation: the paper's conclusion — V and U
+    /// fit well, W/L/K break both model families — is reproduced over
+    /// these controlled curves. The specs are bit-identical to the
+    /// pre-grammar `ShapeKind::canonical` output (pinned by
+    /// `tests/scenarios.rs`).
+    #[must_use]
+    pub fn scenario(self, n: usize, seed: u64) -> ScenarioSpec {
+        let exp = |rate: f64| Recovery::Exponential { rate };
+        let smooth = |duration: f64| Recovery::Smoothstep { duration };
+        let horizon = n as f64;
+        let pulse =
+            |start: f64, trough: f64, depth: f64, sharpness: f64, rec: Recovery| Shock::Pulse {
+                start,
+                trough,
+                depth,
+                sharpness,
+                recovery: rec,
+            };
+        let spec = |shocks: Vec<Shock>, drift_total: f64| ScenarioSpec {
+            n,
+            shocks,
+            events: None,
+            drift: Drift::Linear { total: drift_total },
+            noise: Noise::Gaussian { sd: 0.0008, seed },
+            floor: None,
+        };
+        match self {
+            ShapeKind::V => spec(
+                vec![pulse(0.0, 0.3 * horizon, 0.05, 1.2, exp(8.0 / horizon))],
+                0.04,
+            ),
+            ShapeKind::U => spec(
+                vec![pulse(
+                    0.0,
+                    0.35 * horizon,
+                    0.04,
+                    1.0,
+                    smooth(0.55 * horizon),
+                )],
+                0.03,
+            ),
+            ShapeKind::W => spec(
+                vec![
+                    pulse(0.0, 0.12 * horizon, 0.02, 1.1, exp(16.0 / horizon)),
+                    pulse(
+                        0.3 * horizon,
+                        0.55 * horizon,
+                        0.035,
+                        1.1,
+                        exp(10.0 / horizon),
+                    ),
+                ],
+                0.01,
+            ),
+            ShapeKind::L => spec(
+                vec![
+                    pulse(0.0, 0.06 * horizon, 0.10, 0.7, exp(20.0 / horizon)),
+                    pulse(0.0, 0.06 * horizon, 0.05, 0.7, exp(0.6 / horizon)),
+                ],
+                0.0,
+            ),
+            ShapeKind::J => spec(
+                vec![pulse(0.0, 0.25 * horizon, 0.05, 1.0, exp(3.0 / horizon))],
+                0.06,
+            ),
+            ShapeKind::K => spec(
+                vec![
+                    pulse(0.0, 0.05 * horizon, 0.09, 0.6, exp(25.0 / horizon)),
+                    pulse(0.0, 0.05 * horizon, 0.07, 0.6, exp(0.3 / horizon)),
+                ],
+                -0.01,
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for ShapeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ShapeKind::V => "V",
+            ShapeKind::U => "U",
+            ShapeKind::W => "W",
+            ShapeKind::L => "L",
+            ShapeKind::J => "J",
+            ShapeKind::K => "K",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A step outage: performance drops 20 % at month 8 and restores
+/// exponentially (half-life ≈ 3.5 months) over a 48-month window.
+#[must_use]
+pub fn step_outage(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        n: 48,
+        shocks: vec![Shock::Step {
+            at: 8.0,
+            depth: 0.2,
+            recovery: Recovery::Exponential { rate: 0.2 },
+        }],
+        events: None,
+        drift: Drift::None,
+        noise: Noise::Gaussian { sd: 0.001, seed },
+        floor: None,
+    }
+}
+
+/// A W-shaped double-dip: two pulse shocks with a partial rebound between
+/// them over a 60-month window.
+#[must_use]
+pub fn double_dip(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        n: 60,
+        shocks: vec![
+            Shock::Pulse {
+                start: 0.0,
+                trough: 8.0,
+                depth: 0.04,
+                sharpness: 1.1,
+                recovery: Recovery::Exponential { rate: 0.3 },
+            },
+            Shock::Pulse {
+                start: 20.0,
+                trough: 32.0,
+                depth: 0.05,
+                sharpness: 1.1,
+                recovery: Recovery::Exponential { rate: 0.2 },
+            },
+        ],
+        events: None,
+        drift: Drift::Linear { total: 0.02 },
+        noise: Noise::Gaussian { sd: 0.001, seed },
+        floor: None,
+    }
+}
+
+/// A slow-burn degradation: a long shallow ramp with a logistic recovery
+/// that never quite completes inside the 72-month window.
+#[must_use]
+pub fn slow_burn(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        n: 72,
+        shocks: vec![Shock::Ramp {
+            start: 4.0,
+            end: 40.0,
+            depth: 0.08,
+            recovery: Recovery::Logistic {
+                rate: 0.25,
+                midpoint: 12.0,
+            },
+        }],
+        events: None,
+        drift: Drift::Linear { total: 0.01 },
+        noise: Noise::Gaussian { sd: 0.0008, seed },
+        floor: None,
+    }
+}
+
+/// The canonical scenario set driven by smoke tests and the verify
+/// pipeline: the six letter shapes at 48 months plus the three canned
+/// disruption stories, all seeded from `seed`.
+#[must_use]
+pub fn canonical_set(seed: u64) -> Vec<(String, ScenarioSpec)> {
+    let mut set: Vec<(String, ScenarioSpec)> = ShapeKind::ALL
+        .iter()
+        .map(|kind| (format!("shape-{kind}"), kind.scenario(48, seed)))
+        .collect();
+    set.push(("step-outage".to_string(), step_outage(seed)));
+    set.push(("double-dip".to_string(), double_dip(seed)));
+    set.push(("slow-burn".to_string(), slow_burn(seed)));
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v_shape_dips_and_recovers() {
+        let s = ShapeKind::V.scenario(48, 11).generate("v").unwrap();
+        let (t_min, p_min) = s.trough().unwrap();
+        assert!(p_min < 0.97);
+        assert!(t_min > 5.0 && t_min < 25.0);
+        // Recovered above nominal by the end.
+        assert!(s.values()[47] > 1.0);
+    }
+
+    #[test]
+    fn w_shape_has_two_local_minima() {
+        let s = ShapeKind::W.scenario(48, 5).generate("w").unwrap();
+        let v = s.values();
+        // Count strict local minima over a smoothed 3-point window.
+        let mut minima = 0;
+        for i in 2..(v.len() - 2) {
+            let prev = (v[i - 2] + v[i - 1]) / 2.0;
+            let next = (v[i + 1] + v[i + 2]) / 2.0;
+            if v[i] < prev - 1e-4 && v[i] < next - 1e-4 {
+                minima += 1;
+            }
+        }
+        assert!(minima >= 2, "expected a W (two minima), found {minima}");
+    }
+
+    #[test]
+    fn l_shape_crashes_fast_and_stays_low() {
+        let s = ShapeKind::L.scenario(24, 9).generate("l").unwrap();
+        let v = s.values();
+        let (_, p_min) = s.trough().unwrap();
+        assert!(p_min < 0.88, "deep crash: {p_min}");
+        // Still visibly below nominal at the end.
+        assert!(v[23] < 0.99);
+        // The crash happens within the first few months.
+        let early_min = v[..5].iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(early_min < 0.9);
+    }
+
+    #[test]
+    fn k_shape_ends_below_nominal() {
+        let s = ShapeKind::K.scenario(24, 13).generate("k").unwrap();
+        assert!(s.values()[23] < 0.99);
+    }
+
+    #[test]
+    fn all_canonical_shapes_generate() {
+        for kind in ShapeKind::ALL {
+            let s = kind.scenario(48, 1).generate(kind.to_string()).unwrap();
+            assert_eq!(s.len(), 48);
+            assert!(s.values().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn display_letters() {
+        assert_eq!(ShapeKind::V.to_string(), "V");
+        assert_eq!(ShapeKind::K.to_string(), "K");
+    }
+
+    #[test]
+    fn step_outage_drops_and_restores() {
+        let s = step_outage(1).generate("step").unwrap();
+        let v = s.values();
+        // Pre-outage flat at nominal (noise aside).
+        assert!((v[7] - 1.0).abs() < 0.01);
+        // Post-outage month is ~20 % down.
+        assert!(v[9] < 0.85);
+        // Mostly restored by the end.
+        assert!(v[47] > 0.98);
+    }
+
+    #[test]
+    fn double_dip_is_w_shaped() {
+        let s = double_dip(1).generate("w").unwrap();
+        let v = s.values();
+        let first_min = v[4..=14].iter().cloned().fold(f64::INFINITY, f64::min);
+        let mid_max = v[14..=22].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let second_min = v[26..=40].iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(mid_max > first_min + 0.005, "no rebound between dips");
+        assert!(mid_max > second_min + 0.005, "no second dip");
+    }
+
+    #[test]
+    fn slow_burn_degrades_gradually() {
+        let s = slow_burn(1).generate("burn").unwrap();
+        let v = s.values();
+        let (t_min, p_min) = s.trough().unwrap();
+        // Trough arrives late (slow burn, not a crash).
+        assert!(t_min > 20.0, "trough at {t_min}");
+        assert!(p_min < 0.95);
+        // Early months remain near nominal.
+        assert!(v[4] > 0.99);
+    }
+
+    #[test]
+    fn canonical_set_generates_cleanly() {
+        let set = canonical_set(42);
+        assert_eq!(set.len(), 9);
+        for (name, spec) in &set {
+            let s = spec.generate(name.clone()).unwrap();
+            assert!(s.values().iter().all(|v| v.is_finite()), "{name}");
+        }
+    }
+}

@@ -16,24 +16,29 @@
 use resilience_core::analysis::evaluate_model;
 use resilience_core::bathtub::{CompetingRisksFamily, CompetingRisksModel};
 use resilience_core::metrics::{actual_metric, predicted_metric, MetricContext, MetricKind};
-use resilience_data::shapes::{CurveSpec, Dip, RecoveryProfile};
+use resilience_data::scenario::{Drift, Noise, Recovery, ScenarioSpec, Shock};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 72-hour incident: intrusion at t = 0, capacity bottoms out ~35 %
     // down at hour 18 as worms spread faster than quarantine, then
-    // recovery as restoration outpaces the attack.
-    let incident = CurveSpec {
+    // recovery as restoration outpaces the attack — declared as a
+    // single-pulse scenario over the shock grammar.
+    let incident = ScenarioSpec {
         n: 72,
-        dips: vec![Dip {
+        shocks: vec![Shock::Pulse {
             start: 0.0,
             trough: 18.0,
             depth: 0.35,
             sharpness: 1.1,
-            recovery: RecoveryProfile::Exponential { rate: 0.09 },
+            recovery: Recovery::Exponential { rate: 0.09 },
         }],
-        drift_total: 0.0,
-        noise_sd: 0.004,
-        seed: 0xC0FFEE,
+        events: None,
+        drift: Drift::None,
+        noise: Noise::Gaussian {
+            sd: 0.004,
+            seed: 0xC0FFEE,
+        },
+        floor: None,
     };
     let full = incident.generate("cyber incident")?;
 

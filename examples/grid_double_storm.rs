@@ -16,33 +16,38 @@ use resilience_core::bathtub::CompetingRisksFamily;
 use resilience_core::diagnostics::residual_diagnostics;
 use resilience_core::extended::DoubleBathtubFamily;
 use resilience_core::model::ModelFamily;
-use resilience_data::shapes::{CurveSpec, Dip, RecoveryProfile};
+use resilience_data::scenario::{Drift, Noise, Recovery, ScenarioSpec, Shock};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Hourly fraction of customers with power over 96 hours.
-    let storm = CurveSpec {
+    // Hourly fraction of customers with power over 96 hours, declared as
+    // a two-pulse scenario over the shock grammar.
+    let storm = ScenarioSpec {
         n: 96,
-        dips: vec![
+        shocks: vec![
             // First storm: fast outage growth, crews restore within ~30 h.
-            Dip {
+            Shock::Pulse {
                 start: 0.0,
                 trough: 10.0,
                 depth: 0.12,
                 sharpness: 1.3,
-                recovery: RecoveryProfile::Exponential { rate: 0.07 },
+                recovery: Recovery::Exponential { rate: 0.07 },
             },
             // Second front lands at hour 40.
-            Dip {
+            Shock::Pulse {
                 start: 40.0,
                 trough: 52.0,
                 depth: 0.09,
                 sharpness: 1.1,
-                recovery: RecoveryProfile::Exponential { rate: 0.06 },
+                recovery: Recovery::Exponential { rate: 0.06 },
             },
         ],
-        drift_total: 0.0,
-        noise_sd: 0.003,
-        seed: 0x57012,
+        events: None,
+        drift: Drift::None,
+        noise: Noise::Gaussian {
+            sd: 0.003,
+            seed: 0x57012,
+        },
+        floor: None,
     };
     let series = storm.generate("grid double storm")?;
     println!("data: {series}");

@@ -55,6 +55,13 @@ echo "==> bench smoke: serial vs Fixed(2) identical + evals-per-fit ceiling (har
 timeout -k 30 "$SMOKE_TIMEOUT" \
     cargo run -q --release -p resilience-bench --bin bench -- --smoke
 
+echo "==> scenario smoke: canonical scenario set deterministic + serial/parallel identical (hard cap ${SMOKE_TIMEOUT}s)"
+# Generates the canonical scenario catalog twice (bit-identical series),
+# then ranks each series serially and with Fixed(2) workers (identical
+# rankings) — the scenario-engine determinism contract end to end.
+timeout -k 30 "$SMOKE_TIMEOUT" \
+    cargo run -q --release -p resilience-bench --bin bench -- --scenario-smoke
+
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 

@@ -58,7 +58,9 @@ pub mod prelude {
     pub use resilience_core::validate::{gof_report, GofReport};
     pub use resilience_core::CoreError;
     pub use resilience_data::recessions::Recession;
-    pub use resilience_data::shapes::{CurveSpec, Dip, RecoveryProfile, ShapeKind};
+    pub use resilience_data::scenario::{
+        Drift, EventProcess, Noise, Recovery, ScenarioSpec, ShapeKind, Shock,
+    };
     pub use resilience_data::{PerformanceSeries, TrainTestSplit};
 }
 

@@ -18,6 +18,7 @@ use resilience_core::CoreError;
 use resilience_data::csv::read_series;
 use resilience_data::fault::Fault;
 use resilience_data::recessions::Recession;
+use resilience_data::scenario::catalog;
 use resilience_data::PerformanceSeries;
 
 /// A family whose curve is NaN everywhere: the worst-case objective.
@@ -111,6 +112,36 @@ fn numeric_faults_rejected_at_series_boundary() {
         let e = PerformanceSeries::new(fault.label(), times, values)
             .expect_err(&format!("{fault}: constructor accepted corrupt data"));
         assert!(e.to_string().len() > 10, "{fault}");
+    }
+}
+
+/// The corrupt-input matrix over scenario-generated series: every fault
+/// injected into a step-outage, double-dip, or slow-burn scenario curve
+/// is caught at the series boundary — the scenario engine gives the
+/// fault vocabulary an unbounded supply of victims, and none of them
+/// open a hole in the validation layer.
+#[test]
+fn numeric_faults_rejected_on_scenario_series() {
+    let scenarios = [
+        ("step-outage", catalog::step_outage(7)),
+        ("double-dip", catalog::double_dip(7)),
+        ("slow-burn", catalog::slow_burn(7)),
+    ];
+    for (name, spec) in scenarios {
+        let clean = spec.generate(name).expect("scenario generates");
+        // The clean control must pass — otherwise the matrix proves
+        // nothing.
+        assert!(
+            PerformanceSeries::new(name, clean.times().to_vec(), clean.values().to_vec()).is_ok(),
+            "{name}: clean scenario series rejected"
+        );
+        for fault in Fault::ALL {
+            let (times, values) = fault.corrupt_series(&clean);
+            let e = PerformanceSeries::new(fault.label(), times, values).expect_err(&format!(
+                "{name}/{fault}: constructor accepted corrupt data"
+            ));
+            assert!(e.to_string().len() > 10, "{name}/{fault}");
+        }
     }
 }
 

@@ -26,6 +26,7 @@
 use resilience_core::metrics::{actual_metric, predicted_metric, MetricContext, MetricKind};
 use resilience_core::model::ResilienceModel;
 use resilience_core::validate::{pmse, r2_adjusted, sse};
+use resilience_data::scenario::{Drift, Noise, Recovery, ScenarioSpec, Shock};
 use resilience_data::PerformanceSeries;
 
 /// The oracle model `P(t) = t`.
@@ -174,4 +175,209 @@ fn model_area_default_is_exact_for_the_oracle_line() {
     assert!((a - 42.0).abs() < 1e-9, "area = {a}");
     let b = Line.area(0.0, 2.0).unwrap();
     assert!((b - 2.0).abs() < 1e-9, "area = {b}");
+}
+
+// ---------------------------------------------------------------------
+// Scenario-engine oracles: two canonical scenarios whose Eq. 14–21
+// metrics are hand-derivable because the generated curves are exact
+// piecewise shapes (no noise, no drift).
+// ---------------------------------------------------------------------
+
+/// Scenario oracle A: a step outage at `t = 4` losing half the capacity,
+/// restoring exponentially with rate `ln 2` — so one time unit halves the
+/// remaining loss and every sampled value is a dyadic rational:
+/// `P(i) = 1` for `i < 4` and `P(i) = 1 − 2^{−(i−3)}` for `i ≥ 4`.
+fn step_outage_series() -> PerformanceSeries {
+    let spec = ScenarioSpec {
+        n: 25,
+        shocks: vec![Shock::Step {
+            at: 4.0,
+            depth: 0.5,
+            recovery: Recovery::Exponential {
+                rate: std::f64::consts::LN_2,
+            },
+        }],
+        events: None,
+        drift: Drift::None,
+        noise: Noise::None,
+        floor: None,
+    };
+    spec.generate("step-outage-oracle").unwrap()
+}
+
+/// Window `[4, 24]`, nominal 1, minimum at the step instant `t_min = 4`.
+fn step_outage_ctx() -> MetricContext {
+    MetricContext {
+        t_start: 4.0,
+        t_end: 24.0,
+        nominal: 1.0,
+        t_min: 4.0,
+        t_full_start: 0.0,
+        weight: 0.5,
+    }
+    .validated()
+    .unwrap()
+}
+
+/// Hand-derived Eq. 14–21 values for the sampled step-outage curve.
+///
+/// Trapezoid loss area over `[4, 24]` with `L_k = 2^{−(k+1)}` at
+/// `t = 4 + k`:
+/// `(L_0 + L_20)/2 + Σ_{k=1}^{19} L_k = 2^{−2} + 2^{−22} + 2^{−1} − 2^{−20}
+///  = 3/4 − 3·2^{−22}`,
+/// so the preserved area is `A = 19.25 + 3·2^{−22}`. For Eq. 21 the
+/// before-window `[0, 4]` is flat at 1 except the final trapezoid
+/// `[3, 4]` ending at `P(4) = 1/2`, giving area `3 + 3/4` and average
+/// `15/16`.
+fn step_outage_expected(kind: MetricKind) -> f64 {
+    let a = 19.25 + 3.0 / 4_194_304.0; // 19.25 + 3·2⁻²²
+    match kind {
+        MetricKind::PerformancePreserved => a,
+        MetricKind::PerformanceLost => 20.0 - a,
+        MetricKind::NormalizedAveragePreserved | MetricKind::AveragePreserved => a / 20.0,
+        MetricKind::NormalizedAverageLost | MetricKind::AverageLost => (20.0 - a) / 20.0,
+        MetricKind::PreservedFromMinimum => a - 10.0,
+        MetricKind::WeightedBeforeAfterMinimum => 0.5 * (15.0 / 16.0) + 0.5 * (a / 20.0),
+    }
+}
+
+#[test]
+fn step_outage_scenario_metrics_match_hand_derived_values() {
+    // Every sampled value and every trapezoid is a dyadic rational, so
+    // the tolerance is pure floating-point roundoff.
+    let series = step_outage_series();
+    let ctx = step_outage_ctx();
+    for kind in MetricKind::ALL {
+        let got = actual_metric(&series, kind, &ctx).unwrap();
+        let want = step_outage_expected(kind);
+        assert!(
+            (got - want).abs() < 1e-12,
+            "{kind}: actual {got} vs oracle {want}"
+        );
+    }
+}
+
+/// The continuous restoration path behind scenario oracle A:
+/// `P(t) = 1 − (1/2)·e^{−ln2·(t−4)}` for `t ≥ 4`, nominal 1 before.
+struct StepRestore;
+
+impl ResilienceModel for StepRestore {
+    fn name(&self) -> &'static str {
+        "StepRestore"
+    }
+    fn params(&self) -> Vec<f64> {
+        vec![4.0, 0.5, std::f64::consts::LN_2]
+    }
+    fn predict(&self, t: f64) -> f64 {
+        if t < 4.0 {
+            1.0
+        } else {
+            1.0 - 0.5 * (-std::f64::consts::LN_2 * (t - 4.0)).exp()
+        }
+    }
+}
+
+#[test]
+fn step_outage_predicted_metrics_match_closed_form_integral() {
+    // On the continuous path the loss integral over [4, 24] is
+    // `(1/2)·(1 − 2⁻²⁰)/ln 2` in closed form. Every metric window below
+    // lies inside the smooth branch (t ≥ 4), so adaptive Simpson
+    // converges to quadrature tolerance. Eq. 21 is excluded: its
+    // before-window ends exactly at the model's jump point, which the
+    // sampled-series oracle above already covers.
+    let ctx = step_outage_ctx();
+    let loss = 0.5 * (1.0 - 1.0 / 1_048_576.0) / std::f64::consts::LN_2;
+    let a = 20.0 - loss;
+    for kind in MetricKind::ALL {
+        if kind == MetricKind::WeightedBeforeAfterMinimum {
+            continue;
+        }
+        let want = match kind {
+            MetricKind::PerformancePreserved => a,
+            MetricKind::PerformanceLost => 20.0 - a,
+            MetricKind::NormalizedAveragePreserved | MetricKind::AveragePreserved => a / 20.0,
+            MetricKind::NormalizedAverageLost | MetricKind::AverageLost => (20.0 - a) / 20.0,
+            MetricKind::PreservedFromMinimum => a - 10.0,
+            MetricKind::WeightedBeforeAfterMinimum => unreachable!(),
+        };
+        let got = predicted_metric(&StepRestore, kind, &ctx).unwrap();
+        assert!(
+            (got - want).abs() < 1e-6,
+            "{kind}: predicted {got} vs closed form {want}"
+        );
+    }
+}
+
+/// Scenario oracle B: a W-shaped double dip built from two rectangular
+/// outages — 25 % down over `[2, 5)`, then 50 % down over `[7, 10)` —
+/// so the sampled values are exactly
+/// `[1, 1, ¾, ¾, ¾, 1, 1, ½, ½, ½, 1, 1, 1]`.
+fn double_dip_series() -> PerformanceSeries {
+    let spec = ScenarioSpec {
+        n: 13,
+        shocks: vec![
+            Shock::Outage {
+                at: 2.0,
+                restore_at: 5.0,
+                depth: 0.25,
+            },
+            Shock::Outage {
+                at: 7.0,
+                restore_at: 10.0,
+                depth: 0.5,
+            },
+        ],
+        events: None,
+        drift: Drift::None,
+        noise: Noise::None,
+        floor: None,
+    };
+    spec.generate("double-dip-oracle").unwrap()
+}
+
+/// Hand-derived Eq. 14–21 values for the double-dip curve over the full
+/// window `[0, 12]` with the global minimum at `t_min = 7`:
+///
+/// * trapezoid area over `[0, 12]`:
+///   `1 + ⅞ + ¾ + ¾ + ⅞ + 1 + ¾ + ½ + ½ + ¾ + 1 + 1 = 9.75`
+/// * area over `[7, 12]`: `½ + ½ + ¾ + 1 + 1 = 3.75`, `P(7) = ½`
+/// * area over `[0, 7]`: `9.75 − 3.75 = 6`
+fn double_dip_expected(kind: MetricKind) -> f64 {
+    match kind {
+        MetricKind::PerformancePreserved => 9.75,
+        MetricKind::PerformanceLost => 2.25,
+        MetricKind::NormalizedAveragePreserved | MetricKind::AveragePreserved => 9.75 / 12.0,
+        MetricKind::NormalizedAverageLost | MetricKind::AverageLost => 2.25 / 12.0,
+        MetricKind::PreservedFromMinimum => 3.75 - 0.5 * 5.0,
+        MetricKind::WeightedBeforeAfterMinimum => 0.5 * (6.0 / 7.0) + 0.5 * (3.75 / 5.0),
+    }
+}
+
+#[test]
+fn double_dip_scenario_metrics_match_hand_derived_values() {
+    let series = double_dip_series();
+    // Pin the generated samples themselves first: the metric oracle is
+    // only as good as the curve it integrates.
+    let expected_values = [
+        1.0, 1.0, 0.75, 0.75, 0.75, 1.0, 1.0, 0.5, 0.5, 0.5, 1.0, 1.0, 1.0,
+    ];
+    assert_eq!(series.values(), expected_values);
+    let ctx = MetricContext {
+        t_start: 0.0,
+        t_end: 12.0,
+        nominal: 1.0,
+        t_min: 7.0,
+        t_full_start: 0.0,
+        weight: 0.5,
+    }
+    .validated()
+    .unwrap();
+    for kind in MetricKind::ALL {
+        let got = actual_metric(&series, kind, &ctx).unwrap();
+        let want = double_dip_expected(kind);
+        assert!(
+            (got - want).abs() < 1e-12,
+            "{kind}: actual {got} vs oracle {want}"
+        );
+    }
 }
