@@ -16,10 +16,15 @@
 //! Flags: `--smoke` (fast determinism + work-profile guard),
 //! `--scenario-smoke` (canonical scenario set generates and ranks
 //! deterministically), `--scenarios` (write only the scenario sweep
-//! baseline).
+//! baseline), `fleet` (full fleet sweep + repeatability gates →
+//! `BENCH_fleet_full.json`), `fleet --fleet-smoke` (the 64-cell CI fleet
+//! with double-run and serial-vs-`Fixed(2)` identity gates →
+//! `BENCH_fleet.json`).
 
+use resilience_bench::fleet::{evaluate_fleet, full_grid, smoke_grid, FleetReport};
 use resilience_bench::harness::{
-    bench_with_budget, FamilyTiming, Measurement, ScenarioCell, ScenarioSweepReport, SpeedupReport,
+    bench_with_budget, median_u64, FamilyTiming, Measurement, ScenarioCell, ScenarioSweepReport,
+    SpeedupReport,
 };
 use resilience_core::bathtub::{CompetingRisksFamily, QuadraticFamily, QuarticFamily};
 use resilience_core::bootstrap::{
@@ -476,9 +481,8 @@ fn smoke() -> bool {
         &Control::unbounded().observe(rec.clone()),
     )
     .expect("observed rank_models");
-    let mut evals = evals_per_fit(&rec.take());
-    evals.sort_unstable();
-    let median = evals.get(evals.len() / 2).copied().unwrap_or(0);
+    let evals = evals_per_fit(&rec.take());
+    let median = median_u64(&evals).unwrap_or(0);
 
     println!(
         "smoke: identical={identical} evals_per_fit={evals:?} median={median} (ceiling {SMOKE_EVALS_PER_FIT_CEILING})"
@@ -494,6 +498,38 @@ fn smoke() -> bool {
     identical && median <= SMOKE_EVALS_PER_FIT_CEILING
 }
 
+/// Runs the fleet repeatability evaluation on `grid`, writes the
+/// baseline to `path` when every gate holds, and reports the verdict.
+/// Wall-clock goes to stdout only — the JSON is a pure function of the
+/// grid, so repeated CI runs regenerate identical bytes.
+fn run_fleet_mode(path: &str, report: &FleetReport) -> bool {
+    if !report.gates_pass() {
+        eprintln!(
+            "fleet: repeatability gates failed (rerun={} parallel={} rollup={}) — \
+             refusing to overwrite {path}",
+            report.identical_rerun, report.identical_parallel, report.identical_rollup
+        );
+        return false;
+    }
+    std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    let wall_ms: Vec<String> = report
+        .wall_ns
+        .iter()
+        .map(|ns| format!("{:.1}", *ns as f64 / 1e6))
+        .collect();
+    println!(
+        "fleet          cells={} families={} runs={} gates=pass digest={:016x} \
+         median_evals_per_fit={} wall_ms=[{}] -> {path}",
+        report.store.len(),
+        report.families.len(),
+        report.runs,
+        report.store.digest(),
+        report.median_evals_per_fit,
+        wall_ms.join(", "),
+    );
+    true
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--smoke") {
         if !smoke() {
@@ -503,6 +539,31 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--scenario-smoke") {
         if !scenario_smoke() {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if std::env::args().any(|a| a == "fleet" || a == "--fleet-smoke") {
+        // `bench fleet --fleet-smoke` (or bare `--fleet-smoke`): the
+        // 64-cell CI grid with the two bathtub families, double-run +
+        // Fixed(2) identity gates, written as the checked-in baseline.
+        // `bench fleet` alone: the 360-cell full sweep with the quartic
+        // added, written alongside it.
+        let smoke = std::env::args().any(|a| a == "--fleet-smoke");
+        let (path, grid, families): (&str, _, Vec<&dyn ModelFamily>) = if smoke {
+            (
+                "BENCH_fleet.json",
+                smoke_grid(),
+                vec![&QuadraticFamily, &CompetingRisksFamily],
+            )
+        } else {
+            (
+                "BENCH_fleet_full.json",
+                full_grid(),
+                vec![&QuadraticFamily, &CompetingRisksFamily, &QuarticFamily],
+            )
+        };
+        if !run_fleet_mode(path, &evaluate_fleet(&grid, &families)) {
             std::process::exit(1);
         }
         return;

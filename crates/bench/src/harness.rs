@@ -32,19 +32,31 @@ impl Measurement {
         *self.samples_ns.iter().min().expect("at least one sample")
     }
 
-    /// Median sample.
+    /// Median sample: the middle sample for odd counts, the average of
+    /// the two middle samples (rounded half up) for even counts. Taking
+    /// only the upper-middle sample would bias even-count medians high.
     ///
     /// # Panics
     ///
     /// Panics when there are no samples.
     #[must_use]
     pub fn median_ns(&self) -> u128 {
+        assert!(!self.samples_ns.is_empty(), "at least one sample");
         let mut sorted = self.samples_ns.clone();
         sorted.sort_unstable();
-        sorted[sorted.len() / 2]
+        let mid = sorted.len() / 2;
+        if sorted.len().is_multiple_of(2) {
+            // Overflow-safe midpoint of the two middle samples, rounding
+            // .5 up: lo + ceil((hi - lo) / 2).
+            let (lo, hi) = (sorted[mid - 1], sorted[mid]);
+            lo + (hi - lo).div_ceil(2)
+        } else {
+            sorted[mid]
+        }
     }
 
-    /// Mean sample.
+    /// Mean sample, rounded to the nearest nanosecond. Plain integer
+    /// division would silently floor, drifting summary stats low.
     ///
     /// # Panics
     ///
@@ -52,7 +64,16 @@ impl Measurement {
     #[must_use]
     pub fn mean_ns(&self) -> u128 {
         assert!(!self.samples_ns.is_empty(), "at least one sample");
-        self.samples_ns.iter().sum::<u128>() / self.samples_ns.len() as u128
+        let n = self.samples_ns.len() as u128;
+        // Accumulate quotient and remainder separately so the mean is
+        // overflow-safe even for samples near `u128::MAX`.
+        let mut whole = 0u128;
+        let mut rem = 0u128;
+        for &s in &self.samples_ns {
+            whole += s / n;
+            rem += s % n;
+        }
+        whole + (rem + n / 2) / n
     }
 
     /// JSON object with the summary statistics and raw samples.
@@ -309,6 +330,26 @@ impl ScenarioSweepReport {
     }
 }
 
+/// Median of a set of integer observations under the same convention as
+/// [`Measurement::median_ns`]: middle sample for odd counts, average of
+/// the two middle samples (rounded half up) for even counts. Returns
+/// `None` for an empty set.
+#[must_use]
+pub fn median_u64(samples: &[u64]) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let mid = sorted.len() / 2;
+    Some(if sorted.len().is_multiple_of(2) {
+        let (lo, hi) = (sorted[mid - 1], sorted[mid]);
+        lo + (hi - lo).div_ceil(2)
+    } else {
+        sorted[mid]
+    })
+}
+
 /// Escapes a string for embedding in a JSON string literal.
 #[must_use]
 pub fn json_escape(s: &str) -> String {
@@ -377,6 +418,72 @@ mod tests {
         assert_eq!(m.min_ns(), 10);
         assert_eq!(m.median_ns(), 20);
         assert_eq!(m.mean_ns(), 20);
+    }
+
+    #[test]
+    fn single_sample_statistics_collapse_to_the_sample() {
+        let m = Measurement {
+            name: "one".into(),
+            samples_ns: vec![37],
+        };
+        assert_eq!(m.min_ns(), 37);
+        assert_eq!(m.median_ns(), 37);
+        assert_eq!(m.mean_ns(), 37);
+    }
+
+    #[test]
+    fn even_count_median_averages_the_middle_pair() {
+        // The old estimator returned the upper-middle sample (30 here),
+        // biasing even-count medians high.
+        let m = Measurement {
+            name: "even".into(),
+            samples_ns: vec![40, 10, 30, 20],
+        };
+        assert_eq!(m.median_ns(), 25);
+        // A .5 midpoint rounds to nearest (half up).
+        let m = Measurement {
+            name: "half".into(),
+            samples_ns: vec![2, 1],
+        };
+        assert_eq!(m.median_ns(), 2);
+    }
+
+    #[test]
+    fn mean_rounds_to_nearest_instead_of_flooring() {
+        let m = Measurement {
+            name: "round".into(),
+            samples_ns: vec![1, 2], // 1.5 → 2, not 1
+        };
+        assert_eq!(m.mean_ns(), 2);
+        let m = Measurement {
+            name: "floorish".into(),
+            samples_ns: vec![1, 1, 2], // 4/3 ≈ 1.33 → 1
+        };
+        assert_eq!(m.mean_ns(), 1);
+    }
+
+    #[test]
+    fn mean_is_overflow_safe_for_extreme_samples() {
+        let m = Measurement {
+            name: "huge".into(),
+            samples_ns: vec![u128::MAX, u128::MAX, u128::MAX],
+        };
+        assert_eq!(m.mean_ns(), u128::MAX);
+        let m = Measurement {
+            name: "mixed".into(),
+            samples_ns: vec![u128::MAX, u128::MAX - 2],
+        };
+        assert_eq!(m.mean_ns(), u128::MAX - 1);
+    }
+
+    #[test]
+    fn median_u64_shares_the_measurement_convention() {
+        assert_eq!(median_u64(&[]), None);
+        assert_eq!(median_u64(&[5]), Some(5));
+        assert_eq!(median_u64(&[30, 10, 20]), Some(20));
+        assert_eq!(median_u64(&[40, 10, 30, 20]), Some(25));
+        assert_eq!(median_u64(&[1, 2]), Some(2)); // .5 rounds half up
+        assert_eq!(median_u64(&[u64::MAX, u64::MAX - 2]), Some(u64::MAX - 1));
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! End-to-end tests for the `fitlog` inspector binary: failure modes must
+//! exit non-zero with a diagnostic (never a panic), and the happy path
+//! must replay a well-formed log into the report.
+//!
+//! Cargo exposes the built binary path through `CARGO_BIN_EXE_fitlog`, so
+//! these run hermetically — no shell scripts, no PATH assumptions.
+
+use std::process::{Command, Output};
+
+fn fitlog(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fitlog"))
+        .args(args)
+        .output()
+        .expect("spawn fitlog")
+}
+
+fn temp_log(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("fitlog_test_{}_{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp log");
+    path
+}
+
+const GOOD_LOG: &str = r#"{"ev":"fit_started","family":"Quadratic","starts":4}
+{"ev":"hist","id":"evals_per_fit","value":120}
+{"ev":"fit_finished","family":"Quadratic","sse":0.00125,"evals":120,"converged":true}
+"#;
+
+#[test]
+fn missing_log_path_is_a_usage_error() {
+    let out = fitlog(&[]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage: fitlog"), "stderr: {stderr}");
+}
+
+#[test]
+fn nonexistent_file_exits_nonzero_with_the_path() {
+    let out = fitlog(&["/nonexistent/fitlog/input.jsonl"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("/nonexistent/fitlog/input.jsonl"),
+        "stderr must name the missing path: {stderr}"
+    );
+    assert!(stderr.starts_with("fitlog:"), "stderr: {stderr}");
+}
+
+#[test]
+fn malformed_line_exits_nonzero_with_its_line_number() {
+    let log = format!("{GOOD_LOG}this is not json\n");
+    let path = temp_log("malformed", &log);
+    let out = fitlog(&[path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("line 4"),
+        "stderr must name the offending line: {stderr}"
+    );
+}
+
+#[test]
+fn overflowing_integer_field_is_a_parse_error_not_a_panic() {
+    // Values ≥ 2^64 used to saturate through `as u64` and feed garbage
+    // into the report; now the parse layer rejects them with a line
+    // number.
+    let log = r#"{"ev":"hist","id":"evals_per_fit","value":1e300}
+"#;
+    let path = temp_log("overflow", log);
+    let out = fitlog(&[path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 1"), "stderr: {stderr}");
+    assert!(
+        !stderr.contains("panicked"),
+        "must fail cleanly, not panic: {stderr}"
+    );
+}
+
+#[test]
+fn well_formed_log_replays_into_the_table_and_json_reports() {
+    let path = temp_log("good", GOOD_LOG);
+    let table = fitlog(&[path.to_str().unwrap()]);
+    assert!(table.status.success());
+    let stdout = String::from_utf8_lossy(&table.stdout);
+    assert!(stdout.contains("Quadratic"), "stdout: {stdout}");
+
+    let json = fitlog(&[path.to_str().unwrap(), "--json"]);
+    std::fs::remove_file(&path).ok();
+    assert!(json.status.success());
+    let stdout = String::from_utf8_lossy(&json.stdout);
+    assert!(
+        stdout.contains("\"name\":\"Quadratic\""),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("\"counters\""), "stdout: {stdout}");
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let out = fitlog(&["--bogus"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --bogus"), "stderr: {stderr}");
+}

@@ -31,7 +31,7 @@ use crate::selection::{score_family, sort_rows, FailureKind, FamilyFailure, Rank
 use crate::CoreError;
 use resilience_data::PerformanceSeries;
 use resilience_obs::{replay, CounterId, Event, FailureCode, HistogramId, RecordingObserver};
-use resilience_optim::parallel::run_indexed_catch;
+use resilience_optim::parallel::{run_indexed_catch, JobPanic};
 use resilience_optim::{Parallelism, StopCause};
 use resilience_stats::XorShift64;
 use std::sync::Arc;
@@ -365,46 +365,73 @@ pub fn rank_models_supervised(
             .map(|_| Arc::new(RecordingObserver::new()))
             .collect()
     });
-    let outcomes = run_indexed_catch(
-        config.parallelism,
-        families.len(),
-        |i| -> Result<crate::selection::SelectionRow, FamilyFailure> {
-            let family = families[i];
-            // The per-family clock starts here, on the worker, so queueing
-            // behind other families does not consume a family's budget.
-            let family_control = match policy.family_budget {
-                Some(budget) => control.narrowed(budget),
-                None => control.clone(),
-            };
-            let family_control = match &recorders {
-                Some(recs) => family_control.observe(recs[i].clone()),
-                None => family_control,
-            };
-            let fit_outcome = match &policy.retry {
-                Some(retry) => {
-                    fit_with_retry(family, series, &inner, retry, &family_control).map(|s| s.fit)
-                }
-                None => fit_least_squares_with(family, series, &inner, &family_control),
-            };
-            let fit = fit_outcome.map_err(|e| {
-                let kind = match e {
-                    CoreError::TimedOut { .. } => FailureKind::TimedOut,
-                    CoreError::Cancelled { .. } => FailureKind::Cancelled,
-                    _ => FailureKind::Error,
-                };
-                FamilyFailure {
-                    family_name: family.name(),
-                    reason: format!("fit: {e}"),
-                    kind,
-                }
-            })?;
-            score_family(family, series, &fit)
-        },
-    );
+    let outcomes = run_indexed_catch(config.parallelism, families.len(), |i| {
+        supervised_family_job(
+            families[i],
+            series,
+            &inner,
+            policy,
+            control,
+            recorders.as_ref().map(|recs| &recs[i]),
+        )
+    });
+    reduce_series_outcomes(families, outcomes, recorders.as_deref(), control)
+}
+
+/// One supervised series × family job: narrows the caller's control to
+/// the per-family budget (the clock starts here, on the worker, so
+/// queueing behind other jobs does not consume a family's budget),
+/// attaches the job's event buffer, fits — with retry when the policy
+/// asks for it — and scores.
+fn supervised_family_job(
+    family: &dyn ModelFamily,
+    series: &PerformanceSeries,
+    inner: &FitConfig,
+    policy: &ExecPolicy,
+    control: &Control,
+    recorder: Option<&Arc<RecordingObserver>>,
+) -> Result<crate::selection::SelectionRow, FamilyFailure> {
+    let family_control = match policy.family_budget {
+        Some(budget) => control.narrowed(budget),
+        None => control.clone(),
+    };
+    let family_control = match recorder {
+        Some(rec) => family_control.observe(rec.clone()),
+        None => family_control,
+    };
+    let fit_outcome = match &policy.retry {
+        Some(retry) => fit_with_retry(family, series, inner, retry, &family_control).map(|s| s.fit),
+        None => fit_least_squares_with(family, series, inner, &family_control),
+    };
+    let fit = fit_outcome.map_err(|e| {
+        let kind = match e {
+            CoreError::TimedOut { .. } => FailureKind::TimedOut,
+            CoreError::Cancelled { .. } => FailureKind::Cancelled,
+            _ => FailureKind::Error,
+        };
+        FamilyFailure {
+            family_name: family.name(),
+            reason: format!("fit: {e}"),
+            kind,
+        }
+    })?;
+    score_family(family, series, &fit)
+}
+
+/// Reduces one series' per-family job outcomes into a [`Ranking`],
+/// replaying each job's event buffer into the caller's sink in family
+/// order (so the merged log is independent of worker scheduling) and
+/// converting panics into degraded failure rows.
+fn reduce_series_outcomes(
+    families: &[&dyn ModelFamily],
+    outcomes: Vec<Result<Result<crate::selection::SelectionRow, FamilyFailure>, JobPanic>>,
+    recorders: Option<&[Arc<RecordingObserver>]>,
+    control: &Control,
+) -> Result<Ranking, CoreError> {
     let mut rows = Vec::new();
     let mut failures = Vec::new();
     for (i, outcome) in outcomes.into_iter().enumerate() {
-        if let (Some(recs), Some(sink)) = (&recorders, control.observer()) {
+        if let (Some(recs), Some(sink)) = (recorders, control.observer()) {
             replay(&recs[i].take(), sink.as_ref());
         }
         match outcome {
@@ -449,6 +476,64 @@ pub fn rank_models_supervised(
         failures,
         degraded,
     })
+}
+
+/// Batch entry point for fleet runs: ranks every series in `series_list`
+/// under the same policy, with work-stealing over the *flattened*
+/// series × family job list (DESIGN.md §13).
+///
+/// Flattening matters for fleet-scale throughput: a series whose families
+/// are all cheap does not leave workers idle while one expensive
+/// series × family pair finishes, because jobs are handed out one at a
+/// time from a shared atomic counter ([`run_indexed_catch`]) at the
+/// finest useful granularity. The inner multi-start runs serial, exactly
+/// like [`rank_models_supervised`].
+///
+/// Returns one outcome per series, in input order. Each outcome — the
+/// ranked rows, the typed failures, every SSE bit, and (when observed)
+/// the replayed event stream — is **bit-identical** to what a standalone
+/// [`rank_models_supervised`] call on that series would produce, for any
+/// `config.parallelism`: jobs are pure functions of their (series,
+/// family) pair and both reduction and event replay happen in input
+/// order.
+///
+/// Per-series errors (a stop with no survivors, or no family fitting)
+/// land in that series' slot; other series still rank — one poisoned cell
+/// must not abort a fleet.
+pub fn rank_many_supervised(
+    families: &[&dyn ModelFamily],
+    series_list: &[PerformanceSeries],
+    config: &FitConfig,
+    policy: &ExecPolicy,
+    control: &Control,
+) -> Vec<Result<Ranking, CoreError>> {
+    let mut inner = config.clone();
+    inner.parallelism = Parallelism::Serial;
+    let nf = families.len();
+    let jobs = series_list.len() * nf;
+    let recorders: Option<Vec<Arc<RecordingObserver>>> = control.observed().then(|| {
+        (0..jobs)
+            .map(|_| Arc::new(RecordingObserver::new()))
+            .collect()
+    });
+    let outcomes = run_indexed_catch(config.parallelism, jobs, |i| {
+        supervised_family_job(
+            families[i % nf],
+            &series_list[i / nf],
+            &inner,
+            policy,
+            control,
+            recorders.as_ref().map(|recs| &recs[i]),
+        )
+    });
+    let mut outcomes = outcomes.into_iter();
+    (0..series_list.len())
+        .map(|s| {
+            let chunk: Vec<_> = outcomes.by_ref().take(nf).collect();
+            let recs = recorders.as_ref().map(|recs| &recs[s * nf..(s + 1) * nf]);
+            reduce_series_outcomes(families, chunk, recs, control)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -610,6 +695,128 @@ mod tests {
         for p in [Parallelism::Fixed(2), Parallelism::Fixed(4)] {
             assert_eq!(trace(p), serial, "{p:?}");
         }
+    }
+
+    fn batch_series() -> Vec<PerformanceSeries> {
+        // Three distinct recovery stories so the flattened job list mixes
+        // cheap and expensive cells.
+        [
+            ("a", 0.009, 0.00030),
+            ("b", 0.014, 0.00045),
+            ("c", 0.006, 0.00020),
+        ]
+        .iter()
+        .map(|&(name, drift, curve)| {
+            let mut wiggle = 0.17_f64;
+            let values: Vec<f64> = (0..40)
+                .map(|i| {
+                    let t = i as f64;
+                    wiggle = (wiggle * 193.0).fract();
+                    1.0 - drift * t + curve * t * t + 0.002 * (wiggle - 0.5)
+                })
+                .collect();
+            PerformanceSeries::monthly(name, values).unwrap()
+        })
+        .collect()
+    }
+
+    #[test]
+    fn rank_many_matches_standalone_supervised_calls_bit_for_bit() {
+        let series_list = batch_series();
+        let families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily, &QuarticFamily];
+        let batch = rank_many_supervised(
+            &families,
+            &series_list,
+            &FitConfig::default(),
+            &ExecPolicy::default(),
+            &Control::unbounded(),
+        );
+        assert_eq!(batch.len(), series_list.len());
+        for (series, outcome) in series_list.iter().zip(&batch) {
+            let standalone = rank_models_supervised(
+                &families,
+                series,
+                &FitConfig::default(),
+                &ExecPolicy::default(),
+                &Control::unbounded(),
+            )
+            .unwrap();
+            let ranking = outcome.as_ref().unwrap();
+            assert_eq!(ranking.rows.len(), standalone.rows.len());
+            for (a, b) in ranking.rows.iter().zip(&standalone.rows) {
+                assert_eq!(a.family_name, b.family_name);
+                assert_eq!(a.sse.to_bits(), b.sse.to_bits());
+                assert_eq!(a.r2_adj.to_bits(), b.r2_adj.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn rank_many_results_and_events_are_invariant_to_thread_count() {
+        use resilience_obs::RecordingObserver;
+        let series_list = batch_series();
+        let families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily, &QuarticFamily];
+        let run = |p: Parallelism| {
+            let rec = Arc::new(RecordingObserver::new());
+            let config = FitConfig {
+                parallelism: p,
+                ..FitConfig::default()
+            };
+            let rankings = rank_many_supervised(
+                &families,
+                &series_list,
+                &config,
+                &ExecPolicy::default(),
+                &Control::unbounded().observe(rec.clone()),
+            );
+            let bits: Vec<Vec<(&'static str, u64)>> = rankings
+                .into_iter()
+                .map(|r| {
+                    r.unwrap()
+                        .rows
+                        .into_iter()
+                        .map(|row| (row.family_name, row.sse.to_bits()))
+                        .collect()
+                })
+                .collect();
+            (bits, rec.take())
+        };
+        let (serial_bits, serial_events) = run(Parallelism::Serial);
+        assert!(!serial_events.is_empty());
+        for p in [Parallelism::Fixed(2), Parallelism::Fixed(3)] {
+            let (bits, events) = run(p);
+            assert_eq!(bits, serial_bits, "{p:?}");
+            assert_eq!(events, serial_events, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn rank_many_degrades_per_series_instead_of_aborting_the_batch() {
+        // No families at all: every series fails on its own, in its own
+        // slot — the batch call itself still returns one outcome per
+        // series.
+        let series_list = batch_series();
+        let batch = rank_many_supervised(
+            &[],
+            &series_list,
+            &FitConfig::default(),
+            &ExecPolicy::default(),
+            &Control::unbounded(),
+        );
+        assert_eq!(batch.len(), series_list.len());
+        for outcome in &batch {
+            assert!(matches!(outcome, Err(CoreError::InvalidArgument { .. })));
+        }
+        // And an empty fleet is an empty result, not an error.
+        let families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily];
+        assert!(rank_many_supervised(
+            &families,
+            &[],
+            &FitConfig::default(),
+            &ExecPolicy::default(),
+            &Control::unbounded(),
+        )
+        .is_empty());
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! Fleet-scale scenario grids: the cartesian product
+//! scenarios × noise models × lengths × seeds, indexable cell by cell.
+//!
+//! The fleet driver (DESIGN.md §13) fits thousands of generated series
+//! through the ranking pipeline with work-stealing over flattened
+//! series × family jobs. That fan-out wants *indexed* access — job `i`
+//! must map to one fully determined [`ScenarioSpec`] without materializing
+//! the whole grid up front — so a [`ScenarioGrid`] is a tiny mixed-radix
+//! number system over its four axes: [`ScenarioGrid::cell`] decodes an
+//! index into a [`GridCell`] deterministically, and two decodes of the
+//! same index are identical by construction.
+//!
+//! Per-cell seeds drive both the scenario's stochastic parts (the Poisson
+//! event process) and the observation-noise stream, so the seed axis
+//! turns one scenario story into an ensemble of independent realizations
+//! — the ensemble framing of Dobson's outage models and Ganin's scenario
+//! matrices (PAPERS.md).
+
+use crate::scenario::catalog::{self, ShapeKind};
+use crate::scenario::events::EventProcess;
+use crate::scenario::{Noise, ScenarioSpec};
+use crate::DataError;
+
+/// One scenario story usable as a grid axis value: the catalog shapes and
+/// canned disruption stories, parameterized by grid length and seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridScenario {
+    /// A canonical letter shape ([`ShapeKind`]).
+    Shape(ShapeKind),
+    /// The step-outage story ([`catalog::step_outage`]).
+    StepOutage,
+    /// The W-shaped double dip ([`catalog::double_dip`]).
+    DoubleDip,
+    /// The slow-burn ramp ([`catalog::slow_burn`]).
+    SlowBurn,
+    /// A stochastic Poisson outage/restore process; the seed realizes a
+    /// fresh outage schedule per cell.
+    PoissonOutages,
+}
+
+impl GridScenario {
+    /// Every grid scenario, in display order: the six letter shapes, then
+    /// the three canned stories, then the Poisson process.
+    pub const ALL: [GridScenario; 10] = [
+        GridScenario::Shape(ShapeKind::V),
+        GridScenario::Shape(ShapeKind::U),
+        GridScenario::Shape(ShapeKind::W),
+        GridScenario::Shape(ShapeKind::L),
+        GridScenario::Shape(ShapeKind::J),
+        GridScenario::Shape(ShapeKind::K),
+        GridScenario::StepOutage,
+        GridScenario::DoubleDip,
+        GridScenario::SlowBurn,
+        GridScenario::PoissonOutages,
+    ];
+
+    /// Stable label used in results stores and cell names.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            GridScenario::Shape(kind) => format!("shape-{kind}"),
+            GridScenario::StepOutage => "step-outage".to_string(),
+            GridScenario::DoubleDip => "double-dip".to_string(),
+            GridScenario::SlowBurn => "slow-burn".to_string(),
+            GridScenario::PoissonOutages => "poisson-outages".to_string(),
+        }
+    }
+
+    /// The scenario spec at grid length `n`, seeded with `seed`. Catalog
+    /// stories keep their shock schedules; only the horizon is re-sized
+    /// (shocks beyond a short horizon simply contribute nothing).
+    #[must_use]
+    pub fn spec(&self, n: usize, seed: u64) -> ScenarioSpec {
+        match self {
+            GridScenario::Shape(kind) => kind.scenario(n, seed),
+            GridScenario::StepOutage => {
+                let mut spec = catalog::step_outage(seed);
+                spec.n = n;
+                spec
+            }
+            GridScenario::DoubleDip => {
+                let mut spec = catalog::double_dip(seed);
+                spec.n = n;
+                spec
+            }
+            GridScenario::SlowBurn => {
+                let mut spec = catalog::slow_burn(seed);
+                spec.n = n;
+                spec
+            }
+            GridScenario::PoissonOutages => ScenarioSpec {
+                n,
+                shocks: Vec::new(),
+                events: Some(EventProcess {
+                    outage_rate: 0.08,
+                    mean_restore: 5.0,
+                    mean_depth: 0.05,
+                    max_depth: 0.2,
+                    seed,
+                    max_events: EventProcess::DEFAULT_MAX_EVENTS,
+                }),
+                drift: crate::scenario::Drift::None,
+                noise: Noise::None,
+                floor: Some(0.0),
+            },
+        }
+    }
+}
+
+/// An observation-noise level, independent of the per-cell seed: the grid
+/// binds each level to the cell's own seed at decode time so every cell
+/// draws an independent noise stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseLevel {
+    /// Noise-free generation.
+    Clean,
+    /// Additive Gaussian noise with standard deviation `sd`.
+    Gaussian {
+        /// Standard deviation (≥ 0).
+        sd: f64,
+    },
+    /// Additive uniform noise on `[-amplitude, amplitude]`.
+    Uniform {
+        /// Half-width of the noise band (≥ 0).
+        amplitude: f64,
+    },
+}
+
+impl NoiseLevel {
+    /// Stable label used in results stores and cell names.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            NoiseLevel::Clean => "clean".to_string(),
+            NoiseLevel::Gaussian { sd } => format!("gaussian-{sd:e}"),
+            NoiseLevel::Uniform { amplitude } => format!("uniform-{amplitude:e}"),
+        }
+    }
+
+    /// Binds this level to a concrete seed, yielding the [`Noise`] model
+    /// a cell generates with.
+    #[must_use]
+    pub fn noise(&self, seed: u64) -> Noise {
+        match self {
+            NoiseLevel::Clean => Noise::None,
+            NoiseLevel::Gaussian { sd } => Noise::Gaussian { sd: *sd, seed },
+            NoiseLevel::Uniform { amplitude } => Noise::Uniform {
+                amplitude: *amplitude,
+                seed,
+            },
+        }
+    }
+}
+
+/// One fully decoded grid cell: the axis labels plus the concrete
+/// [`ScenarioSpec`] to generate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridCell {
+    /// Cell index in `0..grid.len()`.
+    pub index: usize,
+    /// Scenario axis label (e.g. `shape-V`, `poisson-outages`).
+    pub scenario: String,
+    /// Noise axis label (e.g. `clean`, `gaussian-1e-3`).
+    pub noise: String,
+    /// Grid length.
+    pub n: usize,
+    /// Cell seed (drives noise and any stochastic event process).
+    pub seed: u64,
+    /// The spec to generate.
+    pub spec: ScenarioSpec,
+}
+
+impl GridCell {
+    /// Canonical series name for this cell.
+    #[must_use]
+    pub fn series_name(&self) -> String {
+        format!(
+            "{}/{}/n{}/s{}",
+            self.scenario, self.noise, self.n, self.seed
+        )
+    }
+
+    /// Generates the cell's series.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScenarioSpec::generate`] validation failures.
+    pub fn generate(&self) -> Result<crate::PerformanceSeries, DataError> {
+        self.spec.generate(self.series_name())
+    }
+}
+
+/// A cartesian grid over scenarios × noise levels × lengths × seeds.
+///
+/// Cells are ordered scenario-major, seed-minor:
+/// `index = ((s·|noises| + z)·|lengths| + l)·|seeds| + d`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioGrid {
+    /// Scenario axis.
+    pub scenarios: Vec<GridScenario>,
+    /// Noise-model axis.
+    pub noises: Vec<NoiseLevel>,
+    /// Grid-length axis.
+    pub lengths: Vec<usize>,
+    /// Seed axis (one independent realization per seed).
+    pub seeds: Vec<u64>,
+}
+
+impl ScenarioGrid {
+    /// Number of cells (the product of the four axis lengths).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scenarios.len() * self.noises.len() * self.lengths.len() * self.seeds.len()
+    }
+
+    /// Whether any axis is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decodes cell `index` (mixed-radix over the four axes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= self.len()`.
+    #[must_use]
+    pub fn cell(&self, index: usize) -> GridCell {
+        assert!(index < self.len(), "cell index {index} out of range");
+        let d = index % self.seeds.len();
+        let rest = index / self.seeds.len();
+        let l = rest % self.lengths.len();
+        let rest = rest / self.lengths.len();
+        let z = rest % self.noises.len();
+        let s = rest / self.noises.len();
+        let scenario = self.scenarios[s];
+        let noise = self.noises[z];
+        let n = self.lengths[l];
+        let seed = self.seeds[d];
+        let mut spec = scenario.spec(n, seed);
+        spec.noise = noise.noise(seed);
+        GridCell {
+            index,
+            scenario: scenario.label(),
+            noise: noise.label(),
+            n,
+            seed,
+            spec,
+        }
+    }
+
+    /// Iterates every cell in index order.
+    pub fn cells(&self) -> impl Iterator<Item = GridCell> + '_ {
+        (0..self.len()).map(|i| self.cell(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> ScenarioGrid {
+        ScenarioGrid {
+            scenarios: vec![
+                GridScenario::Shape(ShapeKind::V),
+                GridScenario::PoissonOutages,
+            ],
+            noises: vec![NoiseLevel::Clean, NoiseLevel::Gaussian { sd: 0.001 }],
+            lengths: vec![32, 48],
+            seeds: vec![42, 43, 44],
+        }
+    }
+
+    #[test]
+    fn len_is_the_axis_product() {
+        assert_eq!(small_grid().len(), 2 * 2 * 2 * 3);
+        assert!(!small_grid().is_empty());
+        let empty = ScenarioGrid {
+            seeds: Vec::new(),
+            ..small_grid()
+        };
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn cells_enumerate_every_combination_once() {
+        let grid = small_grid();
+        let cells: Vec<GridCell> = grid.cells().collect();
+        assert_eq!(cells.len(), grid.len());
+        let mut names: Vec<String> = cells.iter().map(GridCell::series_name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), grid.len(), "cell names must be unique");
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+        }
+    }
+
+    #[test]
+    fn cell_decode_is_deterministic_and_generates() {
+        let grid = small_grid();
+        for i in 0..grid.len() {
+            let a = grid.cell(i);
+            let b = grid.cell(i);
+            assert_eq!(a, b);
+            let sa = a.generate().unwrap();
+            let sb = b.generate().unwrap();
+            assert_eq!(sa.len(), a.n);
+            let bits = |s: &crate::PerformanceSeries| {
+                s.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            };
+            assert_eq!(bits(&sa), bits(&sb), "cell {i} regenerated differently");
+        }
+    }
+
+    #[test]
+    fn seeds_realize_independent_noise_streams() {
+        let grid = small_grid();
+        // Cells 1 and 2 differ only in seed (n=32, gaussian... pick two
+        // gaussian cells at same scenario/length): indices with z=1,l=0
+        // are 6+0..6+2 (s=0,z=1,l=0,d).
+        let a = grid.cell(6).generate().unwrap();
+        let b = grid.cell(7).generate().unwrap();
+        assert_eq!(grid.cell(6).noise, "gaussian-1e-3");
+        assert_ne!(a.values(), b.values(), "seeds must decorrelate noise");
+    }
+
+    #[test]
+    fn poisson_cells_realize_per_seed_schedules() {
+        let grid = ScenarioGrid {
+            scenarios: vec![GridScenario::PoissonOutages],
+            noises: vec![NoiseLevel::Clean],
+            lengths: vec![96],
+            seeds: vec![1, 2],
+        };
+        let a = grid.cell(0).generate().unwrap();
+        let b = grid.cell(1).generate().unwrap();
+        assert_ne!(a.values(), b.values());
+    }
+
+    #[test]
+    fn every_grid_scenario_generates_at_short_and_long_horizons() {
+        for scenario in GridScenario::ALL {
+            for n in [24usize, 72] {
+                let spec = scenario.spec(n, 7);
+                let s = spec.generate(scenario.label()).unwrap();
+                assert_eq!(s.len(), n, "{}", scenario.label());
+                assert!(
+                    s.values().iter().all(|v| v.is_finite()),
+                    "{}",
+                    scenario.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(GridScenario::Shape(ShapeKind::W).label(), "shape-W");
+        assert_eq!(GridScenario::PoissonOutages.label(), "poisson-outages");
+        assert_eq!(NoiseLevel::Clean.label(), "clean");
+        assert_eq!(NoiseLevel::Gaussian { sd: 0.001 }.label(), "gaussian-1e-3");
+        assert_eq!(
+            NoiseLevel::Uniform { amplitude: 0.002 }.label(),
+            "uniform-2e-3"
+        );
+    }
+}

@@ -49,10 +49,12 @@
 
 pub mod catalog;
 pub mod events;
+pub mod grid;
 pub mod shock;
 
 pub use catalog::ShapeKind;
 pub use events::{EventProcess, Outage};
+pub use grid::{GridCell, GridScenario, NoiseLevel, ScenarioGrid};
 pub use shock::{smoothstep, Recovery, Shock};
 
 use crate::noise::XorShift64;

@@ -259,7 +259,11 @@ impl Fields {
 
     fn u64(&self, key: &str) -> Result<u64, ParseError> {
         match self.get(key)? {
-            Val::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Ok(*x as u64),
+            // The upper bound rejects values ≥ 2^64 (including overflow
+            // artifacts like `1e300`), which a plain `as u64` cast would
+            // silently saturate to `u64::MAX`; everything below it with a
+            // zero fraction converts exactly.
+            Val::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x < u64::MAX as f64 => Ok(*x as u64),
             _ => err(format!("field {key:?} is not a non-negative integer")),
         }
     }
@@ -506,5 +510,26 @@ mod tests {
         assert!(parse_line("{\"ev\":\"nope\"}").is_err());
         assert!(parse_line("{\"ev\":\"start\",\"index\":-1}").is_err());
         assert!(parse_line("{\"ev\":\"start\",\"index\":0}x").is_err());
+    }
+
+    #[test]
+    fn rejects_integer_fields_that_overflow_u64() {
+        // `1e300` has a zero fraction, so before the range guard it cast
+        // (saturating) to u64::MAX and poisoned downstream aggregation.
+        assert!(parse_line("{\"ev\":\"hist\",\"id\":\"evals_per_fit\",\"value\":1e300}").is_err());
+        assert!(parse_line(
+            "{\"ev\":\"counter\",\"id\":\"objective_evals\",\"n\":18446744073709551616}"
+        )
+        .is_err());
+        // A large but in-range integer (2^53) still parses exactly.
+        let e = parse_line("{\"ev\":\"hist\",\"id\":\"evals_per_fit\",\"value\":9007199254740992}")
+            .unwrap();
+        assert_eq!(
+            e,
+            Event::Hist {
+                id: HistogramId::EvalsPerFit,
+                value: 9007199254740992,
+            }
+        );
     }
 }

@@ -50,10 +50,12 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    /// Records one observation.
+    /// Records one observation. The running sum saturates instead of
+    /// overflowing so a hostile or corrupt event stream cannot panic the
+    /// aggregation (parsed logs additionally reject out-of-range values).
     pub fn observe(&mut self, value: u64) {
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         let bits = (64 - value.leading_zeros()) as usize;
@@ -66,6 +68,18 @@ impl Histogram {
             None
         } else {
             Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Folds `other`'s observations into this histogram (count/sum add,
+    /// min/max widen, buckets add element-wise).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets) {
+            *a += b;
         }
     }
 }
@@ -321,6 +335,68 @@ impl RunReport {
             bootstrap,
             events: total_events,
         }
+    }
+
+    /// Folds `other` into this report: fleet-level aggregation across the
+    /// per-run (or per-shard) reports of a batch sweep.
+    ///
+    /// Per-family totals add by family name (preserving this report's
+    /// first-seen order, with `other`'s new families appended),
+    /// `best_sse` keeps the minimum, counters and histograms add in their
+    /// canonical id order, and `other`'s bootstrap progress — being the
+    /// later observation — wins when present.
+    pub fn merge(&mut self, other: &RunReport) {
+        for of in &other.families {
+            match self.families.iter_mut().find(|f| f.name == of.name) {
+                Some(f) => {
+                    f.fits_started += of.fits_started;
+                    f.fits_completed += of.fits_completed;
+                    f.converged_fits += of.converged_fits;
+                    f.iterations += of.iterations;
+                    f.evaluations += of.evaluations;
+                    f.retries += of.retries;
+                    f.failed_timeout += of.failed_timeout;
+                    f.failed_cancelled += of.failed_cancelled;
+                    f.failed_error += of.failed_error;
+                    f.panics += of.panics;
+                    f.best_sse = match (f.best_sse, of.best_sse) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                }
+                None => self.families.push(of.clone()),
+            }
+        }
+        let mut counters = [0u64; CounterId::ALL.len()];
+        for (id, v) in self.counters.iter().chain(&other.counters) {
+            let slot = CounterId::ALL
+                .iter()
+                .position(|c| c == id)
+                .expect("id is in ALL");
+            counters[slot] += v;
+        }
+        self.counters = CounterId::ALL
+            .into_iter()
+            .enumerate()
+            .filter(|(slot, _)| counters[*slot] > 0)
+            .map(|(slot, id)| (id, counters[slot]))
+            .collect();
+        let mut histograms: Vec<Histogram> = vec![Histogram::default(); HistogramId::ALL.len()];
+        for (id, h) in self.histograms.iter().chain(&other.histograms) {
+            let slot = HistogramId::ALL
+                .iter()
+                .position(|c| c == id)
+                .expect("id is in ALL");
+            histograms[slot].merge(h);
+        }
+        self.histograms = HistogramId::ALL
+            .into_iter()
+            .enumerate()
+            .filter(|(slot, _)| histograms[*slot].count > 0)
+            .map(|(slot, id)| (id, histograms[slot].clone()))
+            .collect();
+        self.bootstrap = other.bootstrap.or(self.bootstrap);
+        self.events += other.events;
     }
 
     /// Total value of one counter (0 when absent).
@@ -626,6 +702,78 @@ mod tests {
         assert_eq!(h.buckets[16], 1); // saturating tail
         assert_eq!(h.min, 0);
         assert_eq!(h.max, 1 << 20);
+    }
+
+    #[test]
+    fn merge_aggregates_families_counters_and_histograms() {
+        let a = RunReport::from_events(sample_events());
+        let b = RunReport::from_events(vec![
+            Event::FitStarted {
+                family: intern("Quadratic"),
+                starts: 1,
+            },
+            Event::Counter {
+                id: CounterId::ObjectiveEvals,
+                delta: 6,
+            },
+            Event::Hist {
+                id: HistogramId::EvalsPerStart,
+                value: 6,
+            },
+            Event::FitFinished {
+                family: intern("Quadratic"),
+                sse: 0.5,
+                evaluations: 6,
+                converged: true,
+            },
+            Event::FitStarted {
+                family: intern("Quartic"),
+                starts: 1,
+            },
+            Event::FitFinished {
+                family: intern("Quartic"),
+                sse: 2.0,
+                evaluations: 1,
+                converged: false,
+            },
+        ]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        // First-seen order of `a` is preserved; b's new family appends.
+        let names: Vec<&str> = merged.families.iter().map(|f| f.name).collect();
+        assert_eq!(names, vec!["Quadratic", "Glacial", "Quartic"]);
+        let q = &merged.families[0];
+        assert_eq!(q.fits_started, 2);
+        assert_eq!(q.fits_completed, 2);
+        assert_eq!(q.converged_fits, 2);
+        assert_eq!(q.evaluations, 36);
+        assert_eq!(q.best_sse, Some(0.5)); // minimum wins
+        assert_eq!(
+            merged.counter(CounterId::ObjectiveEvals),
+            a.counter(CounterId::ObjectiveEvals) + 6
+        );
+        let h = merged.histogram(HistogramId::EvalsPerStart).unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 36, 6, 30));
+        assert_eq!(merged.events, a.events + b.events);
+        // Merging an empty report is a no-op on content.
+        let mut same = a.clone();
+        same.merge(&RunReport::default());
+        assert_eq!(same.to_json(), a.to_json());
+    }
+
+    #[test]
+    fn histogram_merge_and_saturating_sum() {
+        let mut a = Histogram::default();
+        a.observe(3);
+        let mut b = Histogram::default();
+        b.observe(10);
+        b.observe(u64::MAX); // saturates instead of panicking
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min, 3);
+        assert_eq!(a.max, u64::MAX);
+        assert_eq!(a.sum, u64::MAX);
+        assert_eq!(a.buckets.iter().sum::<u64>(), 3);
     }
 
     #[test]

@@ -62,6 +62,14 @@ echo "==> scenario smoke: canonical scenario set deterministic + serial/parallel
 timeout -k 30 "$SMOKE_TIMEOUT" \
     cargo run -q --release -p resilience-bench --bin bench -- --scenario-smoke
 
+echo "==> fleet smoke: 64-cell grid, double-run + serial/Fixed(2) identity gates (hard cap ${SMOKE_TIMEOUT}s)"
+# Runs the CI fleet three times (serial ×2, Fixed(2) ×1) and fails unless
+# the columnar results stores and obs roll-ups are byte-identical across
+# all runs; regenerates BENCH_fleet.json, which is a pure function of the
+# grid — `git diff` must stay clean after this step.
+timeout -k 30 "$SMOKE_TIMEOUT" \
+    cargo run -q --release -p resilience-bench --bin bench -- fleet --fleet-smoke
+
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
