@@ -21,6 +21,7 @@
 //! with double-run and serial-vs-`Fixed(2)` identity gates →
 //! `BENCH_fleet.json`).
 
+use resilience_bench::chaos::{evaluate_chaos_fleet, ChaosReport};
 use resilience_bench::fleet::{evaluate_fleet, full_grid, smoke_grid, FleetReport};
 use resilience_bench::harness::{
     bench_with_budget, median_u64, FamilyTiming, Measurement, ScenarioCell, ScenarioSweepReport,
@@ -530,6 +531,48 @@ fn run_fleet_mode(path: &str, report: &FleetReport) -> bool {
     true
 }
 
+/// Runs the chaos-smoke evaluation (`bench fleet --chaos-smoke`): the
+/// 64-cell CI grid under the fixed chaos plan, gated on no-abort,
+/// well-formed survivors, byte-identical stores + event JSONL across
+/// serial ×2 and `Fixed(2)` passes, accounted injection, and bounded
+/// retries. Writes `BENCH_chaos.json` only when every gate holds.
+fn run_chaos_mode(path: &str, report: &ChaosReport) -> bool {
+    if !report.gates_pass() {
+        eprintln!(
+            "chaos: gates failed (no_abort={} well_formed={} rerun={} parallel={} \
+             accounted={} retries_bounded={}; injected={} breaker_opened={} half_open={} \
+             quarantined={} retries={}/{}) — refusing to overwrite {path}",
+            report.no_abort,
+            report.well_formed,
+            report.identical_rerun,
+            report.identical_parallel,
+            report.chaos_accounted,
+            report.retries_bounded,
+            report.chaos_injected,
+            report.breaker_opened,
+            report.breaker_half_open,
+            report.cells_quarantined,
+            report.retries,
+            report.retry_ceiling,
+        );
+        return false;
+    }
+    std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!(
+        "chaos          cells={} injected={} breaker_opened={} half_open={} quarantined={} \
+         retries={}/{} gates=pass digest={:016x} -> {path}",
+        report.store.len(),
+        report.chaos_injected,
+        report.breaker_opened,
+        report.breaker_half_open,
+        report.cells_quarantined,
+        report.retries,
+        report.retry_ceiling,
+        report.store.digest(),
+    );
+    true
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--smoke") {
         if !smoke() {
@@ -539,6 +582,22 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--scenario-smoke") {
         if !scenario_smoke() {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if std::env::args().any(|a| a == "--chaos-smoke") {
+        // `bench fleet --chaos-smoke`: the 64-cell CI grid under the
+        // fixed chaos plan with the breaker armed → `BENCH_chaos.json`.
+        let families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily, &CompetingRisksFamily];
+        // Forced panics are the *point* of this mode; the supervisor
+        // catches every one. Silence the default hook so CI logs carry
+        // the verdict, not dozens of intentional backtraces.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = evaluate_chaos_fleet(&smoke_grid(), &families);
+        std::panic::set_hook(hook);
+        if !run_chaos_mode("BENCH_chaos.json", &report) {
             std::process::exit(1);
         }
         return;

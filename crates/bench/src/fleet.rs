@@ -34,12 +34,23 @@ use resilience_data::PerformanceSeries;
 use resilience_obs::{Event, HistogramId, RecordingObserver, RunReport};
 use resilience_optim::Parallelism;
 use std::sync::Arc;
+// Sanctioned wall-clock: `wall_ns` is stdout-only progress reporting,
+// never serialized into a baseline (`clippy.toml` bans `Instant`
+// everywhere results are stored).
+#[allow(clippy::disallowed_types)]
 use std::time::Instant;
 
 /// Sentinel bits recorded for a cell whose ranking failed outright (no
 /// family produced a fit). `u64::MAX` is not the bit pattern of any
 /// finite `f64`, so failed cells can never collide with a real SSE.
 pub const FAILED_BITS: u64 = u64::MAX;
+
+/// Sentinel bits for a *quarantined* cell: the supervisor saw every
+/// family fail under chaos/breaker supervision and parked the cell
+/// instead of aborting the fleet (DESIGN.md §14). Distinct from
+/// [`FAILED_BITS`] so a baseline diff separates "legacy hard failure"
+/// from "quarantined by the supervisor"; like it, never a finite `f64`.
+pub const QUARANTINED_BITS: u64 = u64::MAX - 1;
 
 /// Columnar results store for one fleet run: one entry per grid cell, in
 /// cell-index order, kept as per-column vectors (struct-of-arrays) so a
@@ -65,6 +76,9 @@ pub struct FleetStore {
     pub ranked: Vec<u32>,
     /// Families that failed (degraded ranking) for this cell.
     pub failed: Vec<u32>,
+    /// Typed failure count for a quarantined cell, `0` otherwise — the
+    /// sentinel column chaos fleets park all-failing cells in.
+    pub quarantined: Vec<u32>,
 }
 
 impl FleetStore {
@@ -81,6 +95,7 @@ impl FleetStore {
             r2_bits: Vec::with_capacity(cells),
             ranked: Vec::with_capacity(cells),
             failed: Vec::with_capacity(cells),
+            quarantined: Vec::with_capacity(cells),
         }
     }
 
@@ -120,6 +135,24 @@ impl FleetStore {
                 self.failed.push(0);
             }
         }
+        self.quarantined.push(0);
+    }
+
+    /// Appends one *quarantined* cell: every family failed under
+    /// supervision, the supervisor parked the cell, and the store records
+    /// the typed failure count in the sentinel column
+    /// ([`QUARANTINED_BITS`] in the bit columns).
+    pub fn push_quarantined(&mut self, cell: &resilience_data::scenario::GridCell, failures: u32) {
+        self.scenario.push(cell.scenario.clone());
+        self.noise.push(cell.noise.clone());
+        self.n.push(cell.n);
+        self.seed.push(cell.seed);
+        self.winner.push("(quarantined)".to_string());
+        self.sse_bits.push(QUARANTINED_BITS);
+        self.r2_bits.push(QUARANTINED_BITS);
+        self.ranked.push(0);
+        self.failed.push(failures);
+        self.quarantined.push(failures.max(1));
     }
 
     /// The per-column JSON object — the byte string the repeatability
@@ -147,6 +180,7 @@ impl FleetStore {
         num_col("r2_bits", &self.r2_bits, &mut cols);
         num_col("ranked", &self.ranked, &mut cols);
         num_col("failed", &self.failed, &mut cols);
+        num_col("quarantined", &self.quarantined, &mut cols);
         format!("{{\n{}\n  }}", cols.join(",\n"))
     }
 
@@ -196,6 +230,7 @@ pub struct FleetRun {
 /// Panics when a grid cell's spec fails to generate (grid specs are
 /// valid by construction) or when `families` is empty.
 #[must_use]
+#[allow(clippy::disallowed_types)] // wall_ns is stdout-only, never stored
 pub fn run_fleet(
     grid: &ScenarioGrid,
     families: &[&dyn ModelFamily],
@@ -400,14 +435,14 @@ impl FleetReport {
     }
 }
 
-/// Per-cell |a − b| on bit-stored values; failed cells (sentinel bits on
-/// either side) count as zero delta — the winner column already exposes
-/// them.
+/// Per-cell |a − b| on bit-stored values; failed or quarantined cells
+/// (sentinel bits on either side) count as zero delta — the winner
+/// column already exposes them.
 fn bit_deltas(a: &[u64], b: &[u64]) -> Vec<f64> {
     a.iter()
         .zip(b)
         .map(|(&x, &y)| {
-            if x == FAILED_BITS || y == FAILED_BITS {
+            if x >= QUARANTINED_BITS || y >= QUARANTINED_BITS {
                 0.0
             } else {
                 (f64::from_bits(x) - f64::from_bits(y)).abs()
@@ -446,7 +481,7 @@ pub fn variance_bands(store: &FleetStore) -> Vec<VarianceBand> {
         .filter_map(|((scenario, noise, n), members)| {
             let sses: Vec<f64> = members
                 .iter()
-                .filter(|&&i| store.sse_bits[i] != FAILED_BITS)
+                .filter(|&&i| store.sse_bits[i] < QUARANTINED_BITS)
                 .map(|&i| f64::from_bits(store.sse_bits[i]))
                 .collect();
             if sses.is_empty() {

@@ -7,6 +7,7 @@
 //! (no criterion — the workspace builds offline). DESIGN.md §4 maps each
 //! experiment to the modules it exercises.
 
+pub mod chaos;
 pub mod fleet;
 pub mod harness;
 

@@ -1,0 +1,239 @@
+//! Deterministic chaos injection for the supervised runtime (DESIGN.md §14).
+//!
+//! A [`ChaosPlan`] decides, for every (cell, family) job the fleet runs —
+//! and for every retry attempt inside a job — whether to inject a fault
+//! and which one. Decisions are drawn from counter-derived
+//! [`XorShift64`] streams keyed by `(seed, cell, family)` (plus the
+//! attempt number for transient faults), never from wall-clock or global
+//! RNG state, so a chaos run is a pure function of the plan: bit-identical
+//! across reruns and thread counts. This is the same discipline the data
+//! layer's Poisson outage processes follow — here it is turned on the
+//! runtime itself.
+//!
+//! The faults model the failure classes the supervisor must absorb:
+//!
+//! * [`ChaosFault::ForcedPanic`] — the job's fit closure panics
+//!   (exercises panic isolation at the parallel boundary);
+//! * [`ChaosFault::DeadlineBlowout`] — the job's deadline collapses to
+//!   zero before fitting, so the solver's first cancellation point fires
+//!   (exercises the timeout path through the *real* stop machinery);
+//! * [`ChaosFault::RetryExhaustion`] — every fit attempt fails, consuming
+//!   the whole retry schedule (exercises bounded-retry accounting);
+//! * [`ChaosFault::ObserverLoss`] — the job's telemetry sink is dropped
+//!   before fitting (exercises result paths under observer write
+//!   failures: the fit must still land, only its trace is lost);
+//! * transient per-attempt eval errors (see [`ChaosPlan::transient`]) —
+//!   one attempt fails retryably, the next may succeed (exercises the
+//!   retry schedule's recovery path).
+
+use resilience_obs::ChaosKind;
+use resilience_stats::XorShift64;
+
+/// FNV-1a over a family name: a stable, dependency-free 64-bit key so
+/// chaos streams depend on the family's identity, not its index in some
+/// particular family list.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A job-boundary fault selected by [`ChaosPlan::job_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Panic inside the job's fit closure.
+    ForcedPanic,
+    /// Collapse the job's deadline to zero before fitting.
+    DeadlineBlowout,
+    /// Fail every fit attempt, exhausting the retry schedule.
+    RetryExhaustion,
+    /// Drop the job's telemetry sink before fitting.
+    ObserverLoss,
+}
+
+impl ChaosFault {
+    /// The telemetry classification for this fault
+    /// ([`resilience_obs::Event::ChaosInjected`]).
+    pub fn kind(self) -> ChaosKind {
+        match self {
+            ChaosFault::ForcedPanic => ChaosKind::Panic,
+            ChaosFault::DeadlineBlowout => ChaosKind::Deadline,
+            ChaosFault::RetryExhaustion => ChaosKind::Exhaustion,
+            ChaosFault::ObserverLoss => ChaosKind::ObserverLoss,
+        }
+    }
+}
+
+/// A deterministic fault-injection plan.
+///
+/// Rates are per-mille (0–1000): each job draws one uniform value in
+/// `[0, 1000)` from its `(seed, cell, family)` stream and walks the rate
+/// thresholds in declaration order. Rates summing above 1000 saturate
+/// (later faults are shadowed); the plan is still deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use resilience_core::chaos::ChaosPlan;
+/// let plan = ChaosPlan {
+///     seed: 7,
+///     panic_per_mille: 1000, // every job panics
+///     ..ChaosPlan::default()
+/// };
+/// let a = plan.job_fault(3, "Quadratic");
+/// assert_eq!(a, plan.job_fault(3, "Quadratic")); // pure function
+/// assert!(a.is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Seed of every chaos stream.
+    pub seed: u64,
+    /// Per-mille rate of [`ChaosFault::ForcedPanic`].
+    pub panic_per_mille: u16,
+    /// Per-mille rate of [`ChaosFault::DeadlineBlowout`].
+    pub deadline_per_mille: u16,
+    /// Per-mille rate of [`ChaosFault::RetryExhaustion`].
+    pub exhaustion_per_mille: u16,
+    /// Per-mille rate of [`ChaosFault::ObserverLoss`].
+    pub observer_loss_per_mille: u16,
+    /// Per-mille rate, *per attempt*, of a transient eval error.
+    pub transient_per_mille: u16,
+}
+
+impl Default for ChaosPlan {
+    /// A disabled plan: zero rates everywhere.
+    fn default() -> Self {
+        ChaosPlan {
+            seed: 0xC4A05,
+            panic_per_mille: 0,
+            deadline_per_mille: 0,
+            exhaustion_per_mille: 0,
+            observer_loss_per_mille: 0,
+            transient_per_mille: 0,
+        }
+    }
+}
+
+impl ChaosPlan {
+    /// The substream key for one (cell, family) job. Mixing the family
+    /// *name* (not index) keeps a family's fault schedule stable when the
+    /// family list is reordered or extended.
+    fn job_key(cell: u32, family: &str) -> u64 {
+        (u64::from(cell) << 32) ^ fnv1a(family)
+    }
+
+    /// The job-boundary fault for `(cell, family)`, if any.
+    ///
+    /// Pure function of `(self.seed, cell, family)`.
+    pub fn job_fault(&self, cell: u32, family: &str) -> Option<ChaosFault> {
+        let mut rng = XorShift64::stream(self.seed, Self::job_key(cell, family));
+        let draw = (rng.next_u64() % 1000) as u16;
+        let mut edge = 0u16;
+        for (rate, fault) in [
+            (self.panic_per_mille, ChaosFault::ForcedPanic),
+            (self.deadline_per_mille, ChaosFault::DeadlineBlowout),
+            (self.exhaustion_per_mille, ChaosFault::RetryExhaustion),
+            (self.observer_loss_per_mille, ChaosFault::ObserverLoss),
+        ] {
+            edge = edge.saturating_add(rate);
+            if draw < edge {
+                return Some(fault);
+            }
+        }
+        None
+    }
+
+    /// Whether attempt `attempt` (1-based) of the `(cell, family)` job
+    /// suffers a transient eval error.
+    ///
+    /// Pure function of `(self.seed, cell, family, attempt)`; a job whose
+    /// first attempt is hit can still succeed on a retry.
+    pub fn transient(&self, cell: u32, family: &str, attempt: u32) -> bool {
+        if self.transient_per_mille == 0 {
+            return false;
+        }
+        let key = Self::job_key(cell, family) ^ (u64::from(attempt) << 17);
+        let mut rng = XorShift64::stream(self.seed ^ 0x7A_17, key);
+        ((rng.next_u64() % 1000) as u16) < self.transient_per_mille
+    }
+
+    /// Whether this plan can inject anything at all.
+    pub fn enabled(&self) -> bool {
+        self.panic_per_mille > 0
+            || self.deadline_per_mille > 0
+            || self.exhaustion_per_mille > 0
+            || self.observer_loss_per_mille > 0
+            || self.transient_per_mille > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_draws_are_pure_functions_of_the_plan() {
+        let plan = ChaosPlan {
+            seed: 42,
+            panic_per_mille: 100,
+            deadline_per_mille: 100,
+            exhaustion_per_mille: 100,
+            observer_loss_per_mille: 100,
+            transient_per_mille: 200,
+        };
+        for cell in 0..64u32 {
+            for family in ["Quadratic", "Hjorth", "MixtureW"] {
+                assert_eq!(plan.job_fault(cell, family), plan.job_fault(cell, family));
+                for attempt in 1..=3u32 {
+                    assert_eq!(
+                        plan.transient(cell, family, attempt),
+                        plan.transient(cell, family, attempt)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rates_shape_the_fault_mix() {
+        let always = ChaosPlan {
+            panic_per_mille: 1000,
+            ..ChaosPlan::default()
+        };
+        let never = ChaosPlan::default();
+        for cell in 0..32u32 {
+            assert_eq!(always.job_fault(cell, "Q"), Some(ChaosFault::ForcedPanic));
+            assert_eq!(never.job_fault(cell, "Q"), None);
+            assert!(!never.transient(cell, "Q", 1));
+        }
+        assert!(always.enabled());
+        assert!(!never.enabled());
+    }
+
+    #[test]
+    fn streams_decorrelate_across_cells_and_families() {
+        // With a 25% aggregate rate, 64 cells x 2 families must see both
+        // faulted and clean jobs — a degenerate keying (every job sharing
+        // one stream) would make them all equal.
+        let plan = ChaosPlan {
+            seed: 7,
+            panic_per_mille: 125,
+            deadline_per_mille: 125,
+            ..ChaosPlan::default()
+        };
+        let mut faulted = 0;
+        let mut clean = 0;
+        for cell in 0..64u32 {
+            for family in ["Quadratic", "Hjorth"] {
+                match plan.job_fault(cell, family) {
+                    Some(_) => faulted += 1,
+                    None => clean += 1,
+                }
+            }
+        }
+        assert!(faulted > 0 && clean > 0, "faulted={faulted} clean={clean}");
+    }
+}

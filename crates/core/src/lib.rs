@@ -59,6 +59,7 @@
 pub mod analysis;
 pub mod bathtub;
 pub mod bootstrap;
+pub mod chaos;
 pub mod diagnostics;
 pub mod error;
 pub mod extended;

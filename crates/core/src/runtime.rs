@@ -25,6 +25,7 @@
 //! `TimedOut`/`Cancelled` failure row) — never the numeric content of a
 //! successful result.
 
+use crate::chaos::{ChaosFault, ChaosPlan};
 use crate::fit::{fit_least_squares_with, FitConfig, FittedModel, WarmStart};
 use crate::model::{ModelFamily, ResilienceModel};
 use crate::selection::{score_family, sort_rows, FailureKind, FamilyFailure, Ranking};
@@ -94,6 +95,45 @@ pub struct ExecPolicy {
     pub family_budget: Option<Duration>,
     /// Retry schedule for non-converged fits. `None` means single-shot.
     pub retry: Option<RetryPolicy>,
+    /// Per-family circuit breaker for fleet runs
+    /// ([`rank_fleet_supervised`]). `None` disables breaking: every job
+    /// always runs.
+    pub breaker: Option<BreakerPolicy>,
+    /// Deterministic fault-injection plan (chaos testing, DESIGN.md §14).
+    /// `None` injects nothing.
+    pub chaos: Option<ChaosPlan>,
+}
+
+/// Per-family circuit breaker for fleet runs (DESIGN.md §14).
+///
+/// The breaker is the classic Closed → Open → HalfOpen machine, made
+/// deterministic: fleet cells execute in fixed-size *waves*, skip
+/// decisions for a wave are frozen from the state at wave start, and all
+/// state transitions happen in the serial post-wave reduction in input
+/// order on a logical clock (the flattened job index) — no wall-clock
+/// anywhere, so breaker behavior is bit-identical across thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive failures (per family) that trip Closed → Open.
+    pub threshold: u32,
+    /// Skipped jobs an Open breaker waits before probing (Open →
+    /// HalfOpen). Logical cooldown: it ticks once per job the breaker
+    /// skips, never on wall-clock.
+    pub cooldown: u32,
+    /// Cells per execution wave. Smaller waves react faster (a breaker
+    /// tripped in one wave protects the next) at the cost of more
+    /// scheduling barriers.
+    pub wave: usize,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            threshold: 3,
+            cooldown: 4,
+            wave: 8,
+        }
+    }
 }
 
 /// Outcome of [`fit_with_retry`]: the winning fit plus how many attempts
@@ -258,6 +298,35 @@ pub fn fit_with_retry(
     policy: &RetryPolicy,
     control: &Control,
 ) -> Result<SupervisedFit, CoreError> {
+    fit_with_retry_impl(family, series, config, policy, control, None)
+}
+
+/// Chaos context threaded into the retry loop by the supervised jobs:
+/// which plan governs this job, which fleet cell it belongs to, and
+/// whether a job-boundary exhaustion fault is in force.
+struct ChaosCtx<'a> {
+    plan: &'a ChaosPlan,
+    cell: u32,
+    exhaust: bool,
+}
+
+impl ChaosCtx<'_> {
+    /// The typed error a chaos-failed attempt produces. A plain
+    /// deterministic error (not a stop): the retry schedule treats it
+    /// like any other failed attempt.
+    fn attempt_error(&self, what: &'static str) -> CoreError {
+        CoreError::arg(what, "chaos: injected fault")
+    }
+}
+
+fn fit_with_retry_impl(
+    family: &dyn ModelFamily,
+    series: &PerformanceSeries,
+    config: &FitConfig,
+    policy: &RetryPolicy,
+    control: &Control,
+    chaos: Option<&ChaosCtx<'_>>,
+) -> Result<SupervisedFit, CoreError> {
     if policy.max_attempts == 0 {
         return Err(CoreError::arg(
             "fit_with_retry",
@@ -268,7 +337,57 @@ pub fn fit_with_retry(
     let mut last_err: Option<CoreError> = None;
     let mut attempts = 0usize;
     for attempt in 1..=policy.max_attempts {
+        if attempt > 1 {
+            // A stopped run exits *before* charging the retry: the
+            // attempt would be dead on arrival, and a cancellation (or an
+            // expired deadline) is a property of the whole run, not a
+            // failure this family should burn budget on. Polling here —
+            // ahead of the retry event/counter — keeps the telemetry
+            // honest: no `retry_scheduled` is ever logged for an attempt
+            // that cannot run.
+            if let Some(cause) = control.stop_cause() {
+                return Err(match cause {
+                    StopCause::DeadlineExceeded => CoreError::timed_out("fit_with_retry"),
+                    StopCause::Cancelled => CoreError::cancelled("fit_with_retry"),
+                });
+            }
+        }
         attempts = attempt;
+        if let Some(ctx) = chaos {
+            if ctx.exhaust {
+                // Job-boundary exhaustion fault: every attempt fails, so
+                // the schedule runs (and is charged) to its policy bound.
+                if attempt > 1 {
+                    control.emit(Event::RetryScheduled {
+                        family: family.name(),
+                        attempt: attempt as u32,
+                    });
+                    control.count(CounterId::Retries, 1);
+                }
+                last_err = Some(ctx.attempt_error("fit_with_retry"));
+                continue;
+            }
+            if ctx.plan.transient(ctx.cell, family.name(), attempt as u32) {
+                // Transient per-attempt fault: this attempt fails
+                // retryably; the next attempt draws its own stream and
+                // may succeed.
+                if attempt > 1 {
+                    control.emit(Event::RetryScheduled {
+                        family: family.name(),
+                        attempt: attempt as u32,
+                    });
+                    control.count(CounterId::Retries, 1);
+                }
+                control.emit(Event::ChaosInjected {
+                    kind: resilience_obs::ChaosKind::Transient,
+                    cell: ctx.cell,
+                    family: family.name(),
+                });
+                control.count(CounterId::ChaosInjected, 1);
+                last_err = Some(ctx.attempt_error("fit_with_retry"));
+                continue;
+            }
+        }
         let outcome = if attempt == 1 {
             fit_least_squares_with(family, series, config, control)
         } else {
@@ -373,6 +492,7 @@ pub fn rank_models_supervised(
             policy,
             control,
             recorders.as_ref().map(|recs| &recs[i]),
+            0,
         )
     });
     reduce_series_outcomes(families, outcomes, recorders.as_deref(), control)
@@ -390,6 +510,7 @@ fn supervised_family_job(
     policy: &ExecPolicy,
     control: &Control,
     recorder: Option<&Arc<RecordingObserver>>,
+    cell: u32,
 ) -> Result<crate::selection::SelectionRow, FamilyFailure> {
     let family_control = match policy.family_budget {
         Some(budget) => control.narrowed(budget),
@@ -399,9 +520,73 @@ fn supervised_family_job(
         Some(rec) => family_control.observe(rec.clone()),
         None => family_control,
     };
+    // Chaos injection (DESIGN.md §14). The accounting event goes into the
+    // job's recorder *before* the fault takes effect, so even a forced
+    // panic or an observer loss leaves the injection on the record — the
+    // smoke gate reconciles injected faults against these events.
+    let fault = policy
+        .chaos
+        .as_ref()
+        .and_then(|plan| plan.job_fault(cell, family.name()));
+    let mut exhaust = false;
+    let fit_control = match fault {
+        None => family_control.clone(),
+        Some(fault) => {
+            family_control.emit(Event::ChaosInjected {
+                kind: fault.kind(),
+                cell,
+                family: family.name(),
+            });
+            family_control.count(CounterId::ChaosInjected, 1);
+            match fault {
+                ChaosFault::ForcedPanic => {
+                    panic!("chaos: forced panic in {}", family.name())
+                }
+                // Zero budget makes the solver's *first* cancellation
+                // point fire — the timeout travels through the real stop
+                // machinery, deterministically, with no wall-clock in any
+                // stored value.
+                ChaosFault::DeadlineBlowout => family_control.narrowed(Duration::ZERO),
+                // The fit proceeds untraced: result paths must survive
+                // losing their telemetry sink.
+                ChaosFault::ObserverLoss => family_control.unobserved(),
+                ChaosFault::RetryExhaustion => {
+                    exhaust = true;
+                    family_control.clone()
+                }
+            }
+        }
+    };
+    let chaos_ctx = policy.chaos.as_ref().map(|plan| ChaosCtx {
+        plan,
+        cell,
+        exhaust,
+    });
     let fit_outcome = match &policy.retry {
-        Some(retry) => fit_with_retry(family, series, inner, retry, &family_control).map(|s| s.fit),
-        None => fit_least_squares_with(family, series, inner, &family_control),
+        Some(retry) => fit_with_retry_impl(
+            family,
+            series,
+            inner,
+            retry,
+            &fit_control,
+            chaos_ctx.as_ref(),
+        )
+        .map(|s| s.fit),
+        None => match chaos_ctx {
+            // Single-shot under chaos: an exhaustion fault or a transient
+            // hit on the only attempt fails the job outright.
+            Some(ctx) if ctx.exhaust => Err(ctx.attempt_error("fit")),
+            Some(ctx) if ctx.plan.transient(cell, family.name(), 1) => {
+                fit_control.emit(Event::ChaosInjected {
+                    kind: resilience_obs::ChaosKind::Transient,
+                    cell,
+                    family: family.name(),
+                });
+                fit_control.count(CounterId::ChaosInjected, 1);
+                Err(ctx.attempt_error("fit"))
+            }
+            _ => fit_least_squares_with(family, series, inner, &fit_control),
+        },
     };
     let fit = fit_outcome.map_err(|e| {
         let kind = match e {
@@ -507,33 +692,307 @@ pub fn rank_many_supervised(
     policy: &ExecPolicy,
     control: &Control,
 ) -> Vec<Result<Ranking, CoreError>> {
+    rank_fleet_supervised(families, series_list, config, policy, control)
+        .into_iter()
+        .map(CellOutcome::into_result)
+        .collect()
+}
+
+/// Outcome of one fleet cell under [`rank_fleet_supervised`].
+#[derive(Debug)]
+pub enum CellOutcome {
+    /// At least one family ranked (possibly degraded).
+    Ranked(Ranking),
+    /// Every family failed, but the run itself was not stopped: the cell
+    /// is quarantined. Fleet stores park quarantined cells in a sentinel
+    /// column instead of retrying them.
+    Quarantined {
+        /// The typed per-family failures, in input order.
+        failures: Vec<FamilyFailure>,
+    },
+    /// The caller's control stopped the run and nothing survived.
+    Stopped(CoreError),
+}
+
+impl CellOutcome {
+    /// Collapses to the legacy [`rank_many_supervised`] result shape: a
+    /// quarantined cell maps to the same `InvalidArgument` a no-survivor
+    /// ranking always produced.
+    pub fn into_result(self) -> Result<Ranking, CoreError> {
+        match self {
+            CellOutcome::Ranked(ranking) => Ok(ranking),
+            CellOutcome::Quarantined { .. } => {
+                Err(CoreError::arg("rank_models", "no family produced a fit"))
+            }
+            CellOutcome::Stopped(e) => Err(e),
+        }
+    }
+
+    /// The quarantined failures, if this cell was quarantined.
+    pub fn quarantined(&self) -> Option<&[FamilyFailure]> {
+        match self {
+            CellOutcome::Quarantined { failures } => Some(failures),
+            _ => None,
+        }
+    }
+}
+
+/// Circuit-breaker state for one family (DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open { cooldown: u32 },
+    HalfOpen,
+}
+
+#[derive(Debug, Clone)]
+struct Breaker {
+    state: BreakerState,
+    consecutive: u32,
+}
+
+impl Breaker {
+    fn closed() -> Self {
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive: 0,
+        }
+    }
+
+    /// A successful fit: reset the failure streak; a HalfOpen probe
+    /// success recloses the breaker.
+    fn on_success(&mut self, family: &'static str, clock: u64, control: &Control) {
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+            control.emit(Event::BreakerClosed { family, clock });
+        }
+        self.consecutive = 0;
+    }
+
+    /// A failed fit: extend the streak; trip Closed → Open at the
+    /// threshold, and reopen on a failed HalfOpen probe. Cancellation is
+    /// excluded by the caller — a stopped run is not the family's fault.
+    fn on_failure(
+        &mut self,
+        policy: &BreakerPolicy,
+        family: &'static str,
+        clock: u64,
+        control: &Control,
+    ) {
+        self.consecutive += 1;
+        let trip = match self.state {
+            BreakerState::Closed => self.consecutive >= policy.threshold,
+            BreakerState::HalfOpen => true,
+            BreakerState::Open { .. } => false,
+        };
+        if trip {
+            self.state = BreakerState::Open {
+                cooldown: policy.cooldown.max(1),
+            };
+            control.emit(Event::BreakerOpened {
+                family,
+                consecutive: self.consecutive,
+                clock,
+            });
+            control.count(CounterId::BreakerOpened, 1);
+        }
+    }
+
+    /// A skipped job while Open ticks the logical cooldown; at zero the
+    /// breaker half-opens (the next wave runs one probe).
+    fn on_skip(&mut self, family: &'static str, clock: u64, control: &Control) {
+        if let BreakerState::Open { cooldown } = self.state {
+            let cooldown = cooldown - 1;
+            if cooldown == 0 {
+                self.state = BreakerState::HalfOpen;
+                control.emit(Event::BreakerHalfOpen { family, clock });
+                control.count(CounterId::BreakerHalfOpen, 1);
+            } else {
+                self.state = BreakerState::Open { cooldown };
+            }
+        }
+    }
+}
+
+/// Fleet entry point with full supervision: work-stealing over flattened
+/// series × family jobs (like [`rank_many_supervised`], which delegates
+/// here), plus per-family circuit breaking, cell quarantine, and chaos
+/// injection when the policy asks for them (DESIGN.md §14).
+///
+/// Cells execute in fixed-size waves (`policy.breaker.wave`; one single
+/// wave when no breaker is configured). Within a wave, jobs run under
+/// work-stealing exactly as before; skip decisions are frozen from the
+/// breaker state at wave start, and every state transition happens in the
+/// serial post-wave reduction, in flattened input order, on a logical
+/// clock (the flattened job index). Result: rankings, event logs, and
+/// breaker behavior are all bit-identical across reruns and thread
+/// counts.
+///
+/// A cell none of whose families produced a row is **quarantined** (or
+/// [`CellOutcome::Stopped`] when the caller's control stopped the run):
+/// downstream stores park it in a sentinel column instead of burning
+/// retry budget on it. With `policy.breaker` and `policy.chaos` both
+/// `None` this is behaviorally identical to the pre-breaker fleet path.
+pub fn rank_fleet_supervised(
+    families: &[&dyn ModelFamily],
+    series_list: &[PerformanceSeries],
+    config: &FitConfig,
+    policy: &ExecPolicy,
+    control: &Control,
+) -> Vec<CellOutcome> {
     let mut inner = config.clone();
     inner.parallelism = Parallelism::Serial;
     let nf = families.len();
-    let jobs = series_list.len() * nf;
-    let recorders: Option<Vec<Arc<RecordingObserver>>> = control.observed().then(|| {
-        (0..jobs)
-            .map(|_| Arc::new(RecordingObserver::new()))
-            .collect()
-    });
-    let outcomes = run_indexed_catch(config.parallelism, jobs, |i| {
-        supervised_family_job(
-            families[i % nf],
-            &series_list[i / nf],
-            &inner,
-            policy,
-            control,
-            recorders.as_ref().map(|recs| &recs[i]),
-        )
-    });
-    let mut outcomes = outcomes.into_iter();
-    (0..series_list.len())
-        .map(|s| {
-            let chunk: Vec<_> = outcomes.by_ref().take(nf).collect();
-            let recs = recorders.as_ref().map(|recs| &recs[s * nf..(s + 1) * nf]);
-            reduce_series_outcomes(families, chunk, recs, control)
-        })
-        .collect()
+    let supervised = policy.breaker.is_some() || policy.chaos.is_some();
+    let wave_cells = policy
+        .breaker
+        .as_ref()
+        .map_or(usize::MAX, |b| b.wave.max(1));
+    let mut breakers: Vec<Breaker> = vec![Breaker::closed(); nf];
+    let mut cells: Vec<CellOutcome> = Vec::with_capacity(series_list.len());
+
+    let mut wave_start = 0usize;
+    while wave_start < series_list.len() {
+        let wave_end = wave_start.saturating_add(wave_cells).min(series_list.len());
+        let wave_jobs = (wave_end - wave_start) * nf;
+        // Skip mask frozen from the state at wave start. A HalfOpen
+        // breaker lets exactly one probe job (the first of its family in
+        // flattened order) through; everything else of that family waits
+        // on the probe's verdict.
+        let mut probed = vec![false; nf];
+        let skip: Vec<bool> = (0..wave_jobs)
+            .map(|j| {
+                let f = j % nf;
+                match breakers[f].state {
+                    BreakerState::Closed => false,
+                    BreakerState::Open { .. } => true,
+                    BreakerState::HalfOpen => {
+                        if probed[f] {
+                            true
+                        } else {
+                            probed[f] = true;
+                            false
+                        }
+                    }
+                }
+            })
+            .collect();
+        let recorders: Option<Vec<Arc<RecordingObserver>>> = control.observed().then(|| {
+            (0..wave_jobs)
+                .map(|_| Arc::new(RecordingObserver::new()))
+                .collect()
+        });
+        let outcomes = run_indexed_catch(config.parallelism, wave_jobs, |j| {
+            if skip[j] {
+                return Err(FamilyFailure {
+                    family_name: families[j % nf].name(),
+                    reason: "breaker open: fit skipped".into(),
+                    kind: FailureKind::Skipped,
+                });
+            }
+            supervised_family_job(
+                families[j % nf],
+                &series_list[wave_start + j / nf],
+                &inner,
+                policy,
+                control,
+                recorders.as_ref().map(|recs| &recs[j]),
+                (wave_start + j / nf) as u32,
+            )
+        });
+
+        // Serial reduction in flattened input order: replay each job's
+        // event buffer, update the breaker machine, and assemble cells.
+        let mut outcomes = outcomes.into_iter();
+        for (w, cell) in (wave_start..wave_end).enumerate() {
+            let mut rows = Vec::new();
+            let mut failures = Vec::new();
+            for f in 0..nf {
+                let j = w * nf + f;
+                let clock = (cell * nf + f) as u64;
+                let family = families[f].name();
+                if let (Some(recs), Some(sink)) = (recorders.as_ref(), control.observer()) {
+                    replay(&recs[j].take(), sink.as_ref());
+                }
+                let outcome = outcomes.next().expect("one outcome per wave job");
+                match outcome {
+                    Ok(Ok(row)) => {
+                        breakers[f].on_success(family, clock, control);
+                        rows.push(row);
+                    }
+                    Ok(Err(failure)) => {
+                        control.emit(Event::FitFailed {
+                            family: failure.family_name,
+                            kind: failure.kind.code(),
+                        });
+                        match failure.kind {
+                            FailureKind::Skipped => breakers[f].on_skip(family, clock, control),
+                            // A cancelled run is a property of the whole
+                            // fleet, not evidence against this family.
+                            FailureKind::Cancelled => {}
+                            _ => {
+                                if let Some(bp) = &policy.breaker {
+                                    breakers[f].on_failure(bp, family, clock, control);
+                                }
+                            }
+                        }
+                        failures.push(failure);
+                    }
+                    Err(panic) => {
+                        control.emit(Event::WorkerPanic {
+                            scope: family,
+                            index: f as u32,
+                        });
+                        control.emit(Event::FitFailed {
+                            family,
+                            kind: FailureCode::Panicked,
+                        });
+                        if let Some(bp) = &policy.breaker {
+                            breakers[f].on_failure(bp, family, clock, control);
+                        }
+                        failures.push(FamilyFailure {
+                            family_name: family,
+                            reason: format!("fit: {}", panic.message),
+                            kind: FailureKind::Panicked,
+                        });
+                    }
+                }
+            }
+            if rows.is_empty() {
+                // Same precedence as the single-series reduce: a stopped
+                // run with no survivors propagates the stop; otherwise
+                // the cell is quarantined.
+                match control.stop_cause() {
+                    Some(StopCause::DeadlineExceeded) => {
+                        cells.push(CellOutcome::Stopped(CoreError::timed_out("rank_models")));
+                    }
+                    Some(StopCause::Cancelled) => {
+                        cells.push(CellOutcome::Stopped(CoreError::cancelled("rank_models")));
+                    }
+                    None => {
+                        if supervised && !failures.is_empty() {
+                            control.emit(Event::CellQuarantined {
+                                cell: cell as u32,
+                                failures: failures.len() as u32,
+                            });
+                            control.count(CounterId::CellsQuarantined, 1);
+                        }
+                        cells.push(CellOutcome::Quarantined { failures });
+                    }
+                }
+            } else {
+                sort_rows(&mut rows);
+                let degraded = !failures.is_empty();
+                cells.push(CellOutcome::Ranked(Ranking {
+                    rows,
+                    failures,
+                    degraded,
+                }));
+            }
+        }
+        wave_start = wave_end;
+    }
+    cells
 }
 
 #[cfg(test)]
@@ -865,6 +1324,355 @@ mod tests {
                 value: 3,
             }
         )));
+    }
+
+    /// Delegates everything to [`QuadraticFamily`] but cancels `token`
+    /// inside `initial_guesses` and returns no guesses, so the attempt
+    /// fails with a plain (non-stop) error while the run is now
+    /// cancelled — the exact state the retry loop must not charge.
+    struct CancelInsideFit {
+        token: CancelToken,
+    }
+
+    impl ModelFamily for CancelInsideFit {
+        fn name(&self) -> &'static str {
+            "CancelInsideFit"
+        }
+        fn n_params(&self) -> usize {
+            QuadraticFamily.n_params()
+        }
+        fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
+            QuadraticFamily.internal_to_params(internal)
+        }
+        fn params_to_internal(&self, params: &[f64]) -> Result<Vec<f64>, CoreError> {
+            QuadraticFamily.params_to_internal(params)
+        }
+        fn build(&self, params: &[f64]) -> Result<Box<dyn ResilienceModel>, CoreError> {
+            QuadraticFamily.build(params)
+        }
+        fn initial_guesses(&self, _series: &PerformanceSeries) -> Vec<Vec<f64>> {
+            self.token.cancel();
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn cancellation_exits_the_retry_schedule_without_charging_an_attempt() {
+        use resilience_obs::RecordingObserver;
+        // Regression: the retry loop used to emit `retry_scheduled` and
+        // charge the Retries counter at the top of every attempt >= 2,
+        // even when the run was already cancelled — a dead-on-arrival
+        // attempt billed to the family. Cancellation must exit the
+        // schedule immediately, with zero retry telemetry.
+        let s = quadratic_series();
+        let token = CancelToken::new();
+        let rec = Arc::new(RecordingObserver::new());
+        let control = Control::with_token(&token).observe(rec.clone());
+        let err = fit_with_retry(
+            &CancelInsideFit {
+                token: token.clone(),
+            },
+            &s,
+            &FitConfig::default(),
+            &RetryPolicy::default(),
+            &control,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CoreError::Cancelled { .. }),
+            "expected Cancelled, got {err}"
+        );
+        let events = rec.take();
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, Event::RetryScheduled { .. })),
+            "cancelled run must not schedule retries: {events:?}"
+        );
+        assert!(
+            !events.iter().any(|e| matches!(
+                e,
+                Event::Counter {
+                    id: CounterId::Retries,
+                    ..
+                }
+            )),
+            "cancelled run must not charge the Retries counter: {events:?}"
+        );
+    }
+
+    /// Delegates to [`QuadraticFamily`] but refuses to fit any series
+    /// whose name starts with `bad` (empty guess pool → a plain error),
+    /// so failures are a pure function of the cell.
+    struct FailsOnBadCells;
+
+    impl ModelFamily for FailsOnBadCells {
+        fn name(&self) -> &'static str {
+            "FailsOnBadCells"
+        }
+        fn n_params(&self) -> usize {
+            QuadraticFamily.n_params()
+        }
+        fn internal_to_params(&self, internal: &[f64]) -> Vec<f64> {
+            QuadraticFamily.internal_to_params(internal)
+        }
+        fn params_to_internal(&self, params: &[f64]) -> Result<Vec<f64>, CoreError> {
+            QuadraticFamily.params_to_internal(params)
+        }
+        fn build(&self, params: &[f64]) -> Result<Box<dyn ResilienceModel>, CoreError> {
+            QuadraticFamily.build(params)
+        }
+        fn initial_guesses(&self, series: &PerformanceSeries) -> Vec<Vec<f64>> {
+            if series.name().starts_with("bad") {
+                Vec::new()
+            } else {
+                QuadraticFamily.initial_guesses(series)
+            }
+        }
+    }
+
+    fn breaker_series(n_bad_then_good: (usize, usize)) -> Vec<PerformanceSeries> {
+        let (bad, good) = n_bad_then_good;
+        (0..bad + good)
+            .map(|i| {
+                let name = if i < bad {
+                    format!("bad{i}")
+                } else {
+                    format!("good{i}")
+                };
+                let values: Vec<f64> = (0..40)
+                    .map(|t| {
+                        let t = t as f64;
+                        1.0 - 0.011 * t + 0.00035 * t * t
+                    })
+                    .collect();
+                PerformanceSeries::monthly(name, values).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn breaker_trips_cools_down_probes_and_recloses() {
+        use resilience_obs::RecordingObserver;
+        // 8 failing cells then 8 healthy ones, wave = 2, threshold = 2,
+        // cooldown = 2: the flaky family must trip Open, skip (saving its
+        // budget), half-open, fail its probe while cells stay bad, and
+        // reclose once a probe lands on a healthy cell. The healthy
+        // family keeps every cell ranked throughout.
+        let series_list = breaker_series((8, 8));
+        let families: Vec<&dyn ModelFamily> = vec![&FailsOnBadCells, &QuadraticFamily];
+        let policy = ExecPolicy {
+            breaker: Some(BreakerPolicy {
+                threshold: 2,
+                cooldown: 2,
+                wave: 2,
+            }),
+            ..ExecPolicy::default()
+        };
+        let run = |p: Parallelism| {
+            let rec = Arc::new(RecordingObserver::new());
+            let config = FitConfig {
+                parallelism: p,
+                ..FitConfig::default()
+            };
+            let outcomes = rank_fleet_supervised(
+                &families,
+                &series_list,
+                &config,
+                &policy,
+                &Control::unbounded().observe(rec.clone()),
+            );
+            (outcomes, rec.take())
+        };
+        let (outcomes, events) = run(Parallelism::Serial);
+        assert_eq!(outcomes.len(), 16);
+        // Every cell ranks (the healthy family always fits); bad cells
+        // are degraded by a failure or a breaker skip.
+        let mut skips = 0;
+        for (i, outcome) in outcomes.iter().enumerate() {
+            match outcome {
+                CellOutcome::Ranked(r) => {
+                    assert!(!r.rows.is_empty(), "cell {i} has no rows");
+                    skips += r
+                        .failures
+                        .iter()
+                        .filter(|f| f.kind == FailureKind::Skipped)
+                        .count();
+                }
+                other => panic!("cell {i}: unexpected {other:?}"),
+            }
+        }
+        assert!(skips > 0, "breaker never skipped a job");
+        let opened = events
+            .iter()
+            .filter(|e| matches!(e, Event::BreakerOpened { .. }))
+            .count();
+        let half_open = events
+            .iter()
+            .filter(|e| matches!(e, Event::BreakerHalfOpen { .. }))
+            .count();
+        let closed = events
+            .iter()
+            .filter(|e| matches!(e, Event::BreakerClosed { .. }))
+            .count();
+        assert!(opened >= 2, "expected trip + failed-probe reopen: {opened}");
+        assert!(half_open >= 2, "expected repeated cooldowns: {half_open}");
+        assert_eq!(closed, 1, "exactly one successful probe recloses");
+        // Skipped failures carry the typed kind end to end.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::FitFailed {
+                kind: FailureCode::Skipped,
+                ..
+            }
+        )));
+        // The whole schedule — results, events, breaker transitions — is
+        // invariant to thread count.
+        for p in [Parallelism::Fixed(2), Parallelism::Fixed(3)] {
+            let (other, other_events) = run(p);
+            assert_eq!(other_events, events, "{p:?}");
+            for (a, b) in outcomes.iter().zip(&other) {
+                match (a, b) {
+                    (CellOutcome::Ranked(x), CellOutcome::Ranked(y)) => {
+                        assert_eq!(x.rows.len(), y.rows.len());
+                        for (ra, rb) in x.rows.iter().zip(&y.rows) {
+                            assert_eq!(ra.sse.to_bits(), rb.sse.to_bits());
+                        }
+                        assert_eq!(x.failures.len(), y.failures.len());
+                    }
+                    _ => panic!("outcome shape diverged under {p:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_family_failure_quarantines_the_cell() {
+        use resilience_obs::RecordingObserver;
+        // Only the flaky family, all cells bad: every cell quarantines
+        // (bad fits and, once the breaker trips, skips).
+        let series_list = breaker_series((6, 0));
+        let families: Vec<&dyn ModelFamily> = vec![&FailsOnBadCells];
+        let policy = ExecPolicy {
+            breaker: Some(BreakerPolicy {
+                threshold: 2,
+                cooldown: 2,
+                wave: 2,
+            }),
+            ..ExecPolicy::default()
+        };
+        let rec = Arc::new(RecordingObserver::new());
+        let outcomes = rank_fleet_supervised(
+            &families,
+            &series_list,
+            &FitConfig::default(),
+            &policy,
+            &Control::unbounded().observe(rec.clone()),
+        );
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, CellOutcome::Quarantined { .. })));
+        let events = rec.take();
+        let quarantines = events
+            .iter()
+            .filter(|e| matches!(e, Event::CellQuarantined { .. }))
+            .count();
+        assert_eq!(quarantines, series_list.len());
+        let counted: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter {
+                    id: CounterId::CellsQuarantined,
+                    delta,
+                } => Some(*delta),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(counted, series_list.len() as u64);
+        // The legacy wrapper collapses quarantine to the historical
+        // no-survivor error.
+        let legacy = rank_many_supervised(
+            &families,
+            &series_list,
+            &FitConfig::default(),
+            &policy,
+            &Control::unbounded(),
+        );
+        assert!(legacy
+            .iter()
+            .all(|r| matches!(r, Err(CoreError::InvalidArgument { .. }))));
+    }
+
+    #[test]
+    fn chaos_runs_are_bit_identical_and_fully_accounted() {
+        use crate::chaos::ChaosPlan;
+        use resilience_obs::RecordingObserver;
+        let series_list = batch_series();
+        let families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily, &QuarticFamily];
+        let policy = ExecPolicy {
+            retry: Some(RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            }),
+            breaker: Some(BreakerPolicy {
+                threshold: 2,
+                cooldown: 2,
+                wave: 2,
+            }),
+            chaos: Some(ChaosPlan {
+                seed: 11,
+                panic_per_mille: 250,
+                deadline_per_mille: 250,
+                exhaustion_per_mille: 150,
+                observer_loss_per_mille: 150,
+                transient_per_mille: 200,
+            }),
+            ..ExecPolicy::default()
+        };
+        let run = |p: Parallelism| {
+            let rec = Arc::new(RecordingObserver::new());
+            let config = FitConfig {
+                parallelism: p,
+                ..FitConfig::default()
+            };
+            let outcomes = rank_fleet_supervised(
+                &families,
+                &series_list,
+                &config,
+                &policy,
+                &Control::unbounded().observe(rec.clone()),
+            );
+            (outcomes, rec.take())
+        };
+        let (outcomes, events) = run(Parallelism::Serial);
+        assert_eq!(outcomes.len(), series_list.len());
+        // Every injected fault is accounted: one ChaosInjected counter
+        // increment per ChaosInjected event, no more, no fewer.
+        let injected_events = events
+            .iter()
+            .filter(|e| matches!(e, Event::ChaosInjected { .. }))
+            .count() as u64;
+        let injected_counted: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter {
+                    id: CounterId::ChaosInjected,
+                    delta,
+                } => Some(*delta),
+                _ => None,
+            })
+            .sum();
+        assert!(injected_events > 0, "plan injected nothing — dead test");
+        assert_eq!(injected_counted, injected_events);
+        // Chaos is deterministic: reruns and thread counts change nothing.
+        let (rerun, rerun_events) = run(Parallelism::Serial);
+        assert_eq!(rerun_events, events);
+        assert_eq!(format!("{rerun:?}"), format!("{outcomes:?}"));
+        for p in [Parallelism::Fixed(2), Parallelism::Fixed(3)] {
+            let (par, par_events) = run(p);
+            assert_eq!(par_events, events, "{p:?}");
+            assert_eq!(format!("{par:?}"), format!("{outcomes:?}"), "{p:?}");
+        }
     }
 
     #[test]

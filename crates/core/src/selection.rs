@@ -178,6 +178,10 @@ pub enum FailureKind {
     Cancelled,
     /// The family's fit panicked; the panic was isolated to this family.
     Panicked,
+    /// The fit was never attempted: the family's circuit breaker was open
+    /// when the job was scheduled
+    /// (see [`crate::runtime::BreakerPolicy`]).
+    Skipped,
 }
 
 impl FailureKind {
@@ -189,6 +193,7 @@ impl FailureKind {
             FailureKind::TimedOut => resilience_obs::FailureCode::TimedOut,
             FailureKind::Cancelled => resilience_obs::FailureCode::Cancelled,
             FailureKind::Panicked => resilience_obs::FailureCode::Panicked,
+            FailureKind::Skipped => resilience_obs::FailureCode::Skipped,
         }
     }
 }
@@ -200,6 +205,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::TimedOut => write!(f, "timed out"),
             FailureKind::Cancelled => write!(f, "cancelled"),
             FailureKind::Panicked => write!(f, "panicked"),
+            FailureKind::Skipped => write!(f, "skipped"),
         }
     }
 }

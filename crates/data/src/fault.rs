@@ -24,6 +24,43 @@
 //! }
 //! ```
 
+/// A fault-injection request that cannot be carried out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// The series is shorter than the corruption window: every numeric
+    /// fault needs at least three points (a `mid` with a predecessor and
+    /// a successor) to corrupt meaningfully.
+    SeriesTooShort {
+        /// Points in the series.
+        len: usize,
+        /// Minimum points the corruption window needs.
+        min: usize,
+    },
+    /// `times` and `values` have different lengths.
+    LengthMismatch {
+        /// Length of the time grid.
+        times: usize,
+        /// Length of the value column.
+        values: usize,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::SeriesTooShort { len, min } => {
+                write!(f, "series too short to corrupt: {len} points, need {min}")
+            }
+            FaultError::LengthMismatch { times, values } => {
+                write!(f, "times/values length mismatch: {times} vs {values}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
 /// A deliberate input corruption for robustness testing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
@@ -91,9 +128,27 @@ impl Fault {
     /// CSV-shape faults ([`Fault::CorruptRow`], [`Fault::TruncatedRow`])
     /// the numeric stand-in is a NaN value — the closest in-memory
     /// analogue of an unparseable field.
-    pub fn inject(&self, times: &mut [f64], values: &mut [f64]) {
-        assert_eq!(times.len(), values.len(), "inject requires equal lengths");
-        assert!(times.len() >= 3, "inject requires at least three points");
+    ///
+    /// # Errors
+    ///
+    /// * [`FaultError::SeriesTooShort`] when the pair has fewer than
+    ///   three points (the corruption window needs a `mid` with both
+    ///   neighbors) — a typed refusal, never a silent no-op that would
+    ///   let a robustness test "pass" on uncorrupted data.
+    /// * [`FaultError::LengthMismatch`] when the slices disagree.
+    pub fn inject(&self, times: &mut [f64], values: &mut [f64]) -> Result<(), FaultError> {
+        if times.len() != values.len() {
+            return Err(FaultError::LengthMismatch {
+                times: times.len(),
+                values: values.len(),
+            });
+        }
+        if times.len() < 3 {
+            return Err(FaultError::SeriesTooShort {
+                len: times.len(),
+                min: 3,
+            });
+        }
         let mid = times.len() / 2;
         match self {
             Fault::CorruptRow | Fault::TruncatedRow | Fault::NanValue => {
@@ -103,18 +158,26 @@ impl Fault {
             Fault::NonMonotoneTime => times[mid] = times[mid - 1] - 1.0,
             Fault::DuplicateTime => times[mid] = times[mid - 1],
         }
+        Ok(())
     }
 
     /// Returns a corrupted copy of any clean series' `(times, values)`
     /// pair — the bridge between the scenario engine and the fault
     /// matrix: any [`crate::scenario::ScenarioSpec`]-generated series can
     /// be fed through the corruption vocabulary without hand-unpacking.
-    #[must_use]
-    pub fn corrupt_series(&self, series: &crate::PerformanceSeries) -> (Vec<f64>, Vec<f64>) {
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::SeriesTooShort`] when the series is shorter than the
+    /// corruption window (see [`Fault::inject`]).
+    pub fn corrupt_series(
+        &self,
+        series: &crate::PerformanceSeries,
+    ) -> Result<(Vec<f64>, Vec<f64>), FaultError> {
         let mut times = series.times().to_vec();
         let mut values = series.values().to_vec();
-        self.inject(&mut times, &mut values);
-        (times, values)
+        self.inject(&mut times, &mut values)?;
+        Ok((times, values))
     }
 }
 
@@ -152,7 +215,7 @@ mod tests {
         for fault in Fault::ALL {
             let mut times: Vec<f64> = (0..6).map(|i| i as f64).collect();
             let mut values = vec![1.0, 0.98, 0.96, 0.95, 0.97, 0.99];
-            fault.inject(&mut times, &mut values);
+            fault.inject(&mut times, &mut values).unwrap();
             assert!(
                 PerformanceSeries::new(fault.label(), times, values).is_err(),
                 "{fault}: constructor accepted corrupt data"
@@ -165,7 +228,7 @@ mod tests {
         let spec = crate::scenario::catalog::step_outage(7);
         let clean = spec.generate("step").unwrap();
         for fault in Fault::ALL {
-            let (times, values) = fault.corrupt_series(&clean);
+            let (times, values) = fault.corrupt_series(&clean).unwrap();
             assert!(
                 PerformanceSeries::new(fault.label(), times, values).is_err(),
                 "{fault}: constructor accepted corrupted scenario series"
@@ -182,5 +245,30 @@ mod tests {
         let times: Vec<f64> = (0..6).map(|i| i as f64).collect();
         let values = vec![1.0, 0.98, 0.96, 0.95, 0.97, 0.99];
         assert!(PerformanceSeries::new("clean", times, values).is_ok());
+    }
+
+    #[test]
+    fn short_series_is_a_typed_refusal_not_a_silent_no_op() {
+        for fault in Fault::ALL {
+            let mut times = vec![0.0, 1.0];
+            let mut values = vec![1.0, 0.98];
+            assert_eq!(
+                fault.inject(&mut times, &mut values),
+                Err(FaultError::SeriesTooShort { len: 2, min: 3 }),
+                "{fault}"
+            );
+            // ... and the data is untouched.
+            assert_eq!(times, vec![0.0, 1.0]);
+            assert_eq!(values, vec![1.0, 0.98]);
+        }
+        let mut times = vec![0.0, 1.0, 2.0];
+        let mut values = vec![1.0];
+        assert_eq!(
+            Fault::NanValue.inject(&mut times, &mut values),
+            Err(FaultError::LengthMismatch {
+                times: 3,
+                values: 1
+            })
+        );
     }
 }

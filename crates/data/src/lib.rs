@@ -47,4 +47,5 @@ pub mod series;
 pub mod transform;
 
 pub use error::DataError;
+pub use fault::{Fault, FaultError};
 pub use series::{PerformanceSeries, TrainTestSplit};

@@ -89,6 +89,9 @@ pub enum FailureCode {
     Cancelled,
     /// The family's objective panicked.
     Panicked,
+    /// The fit was never attempted: the family's circuit breaker was
+    /// open when the job was scheduled (see `DESIGN.md` §14).
+    Skipped,
 }
 
 impl FailureCode {
@@ -99,6 +102,7 @@ impl FailureCode {
             FailureCode::TimedOut => "timed_out",
             FailureCode::Cancelled => "cancelled",
             FailureCode::Panicked => "panicked",
+            FailureCode::Skipped => "skipped",
         }
     }
 
@@ -109,8 +113,54 @@ impl FailureCode {
             "timed_out" => FailureCode::TimedOut,
             "cancelled" => FailureCode::Cancelled,
             "panicked" => FailureCode::Panicked,
+            "skipped" => FailureCode::Skipped,
             _ => return None,
         })
+    }
+}
+
+/// Which fault a [`Event::ChaosInjected`] record injected.
+///
+/// Mirrors the runtime's `ChaosFault` without depending on the core crate
+/// (the same layering as [`FailureCode`] vs `FailureKind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosKind {
+    /// The job's fit closure was forced to panic.
+    Panic,
+    /// The job's deadline was collapsed to zero before fitting.
+    Deadline,
+    /// One fit attempt was failed with a transient error (retryable).
+    Transient,
+    /// Every fit attempt was failed, exhausting the retry schedule.
+    Exhaustion,
+    /// The job's observer was dropped (telemetry loss, result kept).
+    ObserverLoss,
+}
+
+impl ChaosKind {
+    /// Every chaos fault kind, in canonical (report) order.
+    pub const ALL: [ChaosKind; 5] = [
+        ChaosKind::Panic,
+        ChaosKind::Deadline,
+        ChaosKind::Transient,
+        ChaosKind::Exhaustion,
+        ChaosKind::ObserverLoss,
+    ];
+
+    /// Stable string tag used in the JSONL encoding.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ChaosKind::Panic => "panic",
+            ChaosKind::Deadline => "deadline",
+            ChaosKind::Transient => "transient",
+            ChaosKind::Exhaustion => "exhaustion",
+            ChaosKind::ObserverLoss => "observer_loss",
+        }
+    }
+
+    /// Inverse of [`ChaosKind::as_str`].
+    pub fn parse(s: &str) -> Option<ChaosKind> {
+        ChaosKind::ALL.into_iter().find(|k| k.as_str() == s)
     }
 }
 
@@ -179,11 +229,19 @@ pub enum CounterId {
     BootstrapReplicatesOk,
     /// Bootstrap replicates that failed to refit.
     BootstrapReplicatesFailed,
+    /// Faults injected by a chaos plan.
+    ChaosInjected,
+    /// Circuit-breaker transitions into the Open state.
+    BreakerOpened,
+    /// Circuit-breaker transitions into the HalfOpen state.
+    BreakerHalfOpen,
+    /// Fleet cells quarantined by the supervisor.
+    CellsQuarantined,
 }
 
 impl CounterId {
     /// Every counter, in canonical (report) order.
-    pub const ALL: [CounterId; 13] = [
+    pub const ALL: [CounterId; 17] = [
         CounterId::ObjectiveEvals,
         CounterId::NmReflections,
         CounterId::NmExpansions,
@@ -197,6 +255,10 @@ impl CounterId {
         CounterId::Cancellations,
         CounterId::BootstrapReplicatesOk,
         CounterId::BootstrapReplicatesFailed,
+        CounterId::ChaosInjected,
+        CounterId::BreakerOpened,
+        CounterId::BreakerHalfOpen,
+        CounterId::CellsQuarantined,
     ];
 
     /// Stable string tag used in the JSONL encoding.
@@ -215,6 +277,10 @@ impl CounterId {
             CounterId::Cancellations => "cancellations",
             CounterId::BootstrapReplicatesOk => "bootstrap_replicates_ok",
             CounterId::BootstrapReplicatesFailed => "bootstrap_replicates_failed",
+            CounterId::ChaosInjected => "chaos_injected",
+            CounterId::BreakerOpened => "breaker_opened",
+            CounterId::BreakerHalfOpen => "breaker_half_open",
+            CounterId::CellsQuarantined => "cell_quarantined",
         }
     }
 
@@ -358,6 +424,46 @@ pub enum Event {
         /// Replicates so far that failed to refit.
         failed: u32,
     },
+    /// A chaos plan injected a fault into one (cell, family) job.
+    ChaosInjected {
+        /// Which fault was injected.
+        kind: ChaosKind,
+        /// Fleet cell index (0 for single-series runs).
+        cell: u32,
+        /// Family name (interned).
+        family: &'static str,
+    },
+    /// A family's circuit breaker tripped Closed → Open.
+    BreakerOpened {
+        /// Family name (interned).
+        family: &'static str,
+        /// Consecutive failures observed at the trip.
+        consecutive: u32,
+        /// Logical clock of the trip (flattened job index).
+        clock: u64,
+    },
+    /// A family's circuit breaker cooled down Open → HalfOpen.
+    BreakerHalfOpen {
+        /// Family name (interned).
+        family: &'static str,
+        /// Logical clock of the transition (flattened job index).
+        clock: u64,
+    },
+    /// A family's HalfOpen probe succeeded; the breaker reclosed.
+    BreakerClosed {
+        /// Family name (interned).
+        family: &'static str,
+        /// Logical clock of the transition (flattened job index).
+        clock: u64,
+    },
+    /// A fleet cell was quarantined: every family failed, so the cell is
+    /// parked in the store's sentinel column instead of burning budget.
+    CellQuarantined {
+        /// Fleet cell index.
+        cell: u32,
+        /// Family failures recorded against the cell at quarantine.
+        failures: u32,
+    },
     /// Monotonic counter increment (flushed in batches by emitters).
     Counter {
         /// Which counter.
@@ -426,6 +532,11 @@ impl Event {
             Event::Stop { kind, .. } => kind.as_str(),
             Event::WorkerPanic { .. } => "worker_panic",
             Event::BootstrapChunkDone { .. } => "bootstrap_chunk_done",
+            Event::ChaosInjected { .. } => "chaos_injected",
+            Event::BreakerOpened { .. } => "breaker_opened",
+            Event::BreakerHalfOpen { .. } => "breaker_half_open",
+            Event::BreakerClosed { .. } => "breaker_closed",
+            Event::CellQuarantined { .. } => "cell_quarantined",
             Event::Counter { .. } => "counter",
             Event::Hist { .. } => "hist",
         }
@@ -520,6 +631,33 @@ impl Event {
                     ",\"done\":{done},\"total\":{total},\"failed\":{failed}"
                 );
             }
+            Event::ChaosInjected { kind, cell, family } => {
+                let _ = write!(out, ",\"kind\":\"{}\",\"cell\":{cell}", kind.as_str());
+                out.push_str(",\"family\":");
+                write_json_str(out, family);
+            }
+            Event::BreakerOpened {
+                family,
+                consecutive,
+                clock,
+            } => {
+                out.push_str(",\"family\":");
+                write_json_str(out, family);
+                let _ = write!(out, ",\"consecutive\":{consecutive},\"clock\":{clock}");
+            }
+            Event::BreakerHalfOpen { family, clock } => {
+                out.push_str(",\"family\":");
+                write_json_str(out, family);
+                let _ = write!(out, ",\"clock\":{clock}");
+            }
+            Event::BreakerClosed { family, clock } => {
+                out.push_str(",\"family\":");
+                write_json_str(out, family);
+                let _ = write!(out, ",\"clock\":{clock}");
+            }
+            Event::CellQuarantined { cell, failures } => {
+                let _ = write!(out, ",\"cell\":{cell},\"failures\":{failures}");
+            }
             Event::Counter { id, delta } => {
                 let _ = write!(out, ",\"id\":\"{}\",\"n\":{delta}", id.as_str());
             }
@@ -601,8 +739,12 @@ mod tests {
             FailureCode::TimedOut,
             FailureCode::Cancelled,
             FailureCode::Panicked,
+            FailureCode::Skipped,
         ] {
             assert_eq!(FailureCode::parse(f.as_str()), Some(f));
+        }
+        for k in ChaosKind::ALL {
+            assert_eq!(ChaosKind::parse(k.as_str()), Some(k));
         }
         for k in [StopKind::Deadline, StopKind::Cancelled] {
             assert_eq!(StopKind::parse(k.as_str()), Some(k));

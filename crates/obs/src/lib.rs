@@ -57,7 +57,9 @@ pub mod observer;
 pub mod parse;
 pub mod report;
 
-pub use event::{CounterId, Event, ExitReason, FailureCode, HistogramId, SolverKind, StopKind};
+pub use event::{
+    ChaosKind, CounterId, Event, ExitReason, FailureCode, HistogramId, SolverKind, StopKind,
+};
 pub use jsonl::JsonlObserver;
 pub use observer::{replay, NullObserver, Observer, RecordingObserver, TeeObserver};
 pub use parse::{intern, parse_line, parse_log, ParseError};

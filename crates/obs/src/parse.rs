@@ -7,7 +7,9 @@
 //! interned into `&'static str` so parsed events are the same `Copy` type
 //! the pipeline emits.
 
-use crate::event::{CounterId, Event, ExitReason, FailureCode, HistogramId, SolverKind, StopKind};
+use crate::event::{
+    ChaosKind, CounterId, Event, ExitReason, FailureCode, HistogramId, SolverKind, StopKind,
+};
 use std::collections::HashSet;
 use std::sync::{Mutex, OnceLock};
 
@@ -351,6 +353,31 @@ pub fn parse_line(line: &str) -> Result<Event, ParseError> {
             total: fields.u32("total")?,
             failed: fields.u32("failed")?,
         },
+        "chaos_injected" => Event::ChaosInjected {
+            kind: ChaosKind::parse(fields.str("kind")?).ok_or_else(|| ParseError {
+                line: 0,
+                message: format!("unknown chaos kind {:?}", fields.str("kind").unwrap()),
+            })?,
+            cell: fields.u32("cell")?,
+            family: fields.interned("family")?,
+        },
+        "breaker_opened" => Event::BreakerOpened {
+            family: fields.interned("family")?,
+            consecutive: fields.u32("consecutive")?,
+            clock: fields.u64("clock")?,
+        },
+        "breaker_half_open" => Event::BreakerHalfOpen {
+            family: fields.interned("family")?,
+            clock: fields.u64("clock")?,
+        },
+        "breaker_closed" => Event::BreakerClosed {
+            family: fields.interned("family")?,
+            clock: fields.u64("clock")?,
+        },
+        "cell_quarantined" => Event::CellQuarantined {
+            cell: fields.u32("cell")?,
+            failures: fields.u32("failures")?,
+        },
         "counter" => Event::Counter {
             id: CounterId::parse(fields.str("id")?).ok_or_else(|| ParseError {
                 line: 0,
@@ -473,6 +500,28 @@ mod tests {
             done: 100,
             total: 400,
             failed: 3,
+        });
+        round_trip(Event::ChaosInjected {
+            kind: ChaosKind::Deadline,
+            cell: 17,
+            family: intern("Hjorth"),
+        });
+        round_trip(Event::BreakerOpened {
+            family: intern("Hjorth"),
+            consecutive: 3,
+            clock: 42,
+        });
+        round_trip(Event::BreakerHalfOpen {
+            family: intern("Hjorth"),
+            clock: 57,
+        });
+        round_trip(Event::BreakerClosed {
+            family: intern("Hjorth"),
+            clock: 61,
+        });
+        round_trip(Event::CellQuarantined {
+            cell: 12,
+            failures: 4,
         });
         round_trip(Event::Counter {
             id: CounterId::LmDampingUp,

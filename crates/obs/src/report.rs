@@ -110,6 +110,8 @@ pub struct FamilyStats {
     pub failed_error: u64,
     /// Worker panics attributed to this family.
     pub panics: u64,
+    /// Fits skipped because the family's circuit breaker was open.
+    pub skipped: u64,
     /// Best (lowest) SSE across completed fits.
     pub best_sse: Option<f64>,
 }
@@ -128,6 +130,7 @@ impl FamilyStats {
             failed_cancelled: 0,
             failed_error: 0,
             panics: 0,
+            skipped: 0,
             best_sse: None,
         }
     }
@@ -152,9 +155,10 @@ impl FamilyStats {
         }
     }
 
-    /// Total failed fits across all failure kinds.
+    /// Total failed fits across all failure kinds (breaker skips count:
+    /// a skipped family produced no usable model for its cell).
     pub fn failures(&self) -> u64 {
-        self.failed_timeout + self.failed_cancelled + self.failed_error + self.panics
+        self.failed_timeout + self.failed_cancelled + self.failed_error + self.panics + self.skipped
     }
 }
 
@@ -255,6 +259,7 @@ impl RunReport {
                         FailureCode::Cancelled => f.failed_cancelled += 1,
                         FailureCode::Error => f.failed_error += 1,
                         FailureCode::Panicked => f.panics += 1,
+                        FailureCode::Skipped => f.skipped += 1,
                     }
                     if current == Some(i) {
                         current = None;
@@ -315,6 +320,14 @@ impl RunReport {
                 Event::Hist { id, value } => {
                     histograms[hist_slot(id)].observe(value);
                 }
+                // Chaos/supervision events carry no span-attributable work;
+                // their totals arrive as explicit Counter deltas emitted by
+                // the runtime alongside them.
+                Event::ChaosInjected { .. } => {}
+                Event::BreakerOpened { .. } => {}
+                Event::BreakerHalfOpen { .. } => {}
+                Event::BreakerClosed { .. } => {}
+                Event::CellQuarantined { .. } => {}
             }
         }
 
@@ -359,6 +372,7 @@ impl RunReport {
                     f.failed_cancelled += of.failed_cancelled;
                     f.failed_error += of.failed_error;
                     f.panics += of.panics;
+                    f.skipped += of.skipped;
                     f.best_sse = match (f.best_sse, of.best_sse) {
                         (Some(a), Some(b)) => Some(a.min(b)),
                         (a, b) => a.or(b),
@@ -511,7 +525,7 @@ impl RunReport {
                 ",\"fits_started\":{},\"fits_completed\":{},\"converged_fits\":{},\
                  \"iterations\":{},\"evaluations\":{},\"retries\":{},\
                  \"failed_timeout\":{},\"failed_cancelled\":{},\"failed_error\":{},\
-                 \"panics\":{}",
+                 \"panics\":{},\"skipped\":{}",
                 f.fits_started,
                 f.fits_completed,
                 f.converged_fits,
@@ -521,7 +535,8 @@ impl RunReport {
                 f.failed_timeout,
                 f.failed_cancelled,
                 f.failed_error,
-                f.panics
+                f.panics,
+                f.skipped
             );
             out.push_str(",\"convergence_rate\":");
             opt_f64(&mut out, f.convergence_rate());

@@ -15,6 +15,11 @@
 //! stops within one iteration (a bounded number of objective evaluations)
 //! of the deadline or cancel signal.
 
+// This module is the workspace's one sanctioned home for deadline
+// wall-clock (`clippy.toml` bans `std::time::Instant` everywhere else):
+// deadlines *gate* execution, they never flow into stored results.
+#![allow(clippy::disallowed_types)]
+
 use crate::OptimError;
 use resilience_obs::{CounterId, Event, Observer, StopKind};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -246,6 +251,20 @@ impl Control {
             cancel: None,
             deadline: None,
             observer: self.observer.clone(),
+        }
+    }
+
+    /// A copy of this control that keeps the token and deadline but drops
+    /// the sink: the dual of [`Control::observer_only`]. The chaos
+    /// harness uses this to model observer write failures — the fit still
+    /// runs (and still stops on deadline/cancel), but its telemetry is
+    /// lost for the rest of the job.
+    #[must_use]
+    pub fn unobserved(&self) -> Control {
+        Control {
+            cancel: self.cancel.clone(),
+            deadline: self.deadline,
+            observer: None,
         }
     }
 

@@ -114,6 +114,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let policy = ExecPolicy {
         family_budget: Some(Duration::from_millis(100)),
         retry: Some(RetryPolicy::default()),
+        ..ExecPolicy::default()
     };
 
     println!(

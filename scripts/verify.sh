@@ -70,6 +70,17 @@ echo "==> fleet smoke: 64-cell grid, double-run + serial/Fixed(2) identity gates
 timeout -k 30 "$SMOKE_TIMEOUT" \
     cargo run -q --release -p resilience-bench --bin bench -- fleet --fleet-smoke
 
+echo "==> chaos smoke: 64-cell grid under the fixed chaos plan, supervisor gates (hard cap ${SMOKE_TIMEOUT}s)"
+# Runs the CI fleet three times (serial ×2, Fixed(2) ×1) under the fixed
+# fault-injection plan with the circuit breaker armed (DESIGN.md §14).
+# Fails unless: no cell aborts the fleet, every non-quarantined cell has
+# a finite winning fit, the stores AND the raw event JSONL are
+# byte-identical across all three runs, injections are exactly accounted
+# in counters, and retries stay under the policy ceiling. Regenerates
+# BENCH_chaos.json — a pure function of the grid and the plan.
+timeout -k 30 "$SMOKE_TIMEOUT" \
+    cargo run -q --release -p resilience-bench --bin bench -- fleet --chaos-smoke
+
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 

@@ -16,7 +16,7 @@ use resilience_core::selection::rank_models;
 use resilience_core::validate::pmse_at;
 use resilience_core::CoreError;
 use resilience_data::csv::read_series;
-use resilience_data::fault::Fault;
+use resilience_data::fault::{Fault, FaultError};
 use resilience_data::recessions::Recession;
 use resilience_data::scenario::catalog;
 use resilience_data::PerformanceSeries;
@@ -108,7 +108,7 @@ fn numeric_faults_rejected_at_series_boundary() {
     for fault in Fault::ALL {
         let mut times: Vec<f64> = (0..8).map(|i| i as f64).collect();
         let mut values = vec![1.0, 0.98, 0.96, 0.94, 0.95, 0.97, 0.99, 1.0];
-        fault.inject(&mut times, &mut values);
+        fault.inject(&mut times, &mut values).unwrap();
         let e = PerformanceSeries::new(fault.label(), times, values)
             .expect_err(&format!("{fault}: constructor accepted corrupt data"));
         assert!(e.to_string().len() > 10, "{fault}");
@@ -136,12 +136,33 @@ fn numeric_faults_rejected_on_scenario_series() {
             "{name}: clean scenario series rejected"
         );
         for fault in Fault::ALL {
-            let (times, values) = fault.corrupt_series(&clean);
+            let (times, values) = fault.corrupt_series(&clean).unwrap();
             let e = PerformanceSeries::new(fault.label(), times, values).expect_err(&format!(
                 "{name}/{fault}: constructor accepted corrupt data"
             ));
             assert!(e.to_string().len() > 10, "{name}/{fault}");
         }
+    }
+}
+
+/// A series shorter than the corruption window is a typed refusal
+/// ([`FaultError::SeriesTooShort`]), never a silent no-op: a harness
+/// that "corrupts" nothing would let robustness tests pass on clean
+/// data.
+#[test]
+fn corruption_window_underflow_is_a_typed_error() {
+    let short = PerformanceSeries::monthly("short", vec![1.0, 0.98]).unwrap();
+    for fault in Fault::ALL {
+        assert_eq!(
+            fault.corrupt_series(&short),
+            Err(FaultError::SeriesTooShort { len: 2, min: 3 }),
+            "{fault}"
+        );
+    }
+    // The boundary case: three points is the smallest corruptible series.
+    let min = PerformanceSeries::monthly("min", vec![1.0, 0.98, 0.97]).unwrap();
+    for fault in Fault::ALL {
+        assert!(fault.corrupt_series(&min).is_ok(), "{fault}");
     }
 }
 

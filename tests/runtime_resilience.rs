@@ -7,6 +7,11 @@
 //! slow it effectively hangs (`SleepyFamily`) and a buggy family
 //! implementation that panics (`PanickyFamily`).
 
+// Sanctioned wall-clock: this suite *measures* that deadlines fire
+// promptly; nothing here is a stored result (`clippy.toml` bans
+// `Instant` in result paths).
+#![allow(clippy::disallowed_types)]
+
 use resilience_core::bathtub::QuadraticFamily;
 use resilience_core::bootstrap::{bootstrap_band, bootstrap_band_checkpointed, BootstrapConfig};
 use resilience_core::fit::{fit_least_squares_with, FitConfig};
@@ -210,7 +215,7 @@ fn family_budget_times_out_the_slow_family_only() {
     };
     let policy = ExecPolicy {
         family_budget: Some(Duration::from_millis(50)),
-        retry: None,
+        ..ExecPolicy::default()
     };
     let ranking =
         rank_models_supervised(&families, &series, &config, &policy, &Control::unbounded())
@@ -225,6 +230,56 @@ fn family_budget_times_out_the_slow_family_only() {
 
 /// Acceptance: a checkpointed-then-resumed bootstrap is bit-identical to
 /// an uninterrupted run.
+/// Satellite: checkpoint-resume under *cancellation* (the deadline
+/// variant lives above). A cancelled call still completes its current
+/// chunk (minimum-progress guarantee), parks a checkpoint, and a
+/// resumed schedule is bit-identical to an uninterrupted run — client
+/// disconnects in the future service layer must be free.
+#[test]
+fn checkpointed_bootstrap_resumes_bit_identically_after_cancellation() {
+    let series = Recession::R1990_93.payroll_index();
+    let cfg = BootstrapConfig {
+        replicates: 40,
+        parallelism: Parallelism::Fixed(1),
+        ..BootstrapConfig::default()
+    };
+    let uninterrupted =
+        bootstrap_band(&QuadraticFamily, &series, &FitConfig::default(), &cfg).unwrap();
+
+    let mut checkpoint = None;
+    let mut pauses = 0usize;
+    let mut calls = 0usize;
+    let resumed = loop {
+        calls += 1;
+        assert!(calls <= 10, "minimum-progress guarantee violated");
+        // The token fires while the chunk is in flight (it is already
+        // cancelled when the chunk starts — the stop check only runs
+        // after the chunk, so this is the deterministic equivalent of a
+        // mid-chunk cancellation).
+        let token = CancelToken::new();
+        token.cancel();
+        let outcome = bootstrap_band_checkpointed(
+            &QuadraticFamily,
+            &series,
+            &FitConfig::default(),
+            &cfg,
+            &mut checkpoint,
+            &Control::with_token(&token),
+        )
+        .unwrap();
+        match outcome {
+            Some(band) => break band,
+            None => {
+                pauses += 1;
+                assert!(checkpoint.is_some(), "a paused run must leave a checkpoint");
+            }
+        }
+    };
+    assert!(pauses >= 1, "the run should actually have been cancelled");
+    assert!(checkpoint.is_none(), "completion must clear the checkpoint");
+    assert_eq!(resumed, uninterrupted);
+}
+
 #[test]
 fn checkpointed_bootstrap_resumes_bit_identically() {
     let series = Recession::R1990_93.payroll_index();

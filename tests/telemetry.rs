@@ -33,6 +33,7 @@ fn traced_ranking(parallelism: Parallelism) -> Vec<Event> {
     let policy = ExecPolicy {
         family_budget: None,
         retry: Some(RetryPolicy::default()),
+        ..ExecPolicy::default()
     };
     let recorder = Arc::new(RecordingObserver::new());
     let fams = families();
