@@ -27,6 +27,7 @@ use resilience_bench::harness::{
     bench_with_budget, median_u64, FamilyTiming, Measurement, ScenarioCell, ScenarioSweepReport,
     SpeedupReport,
 };
+use resilience_bench::obs_smoke::{evaluate_obs_smoke, ObsSmokeArtifacts, ObsSmokeReport};
 use resilience_core::bathtub::{CompetingRisksFamily, QuadraticFamily, QuarticFamily};
 use resilience_core::bootstrap::{
     bootstrap_band, bootstrap_band_with, BootstrapBand, BootstrapConfig,
@@ -573,6 +574,63 @@ fn run_chaos_mode(path: &str, report: &ChaosReport) -> bool {
     true
 }
 
+/// Runs the observability gate evaluation (`bench fleet --obs-smoke`):
+/// the 64-cell CI grid three times, gated on byte-identical logs, span
+/// trees, metrics expositions, and stores plus full work attribution and
+/// per-family evaluation ceilings. Writes `BENCH_obs.json` only when
+/// every gate holds; with `OBS_SMOKE_DIR` set, also writes the three
+/// JSONL logs and the metrics/tree renders there so CI can exercise
+/// `obsctl` against real output.
+fn run_obs_mode(path: &str, report: &ObsSmokeReport, artifacts: &ObsSmokeArtifacts) -> bool {
+    if let Ok(dir) = std::env::var("OBS_SMOKE_DIR") {
+        let dir = std::path::Path::new(&dir);
+        let write = |name: &str, bytes: &str| {
+            std::fs::write(dir.join(name), bytes)
+                .unwrap_or_else(|e| panic!("write {}/{name}: {e}", dir.display()));
+        };
+        write("fleet_serial.jsonl", &artifacts.serial_jsonl);
+        write("fleet_rerun.jsonl", &artifacts.rerun_jsonl);
+        write("fleet_fixed2.jsonl", &artifacts.fixed2_jsonl);
+        write("metrics.prom", &artifacts.metrics_text);
+        write("tree.txt", &artifacts.tree_text);
+    }
+    if !report.gates_pass() {
+        eprintln!(
+            "obs: gates failed (log={} tree={} metrics={} store={} cells={} \
+             attributed={} budget={}) — refusing to overwrite {path}",
+            report.identical_log,
+            report.identical_tree,
+            report.identical_metrics,
+            report.identical_store,
+            report.cells_covered,
+            report.work_attributed,
+            report.within_budget,
+        );
+        for w in &report.family_work {
+            if w.evaluations > w.ceiling {
+                eprintln!(
+                    "obs: {} burned {} evaluations (ceiling {})",
+                    w.family, w.evaluations, w.ceiling
+                );
+            }
+        }
+        return false;
+    }
+    std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    let work: Vec<String> = report
+        .family_work
+        .iter()
+        .map(|w| format!("{}={}/{}", w.family, w.evaluations, w.ceiling))
+        .collect();
+    println!(
+        "obs            cells={} events={} gates=pass evals=[{}] -> {path}",
+        report.cells,
+        report.events,
+        work.join(", "),
+    );
+    true
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--smoke") {
         if !smoke() {
@@ -582,6 +640,19 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--scenario-smoke") {
         if !scenario_smoke() {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if std::env::args().any(|a| a == "--obs-smoke") {
+        // `bench fleet --obs-smoke`: the 64-cell CI grid through the
+        // observability gates (byte-identical logs / span trees / metrics
+        // across serial ×2 + Fixed(2), full work attribution, per-family
+        // evaluation ceilings) → `BENCH_obs.json`. Checked before the
+        // `fleet` branch: the invocation carries the `fleet` word too.
+        let families: Vec<&dyn ModelFamily> = vec![&QuadraticFamily, &CompetingRisksFamily];
+        let (report, artifacts) = evaluate_obs_smoke(&smoke_grid(), &families);
+        if !run_obs_mode("BENCH_obs.json", &report, &artifacts) {
             std::process::exit(1);
         }
         return;

@@ -22,7 +22,7 @@
 //! The verdict is written to `BENCH_chaos.json` with no wall-clock and no
 //! machine identifiers: regenerating it anywhere yields the same bytes.
 
-use crate::fleet::{FleetStore, QUARANTINED_BITS};
+use crate::fleet::{cell_work, FleetStore, QUARANTINED_BITS};
 use resilience_core::chaos::ChaosPlan;
 use resilience_core::fit::FitConfig;
 use resilience_core::model::ModelFamily;
@@ -31,7 +31,7 @@ use resilience_core::runtime::{
 };
 use resilience_data::scenario::ScenarioGrid;
 use resilience_data::PerformanceSeries;
-use resilience_obs::{CounterId, RecordingObserver, RunReport};
+use resilience_obs::{CounterId, RecordingObserver, RunReport, SpanTree};
 use resilience_optim::Parallelism;
 use std::sync::Arc;
 
@@ -134,21 +134,23 @@ pub fn run_fleet_chaos(
         event.write_json(&mut events_jsonl);
         events_jsonl.push('\n');
     }
+    let tree = SpanTree::build(&events);
     let report = RunReport::from_events(events);
 
     let mut store = FleetStore::with_capacity(cells.len());
     let mut quarantined_cells = 0usize;
     let mut aborted = false;
-    for (cell, outcome) in cells.iter().zip(&outcomes) {
+    for (i, (cell, outcome)) in cells.iter().zip(&outcomes).enumerate() {
+        let work = cell_work(&tree, i);
         match outcome {
-            CellOutcome::Ranked(ranking) => store.push(cell, Some(ranking)),
+            CellOutcome::Ranked(ranking) => store.push(cell, Some(ranking), work),
             CellOutcome::Quarantined { failures } => {
                 quarantined_cells += 1;
-                store.push_quarantined(cell, failures.len() as u32);
+                store.push_quarantined(cell, failures.len() as u32, work);
             }
             CellOutcome::Stopped(_) => {
                 aborted = true;
-                store.push(cell, None);
+                store.push(cell, None, work);
             }
         }
     }

@@ -31,7 +31,7 @@ use resilience_core::runtime::{rank_many_supervised, Control, ExecPolicy};
 use resilience_core::selection::Ranking;
 use resilience_data::scenario::{GridScenario, NoiseLevel, ScenarioGrid, ShapeKind};
 use resilience_data::PerformanceSeries;
-use resilience_obs::{Event, HistogramId, RecordingObserver, RunReport};
+use resilience_obs::{Event, HistogramId, RecordingObserver, RunReport, SpanTree};
 use resilience_optim::Parallelism;
 use std::sync::Arc;
 // Sanctioned wall-clock: `wall_ns` is stdout-only progress reporting,
@@ -51,6 +51,30 @@ pub const FAILED_BITS: u64 = u64::MAX;
 /// [`FAILED_BITS`] so a baseline diff separates "legacy hard failure"
 /// from "quarantined by the supervisor"; like it, never a finite `f64`.
 pub const QUARANTINED_BITS: u64 = u64::MAX - 1;
+
+/// Per-cell work attribution derived from the run's span tree
+/// ([`SpanTree::build`] over the recorded events): the observability
+/// plane's answer to "where did the evaluations go", stored next to the
+/// fit results so baseline diffs localize work regressions to cells.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellWork {
+    /// Objective evaluations attributed to the cell.
+    pub evaluations: u64,
+    /// Retry attempts attributed to the cell.
+    pub retries: u64,
+}
+
+/// Work attributed to span-tree cell `cell` (zero when the tree has no
+/// such cell — e.g. a store assembled without telemetry).
+#[must_use]
+pub fn cell_work(tree: &SpanTree, cell: usize) -> CellWork {
+    tree.cells
+        .get(cell)
+        .map_or_else(CellWork::default, |c| CellWork {
+            evaluations: c.evaluations(),
+            retries: c.retries(),
+        })
+}
 
 /// Columnar results store for one fleet run: one entry per grid cell, in
 /// cell-index order, kept as per-column vectors (struct-of-arrays) so a
@@ -79,6 +103,10 @@ pub struct FleetStore {
     /// Typed failure count for a quarantined cell, `0` otherwise — the
     /// sentinel column chaos fleets park all-failing cells in.
     pub quarantined: Vec<u32>,
+    /// Objective evaluations attributed to the cell by the span tree.
+    pub evals: Vec<u64>,
+    /// Retry attempts attributed to the cell by the span tree.
+    pub retries: Vec<u64>,
 }
 
 impl FleetStore {
@@ -96,6 +124,8 @@ impl FleetStore {
             ranked: Vec::with_capacity(cells),
             failed: Vec::with_capacity(cells),
             quarantined: Vec::with_capacity(cells),
+            evals: Vec::with_capacity(cells),
+            retries: Vec::with_capacity(cells),
         }
     }
 
@@ -112,8 +142,14 @@ impl FleetStore {
     }
 
     /// Appends one cell's outcome. `ranking: None` records a failed cell
-    /// (sentinel bits, zero ranked rows).
-    pub fn push(&mut self, cell: &resilience_data::scenario::GridCell, ranking: Option<&Ranking>) {
+    /// (sentinel bits, zero ranked rows). `work` is the span-tree
+    /// attribution for the cell ([`cell_work`]).
+    pub fn push(
+        &mut self,
+        cell: &resilience_data::scenario::GridCell,
+        ranking: Option<&Ranking>,
+        work: CellWork,
+    ) {
         self.scenario.push(cell.scenario.clone());
         self.noise.push(cell.noise.clone());
         self.n.push(cell.n);
@@ -136,13 +172,21 @@ impl FleetStore {
             }
         }
         self.quarantined.push(0);
+        self.evals.push(work.evaluations);
+        self.retries.push(work.retries);
     }
 
     /// Appends one *quarantined* cell: every family failed under
     /// supervision, the supervisor parked the cell, and the store records
     /// the typed failure count in the sentinel column
-    /// ([`QUARANTINED_BITS`] in the bit columns).
-    pub fn push_quarantined(&mut self, cell: &resilience_data::scenario::GridCell, failures: u32) {
+    /// ([`QUARANTINED_BITS`] in the bit columns). `work` still records
+    /// the evaluations the cell burned before quarantine.
+    pub fn push_quarantined(
+        &mut self,
+        cell: &resilience_data::scenario::GridCell,
+        failures: u32,
+        work: CellWork,
+    ) {
         self.scenario.push(cell.scenario.clone());
         self.noise.push(cell.noise.clone());
         self.n.push(cell.n);
@@ -153,6 +197,8 @@ impl FleetStore {
         self.ranked.push(0);
         self.failed.push(failures);
         self.quarantined.push(failures.max(1));
+        self.evals.push(work.evaluations);
+        self.retries.push(work.retries);
     }
 
     /// The per-column JSON object — the byte string the repeatability
@@ -181,6 +227,8 @@ impl FleetStore {
         num_col("ranked", &self.ranked, &mut cols);
         num_col("failed", &self.failed, &mut cols);
         num_col("quarantined", &self.quarantined, &mut cols);
+        num_col("evals", &self.evals, &mut cols);
+        num_col("retries", &self.retries, &mut cols);
         format!("{{\n{}\n  }}", cols.join(",\n"))
     }
 
@@ -213,9 +261,26 @@ pub struct FleetRun {
     pub report: RunReport,
     /// Raw evals-per-fit observations in replay (= job) order.
     pub evals_per_fit: Vec<u64>,
+    /// Every event of the pass in replay order — the input for span-tree
+    /// reconstruction, JSONL export, and log diffing.
+    pub events: Vec<Event>,
     /// Wall-clock for the ranking pass, nanoseconds. Informational only;
     /// never serialized into the baseline.
     pub wall_ns: u128,
+}
+
+impl FleetRun {
+    /// The pass's events serialized as JSONL, byte-identical across runs
+    /// of the same grid.
+    #[must_use]
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            event.write_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
 }
 
 /// Runs one fleet pass: generates every grid cell, ranks all of them via
@@ -270,15 +335,17 @@ pub fn run_fleet(
             _ => None,
         })
         .collect();
-    let report = RunReport::from_events(events);
+    let report = RunReport::from_events(events.iter().copied());
+    let tree = SpanTree::build(&events);
     let mut store = FleetStore::with_capacity(cells.len());
-    for (cell, ranking) in cells.iter().zip(&rankings) {
-        store.push(cell, ranking.as_ref().ok());
+    for (i, (cell, ranking)) in cells.iter().zip(&rankings).enumerate() {
+        store.push(cell, ranking.as_ref().ok(), cell_work(&tree, i));
     }
     FleetRun {
         store,
         report,
         evals_per_fit,
+        events,
         wall_ns,
     }
 }
@@ -695,13 +762,33 @@ mod tests {
         let grid = tiny_grid();
         let cell = grid.cell(0);
         let mut store = FleetStore::with_capacity(1);
-        store.push(&cell, None);
+        store.push(&cell, None, CellWork::default());
         assert_eq!(store.winner[0], "(failed)");
         assert_eq!(store.sse_bits[0], FAILED_BITS);
         assert_eq!(store.ranked[0], 0);
+        assert_eq!(store.evals[0], 0);
         // Failed cells contribute zero delta and drop out of bands.
         assert_eq!(bit_deltas(&store.sse_bits, &store.sse_bits), vec![0.0]);
         assert!(variance_bands(&store).is_empty());
+    }
+
+    #[test]
+    fn work_columns_agree_with_the_rollup() {
+        let grid = tiny_grid();
+        let run = run_fleet(&grid, &families(), Parallelism::Serial);
+        // One span-tree cell per grid cell, and the per-cell work columns
+        // sum to the per-family attribution of the aggregated report.
+        assert_eq!(run.store.evals.len(), grid.len());
+        let column_total: u64 = run.store.evals.iter().sum();
+        let family_total: u64 = run.report.families.iter().map(|f| f.evaluations).sum();
+        assert_eq!(column_total, family_total);
+        assert!(column_total > 0, "fleet did no work?");
+        let retries_total: u64 = run.store.retries.iter().sum();
+        let family_retries: u64 = run.report.families.iter().map(|f| f.retries).sum();
+        assert_eq!(retries_total, family_retries);
+        // The columns serialize into the gated byte string.
+        assert!(run.store.columns_json().contains("\"evals\": ["));
+        assert!(run.store.columns_json().contains("\"retries\": ["));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 pub mod chaos;
 pub mod fleet;
 pub mod harness;
+pub mod obs_smoke;
 
 use resilience_core::analysis::{band_series, evaluate_model, metrics_comparison, ModelEvaluation};
 use resilience_core::bathtub::{CompetingRisksFamily, QuadraticFamily, QuarticFamily};

@@ -1,0 +1,418 @@
+//! Observability smoke evaluator (`bench fleet --obs-smoke`):
+//! the work-budget regression gate behind `BENCH_obs.json`.
+//!
+//! Runs the CI fleet three times — twice serial, once with `Fixed(2)`
+//! workers — and gates on the *observability plane itself* being
+//! deterministic, not just the fit results:
+//!
+//! 1. **identical_log** — the three JSONL event logs are byte-identical;
+//! 2. **identical_tree** — the [`SpanTree`] renders are byte-identical;
+//! 3. **identical_metrics** — the Prometheus-style expositions are
+//!    byte-identical;
+//! 4. **identical_store** — the columnar stores (now carrying the
+//!    span-tree work columns) are byte-identical;
+//! 5. **cells_covered** — the span tree reconstructs exactly one cell
+//!    per grid cell, with zero unattributed evaluations;
+//! 6. **work_attributed** — the per-cell work columns sum to the
+//!    roll-up's per-family evaluation totals;
+//! 7. **within_budget** — each family's evaluation total stays under its
+//!    committed ceiling ([`EVAL_CEILINGS`]), so an optimizer regression
+//!    that silently doubles the work budget fails CI.
+//!
+//! The JSON baseline is a pure function of the grid: counter totals,
+//! histogram bucket vectors and percentiles, per-family work against
+//! ceilings, and the top-K hottest cells. No wall-clock, no machine
+//! identifiers — CI regenerates it and `git diff` stays clean.
+
+use crate::fleet::{run_fleet, FleetRun};
+use crate::harness::json_escape;
+use resilience_core::model::ModelFamily;
+use resilience_data::scenario::ScenarioGrid;
+use resilience_obs::{Histogram, HistogramId, MetricsSnapshot, SpanTree, WorkMetric};
+use resilience_optim::Parallelism;
+
+/// Committed per-family evaluation ceilings for the 64-cell smoke grid
+/// (`smoke_grid()` × the two bathtub families). Calibrated at roughly
+/// 1.5× the measured totals of the §11 speed layer, so tolerance tweaks
+/// pass but a regression to the pre-§11 exhaustive-simplex work profile
+/// (several times the budget) fails.
+pub const EVAL_CEILINGS: &[(&str, u64)] = &[("Quadratic", 85_000), ("Competing Risks", 245_000)];
+
+/// Ceiling applied to a family with no [`EVAL_CEILINGS`] entry: generous
+/// enough for any single family on the smoke grid, tight enough that a
+/// runaway solver loop still trips the gate.
+pub const DEFAULT_EVAL_CEILING: u64 = 300_000;
+
+/// The evaluation ceiling for `family` ([`EVAL_CEILINGS`] lookup with the
+/// [`DEFAULT_EVAL_CEILING`] fallback).
+#[must_use]
+pub fn eval_ceiling(family: &str) -> u64 {
+    EVAL_CEILINGS
+        .iter()
+        .find(|(name, _)| *name == family)
+        .map_or(DEFAULT_EVAL_CEILING, |(_, c)| *c)
+}
+
+/// One family's measured work against its committed ceiling.
+#[derive(Debug, Clone)]
+pub struct FamilyWork {
+    /// Family name.
+    pub family: String,
+    /// Objective evaluations the canonical run attributed to the family.
+    pub evaluations: u64,
+    /// Committed ceiling ([`eval_ceiling`]).
+    pub ceiling: u64,
+}
+
+/// Byte artifacts of the evaluation — the logs and renders the CI step
+/// writes to disk so `obsctl` can be exercised against real output.
+#[derive(Debug)]
+pub struct ObsSmokeArtifacts {
+    /// Canonical (first serial) run's JSONL event log.
+    pub serial_jsonl: String,
+    /// Second serial run's JSONL event log.
+    pub rerun_jsonl: String,
+    /// `Fixed(2)` run's JSONL event log.
+    pub fixed2_jsonl: String,
+    /// Canonical run's metrics exposition ([`MetricsSnapshot::render`]).
+    pub metrics_text: String,
+    /// Canonical run's span-tree render (all cells, full depth).
+    pub tree_text: String,
+}
+
+/// The observability gate evaluation behind `BENCH_obs.json`.
+#[derive(Debug)]
+pub struct ObsSmokeReport {
+    /// Grid cells evaluated.
+    pub cells: usize,
+    /// Family names fitted in every cell.
+    pub families: Vec<String>,
+    /// Fleet passes run (always 3: serial ×2 + `Fixed(2)`).
+    pub runs: usize,
+    /// Events in the canonical run's log.
+    pub events: u64,
+    /// Gate 1: the three JSONL logs are byte-identical.
+    pub identical_log: bool,
+    /// Gate 2: the three span-tree renders are byte-identical.
+    pub identical_tree: bool,
+    /// Gate 3: the three metrics expositions are byte-identical.
+    pub identical_metrics: bool,
+    /// Gate 4: the three columnar stores are byte-identical.
+    pub identical_store: bool,
+    /// Gate 5: one span-tree cell per grid cell, zero unattributed work.
+    pub cells_covered: bool,
+    /// Gate 6: work columns sum to the roll-up's family totals.
+    pub work_attributed: bool,
+    /// Gate 7: every family under its evaluation ceiling.
+    pub within_budget: bool,
+    /// Counter totals of the canonical run, in [`resilience_obs::CounterId`] order.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms of the canonical run, in [`HistogramId`] order.
+    pub histograms: Vec<(String, Histogram)>,
+    /// Per-family work against ceilings.
+    pub family_work: Vec<FamilyWork>,
+    /// Top-K hottest cells by evaluations `(cell, evaluations)`.
+    pub hottest_cells: Vec<(u32, u64)>,
+    /// Hottest families by evaluations `(family, evaluations)`.
+    pub hottest_families: Vec<(String, u64)>,
+    /// Span-tree cells reconstructed from the canonical log.
+    pub tree_cells: usize,
+    /// Evaluations the span tree could not attribute to any cell.
+    pub unattributed_evals: u64,
+}
+
+impl ObsSmokeReport {
+    /// Whether every observability gate held.
+    #[must_use]
+    pub fn gates_pass(&self) -> bool {
+        self.identical_log
+            && self.identical_tree
+            && self.identical_metrics
+            && self.identical_store
+            && self.cells_covered
+            && self.work_attributed
+            && self.within_budget
+    }
+
+    /// The `BENCH_obs.json` document — a pure function of the grid, so
+    /// CI regenerates it and `git diff` stays clean.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let families: Vec<String> = self
+            .families
+            .iter()
+            .map(|f| format!("\"{}\"", json_escape(f)))
+            .collect();
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(name, v)| format!("    \"{}\": {v}", json_escape(name)))
+            .collect();
+        let histograms: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+                format!(
+                    "    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                     \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+                    json_escape(name),
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.max,
+                    h.p50().unwrap_or(0),
+                    h.p90().unwrap_or(0),
+                    h.p99().unwrap_or(0),
+                    buckets.join(", ")
+                )
+            })
+            .collect();
+        let work: Vec<String> = self
+            .family_work
+            .iter()
+            .map(|w| {
+                format!(
+                    "    {{\"family\": \"{}\", \"evaluations\": {}, \"ceiling\": {}}}",
+                    json_escape(&w.family),
+                    w.evaluations,
+                    w.ceiling
+                )
+            })
+            .collect();
+        let hottest_cells: Vec<String> = self
+            .hottest_cells
+            .iter()
+            .map(|(cell, evals)| format!("    {{\"cell\": {cell}, \"evals\": {evals}}}"))
+            .collect();
+        let hottest_families: Vec<String> = self
+            .hottest_families
+            .iter()
+            .map(|(family, evals)| {
+                format!(
+                    "    {{\"family\": \"{}\", \"evals\": {evals}}}",
+                    json_escape(family)
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"benchmark\": \"obs\",\n  \"cells\": {},\n  \"families\": [{}],\n  \
+             \"runs\": {},\n  \"events\": {},\n  \"gates\": {{\"identical_log\": {}, \
+             \"identical_tree\": {}, \"identical_metrics\": {}, \"identical_store\": {}, \
+             \"cells_covered\": {}, \"work_attributed\": {}, \"within_budget\": {}}},\n  \
+             \"tree_cells\": {},\n  \"unattributed_evals\": {},\n  \"counters\": {{\n{}\n  }},\n  \
+             \"histograms\": {{\n{}\n  }},\n  \"family_work\": [\n{}\n  ],\n  \
+             \"hottest_cells\": [\n{}\n  ],\n  \"hottest_families\": [\n{}\n  ]\n}}\n",
+            self.cells,
+            families.join(", "),
+            self.runs,
+            self.events,
+            self.identical_log,
+            self.identical_tree,
+            self.identical_metrics,
+            self.identical_store,
+            self.cells_covered,
+            self.work_attributed,
+            self.within_budget,
+            self.tree_cells,
+            self.unattributed_evals,
+            counters.join(",\n"),
+            histograms.join(",\n"),
+            work.join(",\n"),
+            hottest_cells.join(",\n"),
+            hottest_families.join(",\n"),
+        )
+    }
+}
+
+/// How many hottest cells the baseline records.
+const TOP_K: usize = 5;
+
+/// Runs the observability gate evaluation: three fleet passes, the seven
+/// gates, and the baseline aggregates (see the module docs).
+///
+/// # Panics
+///
+/// Panics when a grid cell fails to generate or `families` is empty (see
+/// [`run_fleet`]).
+#[must_use]
+pub fn evaluate_obs_smoke(
+    grid: &ScenarioGrid,
+    families: &[&dyn ModelFamily],
+) -> (ObsSmokeReport, ObsSmokeArtifacts) {
+    let run1 = run_fleet(grid, families, Parallelism::Serial);
+    let run2 = run_fleet(grid, families, Parallelism::Serial);
+    let run3 = run_fleet(grid, families, Parallelism::Fixed(2));
+
+    let log1 = run1.events_jsonl();
+    let log2 = run2.events_jsonl();
+    let log3 = run3.events_jsonl();
+    let identical_log = log1 == log2 && log1 == log3;
+
+    let tree = SpanTree::build(&run1.events);
+    let render = |run: &FleetRun| SpanTree::build(&run.events).render(usize::MAX, 4);
+    let tree_text = tree.render(usize::MAX, 4);
+    let identical_tree = tree_text == render(&run2) && tree_text == render(&run3);
+
+    let metrics_text = MetricsSnapshot::from_report(&run1.report).render();
+    let identical_metrics = metrics_text == MetricsSnapshot::from_report(&run2.report).render()
+        && metrics_text == MetricsSnapshot::from_report(&run3.report).render();
+
+    let store_bytes = run1.store.columns_json();
+    let identical_store =
+        store_bytes == run2.store.columns_json() && store_bytes == run3.store.columns_json();
+
+    let cells_covered = tree.cells.len() == grid.len() && tree.unattributed_evaluations == 0;
+    let column_total: u64 = run1.store.evals.iter().sum();
+    let family_total: u64 = run1.report.families.iter().map(|f| f.evaluations).sum();
+    let work_attributed = column_total == family_total && column_total > 0;
+
+    let family_work: Vec<FamilyWork> = run1
+        .report
+        .families
+        .iter()
+        .map(|f| FamilyWork {
+            family: f.name.to_string(),
+            evaluations: f.evaluations,
+            ceiling: eval_ceiling(f.name),
+        })
+        .collect();
+    let within_budget = family_work.iter().all(|w| w.evaluations <= w.ceiling);
+
+    let report = ObsSmokeReport {
+        cells: grid.len(),
+        families: families.iter().map(|f| f.name().to_string()).collect(),
+        runs: 3,
+        events: tree.events,
+        identical_log,
+        identical_tree,
+        identical_metrics,
+        identical_store,
+        cells_covered,
+        work_attributed,
+        within_budget,
+        counters: run1
+            .report
+            .counters
+            .iter()
+            .map(|(id, v)| (id.as_str().to_string(), *v))
+            .collect(),
+        histograms: HistogramId::ALL
+            .iter()
+            .map(|id| {
+                let h = run1
+                    .report
+                    .histograms
+                    .iter()
+                    .find(|(hid, _)| hid == id)
+                    .map_or_else(Histogram::default, |(_, h)| h.clone());
+                (id.as_str().to_string(), h)
+            })
+            .collect(),
+        family_work,
+        hottest_cells: tree.hottest_cells(TOP_K, WorkMetric::Evaluations),
+        hottest_families: tree
+            .hottest_families(TOP_K, WorkMetric::Evaluations)
+            .into_iter()
+            .map(|(name, evals)| (name.to_string(), evals))
+            .collect(),
+        tree_cells: tree.cells.len(),
+        unattributed_evals: tree.unattributed_evaluations,
+    };
+    let artifacts = ObsSmokeArtifacts {
+        serial_jsonl: log1,
+        rerun_jsonl: log2,
+        fixed2_jsonl: log3,
+        metrics_text,
+        tree_text,
+    };
+    (report, artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience_core::bathtub::{CompetingRisksFamily, QuadraticFamily};
+    use resilience_data::scenario::{GridScenario, NoiseLevel, ShapeKind};
+
+    fn tiny_grid() -> ScenarioGrid {
+        ScenarioGrid {
+            scenarios: vec![GridScenario::Shape(ShapeKind::V), GridScenario::StepOutage],
+            noises: vec![NoiseLevel::Gaussian { sd: 0.001 }],
+            lengths: vec![32],
+            seeds: vec![42, 43],
+        }
+    }
+
+    fn families() -> Vec<&'static dyn ModelFamily> {
+        vec![&QuadraticFamily, &CompetingRisksFamily]
+    }
+
+    #[test]
+    fn gates_hold_on_a_deterministic_fleet() {
+        let grid = tiny_grid();
+        let (report, artifacts) = evaluate_obs_smoke(&grid, &families());
+        assert!(report.gates_pass(), "gates failed: {report:?}");
+        assert_eq!(report.cells, grid.len());
+        assert_eq!(report.tree_cells, grid.len());
+        assert_eq!(report.unattributed_evals, 0);
+        assert_eq!(report.runs, 3);
+        assert_eq!(artifacts.serial_jsonl, artifacts.rerun_jsonl);
+        assert_eq!(artifacts.serial_jsonl, artifacts.fixed2_jsonl);
+        assert!(artifacts.metrics_text.starts_with("# TYPE"));
+        assert!(artifacts.tree_text.starts_with("fleet:"));
+    }
+
+    #[test]
+    fn baseline_json_is_reproducible_and_wall_clock_free() {
+        let grid = tiny_grid();
+        let (report, _) = evaluate_obs_smoke(&grid, &families());
+        let json = report.to_json();
+        for needle in [
+            "\"benchmark\": \"obs\"",
+            "\"cells\": 4",
+            "\"runs\": 3",
+            "\"gates\": {\"identical_log\": true",
+            "\"within_budget\": true",
+            "\"counters\": {",
+            "\"objective_evals\":",
+            "\"histograms\": {",
+            "\"evals_per_fit\":",
+            "\"family_work\": [",
+            "\"ceiling\":",
+            "\"hottest_cells\": [",
+            "\"hottest_families\": [",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        assert!(
+            !json.contains("wall"),
+            "baseline must not record wall-clock"
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let (again, _) = evaluate_obs_smoke(&grid, &families());
+        assert_eq!(json, again.to_json());
+    }
+
+    #[test]
+    fn hottest_cells_are_sorted_and_bounded() {
+        let grid = tiny_grid();
+        let (report, _) = evaluate_obs_smoke(&grid, &families());
+        assert!(report.hottest_cells.len() <= TOP_K);
+        assert!(!report.hottest_cells.is_empty());
+        for pair in report.hottest_cells.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "hottest cells not sorted: {pair:?}");
+        }
+        let total: u64 = report.family_work.iter().map(|w| w.evaluations).sum();
+        let hottest_sum: u64 = report.hottest_cells.iter().map(|(_, e)| e).sum();
+        assert!(hottest_sum <= total);
+    }
+
+    #[test]
+    fn ceilings_cover_the_smoke_families() {
+        assert_eq!(eval_ceiling("Quadratic"), 85_000);
+        assert_eq!(eval_ceiling("Competing Risks"), 245_000);
+        assert_eq!(eval_ceiling("Never Heard Of It"), DEFAULT_EVAL_CEILING);
+    }
+}

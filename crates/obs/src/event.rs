@@ -674,6 +674,144 @@ impl Event {
         self.write_json(&mut s);
         s
     }
+
+    /// At least one example value per [`Event`] variant, covering every
+    /// enum payload tag (`ChaosKind::ALL`, `CounterId::ALL`, ...) and the
+    /// non-finite float encodings.
+    ///
+    /// The round-trip test in `tests/telemetry.rs` feeds every example
+    /// through `write_json` → `parse`, so an event variant cannot ship
+    /// without parse support: adding a variant breaks the exhaustive
+    /// `match` below until an example is added here.
+    pub fn examples() -> Vec<Event> {
+        let family = "Quadratic";
+        let mut out = vec![
+            Event::FitStarted { family, starts: 8 },
+            Event::FitFinished {
+                family,
+                sse: 1.25e-4,
+                evaluations: 512,
+                converged: true,
+            },
+            Event::StartBegan { index: 3 },
+            Event::Iteration {
+                solver: SolverKind::NelderMead,
+                iteration: 7,
+                evaluations: 21,
+                best: f64::NAN,
+            },
+            Event::Converged {
+                solver: SolverKind::LevenbergMarquardt,
+                iterations: 12,
+                evaluations: 96,
+                value: f64::INFINITY,
+                reason: ExitReason::Converged,
+            },
+            Event::RetryScheduled { family, attempt: 2 },
+            Event::WorkerPanic {
+                scope: family,
+                index: 1,
+            },
+            Event::BootstrapChunkDone {
+                done: 16,
+                total: 64,
+                failed: 1,
+            },
+            Event::BreakerOpened {
+                family,
+                consecutive: 3,
+                clock: 42,
+            },
+            Event::BreakerHalfOpen { family, clock: 50 },
+            Event::BreakerClosed { family, clock: 58 },
+            Event::CellQuarantined {
+                cell: 9,
+                failures: 2,
+            },
+        ];
+        for kind in [
+            FailureCode::Error,
+            FailureCode::TimedOut,
+            FailureCode::Cancelled,
+            FailureCode::Panicked,
+            FailureCode::Skipped,
+        ] {
+            out.push(Event::FitFailed { family, kind });
+        }
+        for solver in [
+            SolverKind::NelderMead,
+            SolverKind::LevenbergMarquardt,
+            SolverKind::DifferentialEvolution,
+            SolverKind::Annealing,
+            SolverKind::MultiStart,
+        ] {
+            out.push(Event::Converged {
+                solver,
+                iterations: 1,
+                evaluations: 2,
+                value: -0.5,
+                reason: ExitReason::Stalled,
+            });
+        }
+        for reason in [
+            ExitReason::Converged,
+            ExitReason::MaxIterations,
+            ExitReason::Stalled,
+        ] {
+            out.push(Event::Converged {
+                solver: SolverKind::DifferentialEvolution,
+                iterations: 3,
+                evaluations: 30,
+                value: f64::NEG_INFINITY,
+                reason,
+            });
+        }
+        for kind in [StopKind::Deadline, StopKind::Cancelled] {
+            out.push(Event::Stop {
+                scope: "nelder_mead",
+                kind,
+                evaluations: 11,
+            });
+        }
+        for kind in ChaosKind::ALL {
+            out.push(Event::ChaosInjected {
+                kind,
+                cell: 4,
+                family,
+            });
+        }
+        for id in CounterId::ALL {
+            out.push(Event::Counter { id, delta: 5 });
+        }
+        for id in HistogramId::ALL {
+            out.push(Event::Hist { id, value: 1 << 20 });
+        }
+
+        // Compile-time exhaustiveness guard: a new Event variant fails this
+        // match until it is represented above.
+        for e in &out {
+            match e {
+                Event::FitStarted { .. }
+                | Event::FitFinished { .. }
+                | Event::FitFailed { .. }
+                | Event::StartBegan { .. }
+                | Event::Iteration { .. }
+                | Event::Converged { .. }
+                | Event::RetryScheduled { .. }
+                | Event::Stop { .. }
+                | Event::WorkerPanic { .. }
+                | Event::BootstrapChunkDone { .. }
+                | Event::ChaosInjected { .. }
+                | Event::BreakerOpened { .. }
+                | Event::BreakerHalfOpen { .. }
+                | Event::BreakerClosed { .. }
+                | Event::CellQuarantined { .. }
+                | Event::Counter { .. }
+                | Event::Hist { .. } => {}
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -5,30 +5,68 @@
 //! deterministic — key order is fixed by [`Event::write_json`] and floats use
 //! the shortest round-trip representation — so two runs that emit the same
 //! events produce byte-identical files.
+//!
+//! The encode buffer lives under the same mutex as the writer and is reused
+//! across events, so the steady-state record path performs zero heap
+//! allocations (pinned by the counting-allocator test in
+//! `tests/allocations.rs`). Write failures never abort the computation being
+//! observed; they are counted as dropped lines instead so a truncated log is
+//! detectable after the fact.
 
 use crate::event::Event;
 use crate::observer::Observer;
 use std::io::Write;
 use std::sync::Mutex;
 
+/// Writer, reusable line buffer, and drop accounting — one lock for all
+/// three keeps lines atomic and lets `record` encode without allocating.
+struct Inner<W> {
+    writer: W,
+    line: String,
+    dropped_lines: u64,
+}
+
 /// An [`Observer`] that encodes each event as one JSON line into `W`.
 pub struct JsonlObserver<W: Write + Send> {
-    writer: Mutex<W>,
+    inner: Mutex<Inner<W>>,
 }
 
 impl<W: Write + Send> JsonlObserver<W> {
     /// Wraps `writer`; every recorded event becomes one line.
     pub fn new(writer: W) -> Self {
         Self {
-            writer: Mutex::new(writer),
+            inner: Mutex::new(Inner {
+                writer,
+                line: String::with_capacity(96),
+                dropped_lines: 0,
+            }),
         }
     }
 
-    /// Flushes and returns the inner writer.
+    /// Number of events whose line could not be fully persisted because the
+    /// underlying writer failed (write or flush error). A non-zero value
+    /// means the log is truncated or corrupt and should not be trusted for
+    /// byte-identity comparisons.
+    pub fn dropped_lines(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("jsonl observer poisoned")
+            .dropped_lines
+    }
+
+    /// Flushes and returns the inner writer along with the dropped-line
+    /// count (a final flush failure counts as one more drop).
+    pub fn into_parts(self) -> (W, u64) {
+        let mut inner = self.inner.into_inner().expect("jsonl observer poisoned");
+        if inner.writer.flush().is_err() {
+            inner.dropped_lines += 1;
+        }
+        (inner.writer, inner.dropped_lines)
+    }
+
+    /// Flushes and returns the inner writer, discarding drop accounting.
     pub fn into_inner(self) -> W {
-        let mut w = self.writer.into_inner().expect("jsonl observer poisoned");
-        let _ = w.flush();
-        w
+        self.into_parts().0
     }
 }
 
@@ -42,17 +80,23 @@ impl JsonlObserver<std::io::BufWriter<std::fs::File>> {
 
 impl<W: Write + Send> Observer for JsonlObserver<W> {
     fn record(&self, event: &Event) {
-        let mut line = String::with_capacity(96);
-        event.write_json(&mut line);
-        line.push('\n');
-        let mut w = self.writer.lock().expect("jsonl observer poisoned");
+        let mut inner = self.inner.lock().expect("jsonl observer poisoned");
+        let inner = &mut *inner;
+        inner.line.clear();
+        event.write_json(&mut inner.line);
+        inner.line.push('\n');
         // Telemetry must never abort the computation it observes; a full
-        // disk degrades to a truncated log.
-        let _ = w.write_all(line.as_bytes());
+        // disk degrades to a truncated log with the loss counted.
+        if inner.writer.write_all(inner.line.as_bytes()).is_err() {
+            inner.dropped_lines += 1;
+        }
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().expect("jsonl observer poisoned").flush();
+        let mut inner = self.inner.lock().expect("jsonl observer poisoned");
+        if inner.writer.flush().is_err() {
+            inner.dropped_lines += 1;
+        }
     }
 }
 
@@ -76,5 +120,60 @@ mod tests {
             "{\"ev\":\"start\",\"index\":0}\n\
              {\"ev\":\"counter\",\"id\":\"objective_evals\",\"n\":12}\n"
         );
+    }
+
+    /// Writer that accepts `budget` bytes and then fails every operation.
+    struct FailingWriter {
+        budget: usize,
+        written: Vec<u8>,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if buf.len() > self.budget {
+                return Err(std::io::Error::other("disk full"));
+            }
+            self.budget -= buf.len();
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            if self.budget == 0 {
+                Err(std::io::Error::other("disk full"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn failing_writer_counts_dropped_lines() {
+        let event = Event::StartBegan { index: 7 };
+        let line_len = event.to_json().len() + 1;
+        let sink = JsonlObserver::new(FailingWriter {
+            budget: line_len, // exactly one line fits
+            written: Vec::new(),
+        });
+        sink.record(&event);
+        assert_eq!(sink.dropped_lines(), 0);
+        sink.record(&event);
+        sink.record(&event);
+        assert_eq!(sink.dropped_lines(), 2);
+        // The final flush fails too (budget exhausted) and is counted.
+        let (writer, dropped) = sink.into_parts();
+        assert_eq!(dropped, 3);
+        assert_eq!(writer.written.len(), line_len);
+    }
+
+    #[test]
+    fn healthy_writer_reports_zero_drops() {
+        let sink = JsonlObserver::new(Vec::new());
+        sink.record(&Event::StartBegan { index: 0 });
+        sink.flush();
+        assert_eq!(sink.dropped_lines(), 0);
+        let (bytes, dropped) = sink.into_parts();
+        assert_eq!(dropped, 0);
+        assert!(!bytes.is_empty());
     }
 }

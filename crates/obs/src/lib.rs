@@ -30,6 +30,12 @@
 //!   interning.
 //! * [`report`] — [`RunReport`] aggregation: per-family totals as a table
 //!   and machine-readable JSON, with `Option`-typed (`NaN`-free) rates.
+//! * [`metrics`] — live [`MetricsRegistry`] observer and
+//!   [`MetricsSnapshot`] with deterministic Prometheus-style exposition.
+//! * [`span`] — [`SpanTree`] reconstruction of the fleet → cell → fit →
+//!   attempt → solver hierarchy from a log, with top-K work queries.
+//! * [`diff`] — byte/field-level log and report diffing
+//!   (empty output ⇔ identical).
 //!
 //! # Example
 //!
@@ -51,16 +57,24 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod diff;
 pub mod event;
 pub mod jsonl;
+pub mod metrics;
 pub mod observer;
 pub mod parse;
 pub mod report;
+pub mod span;
 
+pub use diff::{
+    diff_logs, diff_reports, render_field_diffs, render_line_diffs, FieldDiff, LineDiff,
+};
 pub use event::{
     ChaosKind, CounterId, Event, ExitReason, FailureCode, HistogramId, SolverKind, StopKind,
 };
 pub use jsonl::JsonlObserver;
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use observer::{replay, NullObserver, Observer, RecordingObserver, TeeObserver};
 pub use parse::{intern, parse_line, parse_log, ParseError};
 pub use report::{BootstrapProgress, FamilyStats, Histogram, RunReport};
+pub use span::{AttemptSpan, CellSpan, FitOutcome, FitSpan, SolverSpan, SpanTree, WorkMetric};

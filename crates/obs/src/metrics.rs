@@ -1,0 +1,384 @@
+//! Live metrics registry and deterministic Prometheus-style exposition.
+//!
+//! Two entry points share one snapshot type:
+//!
+//! * [`MetricsRegistry`] is an [`Observer`] that folds counter, histogram,
+//!   stop, and bootstrap events into totals *while a run executes* — the
+//!   in-process state a `/metrics` endpoint scrapes. It tracks global
+//!   totals only; per-family attribution needs span context and is the
+//!   report's job.
+//! * [`MetricsSnapshot::from_report`] converts a finished [`RunReport`]
+//!   (aggregated from a recorded or parsed log) into the same snapshot,
+//!   including per-family series.
+//!
+//! [`MetricsSnapshot::render`] emits the text exposition format. The output
+//! is a pure function of the snapshot: metric families appear in canonical
+//! id order, every counter is printed (zeros included) so the shape never
+//! depends on which events happened to fire, and only integer-valued
+//! series are exposed — which keeps the bytes identical across runs and
+//! platforms and lets CI `cmp` the file against a golden copy.
+
+use crate::event::{CounterId, Event, HistogramId, StopKind};
+use crate::observer::Observer;
+use crate::report::{BootstrapProgress, FamilyStats, Histogram, RunReport};
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Prefix for every exposed metric name.
+const PREFIX: &str = "resilience_";
+
+struct RegistryState {
+    counters: [u64; CounterId::ALL.len()],
+    histograms: [Histogram; HistogramId::ALL.len()],
+    bootstrap: Option<BootstrapProgress>,
+    events: u64,
+}
+
+/// An [`Observer`] that maintains live counter/histogram totals.
+///
+/// Attach it (typically inside a `TeeObserver` next to the JSONL sink) and
+/// call [`MetricsRegistry::snapshot`] at any point to export current
+/// totals. Counter semantics mirror [`RunReport::from_events`]: `Stop`
+/// events charge their carried evaluations to `objective_evals` and bump
+/// `timeouts`/`cancellations`, so a registry snapshot agrees with the
+/// report built from the same log.
+pub struct MetricsRegistry {
+    state: Mutex<RegistryState>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(RegistryState {
+                counters: [0; CounterId::ALL.len()],
+                histograms: std::array::from_fn(|_| Histogram::default()),
+                bootstrap: None,
+                events: 0,
+            }),
+        }
+    }
+
+    /// Copies the current totals out of the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let state = self.state.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            counters: state.counters,
+            histograms: state.histograms.clone(),
+            families: Vec::new(),
+            bootstrap: state.bootstrap,
+            events: state.events,
+        }
+    }
+}
+
+fn counter_slot(id: CounterId) -> usize {
+    CounterId::ALL
+        .iter()
+        .position(|c| *c == id)
+        .expect("id is in ALL")
+}
+
+fn hist_slot(id: HistogramId) -> usize {
+    HistogramId::ALL
+        .iter()
+        .position(|h| *h == id)
+        .expect("id is in ALL")
+}
+
+impl Observer for MetricsRegistry {
+    fn record(&self, event: &Event) {
+        let mut state = self.state.lock().expect("metrics registry poisoned");
+        state.events += 1;
+        match *event {
+            Event::Counter { id, delta } => {
+                state.counters[counter_slot(id)] += delta;
+            }
+            Event::Hist { id, value } => {
+                state.histograms[hist_slot(id)].observe(value);
+            }
+            Event::Stop {
+                kind, evaluations, ..
+            } => {
+                state.counters[counter_slot(CounterId::ObjectiveEvals)] += evaluations;
+                let id = match kind {
+                    StopKind::Deadline => CounterId::Timeouts,
+                    StopKind::Cancelled => CounterId::Cancellations,
+                };
+                state.counters[counter_slot(id)] += 1;
+            }
+            Event::BootstrapChunkDone {
+                done,
+                total,
+                failed,
+            } => {
+                state.bootstrap = Some(BootstrapProgress {
+                    done,
+                    total,
+                    failed,
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Point-in-time totals ready for text exposition.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Every counter total in [`CounterId::ALL`] order, zeros included.
+    pub counters: [u64; CounterId::ALL.len()],
+    /// Every histogram in [`HistogramId::ALL`] order, empties included.
+    pub histograms: [Histogram; HistogramId::ALL.len()],
+    /// Per-family totals (empty for live registry snapshots).
+    pub families: Vec<FamilyStats>,
+    /// Latest bootstrap progress, if any.
+    pub bootstrap: Option<BootstrapProgress>,
+    /// Events consumed.
+    pub events: u64,
+}
+
+impl MetricsSnapshot {
+    /// Builds a snapshot (including per-family series) from an aggregated
+    /// report.
+    pub fn from_report(report: &RunReport) -> MetricsSnapshot {
+        let mut counters = [0u64; CounterId::ALL.len()];
+        for (id, v) in &report.counters {
+            counters[counter_slot(*id)] = *v;
+        }
+        let mut histograms: [Histogram; HistogramId::ALL.len()] =
+            std::array::from_fn(|_| Histogram::default());
+        for (id, h) in &report.histograms {
+            histograms[hist_slot(*id)] = h.clone();
+        }
+        MetricsSnapshot {
+            counters,
+            histograms,
+            families: report.families.clone(),
+            bootstrap: report.bootstrap,
+            events: report.events,
+        }
+    }
+
+    /// Total for one counter.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[counter_slot(id)]
+    }
+
+    /// Renders the Prometheus-style text exposition.
+    ///
+    /// Deterministic by construction: fixed metric order, all counters
+    /// printed, integer values only. Histograms emit cumulative
+    /// power-of-two `_bucket{le="..."}` series plus `_sum`/`_count`, and —
+    /// when non-empty — `_p50`/`_p90`/`_p99` gauges from
+    /// [`Histogram::quantile`].
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(4096);
+
+        let _ = writeln!(out, "# TYPE {PREFIX}events_total counter");
+        let _ = writeln!(out, "{PREFIX}events_total {}", self.events);
+
+        for (slot, id) in CounterId::ALL.into_iter().enumerate() {
+            let name = id.as_str();
+            let _ = writeln!(out, "# TYPE {PREFIX}{name}_total counter");
+            let _ = writeln!(out, "{PREFIX}{name}_total {}", self.counters[slot]);
+        }
+
+        for (slot, id) in HistogramId::ALL.into_iter().enumerate() {
+            let name = id.as_str();
+            let h = &self.histograms[slot];
+            let _ = writeln!(out, "# TYPE {PREFIX}{name} histogram");
+            let mut cumulative = 0u64;
+            for (i, n) in h.buckets.iter().enumerate() {
+                cumulative += n;
+                if i + 1 == h.buckets.len() {
+                    let _ = writeln!(out, "{PREFIX}{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{PREFIX}{name}_bucket{{le=\"{}\"}} {cumulative}",
+                        Histogram::bucket_upper_bound(i)
+                    );
+                }
+            }
+            let _ = writeln!(out, "{PREFIX}{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{PREFIX}{name}_count {}", h.count);
+            if h.count > 0 {
+                for (q, v) in [("p50", h.p50()), ("p90", h.p90()), ("p99", h.p99())] {
+                    let v = v.expect("non-empty histogram has quantiles");
+                    let _ = writeln!(out, "# TYPE {PREFIX}{name}_{q} gauge");
+                    let _ = writeln!(out, "{PREFIX}{name}_{q} {v}");
+                }
+            }
+        }
+
+        if !self.families.is_empty() {
+            type StatColumn = (&'static str, fn(&FamilyStats) -> u64);
+            let stats: [StatColumn; 7] = [
+                ("family_fits_started_total", |f| f.fits_started),
+                ("family_fits_completed_total", |f| f.fits_completed),
+                ("family_converged_fits_total", |f| f.converged_fits),
+                ("family_iterations_total", |f| f.iterations),
+                ("family_evaluations_total", |f| f.evaluations),
+                ("family_retries_total", |f| f.retries),
+                ("family_failures_total", FamilyStats::failures),
+            ];
+            for (name, get) in stats {
+                let _ = writeln!(out, "# TYPE {PREFIX}{name} counter");
+                for f in &self.families {
+                    let _ = writeln!(out, "{PREFIX}{name}{{family=\"{}\"}} {}", f.name, get(f));
+                }
+            }
+        }
+
+        if let Some(b) = self.bootstrap {
+            let _ = writeln!(out, "# TYPE {PREFIX}bootstrap_replicates gauge");
+            let _ = writeln!(
+                out,
+                "{PREFIX}bootstrap_replicates{{state=\"done\"}} {}",
+                b.done
+            );
+            let _ = writeln!(
+                out,
+                "{PREFIX}bootstrap_replicates{{state=\"total\"}} {}",
+                b.total
+            );
+            let _ = writeln!(
+                out,
+                "{PREFIX}bootstrap_replicates{{state=\"failed\"}} {}",
+                b.failed
+            );
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FailureCode;
+    use crate::parse::intern;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Counter {
+                id: CounterId::ObjectiveEvals,
+                delta: 30,
+            },
+            Event::Hist {
+                id: HistogramId::EvalsPerFit,
+                value: 30,
+            },
+            Event::Stop {
+                scope: intern("nelder_mead"),
+                kind: StopKind::Deadline,
+                evaluations: 4,
+            },
+            Event::BootstrapChunkDone {
+                done: 2,
+                total: 8,
+                failed: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn registry_totals_agree_with_report() {
+        let registry = MetricsRegistry::new();
+        for e in sample_events() {
+            registry.record(&e);
+        }
+        let snap = registry.snapshot();
+        let report = RunReport::from_events(sample_events());
+        assert_eq!(snap.events, report.events);
+        for id in CounterId::ALL {
+            assert_eq!(snap.counter(id), report.counter(id), "{}", id.as_str());
+        }
+        assert_eq!(snap.counter(CounterId::ObjectiveEvals), 34);
+        assert_eq!(snap.counter(CounterId::Timeouts), 1);
+        assert_eq!(snap.bootstrap, report.bootstrap);
+    }
+
+    #[test]
+    fn exposition_is_deterministic_and_complete() {
+        let registry = MetricsRegistry::new();
+        for e in sample_events() {
+            registry.record(&e);
+        }
+        let text = registry.snapshot().render();
+        // Every counter appears, including ones that never fired.
+        for id in CounterId::ALL {
+            assert!(
+                text.contains(&format!("resilience_{}_total ", id.as_str())),
+                "missing {}",
+                id.as_str()
+            );
+        }
+        assert!(
+            text.contains("resilience_objective_evals_total 34"),
+            "{text}"
+        );
+        // Cumulative buckets: value 30 has bit length 5, so buckets below
+        // le=31 hold 0 and everything from le=31 on holds 1.
+        assert!(text.contains("resilience_evals_per_fit_bucket{le=\"15\"} 0"));
+        assert!(text.contains("resilience_evals_per_fit_bucket{le=\"31\"} 1"));
+        assert!(text.contains("resilience_evals_per_fit_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("resilience_evals_per_fit_sum 30"));
+        assert!(text.contains("resilience_evals_per_fit_count 1"));
+        assert!(text.contains("resilience_evals_per_fit_p50 30"));
+        assert!(text.contains("resilience_bootstrap_replicates{state=\"done\"} 2"));
+        // Rendering twice yields identical bytes.
+        assert_eq!(text, registry.snapshot().render());
+    }
+
+    #[test]
+    fn from_report_carries_family_series() {
+        let report = RunReport::from_events(vec![
+            Event::FitStarted {
+                family: intern("Quadratic"),
+                starts: 2,
+            },
+            Event::Counter {
+                id: CounterId::ObjectiveEvals,
+                delta: 12,
+            },
+            Event::FitFinished {
+                family: intern("Quadratic"),
+                sse: 1.0,
+                evaluations: 12,
+                converged: true,
+            },
+            Event::FitFailed {
+                family: intern("Glacial"),
+                kind: FailureCode::Skipped,
+            },
+        ]);
+        let text = MetricsSnapshot::from_report(&report).render();
+        assert!(
+            text.contains("resilience_family_evaluations_total{family=\"Quadratic\"} 12"),
+            "{text}"
+        );
+        assert!(
+            text.contains("resilience_family_failures_total{family=\"Glacial\"} 1"),
+            "{text}"
+        );
+        // Live snapshots have no family series; report snapshots do, and
+        // the global totals agree between the two paths.
+        let registry = MetricsRegistry::new();
+        registry.record(&Event::Counter {
+            id: CounterId::ObjectiveEvals,
+            delta: 12,
+        });
+        assert_eq!(
+            registry.snapshot().counter(CounterId::ObjectiveEvals),
+            MetricsSnapshot::from_report(&report).counter(CounterId::ObjectiveEvals)
+        );
+    }
+}

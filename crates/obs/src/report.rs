@@ -82,6 +82,61 @@ impl Histogram {
             *a += b;
         }
     }
+
+    /// Inclusive upper bound of bucket `i`: bucket 0 holds only the value 0,
+    /// bucket `i` (1 ≤ i ≤ 15) holds values with bit length `i` (upper bound
+    /// `2^i − 1`), and the saturating tail bucket reports `u64::MAX`.
+    #[must_use]
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            1..=15 => (1u64 << i) - 1,
+            _ => u64::MAX,
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (0 < q ≤ 1), or `None` when
+    /// nothing was observed.
+    ///
+    /// The estimate is the inclusive upper bound of the first bucket whose
+    /// cumulative count reaches `ceil(q · count)`, clamped to the exact
+    /// observed maximum — so `quantile(1.0)` is always exactly `max`, and
+    /// every estimate is an observed-or-larger value within the bucket's
+    /// power-of-two resolution.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Some(Self::bucket_upper_bound(i).min(self.max));
+            }
+        }
+        // Bucket counts always sum to `count`, so the loop returns.
+        Some(self.max)
+    }
+
+    /// Median upper bound (`quantile(0.5)`).
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// 90th-percentile upper bound (`quantile(0.9)`).
+    #[must_use]
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.9)
+    }
+
+    /// 99th-percentile upper bound (`quantile(0.99)`).
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
 }
 
 /// Aggregated telemetry for one model family.
@@ -483,9 +538,12 @@ impl RunReport {
             let _ = writeln!(out, "\nhistograms:");
             for (id, h) in &self.histograms {
                 let mean = h.mean().expect("rendered histograms are non-empty");
+                let p50 = h.p50().expect("rendered histograms are non-empty");
+                let p90 = h.p90().expect("rendered histograms are non-empty");
+                let p99 = h.p99().expect("rendered histograms are non-empty");
                 let _ = writeln!(
                     out,
-                    "  {:<28} n={} min={} mean={mean:.1} max={}",
+                    "  {:<28} n={} min={} mean={mean:.1} p50<={p50} p90<={p90} p99<={p99} max={}",
                     id.as_str(),
                     h.count,
                     h.min,
@@ -774,6 +832,54 @@ mod tests {
         let mut same = a.clone();
         same.merge(&RunReport::default());
         assert_eq!(same.to_json(), a.to_json());
+    }
+
+    #[test]
+    fn histogram_quantiles_match_hand_computed_fixtures() {
+        // Values 1..=10 land in buckets: b1={1}, b2={2,3}, b3={4..7}, b4={8,9,10}.
+        let mut h = Histogram::default();
+        for v in 1..=10u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.buckets[1..=4], [1, 2, 4, 3]);
+        // rank(0.5) = ceil(5.0) = 5 → cumulative 1,3,7 → bucket 3, bound 7.
+        assert_eq!(h.p50(), Some(7));
+        // rank(0.9) = 9 → bucket 4, bound 15, clamped to max 10.
+        assert_eq!(h.p90(), Some(10));
+        // rank(0.99) = ceil(9.9) = 10 → bucket 4 → 10.
+        assert_eq!(h.p99(), Some(10));
+        assert_eq!(h.quantile(1.0), Some(10));
+        // rank clamps to at least 1: the smallest quantile is bucket 1's bound.
+        assert_eq!(h.quantile(0.001), Some(1));
+
+        // All-zero observations sit in bucket 0 with bound 0.
+        let mut zeros = Histogram::default();
+        for _ in 0..4 {
+            zeros.observe(0);
+        }
+        assert_eq!((zeros.p50(), zeros.p99()), (Some(0), Some(0)));
+
+        // Tail bucket saturates: the bound is clamped to the observed max.
+        let mut tail = Histogram::default();
+        tail.observe(1 << 20);
+        assert_eq!(tail.p50(), Some(1 << 20));
+        assert_eq!(Histogram::bucket_upper_bound(16), u64::MAX);
+        assert_eq!(Histogram::bucket_upper_bound(4), 15);
+
+        // Empty histogram has no quantiles.
+        assert_eq!(Histogram::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn table_renders_histogram_percentiles() {
+        let mut report = RunReport::from_events(Vec::new());
+        let mut h = Histogram::default();
+        for v in 1..=10u64 {
+            h.observe(v);
+        }
+        report.histograms.push((HistogramId::EvalsPerFit, h));
+        let table = report.render_table();
+        assert!(table.contains("p50<=7 p90<=10 p99<=10"), "{table}");
     }
 
     #[test]

@@ -1,0 +1,1020 @@
+//! Span-tree reconstruction: from a flat event log to the hierarchy
+//! fleet → cell → family fit → attempt → solver.
+//!
+//! [`SpanTree::build`] replays a log (recorded in-process or parsed from
+//! JSONL) and rebuilds the nesting the runtime flattened away, keyed purely
+//! on logical clocks — event order, cell indices carried by chaos and
+//! quarantine events, attempt numbers, and evaluation counters. No
+//! wall-clock values exist anywhere in the input (the workspace clippy ban
+//! enforces this), so the tree built from a log is a pure function of the
+//! log bytes: byte-identical logs yield byte-identical [`SpanTree::render`]
+//! output regardless of the worker count that produced them.
+//!
+//! Reconstruction relies on the replay discipline established in PR 5/8:
+//! the runtime buffers each (cell, family) job's events and replays the
+//! buffers serially in flattened cell-major order, appending each job's
+//! reduction verdict (`fit_failed`, `worker_panic`, breaker transitions,
+//! `cell_quarantined`) right after the job's own events. Within one job a
+//! retried attempt re-emits `fit_started` (always preceded by
+//! `retry_scheduled`), chaos-exhausted jobs emit no `fit_started` at all,
+//! and an observer-loss job leaves only its `chaos_injected` line — the
+//! builder handles each of these shapes explicitly.
+
+use crate::event::{ChaosKind, CounterId, Event, ExitReason, FailureCode, SolverKind, StopKind};
+use crate::report::BootstrapProgress;
+use std::fmt::Write as _;
+
+/// Which work column a top-K query ranks by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkMetric {
+    /// Objective evaluations attributed to the span.
+    Evaluations,
+    /// Retry attempts beyond the first.
+    Retries,
+}
+
+/// One solver activation inside an attempt (a multi-start probe, a polish
+/// pass, a DE/SA run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverSpan {
+    /// Emitting solver, once an iteration or termination identified it.
+    pub solver: Option<SolverKind>,
+    /// Multi-start seed index when the span was opened by a `start` event.
+    pub start_index: Option<u32>,
+    /// Total iterations (cumulative clock from the last event seen).
+    pub iterations: u64,
+    /// Total objective evaluations reported by the solver's own events.
+    pub evaluations: u64,
+    /// Termination reason when the solver exited normally.
+    pub exit: Option<ExitReason>,
+    /// Final objective value at normal termination.
+    pub value: Option<f64>,
+}
+
+impl SolverSpan {
+    fn new(start_index: Option<u32>) -> Self {
+        Self {
+            solver: None,
+            start_index,
+            iterations: 0,
+            evaluations: 0,
+            exit: None,
+            value: None,
+        }
+    }
+}
+
+/// One fit attempt (attempt 1 is the original try; retries follow).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptSpan {
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// Solver activations inside this attempt, in order.
+    pub solvers: Vec<SolverSpan>,
+    /// Objective evaluations charged to this attempt (counter deltas plus
+    /// work carried by stop events).
+    pub evaluations: u64,
+    /// Deadline/cancellation observed during the attempt, if any.
+    pub stopped: Option<StopKind>,
+    /// Chaos faults injected into this attempt.
+    pub chaos: Vec<ChaosKind>,
+}
+
+impl AttemptSpan {
+    fn new(attempt: u32) -> Self {
+        Self {
+            attempt,
+            solvers: Vec::new(),
+            evaluations: 0,
+            stopped: None,
+            chaos: Vec::new(),
+        }
+    }
+}
+
+/// How a family fit ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitOutcome {
+    /// A usable model came back.
+    Completed {
+        /// Final sum of squared errors.
+        sse: f64,
+        /// Evaluations the runtime charged to the winning solve.
+        evaluations: u64,
+        /// Whether the winning solve met its tolerance.
+        converged: bool,
+    },
+    /// The fit terminated without a usable model.
+    Failed(FailureCode),
+    /// The log ended (or telemetry was lost) before a terminal event.
+    Lost,
+}
+
+/// One family fit inside a cell: the `fit_started` → terminal span, with
+/// its retry attempts nested inside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitSpan {
+    /// Family name.
+    pub family: &'static str,
+    /// Multi-start pool size (0 when the fit never started, e.g. skipped).
+    pub starts: u32,
+    /// Attempts in order; empty for fits that never ran (breaker skips).
+    pub attempts: Vec<AttemptSpan>,
+    /// Terminal state.
+    pub outcome: FitOutcome,
+    /// Whether a worker panic was attributed to this fit.
+    pub panicked: bool,
+}
+
+impl FitSpan {
+    fn new(family: &'static str) -> Self {
+        Self {
+            family,
+            starts: 0,
+            attempts: Vec::new(),
+            outcome: FitOutcome::Lost,
+            panicked: false,
+        }
+    }
+
+    /// Objective evaluations attributed to the fit (sum over attempts).
+    pub fn evaluations(&self) -> u64 {
+        self.attempts.iter().map(|a| a.evaluations).sum()
+    }
+
+    /// Retry attempts beyond the first.
+    pub fn retries(&self) -> u64 {
+        (self.attempts.len() as u64).saturating_sub(1)
+    }
+
+    /// Solver iterations attributed to the fit.
+    pub fn iterations(&self) -> u64 {
+        self.attempts
+            .iter()
+            .flat_map(|a| &a.solvers)
+            .map(|s| s.iterations)
+            .sum()
+    }
+}
+
+/// One fleet cell: the family fits of one series, plus supervision facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpan {
+    /// Fleet cell index (0 for single-series runs).
+    pub cell: u32,
+    /// Family fits in replay order.
+    pub fits: Vec<FitSpan>,
+    /// Failure count at quarantine, when the supervisor parked the cell.
+    pub quarantined: Option<u32>,
+    /// Circuit-breaker transitions replayed while this cell was current.
+    pub breaker_transitions: u64,
+    /// Evaluations observed in this cell outside any open fit span.
+    pub orphan_evaluations: u64,
+}
+
+impl CellSpan {
+    fn new(cell: u32) -> Self {
+        Self {
+            cell,
+            fits: Vec::new(),
+            quarantined: None,
+            breaker_transitions: 0,
+            orphan_evaluations: 0,
+        }
+    }
+
+    /// Objective evaluations attributed to the cell (fits plus orphans).
+    pub fn evaluations(&self) -> u64 {
+        self.orphan_evaluations + self.fits.iter().map(FitSpan::evaluations).sum::<u64>()
+    }
+
+    /// Retry attempts attributed to the cell.
+    pub fn retries(&self) -> u64 {
+        self.fits.iter().map(FitSpan::retries).sum()
+    }
+
+    fn work(&self, metric: WorkMetric) -> u64 {
+        match metric {
+            WorkMetric::Evaluations => self.evaluations(),
+            WorkMetric::Retries => self.retries(),
+        }
+    }
+}
+
+/// The reconstructed hierarchy of one event log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanTree {
+    /// Cells in replay (flattened job) order.
+    pub cells: Vec<CellSpan>,
+    /// Latest bootstrap progress seen in the log.
+    pub bootstrap: Option<BootstrapProgress>,
+    /// Evaluations observed before any cell context existed.
+    pub unattributed_evaluations: u64,
+    /// Total events consumed.
+    pub events: u64,
+}
+
+/// Builder state while replaying the log.
+struct Builder {
+    tree: SpanTree,
+    /// Index of the cell currently receiving events.
+    current: Option<usize>,
+    /// Whether the last fit of the current cell is still open.
+    fit_open: bool,
+    /// A `retry_scheduled` was seen and the attempt's re-emitted
+    /// `fit_started` is expected next.
+    awaiting_retry_start: bool,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Self {
+            tree: SpanTree::default(),
+            current: None,
+            fit_open: false,
+            awaiting_retry_start: false,
+        }
+    }
+
+    /// Cell currently receiving events, creating cell 0 on first use.
+    fn cell_mut(&mut self) -> &mut CellSpan {
+        if self.current.is_none() {
+            self.tree.cells.push(CellSpan::new(0));
+            self.current = Some(0);
+        }
+        let i = self.current.expect("current cell set above");
+        &mut self.tree.cells[i]
+    }
+
+    /// Makes `cell` the current cell, creating intermediate cells as
+    /// needed (cell indices from chaos/quarantine events are
+    /// authoritative). Any fit left open in another cell lost its
+    /// terminal event and is closed as [`FitOutcome::Lost`].
+    fn advance_to_cell(&mut self, cell: u32) {
+        let idx = cell as usize;
+        if self.current == Some(idx) {
+            return;
+        }
+        self.close_open_fit();
+        while self.tree.cells.len() <= idx {
+            let next = self.tree.cells.len() as u32;
+            self.tree.cells.push(CellSpan::new(next));
+        }
+        self.current = Some(idx);
+    }
+
+    /// Starts the next sequential cell (job replay crossed a cell
+    /// boundary without an explicit cell-indexed event).
+    fn start_next_cell(&mut self) {
+        self.close_open_fit();
+        let next = self.tree.cells.len() as u32;
+        self.tree.cells.push(CellSpan::new(next));
+        self.current = Some(self.tree.cells.len() - 1);
+    }
+
+    /// Closes a still-open fit as lost (no terminal event arrived).
+    fn close_open_fit(&mut self) {
+        self.fit_open = false;
+        self.awaiting_retry_start = false;
+    }
+
+    /// The open fit, if any (always the last fit of the current cell).
+    fn open_fit_mut(&mut self) -> Option<&mut FitSpan> {
+        if !self.fit_open {
+            return None;
+        }
+        let i = self.current?;
+        self.tree.cells[i].fits.last_mut()
+    }
+
+    /// Family of the open fit, if any.
+    fn open_family(&self) -> Option<&'static str> {
+        if !self.fit_open {
+            return None;
+        }
+        let i = self.current?;
+        self.tree.cells[i].fits.last().map(|f| f.family)
+    }
+
+    /// A new job for `family` is starting: close any open fit (the
+    /// previous job is over) and, when the current cell already ran this
+    /// family, advance to the next cell. Per-cell family rosters repeat
+    /// identically across cells, so a repeated family is exactly the
+    /// cell boundary.
+    fn job_boundary(&mut self, family: &'static str) {
+        if self.open_family().is_some_and(|f| f != family) {
+            self.close_open_fit();
+        }
+        let repeated = self
+            .current
+            .map(|i| &self.tree.cells[i])
+            .is_some_and(|c| c.fits.iter().any(|f| f.family == family));
+        if repeated {
+            self.start_next_cell();
+        }
+    }
+
+    /// Opens a fresh fit (with attempt 1 ready for work) and marks it open.
+    fn open_fit(&mut self, family: &'static str) -> &mut FitSpan {
+        let cell = self.cell_mut();
+        let mut fit = FitSpan::new(family);
+        fit.attempts.push(AttemptSpan::new(1));
+        cell.fits.push(fit);
+        self.fit_open = true;
+        self.awaiting_retry_start = false;
+        self.current
+            .and_then(|i| self.tree.cells[i].fits.last_mut())
+            .expect("fit pushed above")
+    }
+
+    /// The open fit's current attempt, if a fit is open.
+    fn attempt_mut(&mut self) -> Option<&mut AttemptSpan> {
+        let fit = self.open_fit_mut()?;
+        if fit.attempts.is_empty() {
+            fit.attempts.push(AttemptSpan::new(1));
+        }
+        fit.attempts.last_mut()
+    }
+
+    /// Charges `delta` evaluations to the innermost open scope.
+    fn charge_evaluations(&mut self, delta: u64) {
+        if let Some(attempt) = self.attempt_mut() {
+            attempt.evaluations += delta;
+        } else if self.current.is_some() {
+            self.cell_mut().orphan_evaluations += delta;
+        } else {
+            self.tree.unattributed_evaluations += delta;
+        }
+    }
+
+    /// The current attempt's open solver span, opening one (and closing a
+    /// mismatched predecessor) as needed.
+    fn solver_mut(&mut self, solver: SolverKind) -> Option<&mut SolverSpan> {
+        let attempt = self.attempt_mut()?;
+        let reuse = attempt
+            .solvers
+            .last()
+            .is_some_and(|s| s.exit.is_none() && s.solver.is_none_or(|k| k == solver));
+        if !reuse {
+            attempt.solvers.push(SolverSpan::new(None));
+        }
+        let span = attempt.solvers.last_mut().expect("span pushed above");
+        span.solver = Some(solver);
+        Some(span)
+    }
+
+    fn consume(&mut self, event: &Event) {
+        self.tree.events += 1;
+        match *event {
+            Event::FitStarted { family, starts } => {
+                let retry = self.awaiting_retry_start && self.open_family() == Some(family);
+                if retry {
+                    // A retried attempt re-emits fit_started; the attempt
+                    // span was already opened by retry_scheduled.
+                    self.awaiting_retry_start = false;
+                    if let Some(fit) = self.open_fit_mut() {
+                        fit.starts = starts;
+                    }
+                } else {
+                    self.job_boundary(family);
+                    self.open_fit(family).starts = starts;
+                }
+            }
+            Event::FitFinished {
+                family,
+                sse,
+                evaluations,
+                converged,
+            } => {
+                if self.open_family() != Some(family) {
+                    self.job_boundary(family);
+                    self.open_fit(family);
+                }
+                if let Some(fit) = self.open_fit_mut() {
+                    fit.outcome = FitOutcome::Completed {
+                        sse,
+                        evaluations,
+                        converged,
+                    };
+                }
+                self.close_open_fit();
+            }
+            Event::FitFailed { family, kind } => {
+                if self.open_family() != Some(family) {
+                    // A completed fit the selection layer then rejected
+                    // (e.g. a degenerate SSE failing the ranking
+                    // criteria) re-terminates as `fit_failed` right
+                    // after its `fit_finished`: attach the verdict to
+                    // that fit instead of inventing a phantom job.
+                    let rejected = !self.fit_open
+                        && self
+                            .current
+                            .and_then(|i| self.tree.cells[i].fits.last())
+                            .is_some_and(|f| {
+                                f.family == family
+                                    && matches!(f.outcome, FitOutcome::Completed { .. })
+                            });
+                    if rejected {
+                        let i = self.current.expect("checked above");
+                        let fit = self.tree.cells[i].fits.last_mut().expect("checked above");
+                        fit.outcome = FitOutcome::Failed(kind);
+                        return;
+                    }
+                    // A fit that never emitted its own events (breaker
+                    // skip, empty-buffer panic): record a closed fit.
+                    self.job_boundary(family);
+                    let cell = self.cell_mut();
+                    cell.fits.push(FitSpan::new(family));
+                    self.fit_open = true;
+                }
+                if let Some(fit) = self.open_fit_mut() {
+                    fit.outcome = FitOutcome::Failed(kind);
+                }
+                self.close_open_fit();
+            }
+            Event::StartBegan { index } => {
+                if let Some(attempt) = self.attempt_mut() {
+                    attempt.solvers.push(SolverSpan::new(Some(index)));
+                }
+            }
+            Event::Iteration {
+                solver,
+                iteration,
+                evaluations,
+                ..
+            } => {
+                if let Some(span) = self.solver_mut(solver) {
+                    span.iterations = span.iterations.max(iteration);
+                    span.evaluations = span.evaluations.max(evaluations);
+                }
+            }
+            Event::Converged {
+                solver,
+                iterations,
+                evaluations,
+                value,
+                reason,
+            } => {
+                if let Some(span) = self.solver_mut(solver) {
+                    span.iterations = iterations;
+                    span.evaluations = evaluations;
+                    span.exit = Some(reason);
+                    span.value = Some(value);
+                }
+            }
+            Event::RetryScheduled { family, attempt } => {
+                if self.open_family() != Some(family) {
+                    // Chaos retry-exhaustion jobs schedule retries without
+                    // ever reaching fit_started; chaos_injected usually
+                    // opened the fit already, but open one defensively.
+                    self.job_boundary(family);
+                    self.open_fit(family);
+                }
+                if let Some(fit) = self.open_fit_mut() {
+                    fit.attempts.push(AttemptSpan::new(attempt));
+                }
+                self.awaiting_retry_start = true;
+            }
+            Event::Stop {
+                kind, evaluations, ..
+            } => {
+                if let Some(attempt) = self.attempt_mut() {
+                    attempt.evaluations += evaluations;
+                    attempt.stopped = Some(kind);
+                } else {
+                    self.charge_evaluations(evaluations);
+                }
+            }
+            Event::WorkerPanic { scope, .. } => {
+                if self.open_family() != Some(scope) {
+                    self.job_boundary(scope);
+                    self.open_fit(scope);
+                }
+                if let Some(fit) = self.open_fit_mut() {
+                    fit.panicked = true;
+                }
+            }
+            Event::BootstrapChunkDone {
+                done,
+                total,
+                failed,
+            } => {
+                self.tree.bootstrap = Some(BootstrapProgress {
+                    done,
+                    total,
+                    failed,
+                });
+            }
+            Event::ChaosInjected { kind, cell, family } => {
+                // The carried cell index is authoritative — no roster
+                // heuristics here.
+                self.advance_to_cell(cell);
+                if self.open_family() != Some(family) {
+                    self.close_open_fit();
+                    self.open_fit(family);
+                }
+                if let Some(attempt) = self.attempt_mut() {
+                    attempt.chaos.push(kind);
+                }
+            }
+            Event::BreakerOpened { .. }
+            | Event::BreakerHalfOpen { .. }
+            | Event::BreakerClosed { .. } => {
+                self.cell_mut().breaker_transitions += 1;
+            }
+            Event::CellQuarantined { cell, failures } => {
+                self.advance_to_cell(cell);
+                self.cell_mut().quarantined = Some(failures);
+            }
+            Event::Counter { id, delta } => {
+                if id == CounterId::ObjectiveEvals {
+                    self.charge_evaluations(delta);
+                }
+            }
+            Event::Hist { .. } => {}
+        }
+    }
+}
+
+impl SpanTree {
+    /// Rebuilds the hierarchy from an event stream.
+    pub fn build<'a, I>(events: I) -> SpanTree
+    where
+        I: IntoIterator<Item = &'a Event>,
+    {
+        let mut builder = Builder::new();
+        for event in events {
+            builder.consume(event);
+        }
+        builder.close_open_fit();
+        builder.tree
+    }
+
+    /// Total family fits across all cells.
+    pub fn fits(&self) -> u64 {
+        self.cells.iter().map(|c| c.fits.len() as u64).sum()
+    }
+
+    /// Total objective evaluations attributed anywhere in the tree.
+    pub fn evaluations(&self) -> u64 {
+        self.unattributed_evaluations + self.cells.iter().map(CellSpan::evaluations).sum::<u64>()
+    }
+
+    /// Total retry attempts.
+    pub fn retries(&self) -> u64 {
+        self.cells.iter().map(CellSpan::retries).sum()
+    }
+
+    /// The `k` hottest cells by `metric`, hottest first; ties break toward
+    /// the lower cell index, so the order is deterministic.
+    pub fn hottest_cells(&self, k: usize, metric: WorkMetric) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self
+            .cells
+            .iter()
+            .map(|c| (c.cell, c.work(metric)))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// The `k` hottest families by `metric`, aggregated across cells,
+    /// hottest first; ties break toward first-seen order.
+    pub fn hottest_families(&self, k: usize, metric: WorkMetric) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<(&'static str, u64)> = Vec::new();
+        for fit in self.cells.iter().flat_map(|c| &c.fits) {
+            let work = match metric {
+                WorkMetric::Evaluations => fit.evaluations(),
+                WorkMetric::Retries => fit.retries(),
+            };
+            match v.iter_mut().find(|(name, _)| *name == fit.family) {
+                Some((_, total)) => *total += work,
+                None => v.push((fit.family, work)),
+            }
+        }
+        v.sort_by_key(|&(_, work)| std::cmp::Reverse(work));
+        v.truncate(k);
+        v
+    }
+
+    /// Renders the tree as indented monospace text. `max_cells` bounds the
+    /// number of cells printed (a trailer reports the omitted count);
+    /// `max_depth` bounds nesting: 1 = cells, 2 = fits, 3 = attempts,
+    /// 4 = solvers.
+    pub fn render(&self, max_cells: usize, max_depth: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet: {} cells, {} fits, {} evals, {} retries, {} unattributed evals",
+            self.cells.len(),
+            self.fits(),
+            self.evaluations(),
+            self.retries(),
+            self.unattributed_evaluations
+        );
+        for cell in self.cells.iter().take(max_cells) {
+            let _ = write!(
+                out,
+                "cell {}: {} fits, {} evals, {} retries",
+                cell.cell,
+                cell.fits.len(),
+                cell.evaluations(),
+                cell.retries()
+            );
+            if let Some(failures) = cell.quarantined {
+                let _ = write!(out, ", QUARANTINED ({failures} failures)");
+            }
+            if cell.breaker_transitions > 0 {
+                let _ = write!(out, ", {} breaker transitions", cell.breaker_transitions);
+            }
+            if cell.orphan_evaluations > 0 {
+                let _ = write!(out, ", {} orphan evals", cell.orphan_evaluations);
+            }
+            out.push('\n');
+            if max_depth < 2 {
+                continue;
+            }
+            for fit in &cell.fits {
+                let _ = write!(
+                    out,
+                    "  {}: evals={} attempts={}",
+                    fit.family,
+                    fit.evaluations(),
+                    fit.attempts.len()
+                );
+                match &fit.outcome {
+                    FitOutcome::Completed { sse, converged, .. } => {
+                        let _ = write!(
+                            out,
+                            " ok sse={sse:.4e}{}",
+                            if *converged { " converged" } else { "" }
+                        );
+                    }
+                    FitOutcome::Failed(kind) => {
+                        let _ = write!(out, " failed({})", kind.as_str());
+                    }
+                    FitOutcome::Lost => out.push_str(" lost"),
+                }
+                if fit.panicked {
+                    out.push_str(" panicked");
+                }
+                out.push('\n');
+                if max_depth < 3 {
+                    continue;
+                }
+                for attempt in &fit.attempts {
+                    let _ = write!(
+                        out,
+                        "    attempt {}: evals={}",
+                        attempt.attempt, attempt.evaluations
+                    );
+                    if let Some(kind) = attempt.stopped {
+                        let _ = write!(out, " stopped({})", kind.as_str());
+                    }
+                    for kind in &attempt.chaos {
+                        let _ = write!(out, " chaos({})", kind.as_str());
+                    }
+                    out.push('\n');
+                    if max_depth < 4 {
+                        continue;
+                    }
+                    for span in &attempt.solvers {
+                        let solver = span.solver.map_or("?", SolverKind::as_str);
+                        let _ = write!(out, "      {solver}");
+                        if let Some(i) = span.start_index {
+                            let _ = write!(out, " start {i}");
+                        }
+                        let _ = write!(
+                            out,
+                            ": iters={} evals={}",
+                            span.iterations, span.evaluations
+                        );
+                        if let Some(exit) = span.exit {
+                            let _ = write!(out, " exit={}", exit.as_str());
+                        }
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        if self.cells.len() > max_cells {
+            let _ = writeln!(out, "... ({} more cells)", self.cells.len() - max_cells);
+        }
+        if let Some(b) = self.bootstrap {
+            let _ = writeln!(
+                out,
+                "bootstrap: {}/{} replicates ({} failed)",
+                b.done, b.total, b.failed
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::HistogramId;
+    use crate::parse::intern;
+
+    fn started(family: &'static str) -> Event {
+        Event::FitStarted { family, starts: 4 }
+    }
+
+    fn evals(delta: u64) -> Event {
+        Event::Counter {
+            id: CounterId::ObjectiveEvals,
+            delta,
+        }
+    }
+
+    fn finished(family: &'static str, evaluations: u64) -> Event {
+        Event::FitFinished {
+            family,
+            sse: 1.0,
+            evaluations,
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn selection_rejection_reterminates_the_completed_fit() {
+        let q = intern("Quadratic");
+        let g = intern("Glacial");
+        let events = vec![
+            started(q),
+            evals(7),
+            finished(q, 7),
+            // The selection layer rejected the numerically-complete fit:
+            // a trailing verdict for the same job, not a new one.
+            Event::FitFailed {
+                family: q,
+                kind: FailureCode::Error,
+            },
+            started(g),
+            evals(5),
+            finished(g, 5),
+            // The next cell reuses the roster — still exactly two cells.
+            started(q),
+            evals(3),
+            finished(q, 3),
+        ];
+        let tree = SpanTree::build(&events);
+        assert_eq!(tree.cells.len(), 2);
+        assert_eq!(tree.cells[0].fits.len(), 2);
+        let fit = &tree.cells[0].fits[0];
+        assert_eq!(fit.outcome, FitOutcome::Failed(FailureCode::Error));
+        assert_eq!(fit.evaluations(), 7, "rejected fit keeps its work");
+        assert_eq!(tree.cells[1].fits.len(), 1);
+    }
+
+    #[test]
+    fn rebuilds_cells_from_repeated_family_rosters() {
+        let q = intern("Quadratic");
+        let g = intern("Glacial");
+        // Two cells x two families; the repeated roster is the boundary.
+        let events = vec![
+            started(q),
+            evals(10),
+            finished(q, 10),
+            started(g),
+            evals(20),
+            finished(g, 20),
+            started(q),
+            evals(30),
+            finished(q, 30),
+            started(g),
+            evals(40),
+            finished(g, 40),
+        ];
+        let tree = SpanTree::build(&events);
+        assert_eq!(tree.cells.len(), 2);
+        assert_eq!(tree.fits(), 4);
+        assert_eq!(tree.cells[0].evaluations(), 30);
+        assert_eq!(tree.cells[1].evaluations(), 70);
+        assert_eq!(tree.evaluations(), 100);
+        assert_eq!(tree.retries(), 0);
+        assert_eq!(
+            tree.hottest_cells(5, WorkMetric::Evaluations),
+            vec![(1, 70), (0, 30)]
+        );
+        assert_eq!(
+            tree.hottest_families(1, WorkMetric::Evaluations),
+            vec![(g, 60)]
+        );
+    }
+
+    #[test]
+    fn retry_reemits_fit_started_within_the_same_fit() {
+        let q = intern("Quadratic");
+        let events = vec![
+            started(q),
+            Event::Stop {
+                scope: intern("nelder_mead"),
+                kind: StopKind::Deadline,
+                evaluations: 7,
+            },
+            Event::RetryScheduled {
+                family: q,
+                attempt: 2,
+            },
+            started(q), // re-emission for attempt 2, NOT a new cell
+            evals(13),
+            finished(q, 13),
+        ];
+        let tree = SpanTree::build(&events);
+        assert_eq!(tree.cells.len(), 1);
+        let fit = &tree.cells[0].fits[0];
+        assert_eq!(fit.attempts.len(), 2);
+        assert_eq!(fit.attempts[0].evaluations, 7);
+        assert_eq!(fit.attempts[0].stopped, Some(StopKind::Deadline));
+        assert_eq!(fit.attempts[1].evaluations, 13);
+        assert_eq!(fit.evaluations(), 20);
+        assert_eq!(fit.retries(), 1);
+        assert!(matches!(fit.outcome, FitOutcome::Completed { .. }));
+    }
+
+    #[test]
+    fn solver_spans_nest_inside_attempts() {
+        let q = intern("Quadratic");
+        let events = vec![
+            started(q),
+            Event::StartBegan { index: 0 },
+            Event::Iteration {
+                solver: SolverKind::NelderMead,
+                iteration: 5,
+                evaluations: 12,
+                best: 2.0,
+            },
+            Event::Converged {
+                solver: SolverKind::NelderMead,
+                iterations: 9,
+                evaluations: 20,
+                value: 1.5,
+                reason: ExitReason::Converged,
+            },
+            Event::Converged {
+                solver: SolverKind::LevenbergMarquardt,
+                iterations: 3,
+                evaluations: 9,
+                value: 1.0,
+                reason: ExitReason::Converged,
+            },
+            evals(29),
+            finished(q, 29),
+        ];
+        let tree = SpanTree::build(&events);
+        let attempt = &tree.cells[0].fits[0].attempts[0];
+        assert_eq!(attempt.solvers.len(), 2);
+        assert_eq!(attempt.solvers[0].solver, Some(SolverKind::NelderMead));
+        assert_eq!(attempt.solvers[0].start_index, Some(0));
+        assert_eq!(attempt.solvers[0].iterations, 9);
+        assert_eq!(attempt.solvers[0].exit, Some(ExitReason::Converged));
+        assert_eq!(
+            attempt.solvers[1].solver,
+            Some(SolverKind::LevenbergMarquardt)
+        );
+        assert_eq!(attempt.solvers[1].start_index, None);
+        assert_eq!(tree.cells[0].fits[0].iterations(), 12);
+    }
+
+    #[test]
+    fn chaos_skip_and_quarantine_shapes() {
+        let q = intern("Quadratic");
+        let g = intern("Glacial");
+        let events = vec![
+            // Cell 0: retry-exhaustion chaos on Quadratic — no fit_started
+            // at all, just chaos, a scheduled retry, and the verdict.
+            Event::ChaosInjected {
+                kind: ChaosKind::Exhaustion,
+                cell: 0,
+                family: q,
+            },
+            Event::Counter {
+                id: CounterId::ChaosInjected,
+                delta: 1,
+            },
+            Event::RetryScheduled {
+                family: q,
+                attempt: 2,
+            },
+            Event::FitFailed {
+                family: q,
+                kind: FailureCode::Error,
+            },
+            // Glacial was skipped by an open breaker: verdict only.
+            Event::FitFailed {
+                family: g,
+                kind: FailureCode::Skipped,
+            },
+            Event::BreakerOpened {
+                family: q,
+                consecutive: 2,
+                clock: 0,
+            },
+            Event::CellQuarantined {
+                cell: 0,
+                failures: 2,
+            },
+            // Cell 1 runs clean.
+            started(q),
+            evals(11),
+            finished(q, 11),
+            started(g),
+            evals(5),
+            finished(g, 5),
+        ];
+        let tree = SpanTree::build(&events);
+        assert_eq!(tree.cells.len(), 2);
+        let c0 = &tree.cells[0];
+        assert_eq!(c0.quarantined, Some(2));
+        assert_eq!(c0.breaker_transitions, 1);
+        assert_eq!(c0.fits.len(), 2);
+        let exhausted = &c0.fits[0];
+        assert_eq!(exhausted.family, q);
+        assert_eq!(exhausted.attempts.len(), 2);
+        assert_eq!(exhausted.attempts[0].chaos, vec![ChaosKind::Exhaustion]);
+        assert_eq!(exhausted.outcome, FitOutcome::Failed(FailureCode::Error));
+        let skipped = &c0.fits[1];
+        assert!(skipped.attempts.is_empty());
+        assert_eq!(skipped.outcome, FitOutcome::Failed(FailureCode::Skipped));
+        assert_eq!(tree.cells[1].evaluations(), 16);
+        assert_eq!(tree.hottest_cells(1, WorkMetric::Retries), vec![(0, 1)]);
+        let rendered = tree.render(10, 4);
+        assert!(rendered.contains("QUARANTINED (2 failures)"), "{rendered}");
+        assert!(rendered.contains("failed(skipped)"), "{rendered}");
+        assert!(rendered.contains("chaos(exhaustion)"), "{rendered}");
+    }
+
+    #[test]
+    fn observer_loss_leaves_a_lost_fit() {
+        let q = intern("Quadratic");
+        let events = vec![
+            // Cell 0: the observer was dropped after chaos_injected; the
+            // job's own telemetry never reached the log.
+            Event::ChaosInjected {
+                kind: ChaosKind::ObserverLoss,
+                cell: 0,
+                family: q,
+            },
+            // Cell 1 (single-family roster): same family again.
+            Event::ChaosInjected {
+                kind: ChaosKind::ObserverLoss,
+                cell: 1,
+                family: q,
+            },
+            // Cell 2 runs clean.
+            started(q),
+            evals(3),
+            finished(q, 3),
+        ];
+        let tree = SpanTree::build(&events);
+        assert_eq!(tree.cells.len(), 3);
+        assert_eq!(tree.cells[0].fits[0].outcome, FitOutcome::Lost);
+        assert_eq!(tree.cells[1].fits[0].outcome, FitOutcome::Lost);
+        assert!(matches!(
+            tree.cells[2].fits[0].outcome,
+            FitOutcome::Completed { .. }
+        ));
+    }
+
+    #[test]
+    fn panic_verdicts_attach_to_the_failing_fit() {
+        let q = intern("Quadratic");
+        let events = vec![
+            Event::ChaosInjected {
+                kind: ChaosKind::Panic,
+                cell: 0,
+                family: q,
+            },
+            Event::WorkerPanic { scope: q, index: 0 },
+            Event::FitFailed {
+                family: q,
+                kind: FailureCode::Panicked,
+            },
+        ];
+        let tree = SpanTree::build(&events);
+        let fit = &tree.cells[0].fits[0];
+        assert!(fit.panicked);
+        assert_eq!(fit.outcome, FitOutcome::Failed(FailureCode::Panicked));
+        assert_eq!(fit.attempts[0].chaos, vec![ChaosKind::Panic]);
+    }
+
+    #[test]
+    fn work_outside_any_cell_is_unattributed() {
+        let events = vec![
+            evals(9),
+            Event::Hist {
+                id: HistogramId::EvalsPerFit,
+                value: 9,
+            },
+        ];
+        let tree = SpanTree::build(&events);
+        assert!(tree.cells.is_empty());
+        assert_eq!(tree.unattributed_evaluations, 9);
+        assert_eq!(tree.evaluations(), 9);
+        assert_eq!(tree.events, 2);
+        let rendered = tree.render(5, 4);
+        assert!(rendered.contains("9 unattributed evals"), "{rendered}");
+    }
+}

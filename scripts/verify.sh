@@ -32,7 +32,8 @@ timeout -k 30 "$SMOKE_TIMEOUT" cargo test -q --test runtime_resilience
 
 echo "==> telemetry smoke: traced example -> JSONL log -> fitlog replay (hard cap ${SMOKE_TIMEOUT}s)"
 FITLOG_SMOKE="$(mktemp -t fitlog_smoke.XXXXXX.jsonl)"
-trap 'rm -f "$FITLOG_SMOKE"' EXIT
+OBS_SMOKE_DIR="$(mktemp -d -t obs_smoke.XXXXXX)"
+trap 'rm -f "$FITLOG_SMOKE"; rm -rf "$OBS_SMOKE_DIR"' EXIT
 FITLOG_PATH="$FITLOG_SMOKE" timeout -k 30 "$SMOKE_TIMEOUT" \
     cargo run -q --release --example traced_ranking > /dev/null
 test -s "$FITLOG_SMOKE" || {
@@ -80,6 +81,53 @@ echo "==> chaos smoke: 64-cell grid under the fixed chaos plan, supervisor gates
 # BENCH_chaos.json — a pure function of the grid and the plan.
 timeout -k 30 "$SMOKE_TIMEOUT" \
     cargo run -q --release -p resilience-bench --bin bench -- fleet --chaos-smoke
+
+echo "==> obs smoke: observability gates + obsctl end-to-end (hard cap ${SMOKE_TIMEOUT}s)"
+# Runs the CI fleet three times through the observability gates
+# (DESIGN.md §15): the JSONL logs, span-tree renders, metrics
+# expositions, and stores must be byte-identical across serial ×2 and
+# Fixed(2), every evaluation must be attributed to a cell, and each
+# family must stay under its committed evaluation ceiling. Regenerates
+# BENCH_obs.json — a pure function of the grid — and drops the run's
+# logs into OBS_SMOKE_DIR for the obsctl checks below.
+OBS_SMOKE_DIR="$OBS_SMOKE_DIR" timeout -k 30 "$SMOKE_TIMEOUT" \
+    cargo run -q --release -p resilience-bench --bin bench -- fleet --obs-smoke
+
+# obsctl diff of the serial vs rerun logs must be empty (exit 0); a
+# non-empty diff means the telemetry plane itself is nondeterministic.
+timeout -k 30 "$SMOKE_TIMEOUT" \
+    cargo run -q --release -p resilience-bench --bin obsctl -- diff \
+    "$OBS_SMOKE_DIR/fleet_serial.jsonl" "$OBS_SMOKE_DIR/fleet_rerun.jsonl" || {
+    echo "obs smoke: obsctl diff found drift between identical-config runs" >&2
+    exit 1
+}
+
+# The exported metrics exposition must match the committed golden file
+# byte for byte — the committed contract for dashboard scrapers.
+timeout -k 30 "$SMOKE_TIMEOUT" \
+    cargo run -q --release -p resilience-bench --bin obsctl -- export \
+    "$OBS_SMOKE_DIR/fleet_serial.jsonl" > "$OBS_SMOKE_DIR/export.prom"
+cmp "$OBS_SMOKE_DIR/export.prom" tests/golden/obs_smoke_metrics.prom || {
+    echo "obs smoke: metrics exposition drifted from tests/golden/obs_smoke_metrics.prom" >&2
+    echo "(regenerate with: obsctl export <smoke log> > tests/golden/obs_smoke_metrics.prom)" >&2
+    exit 1
+}
+
+# Span-tree and top-K queries run end-to-end on the real log.
+timeout -k 30 "$SMOKE_TIMEOUT" \
+    cargo run -q --release -p resilience-bench --bin obsctl -- tree \
+    "$OBS_SMOKE_DIR/fleet_serial.jsonl" --depth 1 \
+    | grep -q "^fleet: 64 cells" || {
+    echo "obs smoke: obsctl tree did not reconstruct the 64-cell fleet" >&2
+    exit 1
+}
+timeout -k 30 "$SMOKE_TIMEOUT" \
+    cargo run -q --release -p resilience-bench --bin obsctl -- top \
+    "$OBS_SMOKE_DIR/fleet_serial.jsonl" --limit 3 \
+    | grep -q "hottest cells by evals:" || {
+    echo "obs smoke: obsctl top produced no ranking" >&2
+    exit 1
+}
 
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check

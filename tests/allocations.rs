@@ -17,7 +17,7 @@ use resilience_core::fit::{fit_least_squares, fit_least_squares_with, FitConfig,
 use resilience_core::mixture::MixtureFamily;
 use resilience_core::model::ModelFamily;
 use resilience_data::recessions::Recession;
-use resilience_obs::NullObserver;
+use resilience_obs::{Event, JsonlObserver, NullObserver, Observer};
 use resilience_optim::{Control, Parallelism};
 use std::sync::Arc;
 
@@ -296,6 +296,38 @@ fn warm_start_fit_path_does_not_allocate_per_iteration() {
         "10x the iterations changed the warm-started fit's allocation \
          count ({short} vs {long}) - the warm path allocates per iteration"
     );
+}
+
+/// The JSONL sink's encode path reuses one line buffer under its lock
+/// (DESIGN.md §15): once that buffer has grown to cover the longest
+/// event shape, recording any event performs zero heap allocations —
+/// the float formatter writes into stack scratch and the interned
+/// family names are `&'static str`. Exercised over every event shape
+/// in the vocabulary via [`Event::examples`].
+#[test]
+fn jsonl_encode_is_allocation_free_in_steady_state() {
+    let observer = JsonlObserver::new(std::io::sink());
+    let examples = Event::examples();
+    // Warm-up (allowed to allocate): every shape once, growing the
+    // reused line buffer to its steady-state capacity.
+    for event in &examples {
+        observer.record(event);
+    }
+
+    let delta = min_delta(3, || {
+        for _ in 0..10 {
+            for event in &examples {
+                observer.record(event);
+            }
+        }
+    });
+    assert_eq!(
+        delta, 0,
+        "JSONL encode allocated {delta} times over 10 passes of the \
+         full event vocabulary"
+    );
+    let (_, dropped) = observer.into_parts();
+    assert_eq!(dropped, 0, "sink writes never fail");
 }
 
 /// Attaching the default telemetry sink must not cost the hot path

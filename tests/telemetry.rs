@@ -14,7 +14,8 @@ use resilience_core::model::ModelFamily;
 use resilience_core::runtime::{rank_models_supervised, Control, ExecPolicy, RetryPolicy};
 use resilience_data::recessions::Recession;
 use resilience_obs::{
-    parse_log, replay, CounterId, Event, JsonlObserver, RecordingObserver, RunReport,
+    parse_line, parse_log, replay, CounterId, Event, JsonlObserver, MetricsSnapshot,
+    RecordingObserver, RunReport, SpanTree,
 };
 use resilience_optim::Parallelism;
 use std::sync::Arc;
@@ -89,6 +90,53 @@ fn jsonl_round_trip_preserves_the_log() {
     let via_file = RunReport::from_events(reparsed);
     assert_eq!(direct.to_json(), via_file.to_json());
     assert_eq!(direct.render_table(), via_file.render_table());
+}
+
+/// Exhaustive parse round-trip over the full event vocabulary: every
+/// variant of [`Event::examples`] — all counter/histogram ids, failure
+/// codes, solver kinds, exit reasons, stop kinds, chaos kinds, plus
+/// non-finite float payloads — encodes to one JSON line, reparses, and
+/// re-encodes to the identical bytes. Byte-level comparison sidesteps
+/// `NaN != NaN` while still pinning the whole codec.
+#[test]
+fn every_event_shape_survives_the_jsonl_round_trip() {
+    let examples = Event::examples();
+    assert!(examples.len() > 40, "vocabulary shrank? {}", examples.len());
+    for event in &examples {
+        let mut line = String::new();
+        event.write_json(&mut line);
+        let reparsed = parse_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        let mut again = String::new();
+        reparsed.write_json(&mut again);
+        assert_eq!(line, again, "round trip changed the encoding");
+    }
+}
+
+/// The analysis plane inherits the byte-identity contract: the span tree
+/// and the metrics exposition rebuilt from serial and `Fixed(2)` logs of
+/// the same ranking render identical bytes (DESIGN.md §15).
+#[test]
+fn span_tree_and_metrics_are_identical_across_thread_counts() {
+    let serial = traced_ranking(Parallelism::Serial);
+    let fixed2 = traced_ranking(Parallelism::Fixed(2));
+
+    let tree = SpanTree::build(&serial);
+    assert_eq!(tree.cells.len(), 1, "one series ⇒ one cell");
+    assert_eq!(tree.fits(), families().len() as u64);
+    assert_eq!(tree.unattributed_evaluations, 0);
+    assert_eq!(
+        tree.render(usize::MAX, 4),
+        SpanTree::build(&fixed2).render(usize::MAX, 4),
+        "span tree diverged across thread counts"
+    );
+
+    let exposition = MetricsSnapshot::from_report(&RunReport::from_events(serial)).render();
+    assert!(exposition.contains("resilience_objective_evals_total"));
+    assert_eq!(
+        exposition,
+        MetricsSnapshot::from_report(&RunReport::from_events(fixed2)).render(),
+        "metrics exposition diverged across thread counts"
+    );
 }
 
 /// The aggregated report accounts for real solver work: every family
